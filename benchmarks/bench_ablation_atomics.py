@@ -1,0 +1,25 @@
+"""Benchmark: ablation A8 — gang-reduction handoff styles.
+
+The paper's scheme (per-thread partial buffer + single-block finish kernel,
+§3.2.2) vs the modern alternative (block-local reduce + one device atomic
+per block, no second launch).  The trade-off the numbers expose: the finish
+kernel costs a launch plus a one-block scan of gangs×workers×vector
+partials; atomics serialize but there are only num_gangs of them.
+"""
+
+from repro.bench.ablations import a8_gang_handoff
+
+from conftest import FULL, run_once
+
+SIZE = (1 << 20) if FULL else (1 << 16)
+
+
+def test_a8_gang_handoff(benchmark):
+    rows = run_once(benchmark, a8_gang_handoff, size=SIZE)
+    for row in rows:
+        benchmark.extra_info[row.config] = f"{row.kernel_ms:.3f} ms"
+        print(row)
+    buffer_style, atomic_style = rows
+    # both verified correct inside the harness; the atomic style avoids the
+    # finish kernel's launch + one-block scan
+    assert atomic_style.kernel_ms < buffer_style.kernel_ms

@@ -1,0 +1,36 @@
+"""Benchmark: ablations A1/A2 — shared-memory layouts (Fig. 6 and Fig. 8).
+
+A1: row vs transposed vector-reduction layout (bank conflicts);
+A2: first-row vs duplicated-rows worker strategy (footprint + barriers).
+"""
+
+import pytest
+
+from repro.bench.ablations import a1_vector_layouts, a2_worker_strategies
+
+from conftest import FULL, run_once
+
+SIZE = 16384 if FULL else 2048
+
+
+def test_a1_vector_layouts(benchmark):
+    rows = run_once(benchmark, a1_vector_layouts, size=SIZE)
+    for row in rows:
+        benchmark.extra_info[row.config] = f"{row.kernel_ms:.3f} ms"
+        print(row)
+    row_layout, transposed = rows
+    # the paper's reason for Fig. 6(c): the transposed layout bank-conflicts
+    assert transposed.counters["bankconf"] > row_layout.counters["bankconf"]
+    assert transposed.kernel_ms >= row_layout.kernel_ms
+
+
+def test_a2_worker_strategies(benchmark):
+    rows = run_once(benchmark, a2_worker_strategies, size=SIZE)
+    for row in rows:
+        benchmark.extra_info[row.config] = f"{row.kernel_ms:.3f} ms"
+        print(row)
+    first_row, duplicated = rows
+    # §3.1.2: 8(b) "consumes a lot of shared memory ... and it needs to
+    # insert synchronization between each iteration"
+    assert duplicated.counters["smem_bytes"] > first_row.counters["smem_bytes"]
+    assert duplicated.counters["sync"] > first_row.counters["sync"]

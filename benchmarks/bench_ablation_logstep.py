@@ -1,0 +1,20 @@
+"""Benchmark: ablation A4 — warp-aware barrier elision in the log-step
+reduction (§3.1.1/§3.1.2: no synchronization in the last warp's
+iterations)."""
+
+from repro.bench.ablations import a4_sync_elision
+
+from conftest import FULL, run_once
+
+SIZE = 16384 if FULL else 2048
+
+
+def test_a4_sync_elision(benchmark):
+    rows = run_once(benchmark, a4_sync_elision, size=SIZE)
+    for row in rows:
+        benchmark.extra_info[row.config] = \
+            f"{row.kernel_ms:.3f} ms, {row.counters['sync']} barriers"
+        print(row)
+    elided, every_step = rows
+    assert every_step.counters["sync"] > 2 * elided.counters["sync"]
+    assert every_step.kernel_ms >= elided.kernel_ms

@@ -1,0 +1,23 @@
+"""Benchmark: ablation A7 — reduction staging in shared vs global memory
+(§3.3: the global-memory fallback for when shared memory is reserved for
+other computation, e.g. blocked matrix multiplication)."""
+
+from repro.bench.ablations import a7_memory_space
+
+from conftest import FULL, run_once
+
+SIZE = (1 << 20) if FULL else (1 << 16)
+
+
+def test_a7_shared_vs_global_staging(benchmark):
+    rows = run_once(benchmark, a7_memory_space, size=SIZE)
+    for row in rows:
+        benchmark.extra_info[row.config] = f"{row.kernel_ms:.3f} ms"
+        print(row)
+    shared, global_ = rows
+    # global staging frees shared memory entirely...
+    assert global_.counters["smem_bytes"] == 0
+    assert shared.counters["smem_bytes"] > 0
+    # ...at the price of global-memory traffic for the staging
+    assert global_.counters["dram_tx"] + global_.counters["l2"] \
+        > shared.counters["dram_tx"] + shared.counters["l2"]

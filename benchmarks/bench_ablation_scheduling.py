@@ -1,0 +1,24 @@
+"""Benchmark: ablation A3 — window-sliding vs blocking scheduling (§3.1.3).
+
+"The window sliding technique is superior than blocking algorithm in vector
+partial reduction since it can enable memory coalescing."
+"""
+
+from repro.bench.ablations import a3_scheduling
+
+from conftest import FULL, run_once
+
+SIZE = (1 << 22) if FULL else (1 << 19)
+
+
+def test_a3_window_vs_blocking(benchmark):
+    rows = run_once(benchmark, a3_scheduling, size=SIZE)
+    for row in rows:
+        benchmark.extra_info[row.config] = f"{row.kernel_ms:.3f} ms"
+        print(row)
+    window, blocking = rows
+    # blocking defeats coalescing: many more warp memory requests
+    w_req = window.counters["dram_tx"] + window.counters["l2"]
+    b_req = blocking.counters["dram_tx"] + blocking.counters["l2"]
+    assert b_req > w_req
+    assert blocking.kernel_ms > window.kernel_ms

@@ -1,0 +1,25 @@
+"""Benchmark: ablation A9 — shared-memory log-step vs warp shuffles.
+
+Kepler introduced ``__shfl_down``; the paper's log-step stages every
+partial through shared memory instead.  The shuffle tree needs no shared
+memory for the intra-warp combine and no barriers until the cross-warp
+handoff — the counters quantify exactly that.
+"""
+
+from repro.bench.ablations import a9_shuffle
+
+from conftest import FULL, run_once
+
+SIZE = 16384 if FULL else 2048
+
+
+def test_a9_logstep_vs_shuffle(benchmark):
+    rows = run_once(benchmark, a9_shuffle, size=SIZE)
+    for row in rows:
+        benchmark.extra_info[row.config] = \
+            (f"{row.kernel_ms:.3f} ms, {row.counters['sync']} barriers, "
+             f"{row.counters['dram_tx']} tx")
+        print(row)
+    logstep, shuffle = rows
+    assert shuffle.counters["sync"] < logstep.counters["sync"]
+    assert shuffle.kernel_ms <= logstep.kernel_ms * 1.02

@@ -1,0 +1,31 @@
+"""Benchmark: the paper's full-coverage claim as a runnable grid.
+
+§1 contributions: *"Our algorithms cover all possible cases of reduction
+in three levels of parallelism, all reduction operator types and operand
+data types."*  This runs every (position × operator × type) combination
+under the OpenUH profile and asserts a clean sweep.
+"""
+
+from repro.testsuite import run_testsuite
+from repro.testsuite.cases import ALL_CTYPES, ALL_OPS, POSITIONS
+
+from conftest import FULL, run_once
+
+SIZE = 2048 if FULL else 256
+GEOM = dict(num_gangs=6, num_workers=4, vector_length=32) \
+    if not FULL else dict()
+
+
+def test_full_operator_and_type_coverage(benchmark):
+    def run():
+        return run_testsuite(compilers=("openuh",), positions=POSITIONS,
+                             ops=ALL_OPS, ctypes=ALL_CTYPES, size=SIZE,
+                             **GEOM)
+
+    rep = run_once(benchmark, run)
+    total = rep.total("openuh")
+    passed = rep.pass_count("openuh")
+    benchmark.extra_info["grid"] = f"{passed}/{total}"
+    # 7 positions x (6 ops x 4 types + 3 int-only ops x 2 types) = 210
+    assert total == 7 * (6 * 4 + 3 * 2)
+    assert passed == total, rep.to_table()

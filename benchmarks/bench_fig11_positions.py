@@ -1,0 +1,36 @@
+"""Benchmark: Fig. 11 — per-position compiler comparison (float column).
+
+One benchmark per (subfigure, compiler); ``extra_info`` carries the modeled
+ms per (operator) cell, mirroring the bars of Fig. 11(a)-(g).
+"""
+
+import pytest
+
+from repro.testsuite import POSITIONS, make_case, run_case
+from repro.bench.fig11 import SUBFIGURES
+
+from conftest import FULL, run_once
+
+COMPILERS = ("openuh", "vendor-b", "vendor-a")
+SIZE = 8192 if FULL else 768
+GEOM = (dict() if FULL
+        else dict(num_gangs=8, num_workers=4, vector_length=32))
+
+
+@pytest.mark.parametrize("compiler", COMPILERS)
+@pytest.mark.parametrize("position", POSITIONS,
+                         ids=[f"fig11{SUBFIGURES[p]}" for p in POSITIONS])
+def test_fig11_subfigure(benchmark, position, compiler):
+    def run():
+        cells = {}
+        for op in ("+", "*"):
+            case = make_case(position, op, "float", size=SIZE)
+            r = run_case(case, compiler, **GEOM)
+            cells[op] = r.cell()
+        return cells
+
+    cells = run_once(benchmark, run)
+    for op, cell in cells.items():
+        benchmark.extra_info[f"[{op}] float"] = cell
+    if compiler == "openuh":
+        assert all(c not in ("F", "CE") for c in cells.values())

@@ -1,0 +1,48 @@
+"""Benchmark: Fig. 12(a) — 2-D heat equation with max-reduction convergence.
+
+Grid sizes swept per compiler.  The reproduction targets: OpenUH converges
+and beats vendor-b at every size; vendor-a never converges (its bar is
+missing in the paper's figure).
+"""
+
+import pytest
+
+from repro.apps.heat2d import solve_heat
+
+from conftest import FULL, run_once
+
+SIZES = (32, 48, 64) if FULL else (16, 24)
+GEOM = dict() if FULL else dict(num_gangs=16, vector_length=32)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("compiler", ("openuh", "vendor-b"))
+def test_heat_converges(benchmark, n, compiler):
+    r = run_once(benchmark, solve_heat, n=n, tol=0.5, max_iters=150,
+                 compiler=compiler, **GEOM)
+    benchmark.extra_info["modeled_ms"] = round(r.kernel_ms, 3)
+    benchmark.extra_info["iterations"] = r.iterations
+    assert r.converged
+
+
+@pytest.mark.parametrize("n", SIZES[:1])
+def test_heat_vendor_a_never_converges(benchmark, n):
+    r = run_once(benchmark, solve_heat, n=n, tol=0.5, max_iters=60,
+                 compiler="vendor-a", **GEOM)
+    benchmark.extra_info["status"] = "no-convergence"
+    assert not r.converged
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_heat_openuh_beats_vendor_b(benchmark, n):
+    def run():
+        ours = solve_heat(n=n, tol=0.5, max_iters=150, **GEOM)
+        theirs = solve_heat(n=n, tol=0.5, max_iters=150,
+                            compiler="vendor-b", **GEOM)
+        return ours, theirs
+
+    ours, theirs = run_once(benchmark, run)
+    benchmark.extra_info["openuh_ms"] = round(ours.kernel_ms, 3)
+    benchmark.extra_info["vendor_b_ms"] = round(theirs.kernel_ms, 3)
+    assert ours.converged and theirs.converged
+    assert ours.kernel_ms < theirs.kernel_ms  # "always better than PGI"

@@ -1,0 +1,56 @@
+"""Benchmark: Fig. 12(b) — matrix multiplication, k loop as vector '+'.
+
+Sizes swept; OpenUH vs vendor-a (CAPS-like; the paper reports OpenUH >2x
+faster), with vendor-b's bar missing because its vector '+' reduction is
+wrong (as in the paper).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul import matmul
+
+from conftest import FULL, run_once
+
+SIZES = (32, 48, 64) if FULL else (12, 16)
+GEOM = (dict() if FULL
+        else dict(num_gangs=8, num_workers=2, vector_length=32))
+
+
+def _mats(n):
+    rng = np.random.default_rng(n)
+    return (rng.random((n, n)).astype(np.float32),
+            rng.random((n, n)).astype(np.float32))
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("compiler", ("openuh", "vendor-a"))
+def test_matmul(benchmark, n, compiler):
+    A, B = _mats(n)
+    r = run_once(benchmark, matmul, A, B, compiler=compiler, **GEOM)
+    benchmark.extra_info["modeled_ms"] = round(r.kernel_ms, 3)
+    assert r.correct
+
+
+@pytest.mark.parametrize("n", SIZES[:1])
+def test_matmul_vendor_b_bar_missing(benchmark, n):
+    A, B = _mats(n)
+    r = run_once(benchmark, matmul, A, B, compiler="vendor-b", **GEOM)
+    benchmark.extra_info["status"] = "F"
+    assert not r.correct  # the missing PGI bar of Fig. 12(b)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_matmul_openuh_beats_vendor_a(benchmark, n):
+    A, B = _mats(n)
+
+    def run():
+        return (matmul(A, B, **GEOM),
+                matmul(A, B, compiler="vendor-a", **GEOM))
+
+    ours, theirs = run_once(benchmark, run)
+    benchmark.extra_info["openuh_ms"] = round(ours.kernel_ms, 3)
+    benchmark.extra_info["vendor_a_ms"] = round(theirs.kernel_ms, 3)
+    benchmark.extra_info["factor"] = round(theirs.kernel_ms
+                                           / ours.kernel_ms, 2)
+    assert ours.kernel_ms < theirs.kernel_ms

@@ -1,0 +1,39 @@
+"""Benchmark: Fig. 12(c) — Monte Carlo π over pre-generated samples.
+
+Sample counts swept per compiler; modeled time includes the PCIe transfer
+of the sample buffers (the paper's 1/2/4 GB sweep is exactly a transfer +
+gang·vector-reduction scaling experiment).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.montecarlo_pi import estimate_pi
+
+from conftest import FULL, run_once
+
+SIZES = (1 << 18, 1 << 19, 1 << 20) if FULL else (1 << 13, 1 << 14)
+GEOM = dict() if FULL else dict(num_gangs=16, vector_length=64)
+
+
+@pytest.mark.parametrize("n", SIZES, ids=[f"{n >> 10}K" for n in SIZES])
+@pytest.mark.parametrize("compiler", ("openuh", "vendor-b", "vendor-a"))
+def test_pi(benchmark, n, compiler):
+    r = run_once(benchmark, estimate_pi, n, compiler=compiler, **GEOM)
+    benchmark.extra_info["modeled_ms"] = round(r.total_ms, 3)
+    benchmark.extra_info["pi"] = round(r.pi, 5)
+    assert abs(r.pi - np.pi) < 0.1
+
+
+@pytest.mark.parametrize("n", SIZES[-1:])
+def test_pi_compiler_ordering(benchmark, n):
+    """OpenUH ≤ vendor-a < vendor-b on kernel time (the Fig. 12(c) order)."""
+    def run():
+        return {c: estimate_pi(n, compiler=c, **GEOM)
+                for c in ("openuh", "vendor-a", "vendor-b")}
+
+    rs = run_once(benchmark, run)
+    for c, r in rs.items():
+        benchmark.extra_info[c] = round(r.kernel_ms, 4)
+    assert rs["openuh"].kernel_ms <= rs["vendor-a"].kernel_ms * 1.05
+    assert rs["openuh"].kernel_ms < rs["vendor-b"].kernel_ms

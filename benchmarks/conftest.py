@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark runs the simulator once (``rounds=1``) — the interesting
+output is the *modeled* device time attached to ``benchmark.extra_info``
+(key ``modeled_ms``), not the host wall time pytest-benchmark measures.
+Scale knobs: set ``REPRO_BENCH_SCALE=full`` for paper-shaped sizes (slow);
+the default keeps the whole suite to a few minutes.
+
+Regenerate the full artifacts with the CLIs instead::
+
+    python -m repro.bench.table2
+    python -m repro.bench.fig11
+    python -m repro.bench.fig12
+    python -m repro.bench.ablations
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "full"
+
+
+@pytest.fixture
+def bench_scale():
+    """'full' (paper-shaped sizes) or 'quick' (CI-friendly)."""
+    return "full" if FULL else "quick"
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark fixture and return its
+    value (pytest-benchmark's pedantic mode)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Walk the compiler pipeline stage by stage for one of the paper's figures.
+
+Shows, for the Fig. 9 program (reduction across worker & vector in
+different loops), every intermediate artifact:
+
+  1. the OpenACC directives as parsed,
+  2. the reduction-span inference (the "OpenUH is smarter" analysis:
+     a single clause on the worker loop, span auto-detected to
+     worker & vector),
+  3. the generated kernels as pseudo-CUDA,
+  4. an execution's event counters and modeled-cost breakdown.
+
+Run:  python examples/inspect_compilation.py
+"""
+
+import numpy as np
+
+from repro import acc
+from repro.frontend.cparser import parse_region
+from repro.frontend.lexer import tokenize
+from repro.gpu.costmodel import CostModel
+from repro.gpu.device import K20C
+from repro.ir.analysis import analyze_region
+from repro.ir.builder import build_region
+
+FIG9 = """
+float input[NK][NJ][NI];
+float temp[NK];
+#pragma acc parallel copyin(input) copyout(temp)
+{
+  #pragma acc loop gang
+  for (k = 0; k < NK; k++) {
+    int j_sum = k;
+    #pragma acc loop worker reduction(+:j_sum)
+    for (j = 0; j < NJ; j++) {
+      #pragma acc loop vector
+      for (i = 0; i < NI; i++)
+        j_sum += input[k][j][i];
+    }
+    temp[k] = j_sum;
+  }
+}
+"""
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Stage 0 — source (the paper's Fig. 9)")
+    print("=" * 70)
+    print(FIG9)
+
+    print("=" * 70)
+    print("Stage 1 — lexer: pragma tokens")
+    print("=" * 70)
+    for tok in tokenize(FIG9):
+        if tok.kind == "PRAGMA":
+            print(f"  line {tok.line}: #{tok.text}")
+
+    print()
+    print("=" * 70)
+    print("Stage 2 — IR + reduction-span analysis")
+    print("=" * 70)
+    region = build_region(parse_region(FIG9))
+    print("  arrays :", ", ".join(f"{a.name}({a.transfer})"
+                                  for a in region.arrays))
+    print("  scalars:", ", ".join(s.name for s in region.scalars))
+    plan = analyze_region(region, num_workers=8, vector_length=128)
+    for info in plan.all_reductions:
+        print(f"  reduction {info.var!r}: operator {info.op.token!r}, "
+              f"clause on loop {info.clause_loop_id}, "
+              f"inferred span = {' & '.join(info.span)}")
+    print("  (the clause is only on the worker loop; the vector span was")
+    print("   detected automatically — §3.2.1's usability point)")
+
+    print()
+    print("=" * 70)
+    print("Stage 3 — generated kernels")
+    print("=" * 70)
+    prog = acc.compile(FIG9, num_gangs=4, num_workers=4, vector_length=32)
+    print(prog.dump_kernels())
+
+    print()
+    print("=" * 70)
+    print("Stage 4 — execution counters and modeled cost")
+    print("=" * 70)
+    rng = np.random.default_rng(0)
+    inp = rng.integers(0, 5, size=(3, 8, 64)).astype(np.float32)
+    res = prog.run(input=inp, temp=np.zeros(3, np.float32))
+    print("  result :", res.outputs["temp"])
+    print("  expect :", np.array([k + inp[k].sum() for k in range(3)],
+                                 dtype=np.float32))
+    for name, st in res.kernel_stats.items():
+        tb = CostModel(K20C).kernel_time(st)
+        print(f"\n  {name}:")
+        print(f"    {st.summary()}")
+        print(f"    compute {tb.compute_us:.2f} us | global "
+              f"{tb.global_us:.2f} us | shared {tb.shared_us:.2f} us | "
+              f"sync {tb.sync_us:.2f} us | {tb.concurrency} blocks resident")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Matrix multiplication with the k loop as a vector reduction (Fig. 12(b)).
+
+The inner dot-product loop has a loop-carried dependence, but it is a sum
+reduction — so it parallelizes across vector threads (§4).  This example
+runs the same program under all three compiler profiles: the PGI-like
+baseline computes a wrong product (its defective '+' fast path — the
+missing bar in the paper's figure), and the CAPS-like baseline is slower
+because it pays a barrier per log-step iteration on every one of the n²
+small reductions.
+
+Run:  python examples/matrix_multiply.py
+"""
+
+import numpy as np
+
+from repro.apps.matmul import matmul
+
+
+def main() -> None:
+    n = 32
+    rng = np.random.default_rng(7)
+    A = rng.random((n, n)).astype(np.float32)
+    B = rng.random((n, n)).astype(np.float32)
+    print(f"C = A @ B for {n}x{n} matrices "
+          "(i->gang, j->worker, k->vector reduction)\n")
+
+    baseline = None
+    for compiler in ("openuh", "vendor-a", "vendor-b"):
+        r = matmul(A, B, compiler=compiler, num_gangs=32, num_workers=4,
+                   vector_length=32)
+        if not r.correct:
+            print(f"{compiler:<10} WRONG RESULT "
+                  "(the paper's missing PGI bar)")
+            continue
+        note = ""
+        if baseline is None:
+            baseline = r.kernel_ms
+        else:
+            note = f"  ({r.kernel_ms / baseline:.2f}x vs openuh)"
+        print(f"{compiler:<10} correct, modeled {r.kernel_ms:8.3f} ms"
+              f"{note}")
+
+    print("\nSpot check (first row, first 4 columns):")
+    r = matmul(A, B, num_gangs=32, num_workers=4, vector_length=32)
+    print("  device:", np.round(r.C[0, :4], 4))
+    print("  numpy :", np.round((A @ B)[0, :4], 4))
+
+
+if __name__ == "__main__":
+    main()

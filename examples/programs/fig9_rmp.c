@@ -1,0 +1,18 @@
+/* The paper's Fig. 9: one reduction clause on the worker loop; the span
+ * across worker AND vector is detected automatically by OpenUH (§3.2.1). */
+float input[NK][NJ][NI];
+float temp[NK];
+#pragma acc parallel copyin(input) copyout(temp)
+{
+  #pragma acc loop gang
+  for (k = 0; k < NK; k++) {
+    int j_sum = k;
+    #pragma acc loop worker reduction(+:j_sum)
+    for (j = 0; j < NJ; j++) {
+      #pragma acc loop vector
+      for (i = 0; i < NI; i++)
+        j_sum += input[k][j][i];
+    }
+    temp[k] = j_sum;
+  }
+}

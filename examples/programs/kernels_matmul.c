@@ -1,0 +1,18 @@
+/* Matrix multiplication with ZERO loop annotations: the kernels construct
+ * hands scheduling to the compiler (§2.1).  Auto-parallelization assigns
+ * gang/worker/vector and recognizes the dot-product accumulation as a
+ * vector '+' reduction. */
+float A[n2];
+float B[n2];
+float C[n2];
+#pragma acc kernels copyin(A, B) copyout(C)
+{
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      float c = 0.0f;
+      for (k = 0; k < n; k++)
+        c += A[i*n+k] * B[k*n+j];
+      C[i*n+j] = c;
+    }
+  }
+}

@@ -1,0 +1,7 @@
+/* Sum of a vector: the simplest gang-worker-vector reduction (Fig. 10). */
+float a[n];
+long total = 0;
+#pragma acc parallel copyin(a)
+#pragma acc loop gang worker vector reduction(+:total)
+for (i = 0; i < n; i++)
+    total += a[i];

@@ -1,0 +1,50 @@
+"""repro — reproduction of "Reduction Operations in Parallel Loops for
+GPGPUs" (Xu, Tian, Yan, Chandrasekaran, Chapman; PMAM/PPoPP 2014).
+
+A from-scratch Python implementation of the paper's system: an OpenACC-style
+directive compiler whose reduction-parallelization strategies (gang/worker/
+vector, single- and multi-level) are lowered onto a deterministic SIMT GPU
+simulator with an analytic Kepler-class cost model.
+
+Layers (bottom-up):
+
+* :mod:`repro.gpu` — the SIMT simulator substrate (device, memories,
+  kernel IR, executor, cost model);
+* :mod:`repro.frontend` — C-subset + ``#pragma acc`` parser;
+* :mod:`repro.ir` — typed loop-nest IR, reduction-span analysis;
+* :mod:`repro.codegen` — parallelism mapping and reduction lowering
+  (the paper's core contribution);
+* :mod:`repro.acc` — the user-facing ``compile``/``run`` API and the
+  compiler profiles (``openuh`` plus two commercial-like baselines);
+* :mod:`repro.testsuite` — the paper's reduction testsuite (contribution 3);
+* :mod:`repro.apps` — the paper's applications (2-D heat equation, matrix
+  multiplication, Monte Carlo π);
+* :mod:`repro.bench` — harnesses regenerating Table 2 and Figures 11/12.
+
+Quick start::
+
+    from repro import acc
+    prog = acc.compile(source_with_pragmas)
+    result = prog.run(a=array, n=...)
+"""
+
+from repro import acc
+from repro.dtypes import DType
+from repro.errors import (
+    ReproError, CompileError, ParseError, AnalysisError,
+    UnsupportedReductionError, SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "acc",
+    "DType",
+    "ReproError",
+    "CompileError",
+    "ParseError",
+    "AnalysisError",
+    "UnsupportedReductionError",
+    "SimulationError",
+    "__version__",
+]

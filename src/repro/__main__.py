@@ -1,0 +1,186 @@
+"""Compiler driver CLI.
+
+Usage examples::
+
+    # inspect the compilation pipeline of an OpenACC source file
+    python -m repro compile examples/programs/vecsum.c --dump-ir \\
+        --dump-plan --dump-kernels
+
+    # compile and run, synthesizing input data
+    python -m repro run examples/programs/vecsum.c \\
+        --array "a=arange:1024:float" --compiler vendor-b
+
+    # regenerate the paper's artifacts
+    python -m repro table2 --quick
+    python -m repro fig11 --quick
+    python -m repro fig12 --quick
+    python -m repro ablations --quick
+
+Array specs for ``run``: ``NAME=KIND:SHAPE:CTYPE`` where KIND is ``zeros``,
+``ones``, ``arange`` or ``rand`` and SHAPE is ``x``-separated (e.g.
+``input=rand:4x8x32:float``), or ``NAME=path/to/file.npy``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import acc
+from repro.dtypes import ctype_to_dtype
+from repro.errors import ReproError
+
+__all__ = ["main"]
+
+
+def _parse_array_spec(spec: str) -> tuple[str, np.ndarray]:
+    if "=" not in spec:
+        raise SystemExit(f"bad --array spec {spec!r} (need NAME=...)")
+    name, rhs = spec.split("=", 1)
+    if rhs.endswith(".npy"):
+        return name, np.load(rhs)
+    parts = rhs.split(":")
+    if len(parts) != 3:
+        raise SystemExit(
+            f"bad --array spec {spec!r} (need KIND:SHAPE:CTYPE or *.npy)")
+    kind, shape_s, ctype = parts
+    shape = tuple(int(x) for x in shape_s.split("x"))
+    dt = ctype_to_dtype(ctype).np
+    n = int(np.prod(shape))
+    if kind == "zeros":
+        arr = np.zeros(n, dtype=dt)
+    elif kind == "ones":
+        arr = np.ones(n, dtype=dt)
+    elif kind == "arange":
+        arr = np.arange(n).astype(dt)
+    elif kind == "rand":
+        arr = (np.random.default_rng(0).random(n) * 8).astype(dt)
+    else:
+        raise SystemExit(f"unknown array kind {kind!r}")
+    return name, arr.reshape(shape)
+
+
+def _cmd_compile(args) -> int:
+    source = open(args.file).read()
+    from repro.frontend.cparser import parse_region
+    from repro.ir.builder import build_region
+    from repro.ir.analysis import analyze_region
+    from repro.ir.autopar import auto_parallelize
+    from repro.ir.pprint import format_plan, format_region
+    from repro.acc.launchconfig import resolve_geometry
+    from repro.acc.profiles import get_profile
+
+    profile = get_profile(args.compiler)
+    region = build_region(parse_region(source))
+    if region.kind == "kernels":
+        region = auto_parallelize(region)
+    geom = resolve_geometry(region.num_gangs, region.num_workers,
+                            region.vector_length, args.num_gangs,
+                            args.num_workers, args.vector_length)
+    if args.dump_ir:
+        print(format_region(region))
+        print()
+    plan = analyze_region(region, num_workers=geom.num_workers,
+                          vector_length=geom.vector_length,
+                          infer_span=profile.infers_span)
+    if args.dump_plan:
+        print(format_plan(plan))
+        print()
+    prog = acc.compile(source, compiler=args.compiler,
+                       num_gangs=args.num_gangs,
+                       num_workers=args.num_workers,
+                       vector_length=args.vector_length)
+    print(f"compiled with profile {profile.name!r}: "
+          f"{len(prog.lowered.kernels)} kernel(s), geometry "
+          f"{geom.num_gangs}x{geom.num_workers}x{geom.vector_length}")
+    if args.dump_kernels:
+        print()
+        print(prog.dump_kernels())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    source = open(args.file).read()
+    prog = acc.compile(source, compiler=args.compiler,
+                       num_gangs=args.num_gangs,
+                       num_workers=args.num_workers,
+                       vector_length=args.vector_length)
+    kwargs: dict = {}
+    for spec in args.array or []:
+        name, arr = _parse_array_spec(spec)
+        kwargs[name] = arr
+    for spec in args.scalar or []:
+        name, val = spec.split("=", 1)
+        kwargs[name] = float(val) if "." in val else int(val)
+    res = prog.run(**kwargs)
+    for name, value in res.scalars.items():
+        print(f"scalar {name} = {value}")
+    for name, arr in res.outputs.items():
+        flat = arr.ravel()
+        head = ", ".join(f"{v}" for v in flat[:6])
+        print(f"array  {name}: shape {arr.shape}, [{head}"
+              f"{', ...' if flat.size > 6 else ''}]")
+        if args.save:
+            np.save(f"{name}.npy", arr)
+            print(f"       saved to {name}.npy")
+    print(f"modeled: {res.modeled_ms:.3f} ms total "
+          f"({res.kernel_ms:.3f} ms kernels)")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="OpenACC reduction compiler + simulated GPU "
+                    "(PMAM'14 reproduction)")
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    def add_common(p):
+        p.add_argument("file", help="OpenACC source fragment")
+        p.add_argument("--compiler", default="openuh",
+                       choices=["openuh", "vendor-a", "vendor-b",
+                                "caps-like", "pgi-like"])
+        p.add_argument("--num-gangs", type=int, default=None)
+        p.add_argument("--num-workers", type=int, default=None)
+        p.add_argument("--vector-length", type=int, default=None)
+
+    pc = sub.add_parser("compile", help="compile and inspect")
+    add_common(pc)
+    pc.add_argument("--dump-ir", action="store_true")
+    pc.add_argument("--dump-plan", action="store_true")
+    pc.add_argument("--dump-kernels", action="store_true")
+
+    pr = sub.add_parser("run", help="compile and execute")
+    add_common(pr)
+    pr.add_argument("--array", action="append",
+                    help="NAME=KIND:SHAPE:CTYPE or NAME=file.npy")
+    pr.add_argument("--scalar", action="append", help="NAME=VALUE")
+    pr.add_argument("--save", action="store_true",
+                    help="save output arrays to NAME.npy")
+
+    for bench in ("table2", "fig11", "fig12", "ablations"):
+        sub.add_parser(bench, help=f"regenerate {bench} "
+                                   "(remaining args forwarded)")
+
+    args, extra = ap.parse_known_args(argv)
+    try:
+        if args.cmd == "compile":
+            if extra:
+                ap.error(f"unrecognized arguments: {' '.join(extra)}")
+            return _cmd_compile(args)
+        if args.cmd == "run":
+            if extra:
+                ap.error(f"unrecognized arguments: {' '.join(extra)}")
+            return _cmd_run(args)
+        import importlib
+        mod = importlib.import_module(f"repro.bench.{args.cmd}")
+        return mod.main(extra)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""Launch-geometry resolution.
+
+Defaults follow the paper's evaluation setup (§4): vector length 128 (the
+Kepler quad warp scheduler issues four 32-thread warps), 8 workers (1024
+threads per block), and 192 gangs (12 usable SMs × 16 blocks each).
+
+Precedence: directive clauses (``num_gangs``/``num_workers``/
+``vector_length``) > ``acc.compile`` keyword arguments > defaults.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.gpu.device import DeviceProperties, K20C
+from repro.codegen.mapping import LaunchGeometry
+
+__all__ = ["DEFAULT_GEOMETRY", "resolve_geometry"]
+
+DEFAULT_GEOMETRY = LaunchGeometry(num_gangs=192, num_workers=8,
+                                  vector_length=128)
+
+
+def resolve_geometry(region_gangs: int | None, region_workers: int | None,
+                     region_vector: int | None, kw_gangs: int | None,
+                     kw_workers: int | None, kw_vector: int | None,
+                     device: DeviceProperties = K20C) -> LaunchGeometry:
+    """Resolve the launch configuration and validate it against the device."""
+    def pick(directive, kwarg, default):
+        if directive is not None:
+            return directive
+        if kwarg is not None:
+            return kwarg
+        return default
+
+    gangs = pick(region_gangs, kw_gangs, DEFAULT_GEOMETRY.num_gangs)
+    workers = pick(region_workers, kw_workers, DEFAULT_GEOMETRY.num_workers)
+    vector = pick(region_vector, kw_vector, DEFAULT_GEOMETRY.vector_length)
+    if gangs < 1 or workers < 1 or vector < 1:
+        raise CompileError(
+            f"launch geometry must be positive, got gangs={gangs} "
+            f"workers={workers} vector={vector}")
+    if workers * vector > device.max_threads_per_block:
+        raise CompileError(
+            f"num_workers({workers}) x vector_length({vector}) = "
+            f"{workers * vector} exceeds {device.max_threads_per_block} "
+            "threads per block")
+    return LaunchGeometry(num_gangs=gangs, num_workers=workers,
+                          vector_length=vector)

@@ -1,0 +1,162 @@
+"""OpenMP 4.0 target-offload front: the paper's §6 extension.
+
+The conclusion of the paper observes: *"A similar reduction methodology can
+also be applied to other programming models such as OpenMP 4.0.  OpenMP
+demonstrates two levels of parallelism and it just needs to ignore the
+worker if our implementation strategy is used."*
+
+This module operationalizes that: a directive-level translator maps OpenMP
+``target``/``teams``/``distribute``/``parallel for`` constructs onto the
+OpenACC constructs this compiler already lowers, with **teams → gang** and
+**parallel for (threads) → vector** and the worker level fixed at 1:
+
+=====================================================  =====================
+OpenMP                                                 OpenACC equivalent
+=====================================================  =====================
+``target teams distribute parallel for``               ``parallel loop gang vector``
+``target teams distribute``                            ``parallel loop gang``
+``parallel for`` / ``for`` (inside a target region)    ``loop vector``
+``simd``                                               folded into vector
+``reduction(op:var)``                                  unchanged
+``map(to: a)`` / ``map(from: b)`` / ``map(tofrom:)``   ``copyin`` / ``copyout`` / ``copy``
+``map(alloc: t)``                                      ``create``
+``num_teams(n)`` / ``thread_limit(n)``                 ``num_gangs`` / ``vector_length``
+=====================================================  =====================
+
+Use :func:`compile_omp` exactly like ``acc.compile``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import DirectiveError
+from repro.acc import compiler as _acc_compiler
+
+__all__ = ["translate_omp_pragma", "translate_omp_source", "compile_omp"]
+
+_MAP_KINDS = {"to": "copyin", "from": "copyout", "tofrom": "copy",
+              "alloc": "create"}
+
+_CLAUSE_RE = re.compile(
+    r"(?P<name>[A-Za-z_]+)\s*(?:\((?P<args>[^()]*)\))?")
+
+
+def translate_omp_pragma(text: str) -> str | None:
+    """Translate one ``#pragma omp ...`` payload to an ``acc`` payload.
+
+    Returns ``None`` for non-``omp`` pragmas.  Raises
+    :class:`~repro.errors.DirectiveError` for OpenMP constructs outside the
+    supported offload subset.
+    """
+    stripped = text.strip()
+    if not stripped.startswith("omp"):
+        return None
+    rest = stripped[len("omp"):].strip()
+
+    # peel the leading construct keywords
+    words = rest.split()
+    constructs = []
+    i = 0
+    while i < len(words) and words[i] in ("target", "teams", "distribute",
+                                          "parallel", "for", "simd"):
+        constructs.append(words[i])
+        i += 1
+    clause_text = " ".join(words[i:])
+
+    cset = set(constructs)
+    if not cset:
+        raise DirectiveError(f"unsupported OpenMP directive: {text!r}")
+    if cset - {"target", "teams", "distribute", "parallel", "for", "simd"}:
+        raise DirectiveError(f"unsupported OpenMP construct in {text!r}")
+
+    is_region = "target" in cset
+    levels = []
+    if {"teams", "distribute"} & cset:
+        levels.append("gang")
+    if {"parallel", "for", "simd"} & cset and "distribute" not in cset \
+            or {"parallel", "for"} <= cset or "simd" in cset:
+        # `parallel for` / `simd` bind threads -> vector
+        if ("parallel" in cset and "for" in cset) or "simd" in cset:
+            levels.append("vector")
+    has_loop = bool(levels) and ("distribute" in cset or "for" in cset
+                                 or "simd" in cset)
+
+    # clauses
+    acc_clauses: list[str] = []
+    loop_clauses: list[str] = []
+    for m in _CLAUSE_RE.finditer(clause_text):
+        name, args = m.group("name"), m.group("args")
+        if name == "map":
+            if args is None or ":" not in args:
+                raise DirectiveError(f"map clause needs a kind: {text!r}")
+            kind, items = args.split(":", 1)
+            kind = kind.strip()
+            if kind not in _MAP_KINDS:
+                raise DirectiveError(f"unsupported map kind {kind!r}")
+            acc_clauses.append(f"{_MAP_KINDS[kind]}({items.strip()})")
+        elif name == "reduction":
+            loop_clauses.append(f"reduction({args})")
+        elif name == "num_teams":
+            acc_clauses.append(f"num_gangs({args})")
+        elif name == "thread_limit":
+            acc_clauses.append(f"vector_length({args})")
+        elif name == "collapse":
+            loop_clauses.append(f"collapse({args})")
+        elif name == "private":
+            loop_clauses.append(f"private({args})")
+        elif name in ("shared", "default", "schedule", "nowait"):
+            continue  # harmless under this execution model
+        else:
+            raise DirectiveError(
+                f"unsupported OpenMP clause {name!r} in {text!r}")
+
+    parts = ["acc"]
+    if is_region:
+        parts.append("parallel")
+    if has_loop or not is_region:
+        parts.append("loop")
+        parts.extend(levels if levels else ["vector"])
+        parts.extend(loop_clauses)
+    elif loop_clauses:
+        parts.extend(loop_clauses)
+    parts.extend(acc_clauses)
+    return " ".join(parts)
+
+
+def translate_omp_source(source: str) -> str:
+    """Rewrite every ``#pragma omp`` line of a source fragment to OpenACC.
+
+    Handles ``\\`` line continuations; non-pragma lines pass through.
+    """
+    out_lines: list[str] = []
+    lines = source.split("\n")
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        stripped = line.lstrip()
+        if stripped.startswith("#pragma"):
+            indent = line[:len(line) - len(stripped)]
+            text = stripped[len("#pragma"):].strip()
+            while text.rstrip().endswith("\\") and i + 1 < len(lines):
+                text = text.rstrip()[:-1] + " " + lines[i + 1].strip()
+                i += 1
+            translated = translate_omp_pragma(text)
+            if translated is not None:
+                out_lines.append(f"{indent}#pragma {translated}")
+            else:
+                out_lines.append(line)
+        else:
+            out_lines.append(line)
+        i += 1
+    return "\n".join(out_lines)
+
+
+def compile_omp(source: str, **kwargs) -> "_acc_compiler.Program":
+    """Compile an OpenMP 4.0 target-offload fragment.
+
+    Same keyword arguments as :func:`repro.acc.compile`; the worker level
+    is pinned to 1 (two-level OpenMP parallelism, per the paper's §6).
+    """
+    kwargs.setdefault("num_workers", 1)
+    return _acc_compiler.compile(translate_omp_source(source), **kwargs)

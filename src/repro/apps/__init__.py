@@ -1,0 +1,16 @@
+"""The paper's evaluation applications (§4).
+
+* :mod:`~repro.apps.heat2d` — 2-D heat equation with a ``max``-reduction
+  convergence test (Fig. 12(a)/13(a));
+* :mod:`~repro.apps.matmul` — naive matrix multiplication with the inner
+  k loop parallelized as a vector ``+`` reduction (Fig. 12(b)/13(b));
+* :mod:`~repro.apps.montecarlo_pi` — Monte Carlo π with a gang·vector ``+``
+  reduction over pre-generated samples (Fig. 12(c)/13(c)).
+"""
+
+from repro.apps.heat2d import HeatResult, solve_heat
+from repro.apps.matmul import MatmulResult, matmul
+from repro.apps.montecarlo_pi import PiResult, estimate_pi
+
+__all__ = ["HeatResult", "solve_heat", "MatmulResult", "matmul",
+           "PiResult", "estimate_pi"]

@@ -1,0 +1,75 @@
+"""Naive matrix multiplication with the k loop as a vector reduction.
+
+The paper's second application (§4, Fig. 12(b), code in Fig. 13(b)):
+*"Most developers usually only parallelize the outer two loops and let the
+third loop execute sequentially ... However we can also parallelize the
+third loop because essentially it just includes the 'sum' reduction
+operations."*  The i loop maps to gangs, the j loop to workers, and the k
+loop is a vector ``+`` reduction — one small block-level reduction per
+output element, which is why per-reduction overheads (barrier counts, §3.1)
+dominate here rather than raw bandwidth.
+
+The ``vendor-b`` profile fails this program (its defective ``+`` fast path;
+the paper's Fig. 12(b) omits the PGI bar for exactly this reason), and
+``vendor-a`` pays a barrier after every log-step iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import acc
+
+__all__ = ["MatmulResult", "matmul", "MATMUL_SRC"]
+
+MATMUL_SRC = """
+float A[n2];
+float B[n2];
+float C[n2];
+#pragma acc parallel copyin(A, B) copyout(C)
+{
+  #pragma acc loop gang
+  for (i = 0; i < n; i++) {
+    #pragma acc loop worker
+    for (j = 0; j < n; j++) {
+      float c = 0.0f;
+      #pragma acc loop vector reduction(+:c)
+      for (k = 0; k < n; k++)
+        c += A[i*n+k] * B[k*n+j];
+      C[i*n+j] = c;
+    }
+  }
+}
+"""
+
+
+@dataclass
+class MatmulResult:
+    """Product matrix plus modeled timing."""
+
+    C: np.ndarray
+    kernel_ms: float
+    total_ms: float
+    correct: bool  # verified against the NumPy reference
+
+
+def matmul(A: np.ndarray, B: np.ndarray, *, compiler: str = "openuh",
+           num_gangs: int = 192, num_workers: int = 8,
+           vector_length: int = 128, rtol: float = 1e-4) -> MatmulResult:
+    """C = A @ B on the simulated device; verifies against NumPy."""
+    A = np.ascontiguousarray(A, dtype=np.float32)
+    B = np.ascontiguousarray(B, dtype=np.float32)
+    if A.ndim != 2 or A.shape != B.shape or A.shape[0] != A.shape[1]:
+        raise ValueError("matmul expects two square matrices of equal size")
+    n = A.shape[0]
+    prog = acc.compile(MATMUL_SRC, compiler=compiler, num_gangs=num_gangs,
+                       num_workers=num_workers, vector_length=vector_length)
+    res = prog.run(A=A.reshape(-1), B=B.reshape(-1),
+                   C=np.zeros(n * n, dtype=np.float32), n=n)
+    C = res.outputs["C"].reshape(n, n)
+    expect = (A.astype(np.float64) @ B.astype(np.float64)).astype(np.float32)
+    correct = bool(np.allclose(C, expect, rtol=rtol, atol=1e-3))
+    return MatmulResult(C=C, kernel_ms=res.kernel_ms,
+                        total_ms=res.modeled_ms, correct=correct)

@@ -1,0 +1,18 @@
+"""Benchmark harnesses regenerating the paper's evaluation artifacts.
+
+Each module doubles as a CLI::
+
+    python -m repro.bench.table2      # Table 2 (testsuite grid)
+    python -m repro.bench.fig11       # Fig. 11 series (per position)
+    python -m repro.bench.fig12       # Fig. 12 (heat / matmul / Monte Carlo)
+    python -m repro.bench.ablations   # ablations A1-A7 (see DESIGN.md)
+
+All report *modeled* device time from the simulator's cost model; pass
+``--size``/``--scale`` to trade fidelity against wall-clock simulation time
+(see EXPERIMENTS.md for the scaled-size rationale).  The ``benchmarks/``
+pytest-benchmark suite wraps the same entry points.
+"""
+
+from repro.bench.harness import Series, format_series
+
+__all__ = ["Series", "format_series"]

@@ -1,0 +1,214 @@
+"""Ablation benchmarks for the design choices the paper argues for.
+
+Each ablation pits the OpenUH choice against the alternative the paper
+describes (and usually rejects), measuring the *mechanism* (bank conflicts,
+barrier counts, transactions, shared-memory footprint) alongside modeled
+time:
+
+* **A1** — vector-reduction shared-memory layout: row Fig. 6(c) vs
+  transposed Fig. 6(b) (bank conflicts).
+* **A2** — worker-reduction strategy: first-row Fig. 8(c) vs duplicated
+  rows Fig. 8(b) (shared footprint + barriers).
+* **A3** — iteration scheduling: window sliding vs blocking (§3.1.3,
+  coalescing).
+* **A4** — log-step barrier elision: warp-aware vs barrier-every-step
+  (§3.1.2).
+* **A5** — RMP style: direct flat combine vs level-by-level (§3.2.1,
+  barrier count).
+* **A6** — non-power-of-two vector sizes (§3.3: correct but slower).
+* **A7** — reduction staging memory: shared vs global (§3.3).
+
+Usage::
+
+    python -m repro.bench.ablations [--quick] [--only A1 A4 ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import acc
+from repro.testsuite.cases import make_case
+
+__all__ = ["AblationRow", "run_ablation", "ABLATIONS"]
+
+
+@dataclass
+class AblationRow:
+    """One measured configuration of an ablation."""
+
+    ablation: str
+    config: str
+    kernel_ms: float
+    counters: dict
+
+    def __str__(self) -> str:
+        extras = "  ".join(f"{k}={v}" for k, v in self.counters.items())
+        return (f"  {self.ablation:<4} {self.config:<34} "
+                f"{self.kernel_ms:>9.3f} ms   {extras}")
+
+
+def _measure(case, *, geom=None, **overrides) -> tuple[float, dict]:
+    geom = geom or {}
+    prog = acc.compile(case.source, **geom, **overrides)
+    rng = np.random.default_rng(42)
+    inputs = case.make_inputs(rng)
+    res = prog.run(**inputs)
+    # verify — an ablation variant must stay correct
+    for kind, name, expect in case.expected(inputs):
+        got = res.scalars[name] if kind == "scalar" else res.outputs[name]
+        if not np.allclose(np.asarray(got, dtype=np.float64),
+                           np.asarray(expect, dtype=np.float64), rtol=1e-5):
+            raise AssertionError(
+                f"ablation variant produced a wrong result for {case.label}")
+    st = res.kernel_stats["acc_region_main"]
+    return res.kernel_ms, {
+        "sync": st.barriers,
+        "bankconf": st.bank_conflict_extra,
+        "dram_tx": st.global_transactions,
+        "l2": st.l2_transactions,
+        "smem_bytes": st.shared_bytes,
+    }
+
+
+def _rows(name, case, variants, geom=None) -> list[AblationRow]:
+    out = []
+    for label, overrides in variants:
+        ms, counters = _measure(case, geom=geom, **overrides)
+        out.append(AblationRow(name, label, ms, counters))
+    return out
+
+
+def a1_vector_layouts(size=16384) -> list[AblationRow]:
+    case = make_case("vector", "+", "float", size=size)
+    return _rows("A1", case, [
+        ("row layout (Fig. 6c, OpenUH)", dict(vector_layout="row")),
+        ("transposed layout (Fig. 6b)", dict(vector_layout="transposed")),
+    ])
+
+
+def a2_worker_strategies(size=16384) -> list[AblationRow]:
+    case = make_case("worker", "+", "float", size=size)
+    return _rows("A2", case, [
+        ("first-row (Fig. 8c, OpenUH)", dict(worker_strategy="first_row")),
+        ("duplicated rows (Fig. 8b)", dict(worker_strategy="duplicated")),
+    ])
+
+
+def a3_scheduling(size=1 << 22) -> list[AblationRow]:
+    case = make_case("same line gang worker vector", "+", "float", size=size)
+    return _rows("A3", case, [
+        ("window sliding (OpenUH)", dict(scheduling="window")),
+        ("blocking", dict(scheduling="blocking")),
+    ])
+
+
+def a4_sync_elision(size=16384) -> list[AblationRow]:
+    case = make_case("vector", "+", "float", size=size)
+    return _rows("A4", case, [
+        ("warp-aware elision (OpenUH)", dict(elide_warp_sync=True)),
+        ("barrier every step", dict(elide_warp_sync=False)),
+    ])
+
+
+def a5_rmp_style(size=1 << 20) -> list[AblationRow]:
+    case = make_case("worker vector", "+", "float", size=size)
+    return _rows("A5", case, [
+        ("direct flat combine (OpenUH)", dict(block_rmp_style="direct")),
+        ("level by level (rejected §3.2.1)",
+         dict(block_rmp_style="level_by_level")),
+    ])
+
+
+def a6_nonpow2_vector(size=16384) -> list[AblationRow]:
+    case = make_case("vector", "+", "float", size=size)
+    rows = []
+    for vl in (128, 96, 100):
+        ms, counters = _measure(case, geom=dict(vector_length=vl,
+                                                num_workers=8))
+        rows.append(AblationRow("A6", f"vector_length={vl}"
+                                + ("" if vl % 32 == 0 else " (not warp-mult)"),
+                                ms, counters))
+    return rows
+
+
+def a7_memory_space(size=1 << 20) -> list[AblationRow]:
+    case = make_case("worker vector", "+", "float", size=size)
+    return _rows("A7", case, [
+        ("shared-memory staging (default)", dict(reduction_memory="shared")),
+        ("global-memory staging (§3.3)", dict(reduction_memory="global")),
+    ])
+
+
+def a8_gang_handoff(size=1 << 20) -> list[AblationRow]:
+    """Extension: the paper's partial-buffer + finish kernel vs a modern
+    block-reduce + device-atomic handoff (single kernel, no finish)."""
+    case = make_case("same line gang worker vector", "+", "float", size=size)
+    rows = []
+    for label, overrides in [
+        ("partial buffer + finish kernel (paper)",
+         dict(gang_partial_style="buffer")),
+        ("block reduce + atomic RMW (extension)",
+         dict(gang_partial_style="atomic")),
+    ]:
+        ms, counters = _measure(case, **overrides)
+        rows.append(AblationRow("A8", label, ms, counters))
+    return rows
+
+
+def a9_shuffle(size=16384) -> list[AblationRow]:
+    """Extension: shared-memory log-step (the paper) vs Kepler __shfl_down
+    warp trees for the block-level combine."""
+    case = make_case("vector", "+", "float", size=size)
+    return _rows("A9", case, [
+        ("shared-memory log-step (paper)", dict(vector_strategy="logstep")),
+        ("warp shuffle trees (extension)", dict(vector_strategy="shuffle")),
+    ])
+
+
+ABLATIONS = {
+    "A1": (a1_vector_layouts, "vector layout: row vs transposed"),
+    "A2": (a2_worker_strategies, "worker strategy: first-row vs duplicated"),
+    "A3": (a3_scheduling, "scheduling: window vs blocking"),
+    "A4": (a4_sync_elision, "log-step barrier elision"),
+    "A5": (a5_rmp_style, "RMP: direct vs level-by-level"),
+    "A6": (a6_nonpow2_vector, "non-power-of-two vector sizes"),
+    "A7": (a7_memory_space, "reduction staging: shared vs global"),
+    "A8": (a8_gang_handoff, "gang handoff: finish kernel vs atomics"),
+    "A9": (a9_shuffle, "block combine: log-step vs warp shuffles"),
+}
+
+_QUICK_SIZES = {"A1": 2048, "A2": 2048, "A3": 1 << 18, "A4": 2048,
+                "A5": 1 << 16, "A6": 2048, "A7": 1 << 16, "A8": 1 << 16,
+                "A9": 2048}
+
+
+def run_ablation(name: str, quick: bool = False) -> list[AblationRow]:
+    fn, _ = ABLATIONS[name]
+    if quick:
+        return fn(size=_QUICK_SIZES[name])
+    return fn()
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true")
+    ap.add_argument("--only", nargs="+", choices=sorted(ABLATIONS),
+                    default=sorted(ABLATIONS))
+    args = ap.parse_args(argv)
+    t0 = time.time()
+    for name in args.only:
+        _, desc = ABLATIONS[name]
+        print(f"\n{name}: {desc}")
+        for row in run_ablation(name, quick=args.quick):
+            print(row)
+    print(f"\n[{time.time() - t0:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

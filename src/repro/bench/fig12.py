@@ -1,0 +1,125 @@
+"""Fig. 12 regenerator: the three applications across compilers.
+
+* **(a) 2-D heat equation** — grid sizes swept; per-iteration ``max``
+  reduction until convergence.  vendor-a (CAPS-like) never converges (its
+  bar is missing in the paper).
+* **(b) matrix multiplication** — sizes swept; the k loop is a vector ``+``
+  reduction.  vendor-b (PGI-like) computes wrong products (missing bar).
+* **(c) Monte Carlo π** — sample counts swept; gang·vector ``+`` reduction
+  over pre-generated points (modeled time includes the PCIe transfer, which
+  is what scales with the paper's 1/2/4 GB buffers).
+
+Usage::
+
+    python -m repro.bench.fig12 [--quick] [--only a|b|c]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.apps.heat2d import solve_heat
+from repro.apps.matmul import matmul
+from repro.apps.montecarlo_pi import estimate_pi
+from repro.bench.harness import Series, format_series
+
+__all__ = ["heat_sweep", "matmul_sweep", "pi_sweep"]
+
+COMPILERS = ("openuh", "vendor-b", "vendor-a")
+
+#: paper sweeps 128..512 grids, 1..4 GB samples; scaled for the simulator
+HEAT_SIZES = (32, 48, 64)
+HEAT_SIZES_QUICK = (16, 24)
+MATMUL_SIZES = (32, 48, 64)
+MATMUL_SIZES_QUICK = (12, 16)
+PI_SIZES = (1 << 18, 1 << 19, 1 << 20)
+PI_SIZES_QUICK = (1 << 13, 1 << 14)
+
+
+def heat_sweep(sizes=HEAT_SIZES, compilers=COMPILERS, tol: float = 0.5,
+               max_iters: int = 120, progress=None) -> list[Series]:
+    """Fig. 12(a): modeled time to convergence per grid size."""
+    series = []
+    for comp in compilers:
+        s = Series(label=comp)
+        for n in sizes:
+            r = solve_heat(n=n, tol=tol, max_iters=max_iters, compiler=comp)
+            s.add(f"{n}x{n}", r.kernel_ms if r.converged
+                  else "no-convergence")
+            if progress:
+                progress(f"heat {n}x{n} {comp}: "
+                         f"{'%.2f ms' % r.kernel_ms if r.converged else 'did not converge'}")
+        series.append(s)
+    return series
+
+
+def matmul_sweep(sizes=MATMUL_SIZES, compilers=COMPILERS,
+                 progress=None) -> list[Series]:
+    """Fig. 12(b): modeled matmul time per matrix size."""
+    rng = np.random.default_rng(12)
+    series = []
+    for comp in compilers:
+        s = Series(label=comp)
+        for n in sizes:
+            A = rng.random((n, n)).astype(np.float32)
+            B = rng.random((n, n)).astype(np.float32)
+            r = matmul(A, B, compiler=comp)
+            s.add(f"{n}x{n}", r.kernel_ms if r.correct else "F")
+            if progress:
+                progress(f"matmul {n}x{n} {comp}: "
+                         f"{'%.2f ms' % r.kernel_ms if r.correct else 'F'}")
+        series.append(s)
+    return series
+
+
+def pi_sweep(sizes=PI_SIZES, compilers=COMPILERS,
+             progress=None) -> list[Series]:
+    """Fig. 12(c): modeled time (incl. transfers) per sample count."""
+    series = []
+    for comp in compilers:
+        s = Series(label=comp)
+        for n in sizes:
+            r = estimate_pi(n, compiler=comp)
+            s.add(f"{n // 1024}K", r.total_ms)
+            if progress:
+                progress(f"pi {n} {comp}: {r.total_ms:.2f} ms "
+                         f"(pi={r.pi:.4f})")
+        series.append(s)
+    return series
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true")
+    ap.add_argument("--only", choices=("a", "b", "c"))
+    args = ap.parse_args(argv)
+    t0 = time.time()
+    progress = lambda msg: print("  " + msg, flush=True)  # noqa: E731
+
+    if args.only in (None, "a"):
+        sizes = HEAT_SIZES_QUICK if args.quick else HEAT_SIZES
+        print(format_series("Figure 12(a) — 2D heat equation [max]",
+                            heat_sweep(sizes=sizes, progress=progress),
+                            xlabel="grid"))
+        print()
+    if args.only in (None, "b"):
+        sizes = MATMUL_SIZES_QUICK if args.quick else MATMUL_SIZES
+        print(format_series("Figure 12(b) — matrix multiplication [+]",
+                            matmul_sweep(sizes=sizes, progress=progress),
+                            xlabel="matrix"))
+        print()
+    if args.only in (None, "c"):
+        sizes = PI_SIZES_QUICK if args.quick else PI_SIZES
+        print(format_series("Figure 12(c) — Monte Carlo PI [+] "
+                            "(incl. transfers)",
+                            pi_sweep(sizes=sizes, progress=progress),
+                            xlabel="samples"))
+    print(f"\n[{time.time() - t0:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

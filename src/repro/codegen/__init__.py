@@ -1,0 +1,10 @@
+"""Code generation: OpenACC loop-nest IR → simulated CUDA kernels.
+
+This package is the paper's core contribution: the mapping of parallel loops
+onto the GPU thread hierarchy (:mod:`~repro.codegen.mapping`) and the
+parallelization of reduction operations at and across every level of that
+hierarchy (:mod:`~repro.codegen.reduction`), orchestrated by
+:mod:`~repro.codegen.lowering`.
+"""
+
+__all__: list[str] = []

@@ -1,0 +1,86 @@
+"""Parallelism mapping: OpenACC levels → CUDA thread geometry (§2.2).
+
+Follows the OpenUH convention (paper Table 1 discussion): **gang** maps to
+``blockIdx.x``, **worker** to ``threadIdx.y``, **vector** to
+``threadIdx.x``.  Iteration scheduling comes in the two flavours §3.1.3
+contrasts:
+
+* **window sliding** (OpenUH): the thread set is a window that slides over
+  the iteration space with stride = window size (Fig. 3's ``i +=
+  blockDim.x``).  Consecutive lanes touch consecutive iterations, so
+  vector-level memory access coalesces.
+* **blocking**: each thread takes a contiguous chunk of iterations.
+  Equivalent work, but consecutive lanes are ``chunk`` apart, defeating
+  coalescing — the baseline we ablate against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu import kernelir as K
+
+__all__ = ["LaunchGeometry", "distribution", "Distribution"]
+
+_LEVEL_DIM = {"gang": "bx", "worker": "ty", "vector": "tx"}
+
+
+@dataclass(frozen=True)
+class LaunchGeometry:
+    """Resolved launch configuration (compile-time constants)."""
+
+    num_gangs: int
+    num_workers: int
+    vector_length: int
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.num_workers * self.vector_length
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_gangs * self.threads_per_block
+
+    def size_of(self, level: str) -> int:
+        return {"gang": self.num_gangs, "worker": self.num_workers,
+                "vector": self.vector_length}[level]
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """How one loop's iterations map onto threads.
+
+    ``position`` is the participating-thread linear position (an int
+    expression over thread builtins); ``total`` is the number of
+    participating positions (compile-time).
+    """
+
+    levels: tuple[str, ...]
+    position: K.Expr
+    total: int
+
+
+def distribution(levels: tuple[str, ...], geom: LaunchGeometry) -> Distribution:
+    """Linearize the participating levels, outer to inner.
+
+    For levels ``(gang, worker, vector)`` the position is
+    ``(blockIdx.x * blockDim.y + threadIdx.y) * blockDim.x + threadIdx.x``;
+    subsets compose the same way over the participating dimensions only
+    (e.g. ``(gang, vector)`` → ``blockIdx.x * blockDim.x + threadIdx.x``).
+    """
+    if not levels:
+        raise ValueError("distribution() requires at least one level")
+    pos: K.Expr | None = None
+    total = 1
+    for lv in ("gang", "worker", "vector"):
+        if lv not in levels:
+            continue
+        size = geom.size_of(lv)
+        dim = K.Special(_LEVEL_DIM[lv])
+        total *= size
+        if pos is None:
+            pos = dim
+        else:
+            pos = K.Bin("+", K.Bin("*", pos, K.const_int(size)), dim)
+    assert pos is not None
+    return Distribution(levels=tuple(levels), position=pos, total=total)

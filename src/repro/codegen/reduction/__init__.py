@@ -1,0 +1,5 @@
+"""Reduction parallelization strategies (§3 of the paper)."""
+
+from repro.codegen.reduction.operators import ReductionOperator, get_operator, OPERATORS
+
+__all__ = ["ReductionOperator", "get_operator", "OPERATORS"]

@@ -1,0 +1,180 @@
+"""The OpenACC reduction operators: identities and combine rules.
+
+The paper (§3, contributions list) covers "all reduction operator types and
+operand data types".  OpenACC 1.0/2.0 defines nine: ``+ * max min & | ^ &&
+||``, over the C arithmetic types.  Every operator is associative and
+commutative (§3's prerequisite for the divide-and-conquer parallelization),
+so partial reductions may be computed in any grouping/order as long as each
+element participates exactly once and identities pad the gaps.
+
+Each operator provides:
+
+* ``identity(dtype)`` — the neutral element used to seed thread privates and
+  pad inactive lanes;
+* ``combine(a, b, dtype)`` — a kernel-IR expression combining two values;
+* ``np_combine`` / ``np_reduce`` — NumPy equivalents for host-side folding
+  and CPU reference results (the testsuite's verifier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.dtypes import DType, is_integer
+from repro.errors import AnalysisError
+from repro.gpu import kernelir as K
+
+__all__ = ["ReductionOperator", "OPERATORS", "get_operator"]
+
+
+@dataclass(frozen=True)
+class ReductionOperator:
+    """One OpenACC reduction operator."""
+
+    token: str  # OpenACC spelling in the reduction clause
+    name: str  # identifier-safe name (used in kernel/register names)
+    integer_only: bool
+    _identity: Callable[[DType], object]
+    _combine_ir: Callable[[K.Expr, K.Expr, DType], K.Expr]
+    _np_combine: Callable  # (a, b) -> combined, dtype-preserving
+
+    def validate_dtype(self, dtype: DType) -> None:
+        if self.integer_only and not is_integer(dtype):
+            raise AnalysisError(
+                f"reduction operator {self.token!r} requires an integer "
+                f"type, got {dtype.ctype!r}"
+            )
+
+    def identity(self, dtype: DType):
+        """Neutral element as a NumPy scalar of ``dtype``."""
+        self.validate_dtype(dtype)
+        return dtype.np.type(self._identity(dtype))
+
+    def identity_const(self, dtype: DType) -> K.Const:
+        """Neutral element as a kernel-IR constant."""
+        return K.Const(self.identity(dtype), dtype)
+
+    def combine(self, a: K.Expr, b: K.Expr, dtype: DType) -> K.Expr:
+        """Kernel-IR expression for ``a <op> b`` at ``dtype``."""
+        return self._combine_ir(a, b, dtype)
+
+    def np_combine(self, a, b, dtype: DType):
+        """Host-side combine, preserving ``dtype`` (C wrap-around included)."""
+        with np.errstate(over="ignore"):
+            return dtype.np.type(self._np_combine(
+                np.asarray(a, dtype=dtype.np), np.asarray(b, dtype=dtype.np)))
+
+    def np_reduce(self, values: np.ndarray, dtype: DType):
+        """Reference sequential reduction of an array (identity-seeded)."""
+        acc = self.identity(dtype)
+        arr = np.asarray(values, dtype=dtype.np)
+        with np.errstate(over="ignore"):
+            for chunkwise in (arr,):
+                if self.token == "+":
+                    acc = dtype.np.type(acc + chunkwise.sum(dtype=dtype.np))
+                elif self.token == "*":
+                    acc = dtype.np.type(acc * chunkwise.prod(dtype=dtype.np))
+                elif self.token == "max":
+                    acc = dtype.np.type(np.fmax(acc, chunkwise.max())
+                                        if chunkwise.size else acc)
+                elif self.token == "min":
+                    acc = dtype.np.type(np.fmin(acc, chunkwise.min())
+                                        if chunkwise.size else acc)
+                elif self.token == "&":
+                    acc = dtype.np.type(np.bitwise_and.reduce(chunkwise,
+                                                              initial=acc))
+                elif self.token == "|":
+                    acc = dtype.np.type(np.bitwise_or.reduce(chunkwise,
+                                                             initial=acc))
+                elif self.token == "^":
+                    acc = dtype.np.type(np.bitwise_xor.reduce(chunkwise,
+                                                              initial=acc))
+                elif self.token == "&&":
+                    acc = dtype.np.type(int(bool(acc) and bool(np.all(chunkwise != 0))))
+                elif self.token == "||":
+                    acc = dtype.np.type(int(bool(acc) or bool(np.any(chunkwise != 0))))
+                else:  # pragma: no cover
+                    raise AnalysisError(f"unknown operator {self.token!r}")
+        return acc
+
+
+def _int_allones(dtype: DType):
+    return -1  # two's-complement all-ones for signed int/long
+
+
+def _minval(dtype: DType):
+    if dtype is DType.INT:
+        return np.iinfo(np.int32).min
+    if dtype is DType.LONG:
+        return np.iinfo(np.int64).min
+    return -np.inf
+
+
+def _maxval(dtype: DType):
+    if dtype is DType.INT:
+        return np.iinfo(np.int32).max
+    if dtype is DType.LONG:
+        return np.iinfo(np.int64).max
+    return np.inf
+
+
+def _bin(op: str):
+    def mk(a, b, dtype):
+        return K.Bin(op, a, b)
+    return mk
+
+
+def _call_max(a, b, dtype):
+    return K.Call("fmax" if dtype in (DType.FLOAT, DType.DOUBLE) else "max",
+                  (a, b))
+
+
+def _call_min(a, b, dtype):
+    return K.Call("fmin" if dtype in (DType.FLOAT, DType.DOUBLE) else "min",
+                  (a, b))
+
+
+def _logical_and(a, b, dtype):
+    return K.Cast(dtype, K.Bin("&&", a, b))
+
+
+def _logical_or(a, b, dtype):
+    return K.Cast(dtype, K.Bin("||", a, b))
+
+
+def _np_logical_and(a, b):
+    return ((a != 0) & (b != 0))
+
+
+def _np_logical_or(a, b):
+    return ((a != 0) | (b != 0))
+
+
+OPERATORS: dict[str, ReductionOperator] = {
+    "+": ReductionOperator("+", "sum", False, lambda d: 0, _bin("+"), np.add),
+    "*": ReductionOperator("*", "prod", False, lambda d: 1, _bin("*"),
+                           np.multiply),
+    "max": ReductionOperator("max", "max", False, _minval, _call_max, np.fmax),
+    "min": ReductionOperator("min", "min", False, _maxval, _call_min, np.fmin),
+    "&": ReductionOperator("&", "band", True, _int_allones, _bin("&"),
+                           np.bitwise_and),
+    "|": ReductionOperator("|", "bor", True, lambda d: 0, _bin("|"),
+                           np.bitwise_or),
+    "^": ReductionOperator("^", "bxor", True, lambda d: 0, _bin("^"),
+                           np.bitwise_xor),
+    "&&": ReductionOperator("&&", "land", False, lambda d: 1, _logical_and,
+                            _np_logical_and),
+    "||": ReductionOperator("||", "lor", False, lambda d: 0, _logical_or,
+                            _np_logical_or),
+}
+
+
+def get_operator(token: str) -> ReductionOperator:
+    """Look up a reduction operator by its OpenACC clause spelling."""
+    try:
+        return OPERATORS[token]
+    except KeyError:
+        raise AnalysisError(f"unknown reduction operator {token!r}") from None

@@ -1,0 +1,120 @@
+"""Scalar type system shared by the frontend, IR, codegen and simulator.
+
+The C subset supported by the frontend exposes four arithmetic types (plus
+``bool`` internally for predicates).  They map onto fixed-width NumPy dtypes
+the same way ``nvcc`` maps them on a 64-bit LP64 host, which is what the
+paper's evaluation platform used:
+
+=========  ============  =============
+C type     repro DType   NumPy dtype
+=========  ============  =============
+int        INT           numpy.int32
+long       LONG          numpy.int64
+float      FLOAT         numpy.float32
+double     DOUBLE        numpy.float64
+=========  ============  =============
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = [
+    "DType",
+    "ctype_to_dtype",
+    "promote",
+    "is_integer",
+    "is_float",
+]
+
+
+class DType(enum.Enum):
+    """A scalar machine type usable in kernels and reductions."""
+
+    INT = "int"
+    LONG = "long"
+    FLOAT = "float"
+    DOUBLE = "double"
+    BOOL = "bool"
+
+    @property
+    def np(self) -> np.dtype:
+        """The NumPy dtype that backs registers/buffers of this type."""
+        return _NP[self]
+
+    @property
+    def itemsize(self) -> int:
+        """Size of one element in bytes (as on the simulated device)."""
+        return _NP[self].itemsize
+
+    @property
+    def ctype(self) -> str:
+        """C spelling of the type (``int``, ``long``, ``float``, ``double``)."""
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DType.{self.name}"
+
+
+_NP: dict[DType, np.dtype] = {
+    DType.INT: np.dtype(np.int32),
+    DType.LONG: np.dtype(np.int64),
+    DType.FLOAT: np.dtype(np.float32),
+    DType.DOUBLE: np.dtype(np.float64),
+    DType.BOOL: np.dtype(np.bool_),
+}
+
+_FROM_NP: dict[np.dtype, DType] = {v: k for k, v in _NP.items()}
+
+_CTYPES: dict[str, DType] = {
+    "int": DType.INT,
+    "unsigned": DType.INT,  # modeled as int; the paper's testsuite uses signed
+    "long": DType.LONG,
+    "float": DType.FLOAT,
+    "double": DType.DOUBLE,
+    "bool": DType.BOOL,
+    "_Bool": DType.BOOL,
+}
+
+
+def ctype_to_dtype(name: str) -> DType:
+    """Map a C type spelling to a :class:`DType`.
+
+    Raises ``KeyError`` for unknown spellings; the parser turns that into a
+    :class:`~repro.errors.ParseError`.
+    """
+    return _CTYPES[name]
+
+
+def from_numpy(dt: np.dtype) -> DType:
+    """Map a NumPy dtype back to a :class:`DType` (exact match required)."""
+    return _FROM_NP[np.dtype(dt)]
+
+
+# C-style "usual arithmetic conversions", restricted to our four types.
+_RANK = {DType.BOOL: 0, DType.INT: 1, DType.LONG: 2, DType.FLOAT: 3, DType.DOUBLE: 4}
+
+
+def promote(a: DType, b: DType) -> DType:
+    """Binary-operation result type under C's usual arithmetic conversions.
+
+    ``long`` op ``float`` yields ``float`` (as in C, where the long converts
+    to the floating type), never ``double`` — this intentionally differs from
+    NumPy's value-preserving promotion.
+    """
+    hi = a if _RANK[a] >= _RANK[b] else b
+    if hi is DType.BOOL:
+        return DType.INT  # bool arithmetic promotes to int, as in C
+    return hi
+
+
+def is_integer(dt: DType) -> bool:
+    """True for ``int``/``long`` (bitwise/logical reduction operand types)."""
+    return dt in (DType.INT, DType.LONG)
+
+
+def is_float(dt: DType) -> bool:
+    """True for ``float``/``double``."""
+    return dt in (DType.FLOAT, DType.DOUBLE)

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the repro package.
+
+Every layer of the stack (frontend, IR, codegen, runtime, simulator) raises
+subclasses of :class:`ReproError` so callers can catch a single base type.
+Compile-time failures (including the modeled ``CE`` entries of the paper's
+Table 2) raise :class:`CompileError`; simulator-detected hardware-semantics
+violations (e.g. ``__syncthreads`` under divergent control flow) raise
+:class:`SimulationError` subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CompileError(ReproError):
+    """A program could not be compiled (parse, analysis, or lowering failure)."""
+
+
+class ParseError(CompileError):
+    """Syntax error in the C-subset source or an OpenACC directive."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        loc = ""
+        if line is not None:
+            loc = f" at line {line}" + (f", col {col}" if col is not None else "")
+        super().__init__(message + loc)
+
+
+class DirectiveError(CompileError):
+    """An OpenACC directive is malformed or used in an invalid position."""
+
+
+class AnalysisError(CompileError):
+    """Semantic analysis rejected the program (types, reduction placement)."""
+
+
+class UnsupportedReductionError(CompileError):
+    """A compiler profile declares this reduction shape unsupported.
+
+    This models the ``CE`` (compile-time error) cells of the paper's Table 2
+    for the commercial baseline profiles.
+    """
+
+
+class LoweringError(CompileError):
+    """Internal codegen failure: IR shape the lowering cannot handle."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors detected while executing kernels on the simulator."""
+
+
+class BarrierDivergenceError(SimulationError):
+    """``__syncthreads()`` executed under divergent control flow.
+
+    On real hardware this is undefined behaviour (usually a hang); the
+    simulator turns it into a hard error so tests catch broken lowerings.
+    """
+
+
+class OutOfBoundsError(SimulationError):
+    """A global- or shared-memory access fell outside its buffer."""
+
+
+class ResourceError(SimulationError):
+    """A launch exceeds device limits (threads per block, shared memory...)."""
+
+
+class RuntimeDataError(ReproError):
+    """Host/device data-environment misuse (missing array, shape mismatch...)."""

@@ -1,0 +1,22 @@
+"""Mini OpenACC frontend: a C-subset parser with ``#pragma acc`` directives.
+
+The subset covers everything the paper's figures use (Fig. 4, 9, 10, 13):
+typed scalar/array declarations, ``for``/``while``/``if`` statements, the
+usual expression grammar with assignment operators, intrinsic calls, and
+multi-dimensional or flattened array subscripts, with OpenACC ``parallel``/
+``kernels``/``loop`` directives and their clauses attached to the statements
+they precede.
+"""
+
+from repro.frontend.lexer import tokenize, Token
+from repro.frontend.pragmas import parse_pragma, AccLoopInfo, AccRegionInfo
+from repro.frontend.cparser import parse_region
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "parse_pragma",
+    "AccLoopInfo",
+    "AccRegionInfo",
+    "parse_region",
+]

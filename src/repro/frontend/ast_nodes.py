@@ -1,0 +1,159 @@
+"""C-level AST for the frontend subset.
+
+These nodes mirror the source closely; the IR builder
+(:mod:`repro.ir.builder`) normalizes them (loop canonicalization, flat index
+computation, type propagation) into the loop-nest IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CExpr", "CIntLit", "CFloatLit", "CIdent", "CIndex", "CBinary", "CUnary",
+    "CCall", "CCast", "CCond",
+    "CStmt", "CDecl", "CAssign", "CFor", "CWhile", "CIf", "CBlock",
+    "CRegion",
+]
+
+
+# -- expressions -------------------------------------------------------------
+
+class CExpr:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class CIntLit(CExpr):
+    value: int
+
+
+@dataclass(frozen=True)
+class CFloatLit(CExpr):
+    value: float
+    is_double: bool  # 1.0 vs 1.0f
+
+
+@dataclass(frozen=True)
+class CIdent(CExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class CIndex(CExpr):
+    """``base[index]`` — chained for multi-dimensional access."""
+
+    base: CExpr
+    index: CExpr
+
+
+@dataclass(frozen=True)
+class CBinary(CExpr):
+    op: str
+    left: CExpr
+    right: CExpr
+
+
+@dataclass(frozen=True)
+class CUnary(CExpr):
+    op: str  # '-', '!', '~', '+'
+    operand: CExpr
+
+
+@dataclass(frozen=True)
+class CCall(CExpr):
+    name: str
+    args: tuple[CExpr, ...]
+
+
+@dataclass(frozen=True)
+class CCast(CExpr):
+    ctype: str
+    operand: CExpr
+
+
+@dataclass(frozen=True)
+class CCond(CExpr):
+    """Ternary ``c ? a : b``."""
+
+    cond: CExpr
+    then: CExpr
+    orelse: CExpr
+
+
+# -- statements --------------------------------------------------------------
+
+class CStmt:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class CDecl(CStmt):
+    """``int x;`` / ``int x = e;`` / ``float a[NK][NJ];``"""
+
+    ctype: str
+    name: str
+    dims: tuple[CExpr, ...] = ()
+    init: CExpr | None = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class CAssign(CStmt):
+    """``target op= value;`` where op is '', '+', '-', '*', '/', '%',
+    '&', '|', '^', '<<', '>>' ('' means plain assignment).
+
+    ``atomic`` marks a ``#pragma acc atomic update`` on the statement.
+    """
+
+    target: CExpr  # CIdent or CIndex
+    op: str
+    value: CExpr
+    line: int = 0
+    atomic: bool = False
+
+
+@dataclass(frozen=True)
+class CFor(CStmt):
+    """Canonicalized counted loop: ``for (var = start; var < end; var += step)``.
+
+    ``pragma`` carries the attached ``#pragma acc loop`` info, if any.
+    """
+
+    var: str
+    decl_type: str | None  # 'int' for `for (int i = ...)`, else None
+    start: CExpr
+    end: CExpr  # exclusive bound
+    step: CExpr
+    body: tuple[CStmt, ...]
+    pragma: object | None = None  # AccLoopInfo
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class CWhile(CStmt):
+    cond: CExpr
+    body: tuple[CStmt, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class CIf(CStmt):
+    cond: CExpr
+    then: tuple[CStmt, ...]
+    orelse: tuple[CStmt, ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class CBlock(CStmt):
+    stmts: tuple[CStmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class CRegion:
+    """A parsed OpenACC compute region: directive + body statements."""
+
+    info: object  # AccRegionInfo
+    body: tuple[CStmt, ...]
+    preamble: tuple[CStmt, ...] = ()  # host declarations before the region

@@ -1,0 +1,381 @@
+"""Recursive-descent parser for the C subset with OpenACC regions.
+
+The input is a source fragment shaped like the paper's figures: optional
+host declarations, then one ``#pragma acc parallel``/``kernels`` region whose
+body is a (possibly nested, possibly ``loop``-annotated) set of statements.
+
+The parser produces the C AST of :mod:`repro.frontend.ast_nodes`;
+``for`` loops are canonicalized to ``(var, start, end_exclusive, step)``
+during parsing so the IR builder sees one loop shape.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.frontend import ast_nodes as A
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.pragmas import (AccAtomicInfo, AccLoopInfo,
+                                    AccRegionInfo, parse_pragma)
+
+__all__ = ["parse_region", "parse_statements"]
+
+_TYPES = ("int", "long", "float", "double", "unsigned")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.toks = tokens
+        self.i = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        j = min(self.i + offset, len(self.toks) - 1)
+        return self.toks[j]
+
+    def next(self) -> Token:
+        t = self.peek()
+        if t.kind != "EOF":
+            self.i += 1
+        return t
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        t = self.peek()
+        return t.kind == kind and (text is None or t.text == text)
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        t = self.next()
+        if t.kind != kind or (text is not None and t.text != text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}, got {t.text!r}",
+                             line=t.line, col=t.col)
+        return t
+
+    def error(self, msg: str) -> ParseError:
+        t = self.peek()
+        return ParseError(msg + f" (near {t.text!r})", line=t.line, col=t.col)
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_region(self) -> A.CRegion:
+        preamble: list[A.CStmt] = []
+        while True:
+            if self.at("EOF"):
+                raise self.error("no '#pragma acc parallel/kernels' region "
+                                 "found in source")
+            if self.at("PRAGMA"):
+                info = parse_pragma(self.peek().text)
+                if isinstance(info, AccRegionInfo):
+                    self.next()
+                    body = self._region_body(info)
+                    self._check_trailing()
+                    return A.CRegion(info=info, body=body,
+                                     preamble=tuple(preamble))
+                if isinstance(info, AccLoopInfo):
+                    raise self.error("'#pragma acc loop' before any "
+                                     "parallel/kernels region")
+                self.next()  # non-acc pragma: skip
+                continue
+            preamble.append(self.parse_statement())
+
+    def _region_body(self, info: AccRegionInfo) -> tuple[A.CStmt, ...]:
+        """The structured block following the compute directive."""
+        stmt = self.parse_statement(combined_loop=info.combined_loop)
+        if isinstance(stmt, A.CBlock):
+            return stmt.stmts
+        return (stmt,)
+
+    def _check_trailing(self) -> None:
+        if not self.at("EOF"):
+            t = self.peek()
+            raise ParseError(
+                "unexpected tokens after the compute region (exactly one "
+                f"region per source fragment): {t.text!r}",
+                line=t.line, col=t.col)
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self, loop_info: AccLoopInfo | None = None,
+                        combined_loop: AccLoopInfo | None = None) -> A.CStmt:
+        t = self.peek()
+
+        if t.kind == "PRAGMA":
+            info = parse_pragma(t.text)
+            if isinstance(info, AccLoopInfo):
+                self.next()
+                nxt = self.peek()
+                if not (nxt.kind == "ID" and nxt.text == "for"):
+                    raise ParseError(
+                        "'#pragma acc loop' must be followed by a for loop",
+                        line=nxt.line, col=nxt.col)
+                return self.parse_statement(loop_info=info)
+            if isinstance(info, AccRegionInfo):
+                raise ParseError("nested compute regions are not supported",
+                                 line=t.line, col=t.col)
+            if isinstance(info, AccAtomicInfo):
+                self.next()
+                stmt = self.parse_statement()
+                if not isinstance(stmt, A.CAssign):
+                    raise ParseError(
+                        "'#pragma acc atomic' must be followed by an "
+                        "update statement", line=t.line, col=t.col)
+                from dataclasses import replace as _replace
+                return _replace(stmt, atomic=True)
+            self.next()  # ignore non-acc pragma
+            return self.parse_statement(loop_info=loop_info,
+                                        combined_loop=combined_loop)
+
+        if t.kind == "PUNCT" and t.text == "{":
+            self.next()
+            stmts: list[A.CStmt] = []
+            first = True
+            while not self.at("PUNCT", "}"):
+                if self.at("EOF"):
+                    raise self.error("unterminated block")
+                stmts.append(self.parse_statement(
+                    combined_loop=combined_loop if first else None))
+                first = False
+            self.next()
+            return A.CBlock(tuple(stmts))
+
+        if t.kind == "ID" and t.text == "for":
+            return self._parse_for(loop_info or combined_loop)
+
+        if t.kind == "ID" and t.text == "if":
+            return self._parse_if()
+
+        if t.kind == "ID" and t.text == "while":
+            return self._parse_while()
+
+        if t.kind == "ID" and t.text in _TYPES:
+            return self._parse_decl()
+
+        if t.kind == "PUNCT" and t.text == ";":
+            self.next()
+            return A.CBlock(())
+
+        return self._parse_assign()
+
+    def _parse_decl(self) -> A.CDecl:
+        line = self.peek().line
+        ctype = self.next().text
+        if ctype == "unsigned" and self.at("ID", "int"):
+            self.next()  # 'unsigned int' -> modeled as int
+            ctype = "int"
+        name = self.expect("ID").text
+        dims: list[A.CExpr] = []
+        while self.at("PUNCT", "["):
+            self.next()
+            dims.append(self.parse_expr())
+            self.expect("PUNCT", "]")
+        init = None
+        if self.at("OP", "="):
+            self.next()
+            init = self.parse_expr()
+            if dims:
+                raise ParseError("array initializers are not supported",
+                                 line=line)
+        self.expect("PUNCT", ";")
+        return A.CDecl(ctype=ctype, name=name, dims=tuple(dims), init=init,
+                       line=line)
+
+    _ASSIGN_OPS = {"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/",
+                   "%=": "%", "&=": "&", "|=": "|", "^=": "^",
+                   "<<=": "<<", ">>=": ">>"}
+
+    def _parse_assign(self) -> A.CAssign:
+        line = self.peek().line
+        target = self._parse_postfix(self._parse_primary())
+        if not isinstance(target, (A.CIdent, A.CIndex)):
+            raise ParseError("assignment target must be a variable or array "
+                             "element", line=line)
+        t = self.next()
+        if t.kind == "OP" and t.text in self._ASSIGN_OPS:
+            value = self.parse_expr()
+            self.expect("PUNCT", ";")
+            return A.CAssign(target=target, op=self._ASSIGN_OPS[t.text],
+                             value=value, line=line)
+        if t.kind == "OP" and t.text in ("++", "--"):
+            self.expect("PUNCT", ";")
+            one = A.CIntLit(1)
+            return A.CAssign(target=target, op="+" if t.text == "++" else "-",
+                             value=one, line=line)
+        raise ParseError(f"expected an assignment operator, got {t.text!r}",
+                         line=t.line, col=t.col)
+
+    def _parse_if(self) -> A.CIf:
+        line = self.expect("ID", "if").line
+        self.expect("PUNCT", "(")
+        cond = self.parse_expr()
+        self.expect("PUNCT", ")")
+        then = self._stmt_as_tuple()
+        orelse: tuple[A.CStmt, ...] = ()
+        if self.at("ID", "else"):
+            self.next()
+            orelse = self._stmt_as_tuple()
+        return A.CIf(cond=cond, then=then, orelse=orelse, line=line)
+
+    def _parse_while(self) -> A.CWhile:
+        line = self.expect("ID", "while").line
+        self.expect("PUNCT", "(")
+        cond = self.parse_expr()
+        self.expect("PUNCT", ")")
+        return A.CWhile(cond=cond, body=self._stmt_as_tuple(), line=line)
+
+    def _stmt_as_tuple(self) -> tuple[A.CStmt, ...]:
+        s = self.parse_statement()
+        return s.stmts if isinstance(s, A.CBlock) else (s,)
+
+    def _parse_for(self, pragma: AccLoopInfo | None) -> A.CFor:
+        line = self.expect("ID", "for").line
+        self.expect("PUNCT", "(")
+        decl_type = None
+        if self.at("ID") and self.peek().text in _TYPES:
+            decl_type = self.next().text
+        var = self.expect("ID").text
+        self.expect("OP", "=")
+        start = self.parse_expr()
+        self.expect("PUNCT", ";")
+
+        cv = self.expect("ID").text
+        if cv != var:
+            raise ParseError(
+                f"loop condition must test the loop variable {var!r}, "
+                f"got {cv!r}", line=line)
+        rel = self.next()
+        if rel.kind != "OP" or rel.text not in ("<", "<="):
+            raise ParseError(
+                "only ascending loops with '<' or '<=' conditions are "
+                f"supported, got {rel.text!r}", line=rel.line, col=rel.col)
+        bound = self.parse_expr()
+        end = bound if rel.text == "<" else A.CBinary("+", bound, A.CIntLit(1))
+        self.expect("PUNCT", ";")
+
+        iv = self.peek()
+        step: A.CExpr
+        if iv.kind == "OP" and iv.text == "++":  # ++i
+            self.next()
+            if self.expect("ID").text != var:
+                raise ParseError("increment must update the loop variable",
+                                 line=iv.line)
+            step = A.CIntLit(1)
+        else:
+            if self.expect("ID").text != var:
+                raise ParseError("increment must update the loop variable",
+                                 line=iv.line)
+            op = self.next()
+            if op.kind == "OP" and op.text == "++":
+                step = A.CIntLit(1)
+            elif op.kind == "OP" and op.text == "+=":
+                step = self.parse_expr()
+            else:
+                raise ParseError(
+                    "only 'i++', '++i' and 'i += step' loop increments are "
+                    f"supported, got {op.text!r}", line=op.line, col=op.col)
+        self.expect("PUNCT", ")")
+        body = self._stmt_as_tuple()
+        return A.CFor(var=var, decl_type=decl_type, start=start, end=end,
+                      step=step, body=body, pragma=pragma, line=line)
+
+    # -- expressions (precedence climbing) ------------------------------------
+
+    def parse_expr(self) -> A.CExpr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> A.CExpr:
+        cond = self._parse_binary(0)
+        if self.at("OP", "?"):
+            self.next()
+            a = self.parse_expr()
+            self.expect("OP", ":")
+            b = self._parse_ternary()
+            return A.CCond(cond, a, b)
+        return cond
+
+    _PREC: list[tuple[str, ...]] = [
+        ("||",), ("&&",), ("|",), ("^",), ("&",),
+        ("==", "!="), ("<", "<=", ">", ">="), ("<<", ">>"),
+        ("+", "-"), ("*", "/", "%"),
+    ]
+
+    def _parse_binary(self, level: int) -> A.CExpr:
+        if level >= len(self._PREC):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        ops = self._PREC[level]
+        while self.at("OP") and self.peek().text in ops:
+            op = self.next().text
+            right = self._parse_binary(level + 1)
+            left = A.CBinary(op, left, right)
+        return left
+
+    def _parse_unary(self) -> A.CExpr:
+        t = self.peek()
+        if t.kind == "OP" and t.text in ("-", "!", "~", "+"):
+            self.next()
+            operand = self._parse_unary()
+            if t.text == "+":
+                return operand
+            return A.CUnary(t.text, operand)
+        # cast: '(' type ')' unary
+        if t.kind == "PUNCT" and t.text == "(" \
+                and self.peek(1).kind == "ID" and self.peek(1).text in _TYPES \
+                and self.peek(2).kind == "PUNCT" and self.peek(2).text == ")":
+            self.next()
+            ctype = self.next().text
+            self.next()
+            return A.CCast(ctype, self._parse_unary())
+        return self._parse_postfix(self._parse_primary())
+
+    def _parse_postfix(self, e: A.CExpr) -> A.CExpr:
+        while True:
+            if self.at("PUNCT", "["):
+                self.next()
+                idx = self.parse_expr()
+                self.expect("PUNCT", "]")
+                e = A.CIndex(e, idx)
+            elif self.at("PUNCT", "(") and isinstance(e, A.CIdent):
+                self.next()
+                args: list[A.CExpr] = []
+                if not self.at("PUNCT", ")"):
+                    args.append(self.parse_expr())
+                    while self.at("PUNCT", ","):
+                        self.next()
+                        args.append(self.parse_expr())
+                self.expect("PUNCT", ")")
+                e = A.CCall(e.name, tuple(args))
+            else:
+                return e
+
+    def _parse_primary(self) -> A.CExpr:
+        t = self.next()
+        if t.kind == "INT":
+            text = t.text.rstrip("uUlL")
+            value = int(text, 16) if text.lower().startswith("0x") \
+                else int(text)
+            return A.CIntLit(value)
+        if t.kind == "FLOAT":
+            is_double = not t.text.lower().endswith("f")
+            return A.CFloatLit(float(t.text.rstrip("fFlL")), is_double)
+        if t.kind == "ID":
+            return A.CIdent(t.text)
+        if t.kind == "PUNCT" and t.text == "(":
+            e = self.parse_expr()
+            self.expect("PUNCT", ")")
+            return e
+        raise ParseError(f"unexpected token {t.text!r} in expression",
+                         line=t.line, col=t.col)
+
+
+def parse_region(source: str) -> A.CRegion:
+    """Parse a source fragment containing one OpenACC compute region."""
+    return _Parser(tokenize(source)).parse_region()
+
+
+def parse_statements(source: str) -> tuple[A.CStmt, ...]:
+    """Parse a bare statement list (no region) — used by frontend tests."""
+    p = _Parser(tokenize(source))
+    out: list[A.CStmt] = []
+    while not p.at("EOF"):
+        out.append(p.parse_statement())
+    return tuple(out)

@@ -1,0 +1,141 @@
+"""Tokenizer for the C subset.
+
+Produces a flat token stream.  ``#pragma`` lines (with ``\\`` continuations
+merged) are emitted as single ``PRAGMA`` tokens carrying the directive text;
+the C parser hands their payload to :mod:`repro.frontend.pragmas`.
+
+Comments (``//`` and ``/* */``) are stripped.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+__all__ = ["Token", "tokenize"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # ID, INT, FLOAT, OP, PUNCT, PRAGMA, EOF
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, L{self.line})"
+
+
+# longest-match-first operator table
+_OPERATORS = [
+    "<<=", ">>=",
+    "&&", "||", "<=", ">=", "==", "!=", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "&", "|", "^", "!", "~", "?", ":",
+]
+_PUNCT = ["(", ")", "{", "}", "[", "]", ";", ","]
+
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUM_RE = re.compile(
+    r"(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?"
+    r"|\d+[eE][+-]?\d+|\d+)[fFlLuU]*"
+)
+_HEX_RE = re.compile(r"0[xX][0-9a-fA-F]+[uUlL]*")
+
+
+def _strip_comments(src: str) -> str:
+    """Remove comments, preserving line structure for error reporting."""
+    out: list[str] = []
+    i, n = 0, len(src)
+    while i < n:
+        c = src[i]
+        if c == "/" and i + 1 < n and src[i + 1] == "/":
+            j = src.find("\n", i)
+            i = n if j < 0 else j
+        elif c == "/" and i + 1 < n and src[i + 1] == "*":
+            j = src.find("*/", i + 2)
+            if j < 0:
+                raise ParseError("unterminated /* comment",
+                                 line=src.count("\n", 0, i) + 1)
+            out.append("\n" * src.count("\n", i, j + 2))
+            i = j + 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def tokenize(src: str) -> list[Token]:
+    """Tokenize source text; raises :class:`ParseError` on bad input."""
+    src = _strip_comments(src)
+    tokens: list[Token] = []
+    lines = src.split("\n")
+    lineno = 0
+    while lineno < len(lines):
+        line = lines[lineno]
+        stripped = line.lstrip()
+        if stripped.startswith("#"):
+            # preprocessor line: merge continuations
+            start_line = lineno + 1
+            text = stripped
+            while text.rstrip().endswith("\\") and lineno + 1 < len(lines):
+                text = text.rstrip()[:-1] + " " + lines[lineno + 1].strip()
+                lineno += 1
+            body = text[1:].strip()
+            if body.startswith("pragma"):
+                tokens.append(Token("PRAGMA", body[len("pragma"):].strip(),
+                                    start_line, 1))
+            # other preprocessor lines (#include, #define) are ignored:
+            # constants come in through the compile() consts mapping
+            lineno += 1
+            continue
+        _tokenize_line(line, lineno + 1, tokens)
+        lineno += 1
+    tokens.append(Token("EOF", "", len(lines), 1))
+    return tokens
+
+
+def _tokenize_line(line: str, lineno: int, out: list[Token]) -> None:
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c in " \t\r":
+            i += 1
+            continue
+        m = _HEX_RE.match(line, i)
+        if m:
+            out.append(Token("INT", m.group(), lineno, i + 1))
+            i = m.end()
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and line[i + 1].isdigit()):
+            m = _NUM_RE.match(line, i)
+            if not m:
+                raise ParseError(f"bad numeric literal near {line[i:i+8]!r}",
+                                 line=lineno, col=i + 1)
+            text = m.group()
+            kind = "FLOAT" if ("." in text or "e" in text.lower()
+                               and not text.lower().startswith("0x")) else "INT"
+            out.append(Token(kind, text, lineno, i + 1))
+            i = m.end()
+            continue
+        m = _ID_RE.match(line, i)
+        if m:
+            out.append(Token("ID", m.group(), lineno, i + 1))
+            i = m.end()
+            continue
+        for op in _OPERATORS:
+            if line.startswith(op, i):
+                out.append(Token("OP", op, lineno, i + 1))
+                i += len(op)
+                break
+        else:
+            if c in _PUNCT:
+                out.append(Token("PUNCT", c, lineno, i + 1))
+                i += 1
+            else:
+                raise ParseError(f"unexpected character {c!r}",
+                                 line=lineno, col=i + 1)

@@ -1,0 +1,328 @@
+"""OpenACC directive parser.
+
+Parses the payload of ``#pragma acc ...`` lines (already merged across
+``\\`` continuations by the lexer) into structured clause objects.
+
+Supported directives and clauses (the set the paper's programs exercise,
+plus the obvious neighbours):
+
+* ``parallel`` / ``kernels`` — ``copy/copyin/copyout/create/present(list)``,
+  ``num_gangs(n)``, ``num_workers(n)``, ``vector_length(n)``, ``if(cond)``
+  (parsed, unsupported), ``reduction(op:vars)`` (rejected here: the paper
+  places reductions on loops).
+* ``loop`` — ``gang``, ``worker``, ``vector``, ``seq``, ``independent``,
+  ``collapse(n)``, ``private(list)``, ``reduction(op:var,...)``.
+
+Directive text is parsed with a dedicated micro-tokenizer because clause
+syntax is not C (e.g. ``reduction(+:sum)``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import DirectiveError
+
+__all__ = ["AccLoopInfo", "AccRegionInfo", "AccAtomicInfo", "DataClause",
+           "parse_pragma"]
+
+#: reduction-operator spellings accepted in a reduction clause
+REDUCTION_OPS = ("+", "*", "max", "min", "&", "|", "^", "&&", "||")
+
+LEVELS = ("gang", "worker", "vector")
+
+
+@dataclass(frozen=True)
+class DataClause:
+    """One item of a data clause: ``copyin(input)`` → (copyin, input)."""
+
+    kind: str  # copy, copyin, copyout, create, present
+    name: str
+    ranges: tuple[tuple[str, str], ...] = ()  # optional [start:len] strings
+
+
+@dataclass(frozen=True)
+class AccLoopInfo:
+    """Parsed ``#pragma acc loop`` directive."""
+
+    levels: tuple[str, ...] = ()  # subset of gang/worker/vector, source order
+    seq: bool = False
+    independent: bool = False
+    collapse: int = 1
+    reductions: tuple[tuple[str, str], ...] = ()  # (operator, variable)
+    private: tuple[str, ...] = ()
+
+    @property
+    def is_parallel(self) -> bool:
+        return bool(self.levels) and not self.seq
+
+
+@dataclass(frozen=True)
+class AccAtomicInfo:
+    """Parsed ``#pragma acc atomic [update]`` directive.
+
+    Applies to the immediately following update statement; the compiler
+    lowers it to a device read-modify-write instead of a plain store, so
+    colliding updates from different threads combine instead of racing.
+    """
+
+    kind: str = "update"
+
+
+@dataclass(frozen=True)
+class AccRegionInfo:
+    """Parsed ``#pragma acc parallel`` / ``kernels`` directive."""
+
+    kind: str  # "parallel" or "kernels"
+    data: tuple[DataClause, ...] = ()
+    num_gangs: int | None = None
+    num_workers: int | None = None
+    vector_length: int | None = None
+    combined_loop: "AccLoopInfo | None" = None  # `parallel loop ...` form
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<id>[A-Za-z_][A-Za-z0-9_]*)|(?P<num>\d+)"
+    r"|(?P<op>&&|\|\||[-+*/&|^:,()\[\]])|(?P<bad>\S))"
+)
+
+
+def _micro_tokens(text: str) -> list[str]:
+    out = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            break
+        if m.group("bad"):
+            raise DirectiveError(
+                f"unexpected character {m.group('bad')!r} in directive: {text!r}")
+        out.append(m.group("id") or m.group("num") or m.group("op"))
+        pos = m.end()
+    return out
+
+
+class _Cursor:
+    def __init__(self, toks: list[str], text: str):
+        self.toks = toks
+        self.i = 0
+        self.text = text
+
+    def peek(self) -> str | None:
+        return self.toks[self.i] if self.i < len(self.toks) else None
+
+    def next(self) -> str:
+        t = self.peek()
+        if t is None:
+            raise DirectiveError(f"unexpected end of directive: {self.text!r}")
+        self.i += 1
+        return t
+
+    def expect(self, tok: str) -> None:
+        t = self.next()
+        if t != tok:
+            raise DirectiveError(
+                f"expected {tok!r}, got {t!r} in directive: {self.text!r}")
+
+    def done(self) -> bool:
+        return self.i >= len(self.toks)
+
+
+def _parse_name_list(cur: _Cursor) -> list[tuple[str, tuple]]:
+    """Parse ``(name[, name]...)`` with optional ``[a:b]`` subarray ranges."""
+    cur.expect("(")
+    items: list[tuple[str, tuple]] = []
+    while True:
+        name = cur.next()
+        if not name.isidentifier():
+            raise DirectiveError(
+                f"expected a variable name, got {name!r} in: {cur.text!r}")
+        ranges = []
+        while cur.peek() == "[":
+            cur.next()
+            lo = ""
+            while cur.peek() not in (":", "]"):
+                lo += cur.next()
+            hi = ""
+            if cur.peek() == ":":
+                cur.next()
+                while cur.peek() != "]":
+                    hi += cur.next()
+            cur.expect("]")
+            ranges.append((lo, hi))
+        items.append((name, tuple(ranges)))
+        t = cur.next()
+        if t == ")":
+            return items
+        if t != ",":
+            raise DirectiveError(
+                f"expected ',' or ')', got {t!r} in: {cur.text!r}")
+
+
+def _parse_reduction(cur: _Cursor) -> list[tuple[str, str]]:
+    """Parse ``(op:var[,var]...)``."""
+    cur.expect("(")
+    # operator can be multi-token only for && / || which are single micro-tokens
+    op = cur.next()
+    if op not in REDUCTION_OPS:
+        raise DirectiveError(
+            f"unknown reduction operator {op!r} "
+            f"(expected one of {', '.join(REDUCTION_OPS)})")
+    cur.expect(":")
+    out = []
+    while True:
+        var = cur.next()
+        if not var.isidentifier():
+            raise DirectiveError(f"bad reduction variable {var!r}")
+        out.append((op, var))
+        t = cur.next()
+        if t == ")":
+            return out
+        if t != ",":
+            raise DirectiveError(f"expected ',' or ')', got {t!r}")
+
+
+def _parse_int_arg(cur: _Cursor, clause: str) -> int:
+    cur.expect("(")
+    v = cur.next()
+    if not v.isdigit():
+        raise DirectiveError(f"{clause} expects an integer literal, got {v!r}")
+    cur.expect(")")
+    return int(v)
+
+
+_DATA_KINDS = ("copy", "copyin", "copyout", "create", "present",
+               "pcopy", "pcopyin", "pcopyout", "pcreate")
+
+
+def parse_pragma(text: str):
+    """Parse the payload of a ``#pragma`` line.
+
+    Returns an :class:`AccRegionInfo` or :class:`AccLoopInfo`, or ``None``
+    for non-``acc`` pragmas (which are ignored, as real compilers do).
+    """
+    toks = _micro_tokens(text)
+    if not toks or toks[0] != "acc":
+        return None
+    cur = _Cursor(toks, text)
+    cur.next()  # 'acc'
+    directive = cur.next()
+    if directive in ("parallel", "kernels"):
+        return _parse_region(cur, directive)
+    if directive == "loop":
+        return _parse_loop(cur)
+    if directive == "atomic":
+        kind = cur.next() if not cur.done() else "update"
+        if kind != "update":
+            raise DirectiveError(
+                f"unsupported atomic clause {kind!r} (only 'update')")
+        return AccAtomicInfo()
+    raise DirectiveError(f"unsupported OpenACC directive {directive!r} "
+                         f"(supported: parallel, kernels, loop, atomic)")
+
+
+_PREFIXED = {"pcopy": "copy", "pcopyin": "copyin", "pcopyout": "copyout",
+             "pcreate": "create"}
+
+
+def _parse_region(cur: _Cursor, kind: str) -> AccRegionInfo:
+    data: list[DataClause] = []
+    num_gangs = num_workers = vector_length = None
+    combined = False
+    # loop-directive accumulator (used by the combined `parallel loop` form)
+    levels: list[str] = []
+    seq = independent = False
+    collapse = 1
+    reductions: list[tuple[str, str]] = []
+    private: list[str] = []
+    while not cur.done():
+        clause = cur.next()
+        if clause == "loop":
+            combined = True
+        elif clause in _DATA_KINDS:
+            kindname = _PREFIXED.get(clause, clause)
+            for name, ranges in _parse_name_list(cur):
+                data.append(DataClause(kindname, name, ranges))
+        elif clause == "num_gangs":
+            num_gangs = _parse_int_arg(cur, clause)
+        elif clause == "num_workers":
+            num_workers = _parse_int_arg(cur, clause)
+        elif clause == "vector_length":
+            vector_length = _parse_int_arg(cur, clause)
+        elif combined and clause in LEVELS:
+            if clause in levels:
+                raise DirectiveError(f"duplicate {clause!r} on loop directive")
+            levels.append(clause)
+        elif combined and clause == "seq":
+            seq = True
+        elif combined and clause == "independent":
+            independent = True
+        elif combined and clause == "collapse":
+            collapse = _parse_int_arg(cur, clause)
+        elif combined and clause == "reduction":
+            reductions.extend(_parse_reduction(cur))
+        elif combined and clause == "private":
+            private.extend(name for name, _ in _parse_name_list(cur))
+        elif clause == "reduction":
+            raise DirectiveError(
+                "reduction clause on the compute construct is not supported; "
+                "place it on the loop directive (as the paper does)")
+        else:
+            raise DirectiveError(
+                f"unsupported clause {clause!r} on {kind!r} construct")
+    combined_loop = None
+    if combined:
+        order = [LEVELS.index(l) for l in levels]
+        if order != sorted(order):
+            raise DirectiveError(
+                f"loop levels must be ordered gang, worker, vector; got "
+                f"{' '.join(levels)}")
+        combined_loop = AccLoopInfo(
+            levels=tuple(levels), seq=seq, independent=independent,
+            collapse=collapse, reductions=tuple(reductions),
+            private=tuple(private))
+    return AccRegionInfo(kind=kind, data=tuple(data), num_gangs=num_gangs,
+                         num_workers=num_workers, vector_length=vector_length,
+                         combined_loop=combined_loop)
+
+
+def _parse_loop(cur: _Cursor) -> AccLoopInfo:
+    levels: list[str] = []
+    seq = independent = False
+    collapse = 1
+    reductions: list[tuple[str, str]] = []
+    private: list[str] = []
+    while not cur.done():
+        clause = cur.next()
+        if clause in LEVELS:
+            if clause in levels:
+                raise DirectiveError(f"duplicate {clause!r} on loop directive")
+            levels.append(clause)
+        elif clause == "seq":
+            seq = True
+        elif clause == "independent":
+            independent = True
+        elif clause == "collapse":
+            collapse = _parse_int_arg(cur, clause)
+            if collapse < 1:
+                raise DirectiveError("collapse argument must be >= 1")
+        elif clause == "reduction":
+            reductions.extend(_parse_reduction(cur))
+        elif clause == "private":
+            private.extend(name for name, _ in _parse_name_list(cur))
+        else:
+            raise DirectiveError(f"unsupported clause {clause!r} on loop "
+                                 "directive")
+    if seq and levels:
+        raise DirectiveError(
+            f"loop cannot be both seq and {'/'.join(levels)}")
+    # enforce the OpenACC level ordering gang > worker > vector on one loop
+    order = [LEVELS.index(l) for l in levels]
+    if order != sorted(order):
+        raise DirectiveError(
+            f"loop levels must be ordered gang, worker, vector; got "
+            f"{' '.join(levels)}")
+    return AccLoopInfo(levels=tuple(levels), seq=seq, independent=independent,
+                       collapse=collapse, reductions=tuple(reductions),
+                       private=tuple(private))

@@ -1,0 +1,36 @@
+"""SIMT GPGPU simulator substrate.
+
+This subpackage is the hardware the rest of the stack targets.  It models the
+execution hierarchy the paper builds on (grid → thread block → warp → thread,
+per-block shared memory, device-wide global memory, ``__syncthreads``
+barriers) and an analytic cost model calibrated to a Kepler-K20c-class
+device so benchmarks report a *modeled* kernel time.
+
+Public entry points:
+
+* :class:`~repro.gpu.device.DeviceProperties` — device limits and timing
+  constants (the default is K20c-like, matching the paper's platform).
+* :class:`~repro.gpu.memory.GlobalMemory` / allocation of device buffers.
+* :mod:`~repro.gpu.kernelir` — the kernel IR the compiler emits.
+* :func:`~repro.gpu.launch.launch` — run a kernel over a grid and obtain a
+  :class:`~repro.gpu.launch.LaunchReport` with correctness-visible effects
+  (buffer contents) plus modeled timing.
+"""
+
+from repro.gpu.device import DeviceProperties, K20C
+from repro.gpu.memory import GlobalMemory, SharedMemory, Buffer
+from repro.gpu.launch import launch, LaunchReport
+from repro.gpu.costmodel import CostModel
+from repro.gpu.events import KernelStats
+
+__all__ = [
+    "DeviceProperties",
+    "K20C",
+    "GlobalMemory",
+    "SharedMemory",
+    "Buffer",
+    "launch",
+    "LaunchReport",
+    "CostModel",
+    "KernelStats",
+]

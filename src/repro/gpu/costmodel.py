@@ -1,0 +1,119 @@
+"""Analytic timing model: kernel execution counters → modeled time.
+
+The contract (also stated in DESIGN.md): for one kernel launch,
+
+* compute cost  = ``warp_inst_slots × issue_cycles``
+* global memory = ``global_transactions × global_segment_cycles``, bounded
+  below by the DRAM bandwidth (``global_bytes / dram_bandwidth``)
+* shared memory = ``shared_accesses × shared_access_cycles`` (conflict
+  serialization is already folded into the access count)
+* barriers      = ``barriers × sync_cycles``
+
+These per-block-aggregate cycles are divided by the number of concurrently
+resident blocks (occupancy from threads/block and shared-memory footprint,
+over the *usable* SMs — the paper assumes 12 of the K20c's 13), modeling
+wave-style block scheduling, then converted to microseconds at the device
+clock and topped with the fixed kernel-launch overhead.
+
+Host↔device transfers are charged at PCIe bandwidth plus a fixed latency.
+
+Absolute numbers are a model; the reproduction targets are the *ratios*
+between strategies, which are driven by the counters (transactions,
+conflicts, barrier counts, extra kernel launches) the strategies differ in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.device import DeviceProperties
+from repro.gpu.events import KernelStats
+
+__all__ = ["CostModel", "TimeBreakdown"]
+
+
+@dataclass
+class TimeBreakdown:
+    """Modeled time of one launch, split by component (microseconds)."""
+
+    launch_us: float = 0.0
+    compute_us: float = 0.0
+    global_us: float = 0.0
+    shared_us: float = 0.0
+    sync_us: float = 0.0
+    bandwidth_floor_us: float = 0.0
+    concurrency: int = 1
+
+    @property
+    def total_us(self) -> float:
+        busy = self.compute_us + self.global_us + self.shared_us + self.sync_us
+        return self.launch_us + max(busy, self.bandwidth_floor_us)
+
+
+@dataclass
+class CostModel:
+    """Converts :class:`KernelStats` into modeled microseconds."""
+
+    device: DeviceProperties
+
+    def kernel_time(self, stats: KernelStats) -> TimeBreakdown:
+        d = self.device
+        conc = min(
+            max(1, stats.blocks),
+            d.concurrent_blocks(max(1, stats.threads_per_block),
+                                stats.shared_bytes),
+        )
+        cycles_to_us = 1.0 / (d.clock_ghz * 1000.0)
+
+        def us(cycles: float) -> float:
+            return cycles / conc * cycles_to_us
+
+        bw_bytes_per_us = d.dram_bandwidth_gbps * 1000.0  # GB/s == bytes/ns
+        return TimeBreakdown(
+            launch_us=d.kernel_launch_us,
+            compute_us=us(stats.warp_inst_slots * d.issue_cycles),
+            global_us=us(stats.global_transactions * d.global_segment_cycles
+                         + stats.l2_transactions * d.l2_segment_cycles),
+            shared_us=us(stats.shared_accesses * d.shared_access_cycles),
+            sync_us=us(stats.barriers * d.sync_cycles),
+            bandwidth_floor_us=stats.dram_bytes / bw_bytes_per_us,
+            concurrency=conc,
+        )
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Modeled host↔device copy time in microseconds."""
+        d = self.device
+        return d.pcie_latency_us + nbytes / (d.pcie_bandwidth_gbps * 1000.0)
+
+
+@dataclass
+class TimingLedger:
+    """Accumulates modeled time across the kernels/transfers of one run.
+
+    Programs append entries as they execute; reports and benchmarks read the
+    totals.  Times are microseconds.
+    """
+
+    entries: list[tuple[str, float]] = field(default_factory=list)
+
+    def add(self, label: str, us: float) -> None:
+        self.entries.append((label, float(us)))
+
+    @property
+    def total_us(self) -> float:
+        return sum(t for _, t in self.entries)
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_us / 1000.0
+
+    def by_label(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for label, t in self.entries:
+            out[label] = out.get(label, 0.0) + t
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        lines = [f"  {label:<40s} {t:12.2f} us" for label, t in self.entries]
+        lines.append(f"  {'TOTAL':<40s} {self.total_us:12.2f} us")
+        return "\n".join(lines)

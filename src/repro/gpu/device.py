@@ -1,0 +1,103 @@
+"""Device description: architectural limits and cost-model constants.
+
+The default instance, :data:`K20C`, is a Kepler K20c-class device — the GPU
+used in the paper's evaluation (§4): 13 SMs (the paper notes one is likely
+disabled, so 12 are assumed usable and the paper sizes its grid as
+12 × 16 = 192 gangs), warps of 32 threads, at most 1024 threads and 48 KiB of
+shared memory per block.
+
+Timing constants are *model* parameters, not measurements; see DESIGN.md for
+the cost-model contract.  Tests pin these values, and experiments may
+override any of them by constructing a custom :class:`DeviceProperties`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ResourceError
+
+__all__ = ["DeviceProperties", "K20C"]
+
+
+@dataclass(frozen=True)
+class DeviceProperties:
+    """Architectural limits and analytic-timing constants of a device."""
+
+    name: str = "Simulated Kepler K20c"
+
+    # --- architecture -----------------------------------------------------
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    max_block_dim_x: int = 1024
+    max_block_dim_y: int = 1024
+    shared_mem_per_block: int = 48 * 1024  # bytes
+    shared_mem_banks: int = 32
+    shared_mem_bank_width: int = 4  # bytes
+    num_sms: int = 13
+    usable_sms: int = 12  # paper §4: one SM likely disabled
+    max_blocks_per_sm: int = 16
+    max_warps_per_sm: int = 64
+    global_mem_bytes: int = 5 * 1024**3  # 5 GB on the K20c
+    transaction_bytes: int = 128  # global-memory coalescing segment
+
+    # --- cost model (cycles unless noted) ----------------------------------
+    clock_ghz: float = 0.706
+    issue_cycles: float = 1.0  # per warp-instruction slot
+    global_segment_cycles: float = 24.0  # throughput cost per 128B transaction
+    l2_segment_cycles: float = 6.0  # per warp request served by the L2
+    shared_access_cycles: float = 2.0  # per (conflict-serialized) warp access
+    sync_cycles: float = 32.0  # per __syncthreads per resident warp set
+    dram_bandwidth_gbps: float = 208.0  # device-memory bandwidth bound
+    kernel_launch_us: float = 5.0  # fixed host-side launch overhead
+    pcie_bandwidth_gbps: float = 6.0  # host<->device transfer bandwidth
+    pcie_latency_us: float = 10.0  # fixed per-transfer latency
+
+    def validate_block(self, bdx: int, bdy: int, shared_bytes: int = 0) -> None:
+        """Reject launches that exceed device limits.
+
+        Raises :class:`~repro.errors.ResourceError`, mirroring a CUDA launch
+        failure.
+        """
+        if bdx < 1 or bdy < 1:
+            raise ResourceError(f"block dimensions must be >= 1, got ({bdx}, {bdy})")
+        if bdx > self.max_block_dim_x or bdy > self.max_block_dim_y:
+            raise ResourceError(
+                f"block dim ({bdx}, {bdy}) exceeds per-dimension limits "
+                f"({self.max_block_dim_x}, {self.max_block_dim_y})"
+            )
+        if bdx * bdy > self.max_threads_per_block:
+            raise ResourceError(
+                f"{bdx * bdy} threads per block exceeds the limit of "
+                f"{self.max_threads_per_block}"
+            )
+        if shared_bytes > self.shared_mem_per_block:
+            raise ResourceError(
+                f"{shared_bytes} bytes of shared memory exceeds the per-block "
+                f"limit of {self.shared_mem_per_block}"
+            )
+
+    def concurrent_blocks(self, threads_per_block: int, shared_bytes: int) -> int:
+        """How many blocks the device can have resident at once.
+
+        Occupancy is limited per SM by the block count cap, the warp count
+        cap, and the shared-memory capacity; the device total multiplies the
+        per-SM figure by the number of *usable* SMs.
+        """
+        warps = max(1, -(-threads_per_block // self.warp_size))  # ceil div
+        per_sm = min(
+            self.max_blocks_per_sm,
+            self.max_warps_per_sm // warps if warps else self.max_blocks_per_sm,
+        )
+        if shared_bytes > 0:
+            per_sm = min(per_sm, self.shared_mem_per_block // shared_bytes)
+        per_sm = max(1, per_sm)
+        return per_sm * self.usable_sms
+
+    def with_overrides(self, **kwargs) -> "DeviceProperties":
+        """A copy of this device with some constants replaced."""
+        return replace(self, **kwargs)
+
+
+#: The default simulated device, matching the paper's evaluation platform.
+K20C = DeviceProperties()

@@ -1,0 +1,85 @@
+"""Event accounting for simulated kernel execution.
+
+The executor does not keep a per-access trace (that would be enormous);
+instead it accumulates the aggregate counters the cost model consumes, plus a
+small optional structured trace for debugging/teaching (enabled per launch).
+
+Counter semantics:
+
+``warp_inst_slots``
+    Number of (warp, statement) execution slots.  A statement executed by a
+    block with 4 active warps adds 4.  Divergent ``if`` bodies execute both
+    sides, so divergence shows up here automatically.
+``global_transactions`` / ``global_bytes``
+    128-byte segment transactions per warp access after coalescing, and the
+    useful bytes moved (for the bandwidth bound).
+``shared_accesses``
+    Conflict-serialized shared-memory warp accesses: an access with bank
+    conflict degree *d* counts *d*.
+``barriers``
+    ``__syncthreads`` executions (per block).
+``divergent_branches``
+    Branches where at least one warp had threads on both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelStats", "TraceEvent"]
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record (only collected when tracing is on)."""
+
+    kind: str  # "gload", "gstore", "sload", "sstore", "sync", "branch"
+    block: int
+    detail: str
+
+
+@dataclass
+class KernelStats:
+    """Aggregate execution counters for one kernel launch."""
+
+    blocks: int = 0
+    threads_per_block: int = 0
+    shared_bytes: int = 0
+
+    warp_inst_slots: int = 0
+    global_transactions: int = 0  # DRAM segment fetches (distinct per access)
+    l2_transactions: int = 0  # warp requests served by the L2 (same segment
+    #                           requested by other warps in the same access)
+    global_bytes: int = 0  # useful bytes moved (active lanes x itemsize)
+    dram_bytes: int = 0  # segment bytes fetched from DRAM (>= useful for
+    #                      uncoalesced access; < useful for broadcasts)
+    shared_accesses: int = 0
+    bank_conflict_extra: int = 0  # serialized accesses beyond the conflict-free 1/warp
+    barriers: int = 0
+    divergent_branches: int = 0
+
+    trace: list[TraceEvent] = field(default_factory=list)
+
+    def merge(self, other: "KernelStats") -> None:
+        """Fold another stats object (e.g. per-block counters) into this one."""
+        self.warp_inst_slots += other.warp_inst_slots
+        self.global_transactions += other.global_transactions
+        self.l2_transactions += other.l2_transactions
+        self.global_bytes += other.global_bytes
+        self.dram_bytes += other.dram_bytes
+        self.shared_accesses += other.shared_accesses
+        self.bank_conflict_extra += other.bank_conflict_extra
+        self.barriers += other.barriers
+        self.divergent_branches += other.divergent_branches
+        self.trace.extend(other.trace)
+
+    def summary(self) -> str:
+        """Human-readable one-line summary (used by the inspect example)."""
+        return (
+            f"blocks={self.blocks} tpb={self.threads_per_block} "
+            f"inst={self.warp_inst_slots} gtx={self.global_transactions} "
+            f"l2={self.l2_transactions} gbytes={self.global_bytes} "
+            f"dram={self.dram_bytes} smem={self.shared_accesses} "
+            f"(+{self.bank_conflict_extra} conflict) sync={self.barriers} "
+            f"div={self.divergent_branches}"
+        )

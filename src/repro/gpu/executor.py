@@ -1,0 +1,505 @@
+"""Warp-synchronous block executor for the kernel IR.
+
+Execution model: one thread block at a time, all of its threads advanced in
+lock step one statement at a time.  Per-thread registers are NumPy vectors of
+length ``blockDim.x * blockDim.y``; divergent control flow is realized with
+boolean *active masks* (the standard SIMT reconvergence-stack model).  This
+is stronger than real hardware in exactly one way — stores become visible to
+the whole block at the next statement — which the lowering does not rely on:
+it still emits the ``__syncthreads`` barriers the algorithms require, and the
+cost model charges for them.
+
+For speed the IR is *compiled to Python closures once per kernel* (a tree
+walk per statement execution would dominate the simulation time; see the
+optimization guidance in the project's HPC coding guides: hoist work out of
+the hot loop).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.dtypes import DType
+from repro.errors import BarrierDivergenceError, SimulationError
+from repro.gpu import kernelir as K
+from repro.gpu.device import DeviceProperties
+from repro.gpu.events import KernelStats, TraceEvent
+from repro.gpu.memory import GlobalMemory, SharedMemory
+
+__all__ = ["CompiledKernel", "BlockEnv"]
+
+#: per-GLoad/GStore statement ids keying the segment-reuse cache
+_stmt_slots = itertools.count()
+
+
+# --------------------------------------------------------------------------
+# numeric helpers (C semantics where they differ from NumPy's)
+# --------------------------------------------------------------------------
+
+def _truthy(a: np.ndarray) -> np.ndarray:
+    if a.dtype == np.bool_:
+        return a
+    return a != 0
+
+
+def _c_div(a, b):
+    """C division: truncating for integers, true division for floats."""
+    a = np.asarray(a)
+    if a.dtype.kind in "fc":
+        return a / b
+    with np.errstate(divide="ignore"):
+        q = np.floor_divide(a, b)
+        r = a - q * b
+        # floor and trunc differ when signs differ and remainder is nonzero
+        fix = (r != 0) & ((a < 0) != (np.asarray(b) < 0))
+        return q + fix
+
+
+def _c_mod(a, b):
+    """C remainder (sign of the dividend)."""
+    a = np.asarray(a)
+    if a.dtype.kind in "fc":
+        return np.fmod(a, b)
+    with np.errstate(divide="ignore"):
+        return a - _c_div(a, b) * b
+
+
+_BINOPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": _c_div,
+    "%": _c_mod,
+    "<<": np.left_shift,
+    ">>": np.right_shift,
+    "&": np.bitwise_and,
+    "|": np.bitwise_or,
+    "^": np.bitwise_xor,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+_CALLS = {
+    "fmax": np.fmax, "fmaxf": np.fmax,
+    "fmin": np.fmin, "fminf": np.fmin,
+    "fabs": np.abs, "fabsf": np.abs, "abs": np.abs,
+    "sqrt": np.sqrt, "sqrtf": np.sqrt,
+    "exp": np.exp, "expf": np.exp,
+    "log": np.log, "logf": np.log,
+    "sin": np.sin, "cos": np.cos,
+    "floor": np.floor, "ceil": np.ceil,
+    "pow": np.power, "powf": np.power,
+    "min": np.minimum, "max": np.maximum,
+}
+
+#: ufuncs for AtomicUpdate combination
+ATOMIC_OPS = {
+    "+": np.add,
+    "*": np.multiply,
+    "max": np.maximum,
+    "min": np.minimum,
+    "&": np.bitwise_and,
+    "|": np.bitwise_or,
+    "^": np.bitwise_xor,
+}
+
+
+# --------------------------------------------------------------------------
+# per-block environment
+# --------------------------------------------------------------------------
+
+class BlockEnv:
+    """Mutable state of one executing thread block."""
+
+    __slots__ = (
+        "regs", "tx", "ty", "tid", "bx", "bdx", "bdy", "gdx", "ntid",
+        "warp_of", "warp_starts", "nwarps", "gmem", "smem", "stats",
+        "params", "block_mask", "trace", "block_index", "seg_cache",
+    )
+
+    def __init__(self, bdx: int, bdy: int, gdx: int, gmem: GlobalMemory,
+                 smem: SharedMemory, stats: KernelStats,
+                 params: dict, warp_size: int, trace: bool):
+        n = bdx * bdy
+        tid = np.arange(n, dtype=np.int32)
+        self.tid = tid
+        self.tx = (tid % bdx).astype(np.int32)
+        self.ty = (tid // bdx).astype(np.int32)
+        self.bdx = np.int32(bdx)
+        self.bdy = np.int32(bdy)
+        self.gdx = np.int32(gdx)
+        self.ntid = np.int32(n)
+        self.bx = np.int32(0)
+        self.warp_of = (tid // warp_size).astype(np.int32)
+        self.warp_starts = np.arange(0, n, warp_size)
+        self.nwarps = len(self.warp_starts)
+        self.gmem = gmem
+        self.smem = smem
+        self.stats = stats
+        self.params = params
+        self.block_mask = np.ones(n, dtype=bool)
+        self.regs: dict[str, np.ndarray] = {}
+        self.trace = trace
+        self.block_index = 0
+        self.seg_cache: dict[int, np.ndarray] = {}
+
+    def active_warps(self, mask: np.ndarray) -> int:
+        """Number of warps with at least one active lane."""
+        if mask.all():
+            return self.nwarps
+        return int((np.add.reduceat(mask, self.warp_starts) > 0).sum())
+
+    def reset_for_block(self, bx: int) -> None:
+        self.bx = np.int32(bx)
+        self.block_index = bx
+        self.regs.clear()
+
+
+# --------------------------------------------------------------------------
+# expression compilation
+# --------------------------------------------------------------------------
+
+def _compile_expr(e: K.Expr):
+    """Compile an expression tree to a closure ``fn(env) -> ndarray/scalar``."""
+    if isinstance(e, K.Const):
+        v = e.dtype.np.type(e.value)
+        return lambda env: v
+    if isinstance(e, K.Reg):
+        name = e.name
+        def read_reg(env):
+            try:
+                return env.regs[name]
+            except KeyError:
+                raise SimulationError(
+                    f"register {name!r} read before assignment"
+                ) from None
+        return read_reg
+    if isinstance(e, K.Special):
+        kind = e.kind
+        return lambda env: getattr(env, kind)
+    if isinstance(e, K.Param):
+        name = e.name
+        def read_param(env):
+            try:
+                return env.params[name]
+            except KeyError:
+                raise SimulationError(
+                    f"kernel parameter {name!r} not bound at launch"
+                ) from None
+        return read_param
+    if isinstance(e, K.Bin):
+        fa, fb = _compile_expr(e.a), _compile_expr(e.b)
+        if e.op == "&&":
+            return lambda env: _truthy(np.asarray(fa(env))) & _truthy(np.asarray(fb(env)))
+        if e.op == "||":
+            return lambda env: _truthy(np.asarray(fa(env))) | _truthy(np.asarray(fb(env)))
+        try:
+            op = _BINOPS[e.op]
+        except KeyError:
+            raise SimulationError(f"unknown binary op {e.op!r}") from None
+        return lambda env: op(fa(env), fb(env))
+    if isinstance(e, K.Un):
+        fa = _compile_expr(e.a)
+        if e.op == "neg":
+            return lambda env: np.negative(fa(env))
+        if e.op == "not":
+            return lambda env: ~_truthy(np.asarray(fa(env)))
+        if e.op == "inv":
+            return lambda env: np.invert(fa(env))
+        raise SimulationError(f"unknown unary op {e.op!r}")
+    if isinstance(e, K.Call):
+        try:
+            fn = _CALLS[e.fn]
+        except KeyError:
+            raise SimulationError(f"unknown intrinsic {e.fn!r}") from None
+        fargs = [_compile_expr(a) for a in e.args]
+        if len(fargs) == 1:
+            f0 = fargs[0]
+            return lambda env: fn(f0(env))
+        if len(fargs) == 2:
+            f0, f1 = fargs
+            return lambda env: fn(f0(env), f1(env))
+        return lambda env: fn(*[f(env) for f in fargs])
+    if isinstance(e, K.Cast):
+        fa = _compile_expr(e.a)
+        dt = e.dtype.np
+        def do_cast(env):
+            v = np.asarray(fa(env))
+            if v.dtype == dt:
+                return v
+            return v.astype(dt)  # C-style truncation for float->int
+        return do_cast
+    if isinstance(e, K.Select):
+        fc, fa, fb = _compile_expr(e.cond), _compile_expr(e.a), _compile_expr(e.b)
+        return lambda env: np.where(_truthy(np.asarray(fc(env))), fa(env), fb(env))
+    raise SimulationError(f"unknown expression node {e!r}")
+
+
+# --------------------------------------------------------------------------
+# statement compilation
+# --------------------------------------------------------------------------
+
+def _assign(env: BlockEnv, name: str, value, mask: np.ndarray) -> None:
+    val = np.asarray(value)
+    reg = env.regs.get(name)
+    if reg is None or reg.dtype != val.dtype:
+        base = np.zeros(env.block_mask.shape, dtype=val.dtype)
+        if reg is not None:  # dtype change: keep old values where inactive
+            np.copyto(base, reg, casting="unsafe")
+        env.regs[name] = base
+        reg = base
+    if mask.all():
+        if val.shape == reg.shape:
+            reg[:] = val
+        else:
+            reg[:] = val  # scalar broadcast
+    else:
+        if val.shape != reg.shape:
+            val = np.broadcast_to(val, reg.shape)
+        np.copyto(reg, val, where=mask)
+
+
+def _compile_stmt(s: K.Stmt, device: DeviceProperties):
+    """Compile one statement to ``fn(env, mask, aw)``."""
+    if isinstance(s, K.Comment):
+        return lambda env, mask, aw: None
+
+    if isinstance(s, K.Assign):
+        fv = _compile_expr(s.value)
+        name = s.dst
+        def do_assign(env, mask, aw):
+            env.stats.warp_inst_slots += aw
+            _assign(env, name, fv(env), mask)
+        return do_assign
+
+    if isinstance(s, K.GLoad):
+        fi = _compile_expr(s.index)
+        name, buf = s.dst, s.buf
+        slot = next(_stmt_slots)
+        def do_gload(env, mask, aw):
+            env.stats.warp_inst_slots += aw
+            idx = np.asarray(fi(env))
+            if idx.shape != mask.shape:
+                idx = np.broadcast_to(idx, mask.shape)
+            out = env.gmem.load(buf, idx, mask, env.warp_of, env.stats,
+                                reuse=(env.seg_cache, slot))
+            _assign(env, name, out, mask)
+            if env.trace:
+                env.stats.trace.append(TraceEvent("gload", env.block_index, buf))
+        return do_gload
+
+    if isinstance(s, K.GStore):
+        fi, fv = _compile_expr(s.index), _compile_expr(s.value)
+        buf = s.buf
+        slot = next(_stmt_slots)
+        def do_gstore(env, mask, aw):
+            env.stats.warp_inst_slots += aw
+            idx = np.asarray(fi(env))
+            if idx.shape != mask.shape:
+                idx = np.broadcast_to(idx, mask.shape)
+            val = np.asarray(fv(env))
+            if val.shape != mask.shape:
+                val = np.broadcast_to(val, mask.shape)
+            env.gmem.store(buf, idx, val, mask, env.warp_of, env.stats,
+                           reuse=(env.seg_cache, slot))
+            if env.trace:
+                env.stats.trace.append(TraceEvent("gstore", env.block_index, buf))
+        return do_gstore
+
+    if isinstance(s, K.SLoad):
+        fi = _compile_expr(s.index)
+        name, arr = s.dst, s.arr
+        def do_sload(env, mask, aw):
+            env.stats.warp_inst_slots += aw
+            idx = np.asarray(fi(env))
+            if idx.shape != mask.shape:
+                idx = np.broadcast_to(idx, mask.shape)
+            out = env.smem.load(arr, idx, mask, env.warp_of)
+            _assign(env, name, out, mask)
+        return do_sload
+
+    if isinstance(s, K.SStore):
+        fi, fv = _compile_expr(s.index), _compile_expr(s.value)
+        arr = s.arr
+        def do_sstore(env, mask, aw):
+            env.stats.warp_inst_slots += aw
+            idx = np.asarray(fi(env))
+            if idx.shape != mask.shape:
+                idx = np.broadcast_to(idx, mask.shape)
+            val = np.asarray(fv(env))
+            if val.shape != mask.shape:
+                val = np.broadcast_to(val, mask.shape)
+            env.smem.store(arr, idx, val, mask, env.warp_of)
+        return do_sstore
+
+    if isinstance(s, K.If):
+        fc = _compile_expr(s.cond)
+        fthen = _compile_block(s.then, device)
+        felse = _compile_block(s.orelse, device) if s.orelse else None
+        def do_if(env, mask, aw):
+            env.stats.warp_inst_slots += aw
+            c = _truthy(np.asarray(fc(env)))
+            if c.shape != mask.shape:
+                c = np.broadcast_to(c, mask.shape)
+            m_then = mask & c
+            m_else = mask & ~c
+            # divergence: warps with lanes on both sides
+            t = np.add.reduceat(m_then, env.warp_starts) > 0
+            e = np.add.reduceat(m_else, env.warp_starts) > 0
+            env.stats.divergent_branches += int((t & e).sum())
+            if m_then.any():
+                fthen(env, m_then, env.active_warps(m_then))
+            if felse is not None and m_else.any():
+                felse(env, m_else, env.active_warps(m_else))
+        return do_if
+
+    if isinstance(s, K.While):
+        fc = _compile_expr(s.cond)
+        fbody = _compile_block(s.body, device)
+        def do_while(env, mask, aw):
+            c = _truthy(np.asarray(fc(env)))
+            if c.shape != mask.shape:
+                c = np.broadcast_to(c, mask.shape)
+            m = mask & c
+            env.stats.warp_inst_slots += aw  # first condition check
+            while m.any():
+                maw = env.active_warps(m)
+                fbody(env, m, maw)
+                c = _truthy(np.asarray(fc(env)))
+                if c.shape != m.shape:
+                    c = np.broadcast_to(c, m.shape)
+                m = m & c
+                env.stats.warp_inst_slots += maw  # re-check
+        return do_while
+
+    if isinstance(s, K.UniformWhile):
+        fc = _compile_expr(s.cond)
+        fbody = _compile_block(s.body, device)
+        def do_uwhile(env, mask, aw):
+            env.stats.warp_inst_slots += aw
+            while True:
+                c = _truthy(np.asarray(fc(env)))
+                if c.shape != mask.shape:
+                    c = np.broadcast_to(c, mask.shape)
+                if not (mask & c).any():
+                    break
+                fbody(env, mask, aw)
+                env.stats.warp_inst_slots += aw
+        return do_uwhile
+
+    if isinstance(s, K.Sync):
+        def do_sync(env, mask, aw):
+            if not mask.all():
+                raise BarrierDivergenceError(
+                    "__syncthreads() executed under divergent control flow "
+                    f"({int(mask.sum())}/{mask.size} threads active)"
+                )
+            env.stats.barriers += 1
+            env.stats.warp_inst_slots += aw
+            if env.trace:
+                env.stats.trace.append(TraceEvent("sync", env.block_index, ""))
+        return do_sync
+
+    if isinstance(s, K.ShflDown):
+        dst, src, delta = s.dst, s.src, s.delta
+        ws = device.warp_size
+        def do_shfl(env, mask, aw):
+            env.stats.warp_inst_slots += aw
+            try:
+                reg = env.regs[src]
+            except KeyError:
+                raise SimulationError(
+                    f"register {src!r} read before assignment") from None
+            n = reg.shape[0]
+            lane = np.arange(n) % ws
+            src_idx = np.where(lane + delta < ws,
+                               np.minimum(np.arange(n) + delta, n - 1),
+                               np.arange(n))
+            _assign(env, dst, reg[src_idx], mask)
+        return do_shfl
+
+    if isinstance(s, K.AtomicUpdate):
+        fi, fv = _compile_expr(s.index), _compile_expr(s.value)
+        buf = s.buf
+        try:
+            combine = ATOMIC_OPS[s.op]
+        except KeyError:
+            raise SimulationError(f"no atomic support for operator {s.op!r}") from None
+        def do_atomic(env, mask, aw):
+            env.stats.warp_inst_slots += aw
+            idx = np.asarray(fi(env))
+            if idx.shape != mask.shape:
+                idx = np.broadcast_to(idx, mask.shape)
+            val = np.asarray(fv(env))
+            if val.shape != mask.shape:
+                val = np.broadcast_to(val, mask.shape)
+            env.gmem.atomic_update(buf, idx, val, mask, env.warp_of,
+                                   env.stats, combine)
+        return do_atomic
+
+    raise SimulationError(f"unknown statement node {s!r}")
+
+
+def _compile_block(stmts: tuple, device: DeviceProperties):
+    fns = [_compile_stmt(s, device) for s in stmts]
+    def run(env, mask, aw):
+        for f in fns:
+            f(env, mask, aw)
+    return run
+
+
+# --------------------------------------------------------------------------
+# compiled kernel
+# --------------------------------------------------------------------------
+
+class CompiledKernel:
+    """A kernel compiled to Python closures, runnable over a grid.
+
+    Compile once, launch many times (the heat-equation app re-launches its
+    two kernels hundreds of times).
+    """
+
+    def __init__(self, kernel: K.Kernel, device: DeviceProperties):
+        self.kernel = kernel
+        self.device = device
+        self._body = _compile_block(kernel.body, device)
+
+    def run(self, gmem: GlobalMemory, grid_dim: int, block_dim: tuple[int, int],
+            params: dict | None = None, trace: bool = False) -> KernelStats:
+        """Execute over ``grid_dim`` blocks of ``block_dim`` = (bdx, bdy).
+
+        Blocks run sequentially (they are independent by construction —
+        that's the premise of the gang level); stats aggregate across blocks.
+        """
+        bdx, bdy = block_dim
+        self.device.validate_block(bdx, bdy, self.kernel.shared_bytes)
+        if grid_dim < 1:
+            raise SimulationError(f"grid_dim must be >= 1, got {grid_dim}")
+        stats = KernelStats(
+            blocks=grid_dim,
+            threads_per_block=bdx * bdy,
+            shared_bytes=self.kernel.shared_bytes,
+        )
+        params = dict(params or {})
+        for b in self.kernel.buffers:
+            if b not in gmem:
+                raise SimulationError(
+                    f"kernel {self.kernel.name!r} requires buffer {b!r} "
+                    "which is not allocated"
+                )
+        env = BlockEnv(bdx, bdy, grid_dim, gmem, None, stats, params,
+                       self.device.warp_size, trace)
+        env.seg_cache = {}  # fresh reuse state per launch
+        full = env.block_mask
+        nw = env.nwarps
+        for bx in range(grid_dim):
+            env.reset_for_block(bx)
+            env.smem = SharedMemory(self.device, self.kernel.shared, stats)
+            self._body(env, full, nw)
+        return stats

@@ -1,0 +1,419 @@
+"""Kernel IR: the CUDA-like instruction set emitted by the compiler.
+
+The lowering phase (:mod:`repro.codegen`) translates OpenACC loop nests into
+kernels expressed in this IR; the simulator (:mod:`repro.gpu.executor`)
+executes them warp-synchronously.  The IR deliberately mirrors the shape of
+the CUDA C the OpenUH compiler emits in the paper (Fig. 3 and Fig. 5):
+window-sliding ``while`` loops over thread indices, shared-memory staging,
+explicit ``__syncthreads``.
+
+Control flow comes in two flavours:
+
+* :class:`While` — per-thread masked loop: each thread iterates while *its
+  own* condition holds.  Used for loops that contain no barriers.
+* :class:`UniformWhile` — lock-step loop: the whole block iterates while
+  *any* thread's condition holds, with every thread executing the body (so
+  barriers inside are uniform); lowerings guard per-thread effects with an
+  explicit ``active`` predicate.  This is how real GPU codegen keeps
+  ``__syncthreads`` legal inside distributed loops whose trip count is not a
+  multiple of the thread count.
+
+Expressions are typed; the builder inserts explicit :class:`Cast` nodes so
+the executor never relies on NumPy's promotion rules (which differ from C's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dtypes import DType
+
+__all__ = [
+    # expressions
+    "Expr", "Const", "Reg", "Special", "Param", "Bin", "Un", "Call", "Cast",
+    "Select",
+    # statements
+    "Stmt", "Assign", "GLoad", "GStore", "SLoad", "SStore", "If", "While",
+    "UniformWhile", "Sync", "Comment", "AtomicUpdate", "ShflDown",
+    # containers
+    "SharedArraySpec", "Kernel",
+    # helpers
+    "const_int", "dump",
+    "SPECIALS",
+]
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+class Expr:
+    """Base class for kernel-IR expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A scalar literal of a specific machine type."""
+
+    value: object
+    dtype: DType
+
+
+@dataclass(frozen=True)
+class Reg(Expr):
+    """Read a per-thread register."""
+
+    name: str
+
+
+#: Built-in thread-geometry values (CUDA names per Table 1 of the paper).
+SPECIALS = ("tx", "ty", "bx", "bdx", "bdy", "gdx", "tid", "ntid")
+
+
+@dataclass(frozen=True)
+class Special(Expr):
+    """A thread-geometry builtin.
+
+    ``tx``/``ty`` = ``threadIdx.x/y``; ``bx`` = ``blockIdx.x``;
+    ``bdx``/``bdy`` = ``blockDim.x/y``; ``gdx`` = ``gridDim.x``;
+    ``tid`` = flattened thread id ``ty*bdx+tx``; ``ntid`` = ``bdx*bdy``.
+    """
+
+    kind: str
+
+    def __post_init__(self):
+        if self.kind not in SPECIALS:
+            raise ValueError(f"unknown special {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A scalar kernel parameter (uniform across all threads)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Bin(Expr):
+    """Binary operation.  Operands must already share the result dtype
+    (for arithmetic) — the IR builder inserts casts."""
+
+    op: str
+    a: Expr
+    b: Expr
+
+
+@dataclass(frozen=True)
+class Un(Expr):
+    """Unary operation: ``neg``, ``not``, ``inv`` (bitwise complement)."""
+
+    op: str
+    a: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Intrinsic call (``fmax``, ``fabs``, ``sqrt``...)."""
+
+    fn: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    """Convert to a machine type (C-style truncation for float→int)."""
+
+    dtype: DType
+    a: Expr
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """Branchless select: ``cond ? a : b`` evaluated elementwise."""
+
+    cond: Expr
+    a: Expr
+    b: Expr
+
+
+def const_int(v: int) -> Const:
+    """Shorthand for an ``int`` literal (the index arithmetic workhorse)."""
+    return Const(int(v), DType.INT)
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+class Stmt:
+    """Base class for kernel-IR statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """Write a per-thread register (under the active mask)."""
+
+    dst: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class GLoad(Stmt):
+    """``dst = buffer[index]`` from global memory (coalescing-accounted)."""
+
+    dst: str
+    buf: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class GStore(Stmt):
+    """``buffer[index] = value`` to global memory."""
+
+    buf: str
+    index: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class SLoad(Stmt):
+    """``dst = shared_array[index]`` (bank-conflict-accounted)."""
+
+    dst: str
+    arr: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class SStore(Stmt):
+    """``shared_array[index] = value``."""
+
+    arr: str
+    index: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """Masked two-way branch; divergence within a warp is recorded."""
+
+    cond: Expr
+    then: tuple[Stmt, ...]
+    orelse: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """Per-thread masked loop (no barriers allowed inside)."""
+
+    cond: Expr
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class UniformWhile(Stmt):
+    """Lock-step loop: iterate while any thread's condition holds.
+
+    All threads execute the body each iteration (barriers inside are legal);
+    lowerings must guard per-thread effects with a predicate.
+    """
+
+    cond: Expr
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class Sync(Stmt):
+    """``__syncthreads()`` — errors if executed under divergent control flow."""
+
+
+@dataclass(frozen=True)
+class Comment(Stmt):
+    """No-op annotation kept for kernel dumps (costs nothing)."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class AtomicUpdate(Stmt):
+    """``atomic buffer[index] = op(buffer[index], value)`` on global memory.
+
+    Duplicate indices within one statement combine (unlike plain stores where
+    the last writer wins).  Used by the extension/ablation lowerings; the
+    paper's OpenUH strategies do not rely on atomics.
+    """
+
+    buf: str
+    index: Expr
+    op: str  # a reduction-operator token, e.g. "+", "max"
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ShflDown(Stmt):
+    """``dst = __shfl_down(src, delta)``: read ``src`` from the lane
+    ``delta`` positions higher *within the same warp*; lanes whose source
+    would cross the warp boundary keep their own value (CUDA semantics).
+
+    Kepler-class hardware capability used by the warp-shuffle reduction
+    extension (ablation A9) — register traffic only, no shared memory and
+    no barriers.
+    """
+
+    dst: str
+    src: str
+    delta: int
+
+
+# --------------------------------------------------------------------------
+# Kernels
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """A per-block shared-memory array declaration.
+
+    ``overlay`` implements the paper's §3.3 space-sharing rule: arrays with
+    the same overlay key occupy the *same* region, sized for the largest
+    member (legal because reduction buffers of different operands are live
+    at disjoint times).  ``None`` means a private region.
+    """
+
+    name: str
+    dtype: DType
+    size: int  # elements
+    overlay: str | None = None
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A compiled device kernel.
+
+    ``params`` are uniform scalars bound at launch; ``buffers`` names the
+    global buffers the kernel may touch; ``shared`` declares the per-block
+    shared arrays (their total size participates in occupancy).
+    """
+
+    name: str
+    body: tuple[Stmt, ...]
+    params: tuple[str, ...] = ()
+    buffers: tuple[str, ...] = ()
+    shared: tuple[SharedArraySpec, ...] = ()
+    note: str = ""
+
+    @property
+    def shared_bytes(self) -> int:
+        """Shared-memory footprint, with overlay groups counted once
+        (at the size of their largest member)."""
+        plain = sum(s.nbytes for s in self.shared if s.overlay is None)
+        groups: dict[str, int] = {}
+        for s in self.shared:
+            if s.overlay is not None:
+                groups[s.overlay] = max(groups.get(s.overlay, 0), s.nbytes)
+        return plain + sum(groups.values())
+
+
+# --------------------------------------------------------------------------
+# Pretty printer (used by the inspect example and golden tests)
+# --------------------------------------------------------------------------
+
+def _fmt_expr(e: Expr) -> str:
+    if isinstance(e, Const):
+        v = e.value
+        if hasattr(v, "item"):
+            v = v.item()
+        if e.dtype is DType.LONG:
+            return f"{v}L"
+        if e.dtype is DType.FLOAT:
+            return f"{float(v)}f"
+        if e.dtype is DType.DOUBLE:
+            return f"{float(v)}"
+        return repr(v)
+    if isinstance(e, Reg):
+        return e.name
+    if isinstance(e, Special):
+        names = {
+            "tx": "threadIdx.x", "ty": "threadIdx.y", "bx": "blockIdx.x",
+            "bdx": "blockDim.x", "bdy": "blockDim.y", "gdx": "gridDim.x",
+            "tid": "tid", "ntid": "ntid",
+        }
+        return names[e.kind]
+    if isinstance(e, Param):
+        return f"${e.name}"
+    if isinstance(e, Bin):
+        return f"({_fmt_expr(e.a)} {e.op} {_fmt_expr(e.b)})"
+    if isinstance(e, Un):
+        sym = {"neg": "-", "not": "!", "inv": "~"}[e.op]
+        return f"{sym}{_fmt_expr(e.a)}"
+    if isinstance(e, Call):
+        return f"{e.fn}({', '.join(_fmt_expr(a) for a in e.args)})"
+    if isinstance(e, Cast):
+        return f"({e.dtype.ctype}){_fmt_expr(e.a)}"
+    if isinstance(e, Select):
+        return f"({_fmt_expr(e.cond)} ? {_fmt_expr(e.a)} : {_fmt_expr(e.b)})"
+    raise TypeError(f"unknown expr {e!r}")
+
+
+def _dump_stmts(stmts: tuple[Stmt, ...], indent: int, out: list[str]) -> None:
+    pad = "  " * indent
+    for s in stmts:
+        if isinstance(s, Assign):
+            out.append(f"{pad}{s.dst} = {_fmt_expr(s.value)};")
+        elif isinstance(s, GLoad):
+            out.append(f"{pad}{s.dst} = {s.buf}[{_fmt_expr(s.index)}];  // global")
+        elif isinstance(s, GStore):
+            out.append(f"{pad}{s.buf}[{_fmt_expr(s.index)}] = {_fmt_expr(s.value)};  // global")
+        elif isinstance(s, SLoad):
+            out.append(f"{pad}{s.dst} = {s.arr}[{_fmt_expr(s.index)}];  // shared")
+        elif isinstance(s, SStore):
+            out.append(f"{pad}{s.arr}[{_fmt_expr(s.index)}] = {_fmt_expr(s.value)};  // shared")
+        elif isinstance(s, If):
+            out.append(f"{pad}if ({_fmt_expr(s.cond)}) {{")
+            _dump_stmts(s.then, indent + 1, out)
+            if s.orelse:
+                out.append(f"{pad}}} else {{")
+                _dump_stmts(s.orelse, indent + 1, out)
+            out.append(f"{pad}}}")
+        elif isinstance(s, While):
+            out.append(f"{pad}while ({_fmt_expr(s.cond)}) {{")
+            _dump_stmts(s.body, indent + 1, out)
+            out.append(f"{pad}}}")
+        elif isinstance(s, UniformWhile):
+            out.append(f"{pad}while-any ({_fmt_expr(s.cond)}) {{")
+            _dump_stmts(s.body, indent + 1, out)
+            out.append(f"{pad}}}")
+        elif isinstance(s, Sync):
+            out.append(f"{pad}__syncthreads();")
+        elif isinstance(s, Comment):
+            out.append(f"{pad}// {s.text}")
+        elif isinstance(s, AtomicUpdate):
+            out.append(
+                f"{pad}atomic {s.buf}[{_fmt_expr(s.index)}] "
+                f"{s.op}= {_fmt_expr(s.value)};"
+            )
+        elif isinstance(s, ShflDown):
+            out.append(f"{pad}{s.dst} = __shfl_down({s.src}, {s.delta});")
+        else:
+            raise TypeError(f"unknown stmt {s!r}")
+
+
+def dump(kernel: Kernel) -> str:
+    """Render a kernel as pseudo-CUDA text."""
+    out = [f"__global__ void {kernel.name}"
+           f"({', '.join(kernel.params)}) // buffers: {', '.join(kernel.buffers)}"]
+    for sa in kernel.shared:
+        out.append(f"  __shared__ {sa.dtype.ctype} {sa.name}[{sa.size}];")
+    if kernel.note:
+        out.append(f"  // {kernel.note}")
+    out.append("{")
+    _dump_stmts(kernel.body, 1, out)
+    out.append("}")
+    return "\n".join(out)

@@ -1,0 +1,46 @@
+"""Kernel launch convenience: compile, execute, and time a kernel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.costmodel import CostModel, TimeBreakdown
+from repro.gpu.device import DeviceProperties, K20C
+from repro.gpu.events import KernelStats
+from repro.gpu.executor import CompiledKernel
+from repro.gpu.kernelir import Kernel
+from repro.gpu.memory import GlobalMemory
+
+__all__ = ["LaunchReport", "launch"]
+
+
+@dataclass
+class LaunchReport:
+    """Result of one kernel launch: counters plus modeled time."""
+
+    kernel: Kernel
+    stats: KernelStats
+    timing: TimeBreakdown
+
+    @property
+    def modeled_us(self) -> float:
+        return self.timing.total_us
+
+    @property
+    def modeled_ms(self) -> float:
+        return self.timing.total_us / 1000.0
+
+
+def launch(kernel: Kernel, gmem: GlobalMemory, *, grid_dim: int,
+           block_dim: tuple[int, int], params: dict | None = None,
+           device: DeviceProperties = K20C, trace: bool = False) -> LaunchReport:
+    """Compile ``kernel``, run it over the grid, and model its time.
+
+    For repeated launches of the same kernel (iterative solvers), prefer
+    compiling once with :class:`~repro.gpu.executor.CompiledKernel` and
+    calling ``.run`` per iteration; this helper recompiles every call.
+    """
+    ck = CompiledKernel(kernel, device)
+    stats = ck.run(gmem, grid_dim, block_dim, params=params, trace=trace)
+    timing = CostModel(device).kernel_time(stats)
+    return LaunchReport(kernel=kernel, stats=stats, timing=timing)

@@ -1,0 +1,325 @@
+"""Simulated device memories with traffic accounting.
+
+``GlobalMemory`` holds named buffers laid out on a flat byte address space
+(256-byte aligned, like ``cudaMalloc``), so coalescing is computed from real
+byte addresses: each warp access is split into the set of 128-byte segments
+it touches, and each segment is one transaction.  Fully coalesced accesses by
+a 32-thread warp of 4-byte elements therefore cost 1 transaction; a strided
+(blocking-scheduled) access costs up to 32 — this is the mechanism behind the
+paper's preference for window-sliding scheduling (§3.1.3).
+
+``SharedMemory`` models the 32-bank, 4-byte-word Kepler shared memory: a warp
+access that maps *n* distinct words to the same bank serializes into *n*
+accesses (same-word broadcast is free).  The transposed reduction layouts the
+paper rejects (Fig. 6(b) / 8(b)) pay for themselves here.
+
+Store semantics: when several active threads store to the same element in one
+statement, the highest thread id wins, deterministically.  This makes
+missing-privatization races (the modeled commercial-compiler defects) produce
+stable wrong answers instead of flaky ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dtypes import DType
+from repro.errors import OutOfBoundsError, ResourceError
+from repro.gpu.device import DeviceProperties
+from repro.gpu.events import KernelStats
+
+__all__ = ["Buffer", "GlobalMemory", "SharedMemory"]
+
+_ALIGN = 256
+
+
+@dataclass
+class Buffer:
+    """A device global-memory buffer."""
+
+    name: str
+    dtype: DType
+    size: int  # elements
+    base: int  # byte address on the simulated device
+    data: np.ndarray  # 1-D array of dtype.np, length == size
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+
+class GlobalMemory:
+    """Device global memory: a set of named buffers + traffic accounting."""
+
+    def __init__(self, device: DeviceProperties):
+        self.device = device
+        self._buffers: dict[str, Buffer] = {}
+        self._next_base = _ALIGN  # leave address 0 unused, like real allocators
+
+    # -- allocation --------------------------------------------------------
+
+    def alloc(self, name: str, size: int, dtype: DType,
+              init: np.ndarray | None = None) -> Buffer:
+        """Allocate a named buffer; optionally copy initial contents."""
+        if name in self._buffers:
+            raise ResourceError(f"buffer {name!r} already allocated")
+        if size < 0:
+            raise ResourceError(f"negative buffer size {size} for {name!r}")
+        nbytes = size * dtype.itemsize
+        used = sum(b.nbytes for b in self._buffers.values())
+        if used + nbytes > self.device.global_mem_bytes:
+            raise ResourceError(
+                f"allocating {nbytes} bytes for {name!r} exceeds device memory "
+                f"({used} bytes in use of {self.device.global_mem_bytes})"
+            )
+        data = np.zeros(size, dtype=dtype.np)
+        if init is not None:
+            flat = np.asarray(init, dtype=dtype.np).reshape(-1)
+            if flat.size != size:
+                raise ResourceError(
+                    f"init for {name!r} has {flat.size} elements, expected {size}"
+                )
+            data[:] = flat
+        buf = Buffer(name, dtype, size, self._next_base, data)
+        self._next_base += (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+        self._buffers[name] = buf
+        return buf
+
+    def free(self, name: str) -> None:
+        """Release a buffer (address space is not recycled; fine for runs)."""
+        del self._buffers[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers
+
+    def __getitem__(self, name: str) -> Buffer:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise OutOfBoundsError(f"no such buffer {name!r}") from None
+
+    def buffers(self) -> list[Buffer]:
+        return list(self._buffers.values())
+
+    # -- access (called by the executor with per-thread index vectors) ------
+
+    def load(self, name: str, idx: np.ndarray, mask: np.ndarray,
+             warp_of: np.ndarray, stats: KernelStats,
+             reuse: tuple | None = None) -> np.ndarray:
+        """Gather ``buffer[idx]`` for active threads; count transactions.
+
+        Returns a full-width vector; lanes with ``mask == False`` hold the
+        buffer's zero value (they are never observed by correct kernels).
+        ``reuse`` is an optional ``(cache_dict, slot)`` pair enabling the
+        statement-level segment-reuse model (see ``_count_transactions``).
+        """
+        buf = self[name]
+        act = idx[mask]
+        self._check_bounds(buf, act)
+        out = np.zeros(idx.shape, dtype=buf.dtype.np)
+        if act.size:
+            out[mask] = buf.data[act]
+            self._count_transactions(buf, act, warp_of[mask], stats, reuse)
+        return out
+
+    def store(self, name: str, idx: np.ndarray, values: np.ndarray,
+              mask: np.ndarray, warp_of: np.ndarray,
+              stats: KernelStats, reuse: tuple | None = None) -> None:
+        """Scatter ``buffer[idx] = values`` for active threads.
+
+        Duplicate indices: highest thread id wins (NumPy fancy assignment
+        applies positions in order and thread vectors are id-ordered).
+        """
+        buf = self[name]
+        act = idx[mask]
+        if not act.size:
+            return
+        self._check_bounds(buf, act)
+        buf.data[act] = np.asarray(values, dtype=buf.dtype.np)[mask]
+        self._count_transactions(buf, act, warp_of[mask], stats, reuse)
+
+    def atomic_update(self, name: str, idx: np.ndarray, values: np.ndarray,
+                      mask: np.ndarray, warp_of: np.ndarray,
+                      stats: KernelStats, combine) -> None:
+        """Read-modify-write where duplicate indices *combine* via ``combine``.
+
+        ``combine`` is a NumPy ufunc (e.g. ``np.add``); ``ufunc.at`` gives the
+        atomics semantics.  Each lane is charged a transaction (atomics do not
+        coalesce on Kepler-class hardware).
+        """
+        buf = self[name]
+        act = idx[mask]
+        if not act.size:
+            return
+        self._check_bounds(buf, act)
+        combine.at(buf.data, act, np.asarray(values, dtype=buf.dtype.np)[mask])
+        stats.global_transactions += int(act.size)
+        stats.global_bytes += int(act.size) * buf.dtype.itemsize * 2
+        stats.dram_bytes += int(act.size) * buf.dtype.itemsize * 2
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _check_bounds(buf: Buffer, act: np.ndarray) -> None:
+        if act.size and (act.min() < 0 or act.max() >= buf.size):
+            bad = act[(act < 0) | (act >= buf.size)][0]
+            raise OutOfBoundsError(
+                f"index {int(bad)} out of bounds for buffer "
+                f"{buf.name!r} of size {buf.size}"
+            )
+
+    def _count_transactions(self, buf: Buffer, act_idx: np.ndarray,
+                            act_warp: np.ndarray, stats: KernelStats,
+                            reuse: tuple | None = None) -> None:
+        """Per warp, count the distinct 128-byte segments touched.
+
+        A segment requested by several warps *within one access* is fetched
+        from DRAM once; the other warps' requests are L2 hits (the
+        block-level broadcast a real cache provides for redundant loads).
+
+        When ``reuse=(cache, slot)`` is given, segments that this same
+        statement touched on its *previous* execution also hit the L2 —
+        the sequential-chunk locality of a thread walking a contiguous
+        range (each lane stays inside one 128-byte segment for several
+        iterations).  This keeps the blocking-scheduling penalty at a
+        cache-service ratio instead of an unrealistic full-DRAM refetch
+        per iteration.
+        """
+        seg = (buf.base + act_idx.astype(np.int64) * buf.dtype.itemsize) \
+            // self.device.transaction_bytes
+        # distinct (warp, segment) pairs == total warp requests
+        key = act_warp.astype(np.int64) * (1 << 40) + seg
+        requests = int(np.unique(key).size)
+        uniq_seg = np.unique(seg)
+        if reuse is not None:
+            cache, slot = reuse
+            prev = cache.get(slot)
+            if prev is None:
+                dram = int(uniq_seg.size)
+            else:
+                dram = int((~np.isin(uniq_seg, prev,
+                                     assume_unique=True)).sum())
+            cache[slot] = uniq_seg
+        else:
+            dram = int(uniq_seg.size)
+        stats.global_transactions += dram
+        stats.l2_transactions += requests - dram
+        stats.global_bytes += int(act_idx.size) * buf.dtype.itemsize
+        stats.dram_bytes += dram * self.device.transaction_bytes
+
+
+class SharedMemory:
+    """Per-block shared memory: named arrays + bank-conflict accounting."""
+
+    def __init__(self, device: DeviceProperties,
+                 specs: tuple,  # tuple[SharedArraySpec, ...]
+                 stats: KernelStats):
+        self.device = device
+        self.stats = stats
+        self._arrays: dict[str, np.ndarray] = {}
+        self._offsets: dict[str, int] = {}
+        self._dtypes: dict[str, DType] = {}
+        off = 0
+        # overlay groups share one region sized by the largest member
+        # (the paper's §3.3 mixed-dtype reduction-buffer sharing)
+        overlay_off: dict[str, int] = {}
+        overlay_end: dict[str, int] = {}
+        for spec in specs:
+            a = spec.dtype.itemsize  # align to element size, as nvcc does
+            if spec.overlay is not None and spec.overlay in overlay_off:
+                base = overlay_off[spec.overlay]
+                base = (base + a - 1) // a * a
+                self._offsets[spec.name] = base
+                overlay_end[spec.overlay] = max(
+                    overlay_end[spec.overlay], base + spec.nbytes)
+                off = max(off, overlay_end[spec.overlay])
+            else:
+                off = (off + a - 1) // a * a
+                self._offsets[spec.name] = off
+                if spec.overlay is not None:
+                    overlay_off[spec.overlay] = off
+                    overlay_end[spec.overlay] = off + spec.nbytes
+                off += spec.nbytes
+            self._dtypes[spec.name] = spec.dtype
+            self._arrays[spec.name] = np.zeros(spec.size, dtype=spec.dtype.np)
+        # recompute the true footprint: max end over all placements
+        total = 0
+        for spec in specs:
+            total = max(total,
+                        self._offsets[spec.name] + spec.nbytes)
+        off = total
+        if off > device.shared_mem_per_block:
+            raise ResourceError(
+                f"kernel requires {off} bytes of shared memory; device limit "
+                f"is {device.shared_mem_per_block}"
+            )
+        self.total_bytes = off
+
+    def load(self, name: str, idx: np.ndarray, mask: np.ndarray,
+             warp_of: np.ndarray) -> np.ndarray:
+        arr = self._array(name, idx, mask)
+        out = np.zeros(idx.shape, dtype=arr.dtype)
+        act = idx[mask]
+        if act.size:
+            out[mask] = arr[act]
+            self._count_banks(name, act, warp_of[mask])
+        return out
+
+    def store(self, name: str, idx: np.ndarray, values: np.ndarray,
+              mask: np.ndarray, warp_of: np.ndarray) -> None:
+        arr = self._array(name, idx, mask)
+        act = idx[mask]
+        if not act.size:
+            return
+        arr[act] = np.asarray(values, dtype=arr.dtype)[mask]
+        self._count_banks(name, act, warp_of[mask])
+
+    def read_array(self, name: str) -> np.ndarray:
+        """Direct (cost-free) view for tests and debugging."""
+        return self._arrays[name]
+
+    # -- internals -----------------------------------------------------------
+
+    def _array(self, name: str, idx: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        try:
+            arr = self._arrays[name]
+        except KeyError:
+            raise OutOfBoundsError(f"no such shared array {name!r}") from None
+        act = idx[mask]
+        if act.size and (act.min() < 0 or act.max() >= arr.size):
+            bad = act[(act < 0) | (act >= arr.size)][0]
+            raise OutOfBoundsError(
+                f"index {int(bad)} out of bounds for shared array "
+                f"{name!r} of size {arr.size}"
+            )
+        return arr
+
+    def _count_banks(self, name: str, act_idx: np.ndarray,
+                     act_warp: np.ndarray) -> None:
+        """Conflict-serialized access count for one warp-synchronous access.
+
+        Per warp: group the *distinct words* touched by bank; the access
+        serializes into ``max_over_banks(#distinct words)`` shared accesses.
+        Lanes reading the same word broadcast for free.
+        """
+        itemsize = self._dtypes[name].itemsize
+        word = (self._offsets[name] + act_idx.astype(np.int64) * itemsize) \
+            // self.device.shared_mem_bank_width
+        nbanks = self.device.shared_mem_banks
+        # distinct (warp, word) pairs
+        key = act_warp.astype(np.int64) * (1 << 40) + word
+        uniq = np.unique(key)
+        uw_warp = uniq >> 40
+        uw_bank = (uniq & ((1 << 40) - 1)) % nbanks
+        # count distinct words per (warp, bank), then take max per warp
+        key2 = uw_warp * nbanks + uw_bank
+        k2, counts = np.unique(key2, return_counts=True)
+        warps2 = k2 // nbanks
+        # segment max: warps2 is sorted; find boundaries
+        starts = np.flatnonzero(np.r_[True, warps2[1:] != warps2[:-1]])
+        degrees = np.maximum.reduceat(counts, starts)
+        serialized = int(degrees.sum())
+        self.stats.shared_accesses += serialized
+        self.stats.bank_conflict_extra += serialized - int(degrees.size)

@@ -1,0 +1,22 @@
+"""Loop-nest IR: the compiler's middle end.
+
+The IR normalizes the C AST into a typed loop tree annotated with OpenACC
+level information; :mod:`repro.ir.analysis` then performs the reduction-span
+inference that §3.2.1 of the paper highlights as OpenUH's "smart" reduction
+placement, producing a :class:`~repro.ir.analysis.RegionPlan` the lowering
+consumes.
+"""
+
+from repro.ir.nodes import (
+    IConst, IVar, IArrayRef, IBin, IUn, ICall, ICast, ICond,
+    IAssign, IDecl, IIf, ILoop, LoopInfo, Region, ArrayInfo, ScalarInfo,
+)
+from repro.ir.builder import build_region
+from repro.ir.analysis import analyze_region, RegionPlan, ReductionInfo
+
+__all__ = [
+    "IConst", "IVar", "IArrayRef", "IBin", "IUn", "ICall", "ICast", "ICond",
+    "IAssign", "IDecl", "IIf", "ILoop", "LoopInfo", "Region", "ArrayInfo",
+    "ScalarInfo", "build_region", "analyze_region", "RegionPlan",
+    "ReductionInfo",
+]

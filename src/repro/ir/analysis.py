@@ -1,0 +1,253 @@
+"""Region analysis: loop-nest validation and reduction-span inference.
+
+This implements the behaviour §3.2.1 of the paper singles out: *"the OpenUH
+compiler ... can automatically detect the position of the reduction variable
+and the user just needs to add the reduction clause to the loop that is the
+closest to the next use of that reduction variable."*
+
+Given a ``reduction(op:var)`` clause on one loop, the analysis locates every
+accumulation of ``var`` in that loop's subtree and unions the parallelism
+levels of the loops on the paths to them.  A clause on a ``worker`` loop
+whose accumulation happens inside a nested ``vector`` loop therefore gets
+span ``(worker, vector)`` — reduction across multi-level parallelism in
+different loops (Fig. 9) — without the user annotating the inner loop.
+
+The analysis also enforces the paper's structural rules:
+
+* loop levels must nest outside-in (gang ⊃ worker ⊃ vector) and may not
+  repeat along a path;
+* a reduction may not span gang & vector *in different loops* without going
+  through worker (§3.2.1), unless only one worker is configured (then the
+  worker level is trivially included);
+* reduction variables must be scalars (array reductions are the extension of
+  Komoda et al. [11], out of scope here as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dtypes import DType
+from repro.errors import AnalysisError
+from repro.codegen.reduction.operators import ReductionOperator, get_operator
+from repro.ir import nodes as N
+
+__all__ = ["ReductionInfo", "RegionPlan", "analyze_region"]
+
+_LEVEL_ORDER = {"gang": 0, "worker": 1, "vector": 2}
+
+
+@dataclass(frozen=True)
+class ReductionInfo:
+    """One reduction variable's plan, keyed to its (outermost) clause loop."""
+
+    var: str
+    dtype: DType
+    op: ReductionOperator
+    clause_loop_id: int
+    span: tuple[str, ...]  # canonical order subset of (gang, worker, vector)
+    same_line: bool  # whole span sits on the clause loop itself
+    #: span levels that are never actually distributed (added by the
+    #: gang·vector upgrade); their redundant lanes contribute identities
+    padded_levels: tuple[str, ...] = ()
+
+    @property
+    def gang_involved(self) -> bool:
+        return "gang" in self.span
+
+
+@dataclass
+class RegionPlan:
+    """Everything the lowering needs to know about a region's reductions."""
+
+    region: N.Region
+    num_workers: int
+    vector_length: int
+    reductions_by_loop: dict[int, list[ReductionInfo]] = field(
+        default_factory=dict)
+    barrier_loops: set[int] = field(default_factory=set)
+
+    @property
+    def all_reductions(self) -> list[ReductionInfo]:
+        return [r for infos in self.reductions_by_loop.values()
+                for r in infos]
+
+    @property
+    def has_gang_reduction(self) -> bool:
+        return any(r.gang_involved for r in self.all_reductions)
+
+    def reduction_vars(self) -> set[str]:
+        return {r.var for r in self.all_reductions}
+
+
+def analyze_region(region: N.Region, *, num_workers: int,
+                   vector_length: int,
+                   infer_span: bool = True) -> RegionPlan:
+    """Validate the loop nest and plan every reduction.
+
+    ``infer_span=False`` models compilers without the automatic position
+    detection (the paper's CAPS discussion): the span is taken literally
+    from the clause placement, so a single-clause RMP program silently
+    reduces at the wrong level.  A callable ``infer_span(op_token) -> bool``
+    enables the detection per operator (vendor-a's '+' fast path skips it).
+    """
+    if callable(infer_span):
+        infer_for = infer_span
+    else:
+        infer_for = (lambda _op, _v=bool(infer_span): _v)
+    plan = RegionPlan(region=region, num_workers=num_workers,
+                      vector_length=vector_length)
+    array_names = {a.name for a in region.arrays}
+    claimed: set[str] = set()  # vars already planned by an ancestor clause
+
+    def walk(stmts: tuple[N.IStmt, ...], path_levels: list[str],
+             loops_in_path: list[N.ILoop]) -> bool:
+        """Returns True if this statement list contains a block-level
+        (non-gang) reduction finalize — i.e. barriers."""
+        has_barrier = False
+        for s in stmts:
+            if isinstance(s, N.ILoop):
+                has_barrier |= _loop(s, path_levels, loops_in_path)
+            elif isinstance(s, N.IIf):
+                has_barrier |= walk(s.then, path_levels, loops_in_path)
+                has_barrier |= walk(s.orelse, path_levels, loops_in_path)
+        return has_barrier
+
+    def _loop(loop: N.ILoop, path_levels: list[str],
+              loops_in_path: list[N.ILoop]) -> bool:
+        # --- structural validation -----------------------------------
+        for lv in loop.info.levels:
+            if lv in path_levels:
+                raise AnalysisError(
+                    f"loop at line {loop.line}: level {lv!r} is already "
+                    "distributed by an enclosing loop")
+            for outer in path_levels:
+                if _LEVEL_ORDER[lv] < _LEVEL_ORDER[outer]:
+                    raise AnalysisError(
+                        f"loop at line {loop.line}: {lv!r} loop may not "
+                        f"nest inside a {outer!r} loop")
+
+        # --- reduction planning ---------------------------------------
+        my_barrier = False
+        newly_claimed: list[str] = []
+        for op_tok, var in loop.info.reductions:
+            if var in array_names:
+                raise AnalysisError(
+                    f"reduction variable {var!r} is an array; only scalar "
+                    "reductions are supported (array reduction is the "
+                    "multi-GPU extension of Komoda et al.)")
+            if var in claimed:
+                # clause repeated on a nested loop (the multi-clause style
+                # the paper attributes to CAPS): fold this loop's levels
+                # into the ancestor's span instead of planning twice
+                from dataclasses import replace as _replace
+                for infos_ in plan.reductions_by_loop.values():
+                    for i_, inf_ in enumerate(infos_):
+                        if inf_.var == var:
+                            merged = set(inf_.span) | set(loop.info.levels)
+                            infos_[i_] = _replace(
+                                inf_,
+                                span=tuple(lv for lv in
+                                           ("gang", "worker", "vector")
+                                           if lv in merged),
+                                same_line=False,
+                            )
+                continue
+            dtype = _var_dtype(region, loop, var)
+            op = get_operator(op_tok)
+            op.validate_dtype(dtype)
+            if infer_for(op_tok):
+                span_set = set(loop.info.levels) | _span_below(loop, var)
+            else:
+                span_set = set(loop.info.levels)
+            span = tuple(lv for lv in ("gang", "worker", "vector")
+                         if lv in span_set)
+            same_line = span_set <= set(loop.info.levels)
+            padded: tuple[str, ...] = ()
+            if {"gang", "vector"} <= span_set and "worker" not in span_set:
+                if same_line or num_workers == 1:
+                    # trivially include the worker level (§3.2.1: with one
+                    # worker the hierarchy degenerates); the worker lanes
+                    # execute redundantly, so they are padded with
+                    # identities at the combine
+                    span = tuple(lv for lv in ("gang", "worker", "vector")
+                                 if lv in span_set | {"worker"})
+                    padded = ("worker",)
+                else:
+                    raise AnalysisError(
+                        f"reduction on {var!r} spans gang & vector in "
+                        "different loops without going through worker "
+                        "(§3.2.1); annotate the intermediate loop or set "
+                        "num_workers(1)")
+            info = ReductionInfo(var=var, dtype=dtype, op=op,
+                                 clause_loop_id=loop.loop_id, span=span,
+                                 same_line=same_line, padded_levels=padded)
+            plan.reductions_by_loop.setdefault(loop.loop_id, []).append(info)
+            claimed.add(var)
+            newly_claimed.append(var)
+            if not info.gang_involved and info.span:
+                my_barrier = True
+
+        inner_barrier = walk(loop.body,
+                             path_levels + list(loop.info.levels),
+                             loops_in_path + [loop])
+        for var in newly_claimed:
+            claimed.discard(var)
+        if inner_barrier:
+            plan.barrier_loops.add(loop.loop_id)
+        # propagate: this loop contains barriers if a reduction finalizes
+        # at its close or anywhere inside
+        return my_barrier or inner_barrier
+
+    walk(region.body, [], [])
+    return plan
+
+
+def _span_below(clause_loop: N.ILoop, var: str) -> set[str]:
+    """Union of parallel levels between the clause loop and every
+    accumulation of ``var`` in its subtree."""
+    spans: set[str] = set()
+
+    def visit(stmts: tuple[N.IStmt, ...], levels: tuple[str, ...]) -> None:
+        for s in stmts:
+            if isinstance(s, N.IAssign):
+                if isinstance(s.target, N.IVar) and s.target.name == var:
+                    spans.update(levels)
+            elif isinstance(s, N.IDecl) and s.name == var:
+                raise AnalysisError(
+                    f"declaration of {var!r} shadows the reduction variable "
+                    f"of the enclosing clause (line {s.line})")
+            elif isinstance(s, N.IIf):
+                visit(s.then, levels)
+                visit(s.orelse, levels)
+            elif isinstance(s, N.ILoop):
+                visit(s.body, levels + s.info.levels)
+
+    visit(clause_loop.body, ())
+    return spans
+
+
+def _var_dtype(region: N.Region, clause_loop: N.ILoop, var: str) -> DType:
+    """Dtype of a reduction variable: a region scalar or a local declared
+    lexically before the clause loop (the paper's `int i_sum = j;`)."""
+    try:
+        return region.scalar(var).dtype
+    except KeyError:
+        pass
+    found: list[DType] = []
+
+    def visit(stmts) -> None:
+        for s in stmts:
+            if isinstance(s, N.IDecl) and s.name == var:
+                found.append(s.dtype)
+            elif isinstance(s, N.IIf):
+                visit(s.then)
+                visit(s.orelse)
+            elif isinstance(s, N.ILoop):
+                visit(s.body)
+
+    visit(region.body)
+    if not found:
+        raise AnalysisError(
+            f"reduction variable {var!r} is never declared or assigned")
+    return found[0]

@@ -1,0 +1,249 @@
+"""Auto-parallelization for ``kernels`` regions.
+
+§2.1 of the paper: *"the parallel construct provides more control to the
+user while the kernels provides more control to the compiler."*  Inside a
+``#pragma acc kernels`` region, loops without explicit ``loop`` annotations
+are the *compiler's* to schedule.  This pass implements that:
+
+1. **Dependence test** (conservative): a loop may run in parallel iff
+
+   * every array element written inside it is indexed by an expression
+     that *uses the loop variable* (distinct iterations write distinct
+     elements for affine accesses), and
+   * no array is read at an index that differs from an index it is written
+     at within the same loop (rules out ``a[i] = a[i-1]`` flow
+     dependences), and
+   * every scalar assigned inside the loop is either loop-local (declared
+     in the body — privatizable) or a *reduction* (see below).
+
+2. **Reduction recognition**: assignments of the shape ``s = s ⊕ expr``
+   for an associative-commutative ⊕ (``+ * & | ^``, plus ``min``/``max``
+   through their intrinsic form) mark ``s`` as a reduction variable, and
+   the pass attaches the corresponding ``reduction`` clause — the kernels
+   region equivalent of what §3 does for explicit clauses.
+
+3. **Level assignment**: outermost parallelizable loops in each nest get
+   ``gang``, then ``worker``, then ``vector`` (deeper parallel loops stay
+   sequential), mirroring how the explicit examples of Fig. 2 ascribe
+   levels outside-in.
+
+Loops that fail the test run sequentially — correctness first, as any real
+compiler must choose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.ir import nodes as N
+
+__all__ = ["auto_parallelize"]
+
+_LEVELS = ("gang", "worker", "vector")
+
+#: associative & commutative binary operators recognizable as reductions
+_REDUCIBLE_BINOPS = {"+", "*", "&", "|", "^"}
+_REDUCIBLE_CALLS = {"fmax": "max", "max": "max", "fmin": "min",
+                    "min": "min"}
+
+
+def _strip_casts(e: N.IExpr) -> N.IExpr:
+    while isinstance(e, N.ICast):
+        e = e.a
+    return e
+
+
+def _reads_var(e: N.IExpr, name: str) -> bool:
+    e = _strip_casts(e)
+    if isinstance(e, N.IVar):
+        return e.name == name
+    for f in ("a", "b", "cond", "index"):
+        if hasattr(e, f) and _reads_var(getattr(e, f), name):
+            return True
+    if isinstance(e, N.ICall):
+        return any(_reads_var(a, name) for a in e.args)
+    if isinstance(e, N.ICond):
+        return any(_reads_var(x, name) for x in (e.cond, e.a, e.b))
+    return False
+
+
+def _reduction_op_of(stmt: N.IAssign) -> str | None:
+    """If ``stmt`` is ``v = v ⊕ expr`` (⊕ associative-commutative),
+    return the operator token, else None."""
+    if not isinstance(stmt.target, N.IVar):
+        return None
+    v = stmt.target.name
+    value = _strip_casts(stmt.value)
+    if isinstance(value, N.IBin) and value.op in _REDUCIBLE_BINOPS:
+        a, b = _strip_casts(value.a), _strip_casts(value.b)
+        a_is_v = isinstance(a, N.IVar) and a.name == v
+        b_is_v = isinstance(b, N.IVar) and b.name == v
+        # exactly one side is v, and v does not also appear inside the other
+        if a_is_v and not _reads_var(value.b, v):
+            return value.op
+        if b_is_v and not _reads_var(value.a, v):
+            return value.op
+        return None
+    if isinstance(value, N.ICall) and value.fn in _REDUCIBLE_CALLS \
+            and len(value.args) == 2:
+        a, b = _strip_casts(value.args[0]), _strip_casts(value.args[1])
+        if isinstance(a, N.IVar) and a.name == v \
+                and not _reads_var(value.args[1], v):
+            return _REDUCIBLE_CALLS[value.fn]
+        if isinstance(b, N.IVar) and b.name == v \
+                and not _reads_var(value.args[0], v):
+            return _REDUCIBLE_CALLS[value.fn]
+    return None
+
+
+class _LoopFacts:
+    """What one loop's body does, gathered in a single walk."""
+
+    def __init__(self, loop: N.ILoop):
+        self.loop = loop
+        self.local_scalars: set[str] = set()
+        self.assigned_scalars: set[str] = set()
+        #: scalar -> operator for pure-accumulation scalars; None = tainted
+        self.accumulators: dict[str, str | None] = {}
+        self.accum_counts: dict[str, int] = {}
+        self.scalar_reads: dict[str, int] = {}
+        self.array_writes: list[N.IArrayRef] = []
+        self.array_reads: list[N.IArrayRef] = []
+        self._walk(loop.body)
+
+    def _walk(self, stmts) -> None:
+        for s in stmts:
+            if isinstance(s, N.IDecl):
+                self.local_scalars.add(s.name)
+                if s.init is not None:
+                    self._scan_reads(s.init)
+            elif isinstance(s, N.IAssign):
+                self._scan_reads(s.value)
+                if getattr(s, "atomic", False) \
+                        and isinstance(s.target, N.IArrayRef):
+                    # atomic updates combine across iterations: no
+                    # injectivity requirement, no flow dependence
+                    self._scan_reads(s.target.index)
+                    continue
+                if isinstance(s.target, N.IVar):
+                    name = s.target.name
+                    self.assigned_scalars.add(name)
+                    op = _reduction_op_of(s)
+                    if op is not None:
+                        self.accum_counts[name] = \
+                            self.accum_counts.get(name, 0) + 1
+                    if name not in self.accumulators:
+                        self.accumulators[name] = op
+                    elif self.accumulators[name] != op:
+                        self.accumulators[name] = None
+                else:
+                    self._scan_reads(s.target.index)
+                    self.array_writes.append(s.target)
+            elif isinstance(s, N.IIf):
+                self._scan_reads(s.cond)
+                self._walk(s.then)
+                self._walk(s.orelse)
+            elif isinstance(s, N.ILoop):
+                self._scan_reads(s.start)
+                self._scan_reads(s.end)
+                self._scan_reads(s.step)
+                self.local_scalars.add(s.var)
+                self._walk(s.body)
+
+    def _scan_reads(self, e: N.IExpr) -> None:
+        e = _strip_casts(e)
+        if isinstance(e, N.IVar):
+            self.scalar_reads[e.name] = self.scalar_reads.get(e.name, 0) + 1
+            return
+        if isinstance(e, N.IArrayRef):
+            self.array_reads.append(e)
+            self._scan_reads(e.index)
+            return
+        for f in ("a", "b"):
+            if hasattr(e, f):
+                self._scan_reads(getattr(e, f))
+        if isinstance(e, N.ICall):
+            for a in e.args:
+                self._scan_reads(a)
+        if isinstance(e, N.ICond):
+            for x in (e.cond, e.a, e.b):
+                self._scan_reads(x)
+
+
+def _parallelizable(facts: _LoopFacts) -> tuple[bool, list[tuple[str, str]]]:
+    """Conservative dependence test; returns (ok, detected reductions)."""
+    var = facts.loop.var
+    reductions: list[tuple[str, str]] = []
+
+    # scalars: each assigned scalar must be loop-local or a pure
+    # accumulator whose intermediate value is never otherwise consumed
+    # (reading a partial sum, e.g. `s += a[i]; b[i] = s;`, is a genuine
+    # loop-carried dependence)
+    for name in facts.assigned_scalars:
+        if name in facts.local_scalars:
+            continue
+        op = facts.accumulators.get(name)
+        if op is None:
+            return False, []
+        if facts.scalar_reads.get(name, 0) != facts.accum_counts.get(name, 0):
+            return False, []
+        reductions.append((op, name))
+
+    # array writes must be distinguished by the loop variable
+    written_arrays: dict[str, list[N.IExpr]] = {}
+    for ref in facts.array_writes:
+        if not _reads_var(ref.index, var):
+            return False, []
+        written_arrays.setdefault(ref.array, []).append(ref.index)
+
+    # reads of written arrays must match a write index exactly
+    for ref in facts.array_reads:
+        if ref.array in written_arrays:
+            if not any(ref.index == w for w in written_arrays[ref.array]):
+                return False, []
+    return True, reductions
+
+
+def _assign_levels(stmts, next_level: int) -> tuple:
+    """Rewrite unannotated loops with inferred levels, outside-in."""
+    out = []
+    for s in stmts:
+        if isinstance(s, N.ILoop):
+            out.append(_rewrite_loop(s, next_level))
+        elif isinstance(s, N.IIf):
+            out.append(replace(
+                s, then=_assign_levels(s.then, next_level),
+                orelse=_assign_levels(s.orelse, next_level)))
+        else:
+            out.append(s)
+    return tuple(out)
+
+
+def _rewrite_loop(loop: N.ILoop, next_level: int) -> N.ILoop:
+    if loop.info.levels or loop.info.seq or loop.info.reductions:
+        # explicitly annotated: respect the user, only recurse
+        consumed = next_level
+        if loop.info.levels:
+            consumed = max(consumed, 1 + max(
+                _LEVELS.index(lv) for lv in loop.info.levels))
+        return replace(loop, body=_assign_levels(loop.body, consumed))
+
+    if next_level >= len(_LEVELS):
+        return replace(loop, body=_assign_levels(loop.body, next_level))
+
+    facts = _LoopFacts(loop)
+    ok, reductions = _parallelizable(facts)
+    if not ok:
+        return replace(loop, body=_assign_levels(loop.body, next_level))
+    info = replace(loop.info, levels=(_LEVELS[next_level],),
+                   reductions=tuple(reductions))
+    return replace(loop, info=info,
+                   body=_assign_levels(loop.body, next_level + 1))
+
+
+def auto_parallelize(region: N.Region) -> N.Region:
+    """Schedule a ``kernels`` region's unannotated loops (no-op for
+    ``parallel`` regions, where unannotated loops are the user's choice)."""
+    if region.kind != "kernels":
+        return region
+    return replace(region, body=_assign_levels(region.body, 0))

@@ -1,0 +1,471 @@
+"""C AST → loop-nest IR: symbol resolution, typing, index flattening.
+
+Two passes over the region:
+
+1. **Symbol collection** — preamble declarations define arrays (with
+   symbolic shapes) and host scalars; data clauses define the transfer plan;
+   free identifiers become ``int`` kernel parameters; array extents bind to
+   scalars filled from the host arrays' shapes at run time.
+2. **Statement building** — scoped type propagation with C's usual
+   arithmetic conversions (explicit :class:`~repro.ir.nodes.ICast` nodes),
+   compound-assignment desugaring, and row-major flattening of
+   multi-dimensional subscripts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.dtypes import DType, ctype_to_dtype, promote, is_integer
+from repro.errors import AnalysisError, CompileError
+from repro.frontend import ast_nodes as A
+from repro.frontend.pragmas import AccLoopInfo, AccRegionInfo, DataClause
+from repro.ir import nodes as N
+
+__all__ = ["build_region"]
+
+# intrinsics: name -> (arity, kind); kind 'float' promotes args to a common
+# floating type (C calls these on double), 'poly' keeps the promoted arg type
+_INTRINSICS = {
+    "fmax": (2, "float"), "fmaxf": (2, "float"),
+    "fmin": (2, "float"), "fminf": (2, "float"),
+    "fabs": (1, "float"), "fabsf": (1, "float"),
+    "sqrt": (1, "float"), "sqrtf": (1, "float"),
+    "exp": (1, "float"), "expf": (1, "float"),
+    "log": (1, "float"), "logf": (1, "float"),
+    "sin": (1, "float"), "cos": (1, "float"),
+    "floor": (1, "float"), "ceil": (1, "float"),
+    "pow": (2, "float"), "powf": (2, "float"),
+    "abs": (1, "poly"), "min": (2, "poly"), "max": (2, "poly"),
+}
+
+_INT_ONLY_OPS = ("%", "<<", ">>", "&", "|", "^")
+_COMPARISONS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+@dataclass
+class _Scope:
+    vars: dict[str, DType] = field(default_factory=dict)
+
+
+class _Builder:
+    def __init__(self, cregion: A.CRegion,
+                 array_dtypes: dict[str, str] | None):
+        self.cregion = cregion
+        self.info: AccRegionInfo = cregion.info
+        self.extra_array_dtypes = dict(array_dtypes or {})
+        self.arrays: dict[str, N.ArrayInfo] = {}
+        self.scalars: dict[str, N.ScalarInfo] = {}
+        self.scopes: list[_Scope] = [_Scope()]
+        self.loop_ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # pass 1: symbols
+    # ------------------------------------------------------------------
+
+    def collect_symbols(self) -> None:
+        declared_arrays: dict[str, A.CDecl] = {}
+        for stmt in self.cregion.preamble:
+            if isinstance(stmt, A.CDecl):
+                if stmt.dims:
+                    declared_arrays[stmt.name] = stmt
+                else:
+                    dtype = ctype_to_dtype(stmt.ctype)
+                    init = None
+                    if stmt.init is not None:
+                        init = self._const_fold_host(stmt.init, dtype)
+                    self.scalars[stmt.name] = N.ScalarInfo(
+                        stmt.name, dtype, init=init)
+            elif isinstance(stmt, A.CAssign):
+                # `sum = 0;` before the region: untyped host scalar
+                if isinstance(stmt.target, A.CIdent) \
+                        and stmt.target.name not in self.scalars:
+                    self.scalars[stmt.target.name] = N.ScalarInfo(
+                        stmt.target.name, DType.INT,
+                        init=self._const_fold_host(stmt.value, DType.INT))
+                elif isinstance(stmt.target, A.CIdent):
+                    old = self.scalars[stmt.target.name]
+                    self.scalars[stmt.target.name] = N.ScalarInfo(
+                        old.name, old.dtype, old.from_shape,
+                        self._const_fold_host(stmt.value, old.dtype))
+            else:
+                raise AnalysisError(
+                    "only declarations and scalar assignments may precede "
+                    "the compute region")
+
+        # arrays named in data clauses
+        clause_names = set()
+        for dc in self.info.data:
+            clause_names.add(dc.name)
+            self._define_array(dc.name, dc.kind, declared_arrays)
+        # preamble-declared arrays not in any clause default to `copy`
+        for name in declared_arrays:
+            if name not in clause_names:
+                self._define_array(name, "copy", declared_arrays)
+
+        # free identifiers referenced by the region body become int params
+        for name in _free_idents(self.cregion.body):
+            if name in self.arrays or name in self.scalars \
+                    or name in _INTRINSICS:
+                continue
+            self.scalars[name] = N.ScalarInfo(name, DType.INT)
+
+    def _define_array(self, name: str, transfer: str,
+                      declared: dict[str, A.CDecl]) -> None:
+        if name in self.arrays:
+            raise AnalysisError(f"array {name!r} appears in multiple data "
+                                "clauses")
+        if name in declared:
+            decl = declared[name]
+            dtype = ctype_to_dtype(decl.ctype)
+            extents: list[object] = []
+            for i, dim in enumerate(decl.dims):
+                if isinstance(dim, A.CIdent):
+                    extents.append(dim.name)
+                    if dim.name not in self.scalars:
+                        self.scalars[dim.name] = N.ScalarInfo(
+                            dim.name, DType.INT, from_shape=(name, i))
+                elif isinstance(dim, A.CIntLit):
+                    extents.append(dim.value)
+                else:
+                    raise AnalysisError(
+                        f"array {name!r}: dimension {i} must be an "
+                        "identifier or integer literal")
+            self.arrays[name] = N.ArrayInfo(name, dtype, tuple(extents),
+                                            transfer)
+        elif name in self.extra_array_dtypes:
+            dtype = ctype_to_dtype(self.extra_array_dtypes[name])
+            self.arrays[name] = N.ArrayInfo(name, dtype, (), transfer)
+        else:
+            raise AnalysisError(
+                f"array {name!r} is used in a data clause but has no "
+                "declaration; declare it before the region (e.g. "
+                f"'float {name}[n];') or pass array_dtypes={{'{name}': ...}}")
+
+    @staticmethod
+    def _const_fold_host(e: A.CExpr, dtype: DType):
+        """Evaluate a constant preamble initializer."""
+        if isinstance(e, A.CIntLit):
+            return N.IConst(dtype.np.type(e.value), dtype)
+        if isinstance(e, A.CFloatLit):
+            return N.IConst(dtype.np.type(e.value), dtype)
+        if isinstance(e, A.CUnary) and e.op == "-":
+            inner = _Builder._const_fold_host(e.operand, dtype)
+            return N.IConst(dtype.np.type(-inner.value), dtype)
+        raise AnalysisError(
+            "preamble initializers must be literal constants")
+
+    # ------------------------------------------------------------------
+    # pass 2: statements
+    # ------------------------------------------------------------------
+
+    def build(self) -> N.Region:
+        self.collect_symbols()
+        body = self._stmts(self.cregion.body)
+        return N.Region(
+            kind=self.info.kind,
+            body=body,
+            arrays=tuple(self.arrays.values()),
+            scalars=tuple(self.scalars.values()),
+            num_gangs=self.info.num_gangs,
+            num_workers=self.info.num_workers,
+            vector_length=self.info.vector_length,
+        )
+
+    def _lookup(self, name: str) -> DType | None:
+        for scope in reversed(self.scopes):
+            if name in scope.vars:
+                return scope.vars[name]
+        if name in self.scalars:
+            return self.scalars[name].dtype
+        return None
+
+    def _stmts(self, stmts: tuple[A.CStmt, ...]) -> tuple[N.IStmt, ...]:
+        out: list[N.IStmt] = []
+        for s in stmts:
+            built = self._stmt(s)
+            if built is not None:
+                out.append(built)
+        return tuple(out)
+
+    def _stmt(self, s: A.CStmt) -> N.IStmt | None:
+        if isinstance(s, A.CBlock):
+            # flatten blocks but keep their scope
+            self.scopes.append(_Scope())
+            inner = self._stmts(s.stmts)
+            self.scopes.pop()
+            if not inner:
+                return None
+            if len(inner) == 1:
+                return inner[0]
+            # represent a scoped block as an if(true) — rare in practice
+            return N.IIf(N.IConst(True, DType.BOOL), inner)
+
+        if isinstance(s, A.CDecl):
+            if s.dims:
+                raise AnalysisError(
+                    f"array declaration {s.name!r} inside the compute region "
+                    "is not supported (declare arrays before the region)",
+                )
+            dtype = ctype_to_dtype(s.ctype)
+            init = self._cast(self._expr(s.init), dtype) if s.init else None
+            self.scopes[-1].vars[s.name] = dtype
+            return N.IDecl(s.name, dtype, init, line=s.line)
+
+        if isinstance(s, A.CAssign):
+            return self._assign(s)
+
+        if isinstance(s, A.CIf):
+            cond = self._expr(s.cond)
+            self.scopes.append(_Scope())
+            then = self._stmts(s.then)
+            self.scopes.pop()
+            self.scopes.append(_Scope())
+            orelse = self._stmts(s.orelse)
+            self.scopes.pop()
+            return N.IIf(cond, then, orelse, line=s.line)
+
+        if isinstance(s, A.CFor):
+            return self._for(s)
+
+        if isinstance(s, A.CWhile):
+            raise AnalysisError(
+                "general while loops inside compute regions are not "
+                "supported (use counted for loops)")
+
+        raise AnalysisError(f"unsupported statement {type(s).__name__}")
+
+    def _assign(self, s: A.CAssign) -> N.IAssign:
+        target = self._expr(s.target)
+        if not isinstance(target, (N.IVar, N.IArrayRef)):
+            raise AnalysisError("bad assignment target")
+        if isinstance(target, N.IVar) and self._lookup(target.name) is None:
+            # assignment to an undeclared name: define as int local
+            self.scopes[-1].vars[target.name] = DType.INT
+            target = N.IVar(target.name, DType.INT)
+        value = self._expr(s.value)
+        if s.op:
+            value = self._binop(s.op, target, value)
+        if getattr(s, "atomic", False):
+            if not isinstance(target, N.IArrayRef):
+                raise AnalysisError(
+                    "'#pragma acc atomic' targets must be array elements "
+                    f"(line {s.line})")
+            if s.op not in ("+", "*", "&", "|", "^"):
+                raise AnalysisError(
+                    "'#pragma acc atomic' supports the compound updates "
+                    f"+= *= &= |= ^= (line {s.line})")
+        return N.IAssign(target, self._cast(value, target.dtype),
+                         line=s.line, atomic=getattr(s, "atomic", False))
+
+    def _for(self, s: A.CFor) -> N.ILoop:
+        start = self._cast(self._expr(s.start), DType.INT)
+        end = self._cast(self._expr(s.end), DType.INT)
+        step = self._cast(self._expr(s.step), DType.INT)
+        self.scopes.append(_Scope())
+        self.scopes[-1].vars[s.var] = DType.INT
+        body = self._stmts(s.body)
+        self.scopes.pop()
+        p = s.pragma
+        if isinstance(p, AccLoopInfo):
+            info = N.LoopInfo(levels=p.levels, seq=p.seq,
+                              reductions=p.reductions, private=p.private,
+                              collapse=p.collapse)
+        else:
+            info = N.LoopInfo()
+        return N.ILoop(loop_id=next(self.loop_ids), var=s.var, start=start,
+                       end=end, step=step, body=body, info=info, line=s.line)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _expr(self, e: A.CExpr) -> N.IExpr:
+        if isinstance(e, A.CIntLit):
+            # literals that don't fit int get long, as in C
+            dt = DType.INT if -(2**31) <= e.value < 2**31 else DType.LONG
+            return N.IConst(dt.np.type(e.value), dt)
+        if isinstance(e, A.CFloatLit):
+            dt = DType.DOUBLE if e.is_double else DType.FLOAT
+            return N.IConst(dt.np.type(e.value), dt)
+        if isinstance(e, A.CIdent):
+            dt = self._lookup(e.name)
+            if dt is None:
+                if e.name in self.arrays:
+                    raise AnalysisError(
+                        f"array {e.name!r} used without a subscript")
+                raise AnalysisError(f"unknown identifier {e.name!r}")
+            return N.IVar(e.name, dt)
+        if isinstance(e, A.CIndex):
+            return self._index(e)
+        if isinstance(e, A.CBinary):
+            return self._binop(e.op, self._expr(e.left), self._expr(e.right))
+        if isinstance(e, A.CUnary):
+            a = self._expr(e.operand)
+            if e.op == "-":
+                return N.IUn("neg", a, a.dtype)
+            if e.op == "!":
+                return N.IUn("not", a, DType.BOOL)
+            if e.op == "~":
+                if not is_integer(a.dtype):
+                    raise AnalysisError("'~' requires an integer operand")
+                return N.IUn("inv", a, a.dtype)
+            raise AnalysisError(f"unsupported unary {e.op!r}")
+        if isinstance(e, A.CCall):
+            return self._call(e)
+        if isinstance(e, A.CCast):
+            return self._cast(self._expr(e.operand), ctype_to_dtype(e.ctype))
+        if isinstance(e, A.CCond):
+            cond = self._expr(e.cond)
+            a, b = self._expr(e.then), self._expr(e.orelse)
+            dt = promote(a.dtype, b.dtype)
+            return N.ICond(cond, self._cast(a, dt), self._cast(b, dt), dt)
+        raise AnalysisError(f"unsupported expression {type(e).__name__}")
+
+    def _index(self, e: A.CIndex) -> N.IArrayRef:
+        # unwind the subscript chain
+        subs: list[A.CExpr] = []
+        base = e
+        while isinstance(base, A.CIndex):
+            subs.append(base.index)
+            base = base.base
+        subs.reverse()
+        if not isinstance(base, A.CIdent) or base.name not in self.arrays:
+            name = base.name if isinstance(base, A.CIdent) else "?"
+            raise AnalysisError(
+                f"subscripted name {name!r} is not a known array (declare it "
+                "before the region or add it to a data clause)")
+        arr = self.arrays[base.name]
+        ndim = len(arr.extents) if arr.extents else 1
+        if len(subs) != ndim:
+            raise AnalysisError(
+                f"array {arr.name!r} has {ndim} dimension(s), "
+                f"subscripted with {len(subs)}")
+        idx = self._cast(self._expr(subs[0]), DType.INT)
+        for i in range(1, ndim):
+            ext = arr.extents[i]
+            ext_e: N.IExpr = (N.IConst(DType.INT.np.type(ext), DType.INT)
+                              if isinstance(ext, int)
+                              else N.IVar(ext, DType.INT))
+            idx = N.IBin("+", N.IBin("*", idx, ext_e, DType.INT),
+                         self._cast(self._expr(subs[i]), DType.INT),
+                         DType.INT)
+        return N.IArrayRef(arr.name, idx, arr.dtype)
+
+    def _call(self, e: A.CCall) -> N.IExpr:
+        if e.name == "rand":
+            raise AnalysisError(
+                "rand() is not supported inside compute regions (the paper "
+                "pre-generates random data on the host; do the same)")
+        if e.name not in _INTRINSICS:
+            raise AnalysisError(f"unknown function {e.name!r} in compute "
+                                "region")
+        arity, kind = _INTRINSICS[e.name]
+        if len(e.args) != arity:
+            raise AnalysisError(
+                f"{e.name}() expects {arity} argument(s), got {len(e.args)}")
+        args = [self._expr(a) for a in e.args]
+        dt = args[0].dtype
+        for a in args[1:]:
+            dt = promote(dt, a.dtype)
+        if kind == "float" and dt not in (DType.FLOAT, DType.DOUBLE):
+            dt = DType.DOUBLE  # C promotes to double for math calls
+        if dt is DType.BOOL:
+            dt = DType.INT
+        args = [self._cast(a, dt) for a in args]
+        return N.ICall(e.name, tuple(args), dt)
+
+    def _binop(self, op: str, a: N.IExpr, b: N.IExpr) -> N.IExpr:
+        if op in ("&&", "||"):
+            return N.IBin(op, a, b, DType.BOOL)
+        if op in _COMPARISONS:
+            dt = promote(a.dtype, b.dtype)
+            return N.IBin(op, self._cast(a, dt), self._cast(b, dt),
+                          DType.BOOL)
+        dt = promote(a.dtype, b.dtype)
+        if op in _INT_ONLY_OPS and op != "%":
+            if not is_integer(dt):
+                raise AnalysisError(
+                    f"operator {op!r} requires integer operands")
+        if op == "%" and not is_integer(dt):
+            raise AnalysisError("'%' requires integer operands (use fmod)")
+        return N.IBin(op, self._cast(a, dt), self._cast(b, dt), dt)
+
+    @staticmethod
+    def _cast(e: N.IExpr, dtype: DType) -> N.IExpr:
+        if e.dtype == dtype:
+            return e
+        if isinstance(e, N.IConst):
+            return N.IConst(dtype.np.type(e.value), dtype)
+        return N.ICast(e, dtype)
+
+
+def _free_idents(stmts) -> set[str]:
+    """All identifiers referenced anywhere in the statement tree, minus the
+    ones bound by declarations/loops within it."""
+    used: set[str] = set()
+    bound: set[str] = set()
+
+    def expr(e: A.CExpr) -> None:
+        if isinstance(e, A.CIdent):
+            used.add(e.name)
+        elif isinstance(e, A.CIndex):
+            expr(e.base)
+            expr(e.index)
+        elif isinstance(e, A.CBinary):
+            expr(e.left)
+            expr(e.right)
+        elif isinstance(e, A.CUnary):
+            expr(e.operand)
+        elif isinstance(e, A.CCall):
+            for a in e.args:
+                expr(a)
+        elif isinstance(e, A.CCast):
+            expr(e.operand)
+        elif isinstance(e, A.CCond):
+            expr(e.cond)
+            expr(e.then)
+            expr(e.orelse)
+
+    def stmt(s: A.CStmt) -> None:
+        if isinstance(s, A.CBlock):
+            for x in s.stmts:
+                stmt(x)
+        elif isinstance(s, A.CDecl):
+            bound.add(s.name)
+            for d in s.dims:
+                expr(d)
+            if s.init:
+                expr(s.init)
+        elif isinstance(s, A.CAssign):
+            expr(s.target)
+            expr(s.value)
+        elif isinstance(s, A.CIf):
+            expr(s.cond)
+            for x in s.then + s.orelse:
+                stmt(x)
+        elif isinstance(s, A.CFor):
+            bound.add(s.var)
+            expr(s.start)
+            expr(s.end)
+            expr(s.step)
+            for x in s.body:
+                stmt(x)
+        elif isinstance(s, A.CWhile):
+            expr(s.cond)
+            for x in s.body:
+                stmt(x)
+
+    for s in stmts:
+        stmt(s)
+    return used - bound
+
+
+def build_region(cregion: A.CRegion,
+                 array_dtypes: dict[str, str] | None = None) -> N.Region:
+    """Build the typed loop-nest IR for a parsed OpenACC region."""
+    try:
+        return _Builder(cregion, array_dtypes).build()
+    except KeyError as exc:  # unknown ctype and friends
+        raise CompileError(f"unknown type or symbol: {exc}") from exc

@@ -1,0 +1,224 @@
+"""Sequential host interpreter for the loop-nest IR.
+
+Executes a compute region with plain sequential C semantics — loops run in
+order, reductions are ordinary accumulations — over NumPy-backed host
+arrays.  This is the "CPU result" the paper's testsuite verifies against
+(§4), implemented as a generic oracle: any region the compiler accepts can
+also be executed here, which powers the differential property tests
+(random program ⊢ simulator result == host result).
+
+Scalar arithmetic follows the same C rules the device executor uses
+(wrap-around ints, truncating division/casts), so int results match
+bit-exactly; float results may differ by reassociation only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes import DType
+from repro.errors import ReproError, RuntimeDataError
+from repro.ir import nodes as N
+
+__all__ = ["run_host", "HostResult"]
+
+
+class _Env:
+    def __init__(self):
+        self.scalars: dict[str, np.generic] = {}
+        self.arrays: dict[str, np.ndarray] = {}  # flat views
+
+
+def _truncdiv(a, b):
+    if isinstance(a, (np.floating, float)):
+        return a / b
+    q, r = divmod(int(a), int(b))
+    if r != 0 and (int(a) < 0) != (int(b) < 0):
+        q += 1
+    return q
+
+
+def _cmod(a, b):
+    if isinstance(a, (np.floating, float)):
+        return np.fmod(a, b)
+    return int(a) - _truncdiv(a, b) * int(b)
+
+
+_CALLS = {
+    "fmax": np.fmax, "fmaxf": np.fmax, "fmin": np.fmin, "fminf": np.fmin,
+    "fabs": np.abs, "fabsf": np.abs, "abs": np.abs,
+    "sqrt": np.sqrt, "sqrtf": np.sqrt, "exp": np.exp, "expf": np.exp,
+    "log": np.log, "logf": np.log, "sin": np.sin, "cos": np.cos,
+    "floor": np.floor, "ceil": np.ceil, "pow": np.power, "powf": np.power,
+    "min": np.minimum, "max": np.maximum,
+}
+
+
+def _eval(e: N.IExpr, env: _Env):
+    if isinstance(e, N.IConst):
+        return e.value
+    if isinstance(e, N.IVar):
+        try:
+            return env.scalars[e.name]
+        except KeyError:
+            raise ReproError(f"host interpreter: unbound scalar {e.name!r}") \
+                from None
+    if isinstance(e, N.IArrayRef):
+        idx = int(_eval(e.index, env))
+        arr = env.arrays[e.array]
+        if not 0 <= idx < arr.size:
+            raise RuntimeDataError(
+                f"host interpreter: index {idx} out of bounds for "
+                f"{e.array!r} (size {arr.size})")
+        return arr[idx]
+    if isinstance(e, N.IBin):
+        a = _eval(e.a, env)
+        if e.op == "&&":
+            return bool(a) and bool(_eval(e.b, env))
+        if e.op == "||":
+            return bool(a) or bool(_eval(e.b, env))
+        b = _eval(e.b, env)
+        with np.errstate(over="ignore", invalid="ignore"):
+            if e.op == "+":
+                r = a + b
+            elif e.op == "-":
+                r = a - b
+            elif e.op == "*":
+                r = a * b
+            elif e.op == "/":
+                r = _truncdiv(a, b)
+            elif e.op == "%":
+                r = _cmod(a, b)
+            elif e.op == "<<":
+                r = int(a) << int(b)
+            elif e.op == ">>":
+                r = int(a) >> int(b)
+            elif e.op == "&":
+                r = np.bitwise_and(a, b)
+            elif e.op == "|":
+                r = np.bitwise_or(a, b)
+            elif e.op == "^":
+                r = np.bitwise_xor(a, b)
+            elif e.op == "<":
+                return bool(a < b)
+            elif e.op == "<=":
+                return bool(a <= b)
+            elif e.op == ">":
+                return bool(a > b)
+            elif e.op == ">=":
+                return bool(a >= b)
+            elif e.op == "==":
+                return bool(a == b)
+            elif e.op == "!=":
+                return bool(a != b)
+            else:
+                raise ReproError(f"host interpreter: unknown op {e.op!r}")
+            if e.dtype is not DType.BOOL:
+                r = e.dtype.np.type(r)
+            return r
+    if isinstance(e, N.IUn):
+        a = _eval(e.a, env)
+        if e.op == "neg":
+            with np.errstate(over="ignore"):
+                return e.dtype.np.type(-a)
+        if e.op == "not":
+            return not bool(a)
+        if e.op == "inv":
+            return e.dtype.np.type(~np.asarray(a))
+    if isinstance(e, N.ICall):
+        args = [_eval(a, env) for a in e.args]
+        with np.errstate(invalid="ignore"):
+            return e.dtype.np.type(_CALLS[e.fn](*args))
+    if isinstance(e, N.ICast):
+        v = _eval(e.a, env)
+        with np.errstate(over="ignore", invalid="ignore"):
+            return e.dtype.np.type(v)
+    if isinstance(e, N.ICond):
+        return _eval(e.a if bool(_eval(e.cond, env)) else e.b, env)
+    raise ReproError(f"host interpreter: unknown expr {type(e).__name__}")
+
+
+def _exec(stmts, env: _Env) -> None:
+    for s in stmts:
+        if isinstance(s, N.IDecl):
+            if s.init is not None:
+                env.scalars[s.name] = _eval(s.init, env)
+            else:
+                env.scalars[s.name] = s.dtype.np.type(0)
+        elif isinstance(s, N.IAssign):
+            val = _eval(s.value, env)
+            if isinstance(s.target, N.IVar):
+                env.scalars[s.target.name] = val
+            else:
+                idx = int(_eval(s.target.index, env))
+                arr = env.arrays[s.target.array]
+                if not 0 <= idx < arr.size:
+                    raise RuntimeDataError(
+                        f"host interpreter: store index {idx} out of "
+                        f"bounds for {s.target.array!r}")
+                arr[idx] = val
+        elif isinstance(s, N.IIf):
+            _exec(s.then if bool(_eval(s.cond, env)) else s.orelse, env)
+        elif isinstance(s, N.ILoop):
+            var = s.var
+            v = int(_eval(s.start, env))
+            end = int(_eval(s.end, env))
+            step = int(_eval(s.step, env))
+            if step <= 0:
+                raise ReproError("host interpreter: non-positive loop step")
+            while v < end:
+                env.scalars[var] = np.int32(v)
+                _exec(s.body, env)
+                v += step
+                end = int(_eval(s.end, env))
+        else:
+            raise ReproError(
+                f"host interpreter: unknown stmt {type(s).__name__}")
+
+
+class HostResult:
+    """Sequential-reference outputs: arrays (all of them) and scalars."""
+
+    def __init__(self, arrays: dict[str, np.ndarray],
+                 scalars: dict[str, np.generic]):
+        self.arrays = arrays
+        self.scalars = scalars
+
+
+def run_host(region: N.Region, **kwargs) -> HostResult:
+    """Execute a region sequentially on the host.
+
+    Arguments mirror ``Program.run``: NumPy arrays for every region array,
+    keyword scalars for unbound parameters.  Input arrays are not modified;
+    the result holds fresh copies.
+    """
+    env = _Env()
+    for arr in region.arrays:
+        if arr.name not in kwargs:
+            raise RuntimeDataError(f"missing host array {arr.name!r}")
+        host = np.array(kwargs[arr.name], dtype=arr.dtype.np)
+        env.arrays[arr.name] = host.reshape(-1)
+        if arr.extents:
+            for i, ext in enumerate(arr.extents):
+                if isinstance(ext, str):
+                    env.scalars[ext] = np.int32(host.shape[i])
+        # non-copied-in buffers start zeroed, like the device allocation
+        if arr.transfer in ("copyout", "create"):
+            env.arrays[arr.name][:] = 0
+    for info in region.scalars:
+        if info.name in kwargs and not isinstance(kwargs[info.name],
+                                                  np.ndarray):
+            env.scalars[info.name] = info.dtype.np.type(kwargs[info.name])
+        elif info.name in env.scalars:
+            pass  # bound from a shape
+        elif info.init is not None:
+            env.scalars[info.name] = info.dtype.np.type(info.init.value)
+        else:
+            raise RuntimeDataError(
+                f"host interpreter: scalar {info.name!r} has no value")
+    _exec(region.body, env)
+    shaped = {}
+    for arr in region.arrays:
+        host = np.asarray(kwargs[arr.name])
+        shaped[arr.name] = env.arrays[arr.name].reshape(host.shape)
+    return HostResult(arrays=shaped, scalars=dict(env.scalars))

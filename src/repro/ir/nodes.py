@@ -1,0 +1,211 @@
+"""Typed loop-nest IR nodes.
+
+Every expression carries its :class:`~repro.dtypes.DType`; the builder
+inserts explicit casts following C's usual arithmetic conversions, so later
+phases never guess types.  Array references carry a *flattened* index
+expression (row-major over the declared shape) — multi-dimensional subscripts
+are already linearized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dtypes import DType
+
+__all__ = [
+    "IExpr", "IConst", "IVar", "IArrayRef", "IBin", "IUn", "ICall", "ICast",
+    "ICond",
+    "IStmt", "IAssign", "IDecl", "IIf", "ILoop",
+    "LoopInfo", "ArrayInfo", "ScalarInfo", "Region",
+]
+
+
+# -- expressions -------------------------------------------------------------
+
+class IExpr:
+    __slots__ = ()
+    dtype: DType
+
+
+@dataclass(frozen=True)
+class IConst(IExpr):
+    value: object
+    dtype: DType
+
+
+@dataclass(frozen=True)
+class IVar(IExpr):
+    """A scalar variable: region parameter, loop variable, or local."""
+
+    name: str
+    dtype: DType
+
+
+@dataclass(frozen=True)
+class IArrayRef(IExpr):
+    """``array[flat_index]`` — reads are expressions, writes are IAssign
+    targets."""
+
+    array: str
+    index: IExpr  # integer-typed flat index
+    dtype: DType
+
+
+@dataclass(frozen=True)
+class IBin(IExpr):
+    op: str
+    a: IExpr
+    b: IExpr
+    dtype: DType
+
+
+@dataclass(frozen=True)
+class IUn(IExpr):
+    op: str  # 'neg', 'not', 'inv'
+    a: IExpr
+    dtype: DType
+
+
+@dataclass(frozen=True)
+class ICall(IExpr):
+    fn: str
+    args: tuple[IExpr, ...]
+    dtype: DType
+
+
+@dataclass(frozen=True)
+class ICast(IExpr):
+    a: IExpr
+    dtype: DType
+
+
+@dataclass(frozen=True)
+class ICond(IExpr):
+    cond: IExpr
+    a: IExpr
+    b: IExpr
+    dtype: DType
+
+
+# -- statements --------------------------------------------------------------
+
+class IStmt:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class IAssign(IStmt):
+    """``target = value`` (compound ops are desugared by the builder).
+
+    ``atomic`` marks a ``#pragma acc atomic update``: the lowering emits a
+    device read-modify-write so colliding updates combine.
+    """
+
+    target: IVar | IArrayRef
+    value: IExpr
+    line: int = 0
+    atomic: bool = False
+
+
+@dataclass(frozen=True)
+class IDecl(IStmt):
+    """Scalar declaration local to its enclosing scope."""
+
+    name: str
+    dtype: DType
+    init: IExpr | None = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class IIf(IStmt):
+    cond: IExpr
+    then: tuple[IStmt, ...]
+    orelse: tuple[IStmt, ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    """OpenACC annotations on a loop."""
+
+    levels: tuple[str, ...] = ()  # subset of gang/worker/vector
+    seq: bool = False
+    reductions: tuple[tuple[str, str], ...] = ()  # (operator, variable)
+    private: tuple[str, ...] = ()
+    collapse: int = 1
+
+    @property
+    def is_parallel(self) -> bool:
+        return bool(self.levels)
+
+
+@dataclass(frozen=True)
+class ILoop(IStmt):
+    """Canonical counted loop ``for (var = start; var < end; var += step)``.
+
+    ``loop_id`` uniquely identifies the loop within its region (used by the
+    analysis to key reduction plans).
+    """
+
+    loop_id: int
+    var: str
+    start: IExpr
+    end: IExpr
+    step: IExpr
+    body: tuple[IStmt, ...]
+    info: LoopInfo = LoopInfo()
+    line: int = 0
+
+
+# -- region ------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArrayInfo:
+    """A device array visible in the region.
+
+    ``extents`` are symbolic (scalar names bound from the host array's shape
+    at run time) or literal ints; empty for flat arrays whose size comes
+    directly from the host array.
+    """
+
+    name: str
+    dtype: DType
+    extents: tuple[object, ...]  # str (scalar name) or int (literal)
+    transfer: str  # copy, copyin, copyout, create, present
+
+
+@dataclass(frozen=True)
+class ScalarInfo:
+    """A scalar visible in the region (kernel parameter, firstprivate)."""
+
+    name: str
+    dtype: DType
+    from_shape: tuple[str, int] | None = None  # (array, dim) it is bound from
+    init: IExpr | None = None  # host-side initializer from the preamble
+
+
+@dataclass(frozen=True)
+class Region:
+    """One OpenACC compute region, fully typed and normalized."""
+
+    kind: str  # parallel | kernels
+    body: tuple[IStmt, ...]
+    arrays: tuple[ArrayInfo, ...]
+    scalars: tuple[ScalarInfo, ...]
+    num_gangs: int | None = None
+    num_workers: int | None = None
+    vector_length: int | None = None
+
+    def array(self, name: str) -> ArrayInfo:
+        for a in self.arrays:
+            if a.name == name:
+                return a
+        raise KeyError(name)
+
+    def scalar(self, name: str) -> ScalarInfo:
+        for s in self.scalars:
+            if s.name == name:
+                return s
+        raise KeyError(name)

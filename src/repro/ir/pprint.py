@@ -1,0 +1,118 @@
+"""Human-readable rendering of the loop-nest IR (``--dump-ir``)."""
+
+from __future__ import annotations
+
+from repro.ir import nodes as N
+from repro.ir.analysis import RegionPlan
+
+__all__ = ["format_region", "format_plan"]
+
+
+def _expr(e: N.IExpr) -> str:
+    if isinstance(e, N.IConst):
+        from repro.dtypes import DType
+        v = e.value.item() if hasattr(e.value, "item") else e.value
+        if e.dtype is DType.LONG:
+            return f"{v}L"
+        if e.dtype is DType.FLOAT:
+            return f"{float(v)}f"
+        if e.dtype is DType.DOUBLE:
+            return f"{float(v)}"
+        return repr(v)
+    if isinstance(e, N.IVar):
+        return e.name
+    if isinstance(e, N.IArrayRef):
+        return f"{e.array}[{_expr(e.index)}]"
+    if isinstance(e, N.IBin):
+        return f"({_expr(e.a)} {e.op} {_expr(e.b)})"
+    if isinstance(e, N.IUn):
+        sym = {"neg": "-", "not": "!", "inv": "~"}[e.op]
+        return f"{sym}{_expr(e.a)}"
+    if isinstance(e, N.ICall):
+        return f"{e.fn}({', '.join(_expr(a) for a in e.args)})"
+    if isinstance(e, N.ICast):
+        return f"({e.dtype.ctype}){_expr(e.a)}"
+    if isinstance(e, N.ICond):
+        return f"({_expr(e.cond)} ? {_expr(e.a)} : {_expr(e.b)})"
+    return f"<{type(e).__name__}>"
+
+
+def _stmts(stmts, indent: int, out: list[str]) -> None:
+    pad = "  " * indent
+    for s in stmts:
+        if isinstance(s, N.IDecl):
+            init = f" = {_expr(s.init)}" if s.init is not None else ""
+            out.append(f"{pad}{s.dtype.ctype} {s.name}{init};")
+        elif isinstance(s, N.IAssign):
+            prefix = "atomic " if getattr(s, "atomic", False) else ""
+            out.append(f"{pad}{prefix}{_expr(s.target)} = {_expr(s.value)};")
+        elif isinstance(s, N.IIf):
+            out.append(f"{pad}if ({_expr(s.cond)}) {{")
+            _stmts(s.then, indent + 1, out)
+            if s.orelse:
+                out.append(f"{pad}}} else {{")
+                _stmts(s.orelse, indent + 1, out)
+            out.append(f"{pad}}}")
+        elif isinstance(s, N.ILoop):
+            notes = []
+            if s.info.levels:
+                notes.append("/".join(s.info.levels))
+            if s.info.seq:
+                notes.append("seq")
+            for op, var in s.info.reductions:
+                notes.append(f"reduction({op}:{var})")
+            if s.info.collapse > 1:
+                notes.append(f"collapse({s.info.collapse})")
+            tag = f"  // loop#{s.loop_id}" + (
+                f" [{' '.join(notes)}]" if notes else " [unannotated]")
+            out.append(f"{pad}for ({s.var} = {_expr(s.start)}; "
+                       f"{s.var} < {_expr(s.end)}; "
+                       f"{s.var} += {_expr(s.step)}) {{{tag}")
+            _stmts(s.body, indent + 1, out)
+            out.append(f"{pad}}}")
+        else:
+            out.append(f"{pad}<{type(s).__name__}>")
+
+
+def format_region(region: N.Region) -> str:
+    """Render a region: symbol tables plus the annotated loop tree."""
+    out = [f"region kind={region.kind}"]
+    if region.num_gangs or region.num_workers or region.vector_length:
+        out.append(f"  launch: gangs={region.num_gangs} "
+                   f"workers={region.num_workers} "
+                   f"vector={region.vector_length}")
+    out.append("  arrays:")
+    for a in region.arrays:
+        ext = "x".join(str(e) for e in a.extents) if a.extents else "flat"
+        out.append(f"    {a.dtype.ctype} {a.name}[{ext}]  ({a.transfer})")
+    out.append("  scalars:")
+    for s in region.scalars:
+        extra = ""
+        if s.from_shape:
+            extra = f"  <- shape of {s.from_shape[0]}[{s.from_shape[1]}]"
+        elif s.init is not None:
+            extra = f"  init {s.init.value}"
+        out.append(f"    {s.dtype.ctype} {s.name}{extra}")
+    out.append("  body:")
+    _stmts(region.body, 2, out)
+    return "\n".join(out)
+
+
+def format_plan(plan: RegionPlan) -> str:
+    """Render the reduction plan (``--dump-plan``)."""
+    out = [f"reduction plan (workers={plan.num_workers}, "
+           f"vector={plan.vector_length}):"]
+    if not plan.all_reductions:
+        out.append("  (no reductions)")
+    for info in plan.all_reductions:
+        out.append(
+            f"  {info.var}: op '{info.op.token}' ({info.dtype.ctype}), "
+            f"clause on loop#{info.clause_loop_id}, "
+            f"span {' & '.join(info.span)}"
+            + (" [same-line]" if info.same_line else "")
+            + (f" [padded: {','.join(info.padded_levels)}]"
+               if info.padded_levels else ""))
+    if plan.barrier_loops:
+        out.append(f"  lock-step loops (contain barriers): "
+                   f"{sorted(plan.barrier_loops)}")
+    return "\n".join(out)

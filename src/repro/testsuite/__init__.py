@@ -1,0 +1,27 @@
+"""The reduction testsuite (the paper's third contribution).
+
+§4: *"Since there are no existing benchmarks that could cover all the
+reduction cases, we have designed and implemented a testsuite to validate
+all possible cases of reduction including different reduction data types and
+reduction operations.  The testsuite will check if a given reduction
+implementation passed or failed by verifying the OpenACC result with the CPU
+result."*
+
+:mod:`~repro.testsuite.cases` generates the OpenACC source for every
+reduction position of Table 2 (in the exact shapes of Fig. 4/9/10), with
+the paper's loop-size convention (the reducing level gets the big iteration
+count, the other levels get 2 and 32); :mod:`~repro.testsuite.verify` runs
+one case under a compiler profile and compares against the NumPy reference;
+:mod:`~repro.testsuite.runner` sweeps the grid and renders Table 2.
+"""
+
+from repro.testsuite.cases import (
+    ReductionCase, POSITIONS, make_case, generate_cases,
+)
+from repro.testsuite.verify import CaseResult, run_case
+from repro.testsuite.runner import TestsuiteReport, run_testsuite
+
+__all__ = [
+    "ReductionCase", "POSITIONS", "make_case", "generate_cases",
+    "CaseResult", "run_case", "TestsuiteReport", "run_testsuite",
+]

@@ -1,0 +1,438 @@
+"""Reduction-testsuite case generator.
+
+Each case is an OpenACC source fragment in the exact shape of the paper's
+figures, plus deterministic input data and a NumPy reference.  Positions
+(the first column of Table 2):
+
+=============================  ======================================
+position                       source shape
+=============================  ======================================
+``gang``                       Fig. 4(c): clause on the gang loop
+``worker``                     Fig. 4(b): clause on the worker loop
+``vector``                     Fig. 4(a): clause on the vector loop
+``gang worker``                clause on gang, accumulation in worker
+``worker vector``              Fig. 9: clause on worker, accumulation
+                               in vector (span auto-detected)
+``gang worker vector``         clause on gang, accumulation in vector
+``same line gang worker vector``  Fig. 10: one loop, all three levels
+=============================  ======================================
+
+Loop sizes follow §4's convention: the reducing level(s) carry the big
+iteration count, the parallel-only levels get 2 and 32 (scaled down by
+default — the simulator is interpreted Python; see EXPERIMENTS.md).
+
+Initial values are deliberately non-neutral (``sum = 3``, ``j_sum = k + 1``)
+because the paper calls out initial-value handling (§3.1.1) as a correctness
+subtlety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.dtypes import DType, ctype_to_dtype, is_float
+from repro.codegen.reduction.operators import get_operator
+
+__all__ = ["ReductionCase", "POSITIONS", "make_case", "generate_cases",
+           "TABLE2_OPS", "TABLE2_CTYPES"]
+
+POSITIONS = (
+    "gang",
+    "worker",
+    "vector",
+    "gang worker",
+    "worker vector",
+    "gang worker vector",
+    "same line gang worker vector",
+)
+
+TABLE2_OPS = ("+", "*")
+TABLE2_CTYPES = ("int", "float", "double")
+
+#: non-neutral scalar initial values per operator
+_INITS = {"+": 3, "*": 2, "max": 1, "min": 5, "&": -1, "|": 1, "^": 1,
+          "&&": 1, "||": 0}
+
+
+def _accum(op: str, var: str, operand: str, dtype: DType) -> str:
+    """The C accumulation statement for an operator."""
+    if op in ("+", "*", "&", "|", "^"):
+        return f"{var} {op}= {operand};"
+    if op in ("max", "min"):
+        fn = ("fmax" if op == "max" else "fmin") if is_float(dtype) \
+            else op
+        return f"{var} = {fn}({var}, {operand});"
+    if op in ("&&", "||"):
+        return f"{var} = {var} {op} {operand};"
+    raise ValueError(op)
+
+
+def _gen_data(op: str, shape, dtype: DType, rng: np.random.Generator):
+    """Operator-appropriate input data (products stay finite, etc.)."""
+    n = int(np.prod(shape))
+    if op == "*":
+        vals = np.ones(n, dtype=dtype.np)
+        k = min(20, max(1, n // 128))
+        idx = rng.choice(n, size=k, replace=False)
+        vals[idx] = 2
+    elif op == "||":
+        vals = (rng.random(n) < 0.01).astype(dtype.np)
+    elif op == "&&":
+        vals = rng.integers(1, 4, size=n).astype(dtype.np)
+    elif op == "&":
+        vals = (rng.integers(0, 8, size=n) | 0xF0).astype(dtype.np)
+    else:
+        vals = rng.integers(0, 8, size=n).astype(dtype.np)
+    return vals.reshape(shape)
+
+
+@dataclass(frozen=True)
+class ReductionCase:
+    """One testsuite case: source + inputs + reference."""
+
+    position: str
+    op: str
+    ctype: str
+    size: int
+    source: str
+    dims: dict
+    make_inputs: Callable[[np.random.Generator], dict]
+    #: expected(inputs) -> list of ("scalar"|"array", name, expected_value)
+    expected: Callable[[dict], list]
+
+    @property
+    def label(self) -> str:
+        return f"{self.position} [{self.op}] {self.ctype}"
+
+    @property
+    def dtype(self) -> DType:
+        return ctype_to_dtype(self.ctype)
+
+
+def make_case(position: str, op: str, ctype: str, size: int = 2048,
+              seed: int = 0) -> ReductionCase:
+    """Build one testsuite case (deterministic for a given seed)."""
+    dtype = ctype_to_dtype(ctype)
+    red = get_operator(op)
+    red.validate_dtype(dtype)
+    init = _INITS[op]
+    builder = _BUILDERS[position]
+    return builder(position, op, ctype, dtype, red, init, size, seed)
+
+
+#: bench-scale default sizes per position.  The single-level positions pay
+#: per-iteration simulator cost on few active blocks, so they stay moderate;
+#: the multi-level positions spread iterations over many threads and can be
+#: much larger (which is also where blocking-vs-window coalescing shows).
+BENCH_SIZES = {
+    "gang": 32768,
+    "worker": 32768,
+    "vector": 32768,
+    "gang worker": 32768,
+    "worker vector": 1 << 20,
+    "gang worker vector": 1 << 20,
+    "same line gang worker vector": 1 << 22,
+}
+
+
+#: the full operator and type coverage the paper claims (§1 contributions:
+#: "all reduction operator types and operand data types"); bitwise
+#: operators are integer-only, so those grid cells are skipped
+ALL_OPS = ("+", "*", "max", "min", "&", "|", "^", "&&", "||")
+ALL_CTYPES = ("int", "long", "float", "double")
+
+
+def generate_cases(positions=POSITIONS, ops=TABLE2_OPS,
+                   ctypes=TABLE2_CTYPES, size: int = 2048,
+                   sizes: dict | None = None,
+                   seed: int = 0,
+                   skip_invalid: bool = True) -> list[ReductionCase]:
+    """The case grid (Table 2 defaults: 7 positions × {+,*} × 3 dtypes).
+
+    ``sizes`` optionally overrides ``size`` per position (see
+    :data:`BENCH_SIZES`).  With ``skip_invalid`` (default), type-invalid
+    combinations (bitwise operators on floating types) are silently
+    dropped, so ``ops=ALL_OPS, ctypes=ALL_CTYPES`` yields the paper's full
+    coverage claim as a runnable grid.
+    """
+    from repro.errors import AnalysisError
+
+    out = []
+    for pos in positions:
+        sz = (sizes or {}).get(pos, size)
+        for op in ops:
+            for ct in ctypes:
+                try:
+                    out.append(make_case(pos, op, ct, size=sz, seed=seed))
+                except AnalysisError:
+                    if not skip_invalid:
+                        raise
+    return out
+
+
+# ---------------------------------------------------------------------------
+# per-position builders
+# ---------------------------------------------------------------------------
+
+def _combine_axis(red, dtype, init_scalar, arr, axis=None):
+    """Reference: fold ``arr`` (flattened over ``axis``) onto ``init``."""
+    return red.np_combine(init_scalar, red.np_reduce(np.asarray(arr).ravel(),
+                                                     dtype), dtype)
+
+
+def _case_gang(position, op, ctype, dtype, red, init, size, seed):
+    NK, NJ, NI = size, 2, 32
+    src = f"""
+    {ctype} input[NK][NJ][NI];
+    {ctype} temp[NK][NJ][NI];
+    {ctype} sum = {init};
+    #pragma acc parallel copyin(input) create(temp)
+    {{
+      #pragma acc loop gang reduction({op}:sum)
+      for(k=0; k<NK; k++){{
+        #pragma acc loop worker
+        for(j=0; j<NJ; j++){{
+          #pragma acc loop vector
+          for(i=0; i<NI; i++)
+            temp[k][j][i] = input[k][j][i];
+        }}
+        {_accum(op, "sum", "temp[k][0][0]", dtype)}
+      }}
+    }}
+    """
+
+    def make_inputs(rng):
+        inp = _gen_data(op, (NK, NJ, NI), dtype, rng)
+        return {"input": inp, "temp": np.zeros_like(inp)}
+
+    def expected(inputs):
+        val = _combine_axis(red, dtype, dtype.np.type(init),
+                            inputs["input"][:, 0, 0])
+        return [("scalar", "sum", val)]
+
+    return ReductionCase(position, op, ctype, size, src,
+                         dict(NK=NK, NJ=NJ, NI=NI), make_inputs, expected)
+
+
+def _case_worker(position, op, ctype, dtype, red, init, size, seed):
+    NK, NJ, NI = 2, size, 32
+    src = f"""
+    {ctype} input[NK][NJ][NI];
+    {ctype} temp[NK][NJ][NI];
+    #pragma acc parallel copyin(input) copy(temp)
+    {{
+      #pragma acc loop gang
+      for(k=0; k<NK; k++){{
+        {ctype} j_sum = k + 1;
+        #pragma acc loop worker reduction({op}:j_sum)
+        for(j=0; j<NJ; j++){{
+          #pragma acc loop vector
+          for(i=0; i<NI; i++)
+            temp[k][j][i] = input[k][j][i];
+          {_accum(op, "j_sum", "temp[k][j][0]", dtype)}
+        }}
+        temp[k][0][0] = j_sum;
+      }}
+    }}
+    """
+
+    def make_inputs(rng):
+        inp = _gen_data(op, (NK, NJ, NI), dtype, rng)
+        return {"input": inp, "temp": np.zeros_like(inp)}
+
+    def expected(inputs):
+        inp = inputs["input"]
+        out = inp.copy()
+        for k in range(NK):
+            out[k, 0, 0] = _combine_axis(red, dtype, dtype.np.type(k + 1),
+                                         inp[k, :, 0])
+        return [("array", "temp", out)]
+
+    return ReductionCase(position, op, ctype, size, src,
+                         dict(NK=NK, NJ=NJ, NI=NI), make_inputs, expected)
+
+
+def _case_vector(position, op, ctype, dtype, red, init, size, seed):
+    NK, NJ, NI = 2, 32, size
+    src = f"""
+    {ctype} input[NK][NJ][NI];
+    {ctype} temp[NK][NJ][NI];
+    #pragma acc parallel copyin(input) copyout(temp)
+    {{
+      #pragma acc loop gang
+      for(k=0; k<NK; k++){{
+        #pragma acc loop worker
+        for(j=0; j<NJ; j++){{
+          {ctype} i_sum = j + 1;
+          #pragma acc loop vector reduction({op}:i_sum)
+          for(i=0; i<NI; i++)
+            {_accum(op, "i_sum", "input[k][j][i]", dtype)}
+          temp[k][j][0] = i_sum;
+        }}
+      }}
+    }}
+    """
+
+    def make_inputs(rng):
+        inp = _gen_data(op, (NK, NJ, NI), dtype, rng)
+        return {"input": inp, "temp": np.zeros_like(inp)}
+
+    def expected(inputs):
+        inp = inputs["input"]
+        out = np.zeros_like(inp)
+        for k in range(NK):
+            for j in range(NJ):
+                out[k, j, 0] = _combine_axis(red, dtype,
+                                             dtype.np.type(j + 1),
+                                             inp[k, j, :])
+        return [("array", "temp", out)]
+
+    return ReductionCase(position, op, ctype, size, src,
+                         dict(NK=NK, NJ=NJ, NI=NI), make_inputs, expected)
+
+
+def _split_size(size: int, outer_cap: int) -> tuple[int, int]:
+    outer = min(outer_cap, size)
+    inner = max(1, size // outer)
+    return outer, inner
+
+
+def _case_gang_worker(position, op, ctype, dtype, red, init, size, seed):
+    NK, NJ = _split_size(size, 32)
+    NI = 32
+    src = f"""
+    {ctype} input[NK][NJ][NI];
+    {ctype} temp[NK][NJ][NI];
+    {ctype} sum = {init};
+    #pragma acc parallel copyin(input) create(temp)
+    {{
+      #pragma acc loop gang reduction({op}:sum)
+      for(k=0; k<NK; k++){{
+        #pragma acc loop worker
+        for(j=0; j<NJ; j++){{
+          #pragma acc loop vector
+          for(i=0; i<NI; i++)
+            temp[k][j][i] = input[k][j][i];
+          {_accum(op, "sum", "temp[k][j][0]", dtype)}
+        }}
+      }}
+    }}
+    """
+
+    def make_inputs(rng):
+        inp = _gen_data(op, (NK, NJ, NI), dtype, rng)
+        return {"input": inp, "temp": np.zeros_like(inp)}
+
+    def expected(inputs):
+        val = _combine_axis(red, dtype, dtype.np.type(init),
+                            inputs["input"][:, :, 0])
+        return [("scalar", "sum", val)]
+
+    return ReductionCase(position, op, ctype, size, src,
+                         dict(NK=NK, NJ=NJ, NI=NI), make_inputs, expected)
+
+
+def _case_worker_vector(position, op, ctype, dtype, red, init, size, seed):
+    NK, NJ = 2, 32
+    NI = max(1, size // NJ)
+    src = f"""
+    {ctype} input[NK][NJ][NI];
+    {ctype} out[NK];
+    #pragma acc parallel copyin(input) copyout(out)
+    {{
+      #pragma acc loop gang
+      for(k=0; k<NK; k++){{
+        {ctype} j_sum = k + 1;
+        #pragma acc loop worker reduction({op}:j_sum)
+        for(j=0; j<NJ; j++){{
+          #pragma acc loop vector
+          for(i=0; i<NI; i++)
+            {_accum(op, "j_sum", "input[k][j][i]", dtype)}
+        }}
+        out[k] = j_sum;
+      }}
+    }}
+    """
+
+    def make_inputs(rng):
+        inp = _gen_data(op, (NK, NJ, NI), dtype, rng)
+        return {"input": inp, "out": np.zeros(NK, dtype=dtype.np)}
+
+    def expected(inputs):
+        inp = inputs["input"]
+        out = np.array([_combine_axis(red, dtype, dtype.np.type(k + 1),
+                                      inp[k]) for k in range(NK)],
+                       dtype=dtype.np)
+        return [("array", "out", out)]
+
+    return ReductionCase(position, op, ctype, size, src,
+                         dict(NK=NK, NJ=NJ, NI=NI), make_inputs, expected)
+
+
+def _case_gang_worker_vector(position, op, ctype, dtype, red, init, size,
+                             seed):
+    NK, NJ = 8, 8
+    NI = max(1, size // (NK * NJ))
+    src = f"""
+    {ctype} input[NK][NJ][NI];
+    {ctype} sum = {init};
+    #pragma acc parallel copyin(input)
+    {{
+      #pragma acc loop gang reduction({op}:sum)
+      for(k=0; k<NK; k++){{
+        #pragma acc loop worker
+        for(j=0; j<NJ; j++){{
+          #pragma acc loop vector
+          for(i=0; i<NI; i++)
+            {_accum(op, "sum", "input[k][j][i]", dtype)}
+        }}
+      }}
+    }}
+    """
+
+    def make_inputs(rng):
+        return {"input": _gen_data(op, (NK, NJ, NI), dtype, rng)}
+
+    def expected(inputs):
+        val = _combine_axis(red, dtype, dtype.np.type(init),
+                            inputs["input"])
+        return [("scalar", "sum", val)]
+
+    return ReductionCase(position, op, ctype, size, src,
+                         dict(NK=NK, NJ=NJ, NI=NI), make_inputs, expected)
+
+
+def _case_same_line(position, op, ctype, dtype, red, init, size, seed):
+    n = size
+    src = f"""
+    {ctype} a[n];
+    {ctype} sum = {init};
+    #pragma acc parallel copyin(a)
+    #pragma acc loop gang worker vector reduction({op}:sum)
+    for(i=0; i<n; i++)
+      {_accum(op, "sum", "a[i]", dtype)}
+    """
+
+    def make_inputs(rng):
+        return {"a": _gen_data(op, (n,), dtype, rng)}
+
+    def expected(inputs):
+        val = _combine_axis(red, dtype, dtype.np.type(init), inputs["a"])
+        return [("scalar", "sum", val)]
+
+    return ReductionCase(position, op, ctype, size, src, dict(n=n),
+                         make_inputs, expected)
+
+
+_BUILDERS = {
+    "gang": _case_gang,
+    "worker": _case_worker,
+    "vector": _case_vector,
+    "gang worker": _case_gang_worker,
+    "worker vector": _case_worker_vector,
+    "gang worker vector": _case_gang_worker_vector,
+    "same line gang worker vector": _case_same_line,
+}

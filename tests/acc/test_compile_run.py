@@ -1,0 +1,462 @@
+"""End-to-end compile-and-run tests for every reduction position (§3).
+
+These execute the paper's Fig. 4/9/10 program shapes through the full
+pipeline (parse → IR → analysis → lowering → simulator) and check results
+against CPU references.  Geometry is kept small so the simulator stays fast;
+separate tests vary the geometry to prove thread-count independence.
+"""
+
+import numpy as np
+import pytest
+
+from repro import acc
+
+GEOM = dict(num_gangs=4, num_workers=4, vector_length=32)
+
+NK, NJ, NI = 3, 5, 40
+
+
+def triple_data(seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 7, size=(NK, NJ, NI)).astype(np.float32)
+
+
+class TestVectorReduction:
+    """Fig. 4(a): reduction only in vector."""
+
+    SRC = """
+    float input[NK][NJ][NI];
+    float temp[NK][NJ][NI];
+    #pragma acc parallel copyin(input) copyout(temp)
+    {
+      #pragma acc loop gang
+      for(k=0; k<NK; k++){
+        #pragma acc loop worker
+        for(j=0; j<NJ; j++){
+          int i_sum = j;
+          #pragma acc loop vector reduction(+:i_sum)
+          for(i=0; i<NI; i++)
+            i_sum += input[k][j][i];
+          temp[k][j][0] = i_sum;
+        }
+      }
+    }
+    """
+
+    def expected(self, inp):
+        out = np.zeros_like(inp)
+        for k in range(NK):
+            for j in range(NJ):
+                out[k][j][0] = j + int(inp[k][j].sum())
+        return out
+
+    def test_matches_cpu(self):
+        inp = triple_data()
+        prog = acc.compile(self.SRC, **GEOM)
+        res = prog.run(input=inp, temp=np.zeros_like(inp))
+        np.testing.assert_allclose(res.outputs["temp"], self.expected(inp))
+
+    @pytest.mark.parametrize("geom", [
+        dict(num_gangs=1, num_workers=1, vector_length=16),
+        dict(num_gangs=2, num_workers=8, vector_length=64),
+        dict(num_gangs=7, num_workers=3, vector_length=33),  # non-pow2
+    ])
+    def test_geometry_independent(self, geom):
+        inp = triple_data(1)
+        prog = acc.compile(self.SRC, **geom)
+        res = prog.run(input=inp, temp=np.zeros_like(inp))
+        np.testing.assert_allclose(res.outputs["temp"], self.expected(inp))
+
+    def test_transposed_layout_same_result(self):
+        inp = triple_data(2)
+        prog = acc.compile(self.SRC, **GEOM, vector_layout="transposed")
+        res = prog.run(input=inp, temp=np.zeros_like(inp))
+        np.testing.assert_allclose(res.outputs["temp"], self.expected(inp))
+
+
+class TestWorkerReduction:
+    """Fig. 4(b): reduction only in worker."""
+
+    SRC = """
+    float input[NK][NJ][NI];
+    float temp[NK][NJ][NI];
+    #pragma acc parallel copyin(input) copy(temp)
+    {
+      #pragma acc loop gang
+      for(k=0; k<NK; k++){
+        int j_sum = k;
+        #pragma acc loop worker reduction(+:j_sum)
+        for(j=0; j<NJ; j++){
+          #pragma acc loop vector
+          for(i=0; i<NI; i++)
+            temp[k][j][i] = input[k][j][i];
+          j_sum += temp[k][j][0];
+        }
+        temp[k][0][0] = j_sum;
+      }
+    }
+    """
+
+    def expected(self, inp):
+        out = inp.copy()
+        for k in range(NK):
+            out[k][0][0] = k + inp[k, :, 0].sum()
+        return out
+
+    def test_matches_cpu(self):
+        inp = triple_data(3)
+        prog = acc.compile(self.SRC, **GEOM)
+        res = prog.run(input=inp, temp=np.zeros_like(inp))
+        np.testing.assert_allclose(res.outputs["temp"], self.expected(inp))
+
+    def test_duplicated_worker_strategy_same_result(self):
+        inp = triple_data(4)
+        prog = acc.compile(self.SRC, **GEOM, worker_strategy="duplicated")
+        res = prog.run(input=inp, temp=np.zeros_like(inp))
+        np.testing.assert_allclose(res.outputs["temp"], self.expected(inp))
+
+    def test_more_workers_than_iterations(self):
+        # NJ=5 < 8 workers: inactive workers must contribute identities
+        inp = triple_data(5)
+        prog = acc.compile(self.SRC, num_gangs=2, num_workers=8,
+                           vector_length=32)
+        res = prog.run(input=inp, temp=np.zeros_like(inp))
+        np.testing.assert_allclose(res.outputs["temp"], self.expected(inp))
+
+
+class TestGangReduction:
+    """Fig. 4(c): reduction only in gang — two-kernel scheme."""
+
+    SRC = """
+    float input[NK][NJ][NI];
+    float temp[NK][NJ][NI];
+    double sum = 3.0;
+    #pragma acc parallel copyin(input) create(temp)
+    {
+      #pragma acc loop gang reduction(+:sum)
+      for(k=0; k<NK; k++){
+        #pragma acc loop worker
+        for(j=0; j<NJ; j++){
+          #pragma acc loop vector
+          for(i=0; i<NI; i++)
+            temp[k][j][i] = input[k][j][i];
+        }
+        sum += temp[k][0][0];
+      }
+    }
+    """
+
+    def test_matches_cpu(self):
+        inp = triple_data(6)
+        prog = acc.compile(self.SRC, **GEOM)
+        res = prog.run(input=inp, temp=np.zeros_like(inp))
+        expect = 3.0 + inp[:, 0, 0].sum(dtype=np.float64)
+        assert res.scalars["sum"] == pytest.approx(expect)
+
+    def test_two_kernels_launched(self):
+        prog = acc.compile(self.SRC, **GEOM)
+        assert len(prog.lowered.kernels) == 2
+        assert "finish" in prog.lowered.kernels[1].name
+
+    def test_more_gangs_than_iterations(self):
+        inp = triple_data(7)
+        prog = acc.compile(self.SRC, num_gangs=16, num_workers=2,
+                           vector_length=32)
+        res = prog.run(input=inp, temp=np.zeros_like(inp))
+        expect = 3.0 + inp[:, 0, 0].sum(dtype=np.float64)
+        assert res.scalars["sum"] == pytest.approx(expect)
+
+
+class TestRMPDifferentLoops:
+    """Fig. 9: same variable reduced across worker & vector."""
+
+    SRC = """
+    float input[NK][NJ][NI];
+    float temp[NK];
+    #pragma acc parallel copyin(input) copyout(temp)
+    {
+      #pragma acc loop gang
+      for(k=0; k<NK; k++){
+        int j_sum = k;
+        #pragma acc loop worker reduction(+:j_sum)
+        for(j=0; j<NJ; j++){
+          #pragma acc loop vector
+          for(i=0; i<NI; i++)
+            j_sum += input[k][j][i];
+        }
+        temp[k] = j_sum;
+      }
+    }
+    """
+
+    def expected(self, inp):
+        return np.array([k + int(inp[k].sum()) for k in range(NK)],
+                        dtype=np.float32)
+
+    def test_openuh_auto_detects_span(self):
+        inp = triple_data(8)
+        prog = acc.compile(self.SRC, **GEOM)
+        res = prog.run(input=inp, temp=np.zeros(NK, np.float32))
+        np.testing.assert_allclose(res.outputs["temp"], self.expected(inp))
+
+    def test_gang_worker_span(self):
+        src = """
+        float input[NK][NJ][NI];
+        float temp[NK][NJ][NI];
+        long sum = 5;
+        #pragma acc parallel copyin(input) create(temp)
+        {
+          #pragma acc loop gang reduction(+:sum)
+          for(k=0; k<NK; k++){
+            #pragma acc loop worker
+            for(j=0; j<NJ; j++){
+              #pragma acc loop vector
+              for(i=0; i<NI; i++)
+                temp[k][j][i] = input[k][j][i];
+              sum += temp[k][j][0];
+            }
+          }
+        }
+        """
+        inp = triple_data(9)
+        prog = acc.compile(src, **GEOM)
+        res = prog.run(input=inp, temp=np.zeros_like(inp))
+        assert res.scalars["sum"] == 5 + int(inp[:, :, 0].sum())
+
+    def test_gang_worker_vector_span(self):
+        src = """
+        float input[NK][NJ][NI];
+        long sum = 0;
+        #pragma acc parallel copyin(input)
+        {
+          #pragma acc loop gang reduction(+:sum)
+          for(k=0; k<NK; k++){
+            #pragma acc loop worker
+            for(j=0; j<NJ; j++){
+              #pragma acc loop vector
+              for(i=0; i<NI; i++)
+                sum += input[k][j][i];
+            }
+          }
+        }
+        """
+        inp = triple_data(10)
+        prog = acc.compile(src, **GEOM)
+        res = prog.run(input=inp)
+        assert res.scalars["sum"] == int(inp.sum())
+
+    def test_level_by_level_rmp_same_result_more_syncs(self):
+        inp = triple_data(11)
+        direct = acc.compile(self.SRC, **GEOM)
+        lbl = acc.compile(self.SRC, **GEOM, block_rmp_style="level_by_level")
+        rd = direct.run(input=inp, temp=np.zeros(NK, np.float32))
+        rl = lbl.run(input=inp, temp=np.zeros(NK, np.float32))
+        np.testing.assert_allclose(rd.outputs["temp"], rl.outputs["temp"])
+        main = "acc_region_main"
+        assert rl.kernel_stats[main].barriers > rd.kernel_stats[main].barriers
+
+
+class TestSameLineRMP:
+    """Fig. 10: gang worker vector on a single loop."""
+
+    SRC = """
+    float a[n];
+    long sum = 2;
+    #pragma acc parallel copyin(a)
+    #pragma acc loop gang worker vector reduction(+:sum)
+    for(i=0; i<n; i++)
+      sum += a[i];
+    """
+
+    def test_matches_cpu(self):
+        a = np.arange(10000, dtype=np.float32)
+        prog = acc.compile(self.SRC, **GEOM)
+        res = prog.run(a=a)
+        assert res.scalars["sum"] == 2 + int(a.sum())
+
+    def test_same_line_gang_vector_pads_worker_dim(self):
+        # Monte-Carlo-π shape with num_workers > 1: the worker dimension
+        # executes redundantly and must not inflate the result
+        src = """
+        float a[n];
+        long sum = 0;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang vector reduction(+:sum)
+        for(i=0; i<n; i++)
+          sum += a[i];
+        """
+        a = np.ones(4096, dtype=np.float32)
+        prog = acc.compile(src, num_gangs=4, num_workers=4, vector_length=32)
+        res = prog.run(a=a)
+        assert res.scalars["sum"] == 4096
+
+    def test_iteration_count_smaller_than_thread_count(self):
+        a = np.ones(17, dtype=np.float32)
+        prog = acc.compile(self.SRC, num_gangs=8, num_workers=8,
+                           vector_length=64)
+        res = prog.run(a=a)
+        assert res.scalars["sum"] == 2 + 17
+
+
+class TestOperatorsAndDtypes:
+    """All nine operators across the four dtypes, same-line gwv shape."""
+
+    @pytest.mark.parametrize("op,ctype,npdt", [
+        ("+", "int", np.int32), ("+", "long", np.int64),
+        ("+", "float", np.float32), ("+", "double", np.float64),
+        ("*", "int", np.int32), ("*", "double", np.float64),
+        ("max", "int", np.int32), ("max", "float", np.float32),
+        ("min", "long", np.int64), ("min", "double", np.float64),
+        ("&", "int", np.int32), ("|", "int", np.int32),
+        ("^", "long", np.int64), ("&&", "int", np.int32),
+        ("||", "int", np.int32),
+    ])
+    def test_operator(self, op, ctype, npdt):
+        from repro.codegen.reduction.operators import get_operator
+        from repro.dtypes import from_numpy
+        src = f"""
+        {ctype} a[n];
+        {ctype} acc_v = 1;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang worker vector reduction({op}:acc_v)
+        for(i=0; i<n; i++)
+          acc_v {'+' if op in ('&&', '||') else ''}= {{}};
+        """
+        # build the accumulation statement per operator
+        if op in ("&&", "||"):
+            stmt = f"acc_v = acc_v {op} a[i];"
+        elif op in ("max", "min"):
+            fn = ("fmax" if npdt in (np.float32, np.float64) else op) \
+                if op == "max" else \
+                ("fmin" if npdt in (np.float32, np.float64) else op)
+            stmt = f"acc_v = {fn}(acc_v, a[i]);"
+        else:
+            stmt = f"acc_v {op}= a[i];"
+        src = f"""
+        {ctype} a[n];
+        {ctype} acc_v = 1;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang worker vector reduction({op}:acc_v)
+        for(i=0; i<n; i++)
+          {stmt}
+        """
+        rng = np.random.default_rng(13)
+        a = rng.integers(1, 4, size=257).astype(npdt)
+        prog = acc.compile(src, num_gangs=3, num_workers=2, vector_length=32)
+        res = prog.run(a=a)
+        red = get_operator(op)
+        dt = from_numpy(np.dtype(npdt))
+        expect = red.np_combine(npdt(1), red.np_reduce(a, dt), dt)
+        got = res.scalars["acc_v"]
+        if npdt in (np.float32, np.float64):
+            np.testing.assert_allclose(got, expect, rtol=1e-5)
+        else:
+            assert got == expect
+
+    def test_mixed_dtype_reductions_share_shared_memory(self):
+        # §3.3: int and double reductions in one clause share one region
+        # sized by the widest dtype, not the sum of both buffers
+        src = """
+        float a[NK][NI];
+        float out1[NK];
+        double out2[NK];
+        #pragma acc parallel copyin(a) copyout(out1, out2)
+        {
+          #pragma acc loop gang
+          for(k=0; k<NK; k++){
+            int s1 = 0;
+            double s2 = 0.0;
+            #pragma acc loop worker reduction(+:s1,s2)
+            for(j=0; j<NI; j++){
+              s1 += a[k][j];
+              s2 += a[k][j];
+            }
+            out1[k] = s1;
+            out2[k] = s2;
+          }
+        }
+        """
+        a = np.ones((3, 50), dtype=np.float32)
+        prog = acc.compile(src, **GEOM)
+        res = prog.run(a=a, out1=np.zeros(3, np.float32),
+                       out2=np.zeros(3, np.float64))
+        np.testing.assert_allclose(res.outputs["out1"], [50.0] * 3)
+        np.testing.assert_allclose(res.outputs["out2"], [50.0] * 3)
+        main = prog.lowered.main_kernel
+        sizes = {s.dtype: s.nbytes for s in main.shared}
+        assert len(sizes) == 2  # one int buffer, one double buffer
+        # overlay: footprint = max(int buf, double buf), not the sum
+        assert main.shared_bytes == max(sizes.values())
+
+
+class TestCollapse:
+    def test_collapse_two_loops(self):
+        src = """
+        float a[NK][NJ];
+        long sum = 0;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang vector collapse(2) reduction(+:sum)
+        for(k=0; k<NK; k++)
+          for(j=0; j<NJ; j++)
+            sum += a[k][j];
+        """
+        rng = np.random.default_rng(21)
+        a = rng.integers(0, 9, size=(5, 37)).astype(np.float32)
+        prog = acc.compile(src, num_gangs=3, num_workers=1, vector_length=32)
+        res = prog.run(a=a)
+        assert res.scalars["sum"] == int(a.sum())
+
+    def test_collapse_preserves_index_recovery(self):
+        src = """
+        float a[NK][NJ];
+        float out[NK][NJ];
+        #pragma acc parallel copyin(a) copyout(out)
+        #pragma acc loop gang vector collapse(2)
+        for(k=0; k<NK; k++)
+          for(j=0; j<NJ; j++)
+            out[k][j] = a[k][j] * 2.0f;
+        """
+        rng = np.random.default_rng(22)
+        a = rng.random((6, 11)).astype(np.float32)
+        prog = acc.compile(src, num_gangs=2, num_workers=1, vector_length=16)
+        res = prog.run(a=a, out=np.zeros_like(a))
+        np.testing.assert_allclose(res.outputs["out"], a * 2.0)
+
+
+class TestRunValidation:
+    SRC = """
+    float a[n];
+    long sum = 0;
+    #pragma acc parallel copyin(a)
+    #pragma acc loop gang vector reduction(+:sum)
+    for(i=0; i<n; i++)
+      sum += a[i];
+    """
+
+    def test_missing_array(self):
+        from repro.errors import RuntimeDataError
+        prog = acc.compile(self.SRC, num_workers=1, **{k: v for k, v in
+                           GEOM.items() if k != "num_workers"})
+        with pytest.raises(RuntimeDataError, match="missing host array"):
+            prog.run()
+
+    def test_wrong_dtype(self):
+        from repro.errors import RuntimeDataError
+        prog = acc.compile(self.SRC, num_workers=1, num_gangs=2,
+                           vector_length=32)
+        with pytest.raises(RuntimeDataError, match="dtype"):
+            prog.run(a=np.ones(8, dtype=np.float64))
+
+    def test_unknown_kwarg(self):
+        from repro.errors import RuntimeDataError
+        prog = acc.compile(self.SRC, num_workers=1, num_gangs=2,
+                           vector_length=32)
+        with pytest.raises(RuntimeDataError):
+            prog.run(a=np.ones(8, dtype=np.float32), bogus=3)
+
+    def test_dump_kernels(self):
+        prog = acc.compile(self.SRC, num_workers=1, num_gangs=2,
+                           vector_length=32)
+        text = prog.dump_kernels()
+        assert "acc_region_main" in text
+        assert "acc_reduction_finish_sum" in text

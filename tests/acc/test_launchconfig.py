@@ -1,0 +1,52 @@
+"""Launch-geometry resolution tests."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.acc.launchconfig import DEFAULT_GEOMETRY, resolve_geometry
+from repro.gpu.device import DeviceProperties
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        # §4: 192 gangs (12 SMs x 16 blocks), 8 workers, vector 128
+        assert DEFAULT_GEOMETRY.num_gangs == 192
+        assert DEFAULT_GEOMETRY.num_workers == 8
+        assert DEFAULT_GEOMETRY.vector_length == 128
+        assert DEFAULT_GEOMETRY.threads_per_block == 1024
+
+    def test_all_defaults_apply(self):
+        g = resolve_geometry(None, None, None, None, None, None)
+        assert g == DEFAULT_GEOMETRY
+
+
+class TestPrecedence:
+    def test_directive_beats_kwargs(self):
+        g = resolve_geometry(64, None, None, 32, None, None)
+        assert g.num_gangs == 64
+
+    def test_kwargs_beat_defaults(self):
+        g = resolve_geometry(None, None, None, 32, 4, 64)
+        assert (g.num_gangs, g.num_workers, g.vector_length) == (32, 4, 64)
+
+    def test_mixed_sources(self):
+        g = resolve_geometry(None, 2, None, 16, 8, None)
+        assert g.num_gangs == 16
+        assert g.num_workers == 2  # directive
+        assert g.vector_length == 128  # default
+
+
+class TestValidation:
+    def test_block_limit_enforced(self):
+        with pytest.raises(CompileError, match="threads per block"):
+            resolve_geometry(None, 16, 128, None, None, None)
+
+    def test_positive_required(self):
+        with pytest.raises(CompileError, match="positive"):
+            resolve_geometry(0, None, None, None, None, None)
+
+    def test_custom_device_limit(self):
+        small = DeviceProperties(max_threads_per_block=256)
+        with pytest.raises(CompileError):
+            resolve_geometry(None, 8, 64, None, None, None, device=small)
+        resolve_geometry(None, 4, 64, None, None, None, device=small)

@@ -1,0 +1,142 @@
+"""OpenMP-front tests (the paper's §6: two-level OpenMP, worker ignored)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DirectiveError
+from repro.acc.openmp import (
+    compile_omp, translate_omp_pragma, translate_omp_source,
+)
+
+
+class TestPragmaTranslation:
+    def test_combined_offload_loop(self):
+        acc = translate_omp_pragma(
+            "omp target teams distribute parallel for "
+            "reduction(+:sum) map(to: a)")
+        assert acc.startswith("acc parallel loop gang vector")
+        assert "reduction(+:sum)" in acc
+        assert "copyin(a)" in acc
+
+    def test_teams_distribute_only_is_gang(self):
+        acc = translate_omp_pragma("omp target teams distribute")
+        assert "loop gang" in acc and "vector" not in acc
+
+    def test_inner_parallel_for_is_vector_loop(self):
+        acc = translate_omp_pragma("omp parallel for reduction(max:m)")
+        assert acc.startswith("acc loop vector")
+        assert "reduction(max:m)" in acc
+
+    def test_simd_maps_to_vector(self):
+        acc = translate_omp_pragma("omp simd reduction(+:s)")
+        assert "vector" in acc
+
+    @pytest.mark.parametrize("omp,acckind", [
+        ("map(to: a, b)", "copyin(a, b)"),
+        ("map(from: c)", "copyout(c)"),
+        ("map(tofrom: d)", "copy(d)"),
+        ("map(alloc: t)", "create(t)"),
+    ])
+    def test_map_kinds(self, omp, acckind):
+        acc = translate_omp_pragma(f"omp target teams distribute {omp}")
+        assert acckind in acc
+
+    def test_num_teams_and_thread_limit(self):
+        acc = translate_omp_pragma(
+            "omp target teams distribute parallel for "
+            "num_teams(64) thread_limit(128)")
+        assert "num_gangs(64)" in acc
+        assert "vector_length(128)" in acc
+
+    def test_non_omp_pragma_passes_through(self):
+        assert translate_omp_pragma("acc loop gang") is None
+
+    def test_unsupported_construct_rejected(self):
+        with pytest.raises(DirectiveError):
+            translate_omp_pragma("omp sections")
+
+    def test_unsupported_clause_rejected(self):
+        with pytest.raises(DirectiveError):
+            translate_omp_pragma("omp target teams distribute depend(in:x)")
+
+    def test_harmless_clauses_dropped(self):
+        acc = translate_omp_pragma(
+            "omp parallel for schedule(static) shared(a)")
+        assert "schedule" not in acc and "shared" not in acc
+
+
+class TestSourceTranslation:
+    def test_translates_pragma_lines_only(self):
+        src = ("float a[n];\n"
+               "#pragma omp target teams distribute parallel for "
+               "map(to: a) reduction(+:s)\n"
+               "for (i = 0; i < n; i++)\n"
+               "    s += a[i];\n")
+        out = translate_omp_source(src)
+        assert "#pragma acc parallel loop gang vector" in out
+        assert "float a[n];" in out
+        assert "omp" not in out
+
+    def test_continuation_lines_merged(self):
+        src = ("#pragma omp target teams distribute \\\n"
+               "    parallel for map(to: a)\n"
+               "for (i = 0; i < n; i++) a[i] = a[i];\n")
+        out = translate_omp_source(src)
+        assert "parallel loop gang vector" in out
+
+
+class TestCompileAndRun:
+    OMP_SUM = """
+    float a[n];
+    long s = 0;
+    #pragma omp target teams distribute parallel for \\
+        map(to: a) reduction(+:s)
+    for (i = 0; i < n; i++)
+        s += a[i];
+    """
+
+    def test_end_to_end_sum(self):
+        prog = compile_omp(self.OMP_SUM, num_gangs=4, vector_length=32)
+        a = np.arange(1000, dtype=np.float32)
+        res = prog.run(a=a)
+        assert res.scalars["s"] == a.sum()
+
+    def test_worker_level_pinned_to_one(self):
+        prog = compile_omp(self.OMP_SUM, num_gangs=4, vector_length=32)
+        assert prog.geometry.num_workers == 1
+
+    def test_two_level_nest(self):
+        src = """
+        float a[NK][NI];
+        float out[NK];
+        #pragma omp target map(to: a) map(from: out)
+        {
+          #pragma omp teams distribute
+          for (k = 0; k < NK; k++) {
+            float s = 0.0f;
+            #pragma omp parallel for reduction(+:s)
+            for (i = 0; i < NI; i++)
+              s += a[k][i];
+            out[k] = s;
+          }
+        }
+        """
+        prog = compile_omp(src, num_gangs=4, vector_length=32)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, size=(3, 100)).astype(np.float32)
+        res = prog.run(a=a, out=np.zeros(3, np.float32))
+        np.testing.assert_allclose(res.outputs["out"], a.sum(axis=1))
+
+    def test_max_reduction(self):
+        src = """
+        double a[n];
+        double m = 0.0;
+        #pragma omp target teams distribute parallel for \\
+            map(to: a) reduction(max:m)
+        for (i = 0; i < n; i++)
+            m = fmax(m, a[i]);
+        """
+        prog = compile_omp(src, num_gangs=2, vector_length=32)
+        a = np.random.default_rng(1).random(500)
+        res = prog.run(a=a)
+        assert res.scalars["m"] == a.max()

@@ -1,0 +1,94 @@
+"""Compiler-profile tests: registry, strategy bundles, defect models."""
+
+import pytest
+
+from repro.dtypes import DType
+from repro.acc.profiles import (
+    OPENUH, PROFILES, VENDOR_A, VENDOR_B, get_profile,
+)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_profile("openuh") is OPENUH
+        assert get_profile("vendor-a") is VENDOR_A
+        assert get_profile("vendor-b") is VENDOR_B
+
+    def test_aliases(self):
+        assert get_profile("caps-like") is VENDOR_A
+        assert get_profile("pgi-like") is VENDOR_B
+
+    def test_passthrough(self):
+        assert get_profile(OPENUH) is OPENUH
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown compiler profile"):
+            get_profile("gcc")
+
+    def test_all_profiles_documented(self):
+        for p in (OPENUH, VENDOR_A, VENDOR_B):
+            assert len(p.description) > 40
+
+
+class TestOpenUH:
+    def test_strategy_bundle_matches_paper(self):
+        lo = OPENUH.lowering
+        assert lo.scheduling == "window"
+        assert lo.vector_layout == "row"
+        assert lo.worker_strategy == "first_row"
+        assert lo.elide_warp_sync
+        assert lo.strength_reduction
+        assert not lo.zero_init_partials
+        assert not lo.bug_sum_layout_mismatch
+
+    def test_infers_span_for_every_operator(self):
+        for op in ("+", "*", "max", "min", "&", "|", "^", "&&", "||"):
+            assert OPENUH.infers_span(op)
+
+    def test_no_unsupported_shapes(self):
+        assert OPENUH.unsupported(("gang", "worker", "vector"), False,
+                                  "+", DType.INT) is None
+
+    def test_no_stale_cache(self):
+        assert not OPENUH.stale_scalar_cache
+
+
+class TestVendorA:
+    def test_plus_path_skips_span_inference(self):
+        assert not VENDOR_A.infers_span("+")
+        assert VENDOR_A.infers_span("*")
+        assert VENDOR_A.infers_span("max")
+
+    def test_stale_cache_defect(self):
+        assert VENDOR_A.stale_scalar_cache
+
+    def test_no_compile_errors(self):
+        # CAPS has F cells in Table 2 but no CE cells
+        for op in ("+", "*"):
+            for dt in (DType.INT, DType.FLOAT, DType.DOUBLE):
+                assert VENDOR_A.unsupported(
+                    ("gang", "worker", "vector"), False, op, dt) is None
+
+
+class TestVendorB:
+    def test_declared_ce_cells_match_table2(self):
+        gwv = ("gang", "worker", "vector")
+        # '+' on gang-worker-vector (different loops): CE for all dtypes
+        for dt in (DType.INT, DType.FLOAT, DType.DOUBLE):
+            assert VENDOR_B.unsupported(gwv, False, "+", dt) is not None
+        # '*' : int passes, float/double CE
+        assert VENDOR_B.unsupported(gwv, False, "*", DType.INT) is None
+        assert VENDOR_B.unsupported(gwv, False, "*", DType.FLOAT) is not None
+        assert VENDOR_B.unsupported(gwv, False, "*", DType.DOUBLE) is not None
+
+    def test_same_line_not_ce(self):
+        gwv = ("gang", "worker", "vector")
+        assert VENDOR_B.unsupported(gwv, True, "+", DType.INT) is None
+
+    def test_strategy_bundle(self):
+        lo = VENDOR_B.lowering
+        assert lo.scheduling == "blocking"
+        assert lo.bug_sum_layout_mismatch
+        assert not lo.strength_reduction
+        assert lo.zero_init_partials
+        assert lo.gang_rmp_style == "level_by_level"

@@ -1,0 +1,176 @@
+"""Data-environment tests: binding, transfers, OpenACC clause semantics."""
+
+import numpy as np
+import pytest
+
+from repro import acc
+from repro.errors import RuntimeDataError
+from repro.frontend.cparser import parse_region
+from repro.gpu.device import K20C
+from repro.ir.builder import build_region
+from repro.acc.runtime import DataEnv
+
+SRC = """
+float a[NK][NI];
+float out[NK][NI];
+double s = 1.5;
+#pragma acc parallel copyin(a) copyout(out)
+{
+  #pragma acc loop gang
+  for (k = 0; k < NK; k++) {
+    #pragma acc loop vector
+    for (i = 0; i < NI; i++)
+      out[k][i] = a[k][i];
+  }
+}
+"""
+
+
+def env_for(src=SRC):
+    region = build_region(parse_region(src))
+    return DataEnv(region=region, device=K20C), region
+
+
+class TestBinding:
+    def test_shape_binds_extents(self):
+        env, _ = env_for()
+        a = np.zeros((3, 5), np.float32)
+        env.bind({"a": a, "out": np.zeros_like(a)})
+        assert env.scalars["NK"] == 3
+        assert env.scalars["NI"] == 5
+
+    def test_preamble_init_used_when_not_passed(self):
+        env, _ = env_for()
+        a = np.zeros((2, 2), np.float32)
+        env.bind({"a": a, "out": np.zeros_like(a)})
+        assert env.scalars["s"] == 1.5
+
+    def test_explicit_scalar_overrides_init(self):
+        env, _ = env_for()
+        a = np.zeros((2, 2), np.float32)
+        env.bind({"a": a, "out": np.zeros_like(a), "s": 4.0})
+        assert env.scalars["s"] == 4.0
+
+    def test_conflicting_shapes_rejected(self):
+        env, _ = env_for()
+        with pytest.raises(RuntimeDataError, match="extent"):
+            env.bind({"a": np.zeros((3, 5), np.float32),
+                      "out": np.zeros((4, 5), np.float32)})
+
+    def test_scalar_contradicting_shape_rejected(self):
+        env, _ = env_for()
+        with pytest.raises(RuntimeDataError, match="contradicts"):
+            env.bind({"a": np.zeros((3, 5), np.float32),
+                      "out": np.zeros((3, 5), np.float32), "NK": 7})
+
+    def test_wrong_rank_rejected(self):
+        env, _ = env_for()
+        with pytest.raises(RuntimeDataError, match="dimension"):
+            env.bind({"a": np.zeros(6, np.float32),
+                      "out": np.zeros((2, 3), np.float32)})
+
+    def test_consistent_scalar_matching_shape_ok(self):
+        env, _ = env_for()
+        env.bind({"a": np.zeros((3, 5), np.float32),
+                  "out": np.zeros((3, 5), np.float32), "NK": 3})
+        assert env.scalars["NK"] == 3
+
+
+class TestTransfers:
+    def test_copyin_charged_copyout_charged(self):
+        env, _ = env_for()
+        a = np.ones((4, 8), np.float32)
+        env.bind({"a": a, "out": np.zeros_like(a)})
+        env.enter()
+        out = env.exit_outputs()
+        labels = [label for label, _ in env.ledger.entries]
+        assert "h2d:a" in labels
+        assert "d2h:out" in labels
+        assert "h2d:out" not in labels  # copyout: no entry transfer
+        assert "d2h:a" not in labels  # copyin: no exit transfer
+        assert "a" not in out and "out" in out
+
+    def test_copyin_contents_reach_device(self):
+        env, _ = env_for()
+        a = np.arange(8, dtype=np.float32).reshape(2, 4)
+        env.bind({"a": a, "out": np.zeros_like(a)})
+        env.enter()
+        np.testing.assert_array_equal(env.gmem["a"].data,
+                                      np.arange(8, dtype=np.float32))
+
+    def test_copyout_buffer_starts_zeroed(self):
+        env, _ = env_for()
+        a = np.ones((2, 2), np.float32)
+        env.bind({"a": a, "out": np.full((2, 2), 9.0, np.float32)})
+        env.enter()
+        assert (env.gmem["out"].data == 0).all()
+
+    def test_present_is_free_of_transfer_cost(self):
+        src = SRC.replace("copyin(a)", "present(a)")
+        env, _ = env_for(src)
+        a = np.ones((2, 2), np.float32)
+        env.bind({"a": a, "out": np.zeros_like(a)})
+        env.enter()
+        labels = [label for label, _ in env.ledger.entries]
+        assert "h2d:a" not in labels
+        # but the data is resident (modeled as already-uploaded)
+        assert (env.gmem["a"].data == 1).all()
+
+    def test_create_no_transfers_either_way(self):
+        src = SRC.replace("copyin(a)", "create(a)")
+        env, _ = env_for(src)
+        a = np.ones((2, 2), np.float32)
+        env.bind({"a": a, "out": np.zeros_like(a)})
+        env.enter()
+        out = env.exit_outputs()
+        assert (env.gmem["a"].data == 0).all()  # not copied in
+        assert "a" not in out
+
+    def test_transfer_time_scales_with_bytes(self):
+        env, _ = env_for()
+        small = np.ones((2, 2), np.float32)
+        env.bind({"a": small, "out": np.zeros_like(small)})
+        env.enter()
+        t_small = env.ledger.total_us
+
+        env2, _ = env_for()
+        big = np.ones((64, 64), np.float32)
+        env2.bind({"a": big, "out": np.zeros_like(big)})
+        env2.enter()
+        assert env2.ledger.total_us > t_small
+
+
+class TestStaleScalarDefect:
+    """The vendor-a data-clause defect at Program level."""
+
+    SRC = """
+    float a[n];
+    float m = 0.0f;
+    #pragma acc parallel copyin(a)
+    #pragma acc loop gang vector reduction(max:m)
+    for (i = 0; i < n; i++)
+        m = fmax(m, a[i]);
+    """
+
+    def test_openuh_respects_host_reset(self):
+        prog = acc.compile(self.SRC, num_gangs=2, num_workers=1,
+                           vector_length=32)
+        hi = np.full(64, 9.0, np.float32)
+        lo = np.full(64, 2.0, np.float32)
+        assert prog.run(a=hi).scalars["m"] == 9.0
+        assert prog.run(a=lo).scalars["m"] == 2.0  # fresh each run
+
+    def test_vendor_a_carries_stale_maximum(self):
+        prog = acc.compile(self.SRC, compiler="vendor-a", num_gangs=2,
+                           num_workers=1, vector_length=32)
+        hi = np.full(64, 9.0, np.float32)
+        lo = np.full(64, 2.0, np.float32)
+        assert prog.run(a=hi).scalars["m"] == 9.0
+        # host re-zeroes m, but the device-resident value wins: still 9
+        assert prog.run(a=lo).scalars["m"] == 9.0
+
+    def test_fresh_program_has_no_stale_state(self):
+        prog = acc.compile(self.SRC, compiler="vendor-a", num_gangs=2,
+                           num_workers=1, vector_length=32)
+        lo = np.full(64, 2.0, np.float32)
+        assert prog.run(a=lo).scalars["m"] == 2.0

@@ -1,0 +1,69 @@
+"""Heat-equation application tests (Fig. 12(a) behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.heat2d import initial_grid, reference_solver, solve_heat
+
+FAST = dict(num_gangs=16, vector_length=32)
+
+
+class TestCorrectness:
+    def test_matches_reference_solver(self):
+        r = solve_heat(n=20, tol=0.5, max_iters=60, **FAST)
+        ref_t, ref_err, ref_conv = reference_solver(20, tol=0.5,
+                                                    max_iters=60)
+        assert r.converged == ref_conv
+        assert r.iterations == len(ref_err)
+        np.testing.assert_allclose(r.temperature, ref_t, atol=1e-4)
+
+    def test_error_sequence_matches_reference(self):
+        r = solve_heat(n=16, tol=0.8, max_iters=40, **FAST)
+        _, ref_err, _ = reference_solver(16, tol=0.8, max_iters=40)
+        np.testing.assert_allclose(r.errors, ref_err, rtol=1e-5)
+
+    def test_errors_decrease(self):
+        r = solve_heat(n=16, tol=0.01, max_iters=30, **FAST)
+        # Jacobi max-delta decays monotonically for this setup
+        assert all(b <= a + 1e-6 for a, b in zip(r.errors, r.errors[1:]))
+
+    def test_boundary_preserved(self):
+        r = solve_heat(n=16, tol=0.5, max_iters=30, boundary_temp=50.0,
+                       **FAST)
+        assert (r.temperature[0, :] == 50.0).all()
+        assert (r.temperature[-1, :] == 0.0).all()
+
+    def test_initial_grid(self):
+        g = initial_grid(8, 42.0)
+        assert g.shape == (8, 8) and g.dtype == np.float32
+        assert (g[0] == 42.0).all() and (g[1:] == 0.0).all()
+
+    def test_hits_iteration_cap_with_tight_tolerance(self):
+        r = solve_heat(n=16, tol=1e-9, max_iters=5, **FAST)
+        assert not r.converged and r.iterations == 5
+
+
+class TestCompilerBehaviour:
+    """The paper's Fig. 12(a): CAPS never converges; PGI is slower."""
+
+    def test_vendor_a_never_converges(self):
+        r = solve_heat(n=16, tol=0.5, max_iters=40, compiler="vendor-a",
+                       **FAST)
+        assert not r.converged
+        # its reported error is a running max: non-decreasing
+        assert all(b >= a - 1e-6 for a, b in zip(r.errors, r.errors[1:]))
+
+    def test_vendor_b_converges_but_slower(self):
+        args = dict(n=16, tol=0.5, max_iters=60, **FAST)
+        ours = solve_heat(**args)
+        theirs = solve_heat(compiler="vendor-b", **args)
+        assert theirs.converged
+        assert theirs.iterations == ours.iterations
+        assert theirs.kernel_ms > ours.kernel_ms
+
+    def test_openuh_faster_accumulates_over_iterations(self):
+        # "the performance of the reduction implementation will accumulate
+        # in an iterative algorithm" (§4)
+        short = solve_heat(n=16, tol=1e-9, max_iters=3, **FAST)
+        long = solve_heat(n=16, tol=1e-9, max_iters=12, **FAST)
+        assert long.kernel_ms > 3 * short.kernel_ms

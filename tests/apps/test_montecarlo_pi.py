@@ -1,0 +1,56 @@
+"""Monte Carlo π application tests (Fig. 12(c) behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.montecarlo_pi import estimate_pi
+
+FAST = dict(num_gangs=16, vector_length=64)
+
+
+class TestCorrectness:
+    def test_count_matches_cpu_exactly(self):
+        n, seed = 1 << 14, 7
+        r = estimate_pi(n, seed=seed, **FAST)
+        rng = np.random.default_rng(seed)
+        x = (rng.random(n, dtype=np.float32) * 2.0 - 1.0).astype(np.float32)
+        y = (rng.random(n, dtype=np.float32) * 2.0 - 1.0).astype(np.float32)
+        expect = int((x * x + y * y < 1.0).sum())
+        assert r.inside == expect
+
+    def test_estimate_near_pi(self):
+        r = estimate_pi(1 << 16, **FAST)
+        assert abs(r.pi - np.pi) < 0.02
+
+    def test_more_samples_usually_better(self):
+        # not guaranteed per-seed, but with these seeds it holds — and the
+        # point of the paper's sweep is that the estimate tightens
+        small = estimate_pi(1 << 12, seed=5, **FAST)
+        big = estimate_pi(1 << 17, seed=5, **FAST)
+        assert big.error < small.error
+
+    def test_deterministic(self):
+        a = estimate_pi(1 << 13, seed=9, **FAST)
+        b = estimate_pi(1 << 13, seed=9, **FAST)
+        assert a.inside == b.inside and a.pi == b.pi
+
+    def test_transfer_dominates_total(self):
+        # the paper transfers the pre-generated samples (GBs on the real
+        # machine); the modeled total must include that PCIe time
+        r = estimate_pi(1 << 16, **FAST)
+        assert r.total_ms > r.kernel_ms
+
+
+class TestCompilerBehaviour:
+    """Fig. 12(c): OpenUH slightly ahead of CAPS, well ahead of PGI."""
+
+    def test_all_three_compilers_agree_on_count(self):
+        rs = {c: estimate_pi(1 << 13, seed=3, compiler=c, **FAST)
+              for c in ("openuh", "vendor-a", "vendor-b")}
+        counts = {r.inside for r in rs.values()}
+        assert len(counts) == 1
+
+    def test_vendor_b_slowest(self):
+        rs = {c: estimate_pi(1 << 15, seed=3, compiler=c, **FAST)
+              for c in ("openuh", "vendor-b")}
+        assert rs["vendor-b"].kernel_ms > rs["openuh"].kernel_ms

@@ -1,0 +1,41 @@
+"""Direct tests of the Fig. 12 sweep helpers (tiny scales)."""
+
+import pytest
+
+from repro.bench.fig12 import heat_sweep, matmul_sweep, pi_sweep
+from repro.bench.harness import Series
+
+
+class TestHeatSweep:
+    def test_vendor_a_reports_no_convergence(self):
+        series = heat_sweep(sizes=(16,), compilers=("openuh", "vendor-a"),
+                            tol=0.5, max_iters=40)
+        by_label = {s.label: dict(s.points) for s in series}
+        assert isinstance(by_label["openuh"]["16x16"], float)
+        assert by_label["vendor-a"]["16x16"] == "no-convergence"
+
+    def test_progress_callback_fires(self):
+        seen = []
+        heat_sweep(sizes=(16,), compilers=("openuh",), tol=0.5,
+                   max_iters=40, progress=seen.append)
+        assert len(seen) == 1 and "heat" in seen[0]
+
+
+class TestMatmulSweep:
+    def test_vendor_b_cell_is_failure(self):
+        series = matmul_sweep(sizes=(8,), compilers=("openuh", "vendor-b"))
+        by_label = {s.label: dict(s.points) for s in series}
+        assert by_label["vendor-b"]["8x8"] == "F"
+        assert isinstance(by_label["openuh"]["8x8"], float)
+
+
+class TestPiSweep:
+    def test_times_scale_with_samples(self):
+        (s,) = pi_sweep(sizes=(1 << 12, 1 << 14), compilers=("openuh",))
+        pts = dict(s.points)
+        assert pts["16K"] > pts["4K"]
+
+    def test_series_structure(self):
+        series = pi_sweep(sizes=(1 << 12,), compilers=("openuh", "vendor-a"))
+        assert [s.label for s in series] == ["openuh", "vendor-a"]
+        assert all(isinstance(s, Series) for s in series)

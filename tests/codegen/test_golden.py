@@ -1,0 +1,117 @@
+"""Golden-dump tests: the generated code is an executable spec of Fig. 3/5.
+
+Temp-register ids are normalized (they come from global counters), so these
+compare the exact *shape* of the emitted CUDA-like code.
+"""
+
+import re
+import textwrap
+
+import pytest
+
+from repro import acc
+
+
+def normalized_main_dump(src, **geom):
+    prog = acc.compile(src, **geom)
+    text = prog.dump_kernels().split("\n\n")[0]
+    return re.sub(r"_(ls|ld|act|tmp|vres|wres|fres|sres|shfl|init)"
+                  r"([A-Za-z_]*)\d+", r"_\1\2N", text)
+
+
+class TestSameLineGolden:
+    def test_fig10_vecsum_kernel(self):
+        src = """
+        float a[n];
+        long total = 0;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang worker vector reduction(+:total)
+        for (i = 0; i < n; i++)
+            total += a[i];
+        """
+        expected = textwrap.dedent("""\
+        __global__ void acc_region_main(total, n) // buffers: _redp_total, a
+          // lowered with window scheduling, row vector layout
+        {
+          total = $total;
+          n = $n;
+          total = 0L;
+          // loop i: distributed over gang/worker/vector (window sliding, stride 64)
+          i = (0 + (((((blockIdx.x * 1) + threadIdx.y) * 32) + threadIdx.x) * 1));
+          while ((i < n)) {
+            _ldN = a[i];  // global
+            total = (long)((float)total + _ldN);
+            i = (i + (64 * 1));
+          }
+          // gang-involved reduction of total (span gang&vector&worker): partials to global buffer, second kernel finishes
+          _redp_total[((blockIdx.x * 32) + tid)] = total;  // global
+        }""")
+        got = normalized_main_dump(src, num_gangs=2, num_workers=1,
+                                   vector_length=32)
+        assert got == expected
+
+
+class TestStructuralInvariants:
+    """Shape facts that must survive refactoring (looser than full golden)."""
+
+    FIG4A = """
+    float input[NK][NJ][NI];
+    float temp[NK][NJ][NI];
+    #pragma acc parallel copyin(input) copyout(temp)
+    {
+      #pragma acc loop gang
+      for(k=0; k<NK; k++){
+        #pragma acc loop worker
+        for(j=0; j<NJ; j++){
+          int i_sum = j;
+          #pragma acc loop vector reduction(+:i_sum)
+          for(i=0; i<NI; i++)
+            i_sum += input[k][j][i];
+          temp[k][j][0] = i_sum;
+        }
+      }
+    }
+    """
+
+    def lines(self, **geom):
+        return normalized_main_dump(self.FIG4A, **geom).splitlines()
+
+    def test_fig5a_shape(self):
+        text = "\n".join(self.lines(num_gangs=2, num_workers=4,
+                                    vector_length=32))
+        # the Fig. 5(a) skeleton, in order:
+        order = [
+            "k = (0 + (blockIdx.x * 1));",          # gang offset
+            "while-any (",                           # lock-step worker loop
+            "i_sum = 0;",                            # identity seed
+            "while (",                               # masked vector loop
+            "_sred_int[((threadIdx.y * 32) + threadIdx.x)] = i_sum;",
+            "__syncthreads();",                      # leading barrier
+            "if ((threadIdx.x < 16))",               # first log-step
+            "if ((threadIdx.x < 1))",                # last log-step
+            "i_sum = (_initN_i_sum + i_sum);"
+            if False else "i_sum = (_init_i_sum + i_sum);",
+            "temp[",                                 # guarded store
+        ]
+        pos = -1
+        for frag in order:
+            new = text.find(frag, pos + 1)
+            assert new > pos, f"fragment out of order or missing: {frag!r}"
+            pos = new
+
+    def test_warp_elision_in_dump(self):
+        # with a 32-lane row, only the leading barrier plus the one before
+        # the broadcast load are emitted (all log-step barriers elided)
+        text = "\n".join(self.lines(num_gangs=2, num_workers=2,
+                                    vector_length=32))
+        start = text.find("= i_sum;  // shared")
+        end = text.find("i_sum = (_init_i_sum + i_sum);")
+        assert 0 <= start < end
+        seg = text[start:end]
+        assert seg.count("__syncthreads()") == 2  # leading + pre-broadcast
+
+    def test_transposed_layout_changes_indexing(self):
+        prog = acc.compile(self.FIG4A, num_gangs=2, num_workers=4,
+                           vector_length=32, vector_layout="transposed")
+        text = prog.dump_kernels()
+        assert "_sred_int[((threadIdx.x * 4) + threadIdx.y)]" in text

@@ -1,0 +1,253 @@
+"""Lowering-structure tests: the generated kernels have the paper's shape."""
+
+import numpy as np
+import pytest
+
+from repro import acc
+from repro.errors import LoweringError
+from repro.gpu import kernelir as K
+from repro.gpu.kernelir import dump
+
+GEOM = dict(num_gangs=4, num_workers=4, vector_length=32)
+
+FIG3 = """
+float input[NK][NJ][NI];
+float temp[NK][NJ][NI];
+#pragma acc parallel copyin(input) copyout(temp)
+{
+  #pragma acc loop gang
+  for (k = 0; k < NK; k++) {
+    #pragma acc loop worker
+    for (j = 0; j < NJ; j++) {
+      #pragma acc loop vector
+      for (i = 0; i < NI; i++)
+        temp[k][j][i] = input[k][j][i];
+    }
+  }
+}
+"""
+
+
+def walk(stmts):
+    for s in stmts:
+        yield s
+        for f in ("body", "then", "orelse"):
+            if hasattr(s, f):
+                yield from walk(getattr(s, f))
+
+
+class TestFig3WindowSliding:
+    """The triple nest lowers to exactly the paper's Fig. 3 skeleton."""
+
+    def test_three_nested_whiles_with_strides(self):
+        prog = acc.compile(FIG3, **GEOM)
+        text = dump(prog.lowered.main_kernel)
+        # gang: k = blockIdx.x + start; stride gridDim size (4)
+        assert "blockIdx.x" in text
+        assert "(4 *" in text  # gang stride
+        assert "threadIdx.y" in text and "(4 *" in text  # worker stride
+        assert "threadIdx.x" in text and "(32 *" in text  # vector stride
+
+    def test_no_barriers_without_reductions(self):
+        prog = acc.compile(FIG3, **GEOM)
+        assert not any(isinstance(s, K.Sync)
+                       for s in walk(prog.lowered.main_kernel.body))
+
+    def test_single_kernel_no_scratch(self):
+        prog = acc.compile(FIG3, **GEOM)
+        assert len(prog.lowered.kernels) == 1
+        assert prog.lowered.scratch == []
+
+    def test_blocking_variant_emits_chunk_arithmetic(self):
+        prog = acc.compile(FIG3, **GEOM, scheduling="blocking")
+        text = dump(prog.lowered.main_kernel)
+        assert "blocking" in text
+        assert "_chunk" in text
+
+
+class TestStoreGuards:
+    """Fig. 5: statements at outer levels store through lane-0 guards."""
+
+    SRC = """
+    float a[NK];
+    float out[NK];
+    #pragma acc parallel copyin(a) copyout(out)
+    {
+      #pragma acc loop gang
+      for (k = 0; k < NK; k++)
+        out[k] = a[k] * 2.0f;
+    }
+    """
+
+    def test_gang_level_store_guarded_to_lane0(self):
+        prog = acc.compile(self.SRC, **GEOM)
+        text = dump(prog.lowered.main_kernel)
+        assert "(threadIdx.x == 0)" in text
+        assert "(threadIdx.y == 0)" in text
+
+    def test_no_guard_when_block_is_one_thread(self):
+        prog = acc.compile(self.SRC, num_gangs=4, num_workers=1,
+                           vector_length=1)
+        text = dump(prog.lowered.main_kernel)
+        assert "threadIdx.x == 0" not in text
+
+    def test_guarded_store_writes_once_value(self):
+        prog = acc.compile(self.SRC, **GEOM)
+        a = np.arange(6, dtype=np.float32)
+        res = prog.run(a=a, out=np.zeros_like(a))
+        np.testing.assert_allclose(res.outputs["out"], a * 2)
+
+
+class TestReductionStructure:
+    VEC = """
+    float a[NK][NI];
+    float out[NK];
+    #pragma acc parallel copyin(a) copyout(out)
+    {
+      #pragma acc loop gang
+      for (k = 0; k < NK; k++) {
+        float s = 0.0f;
+        #pragma acc loop vector reduction(+:s)
+        for (i = 0; i < NI; i++)
+          s += a[k][i];
+        out[k] = s;
+      }
+    }
+    """
+
+    def test_vector_reduction_stages_in_shared(self):
+        prog = acc.compile(self.VEC, **GEOM)
+        main = prog.lowered.main_kernel
+        assert any(sp.name.startswith("_sred") for sp in main.shared)
+        assert any(isinstance(s, K.SStore)
+                   for s in walk(main.body))
+        assert any(isinstance(s, K.Sync) for s in walk(main.body))
+
+    def test_gang_loop_with_inner_barrier_is_lockstep(self):
+        prog = acc.compile(self.VEC, **GEOM)
+        kinds = [type(s).__name__ for s in prog.lowered.main_kernel.body]
+        assert "UniformWhile" in kinds
+
+    def test_init_value_folded(self):
+        # s starts at 0 here, but the fold must still reference _init_s
+        prog = acc.compile(self.VEC, **GEOM)
+        text = dump(prog.lowered.main_kernel)
+        assert "_init_s" in text
+
+    def test_gang_reduction_emits_partial_store_and_finish(self):
+        src = """
+        float a[NK];
+        double s = 0.0;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang reduction(+:s)
+        for (k = 0; k < NK; k++)
+            s += a[k];
+        """
+        prog = acc.compile(src, **GEOM)
+        assert len(prog.lowered.gang_reductions) == 1
+        g = prog.lowered.gang_reductions[0]
+        assert g.partial_buf == "_redp_s"
+        sizes = {sb.name: sb.size for sb in prog.lowered.scratch}
+        assert sizes["_redp_s"] == 4  # one partial per gang
+        assert sizes["_redr_s"] == 1
+        assert g.finish_kernel is not None
+        assert "finish" in g.finish_kernel.name
+
+    def test_atomic_style_has_no_finish_kernel(self):
+        src = """
+        float a[n];
+        long s = 0;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang worker vector reduction(+:s)
+        for (i = 0; i < n; i++)
+            s += a[i];
+        """
+        prog = acc.compile(src, **GEOM, gang_partial_style="atomic")
+        g = prog.lowered.gang_reductions[0]
+        assert g.finish_kernel is None
+        assert any(isinstance(s, K.AtomicUpdate)
+                   for s in walk(prog.lowered.main_kernel.body))
+        a = np.arange(100, dtype=np.float32)
+        assert prog.run(a=a).scalars["s"] == a.sum()
+
+    def test_logical_ops_fall_back_to_buffer_scheme(self):
+        src = """
+        int a[n];
+        int all_true = 1;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang worker vector reduction(&&:all_true)
+        for (i = 0; i < n; i++)
+            all_true = all_true && a[i];
+        """
+        prog = acc.compile(src, **GEOM, gang_partial_style="atomic")
+        assert prog.lowered.gang_reductions[0].finish_kernel is not None
+
+    def test_zero_init_kernel_when_requested(self):
+        src = """
+        float a[NK];
+        double s = 0.0;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang reduction(+:s)
+        for (k = 0; k < NK; k++)
+            s += a[k];
+        """
+        prog = acc.compile(src, **GEOM, zero_init_partials=True)
+        g = prog.lowered.gang_reductions[0]
+        assert g.init_kernel is not None
+        assert len(prog.lowered.kernels) == 3  # init + main + finish
+        a = np.arange(6, dtype=np.float32)
+        res = prog.run(a=a)
+        assert res.scalars["s"] == a.sum()
+        assert any(lbl.startswith("kernel:acc_reduction_init")
+                   for lbl, _ in res.ledger.entries)
+
+    def test_strength_reduction_off_adds_instructions(self):
+        a = np.ones(4096, dtype=np.float32)
+        src = """
+        float a[n];
+        long s = 0;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang worker vector reduction(+:s)
+        for (i = 0; i < n; i++)
+            s += a[i];
+        """
+        lean = acc.compile(src, **GEOM, scheduling="blocking")
+        fat = acc.compile(src, **GEOM, scheduling="blocking",
+                          strength_reduction=False)
+        r1 = lean.run(a=a)
+        r2 = fat.run(a=a)
+        assert r1.scalars["s"] == r2.scalars["s"] == 4096
+        assert r2.kernel_stats["acc_region_main"].warp_inst_slots > \
+            r1.kernel_stats["acc_region_main"].warp_inst_slots
+
+
+class TestCollapseErrors:
+    def test_collapse_requires_perfect_nesting(self):
+        src = """
+        float a[NK][NJ];
+        #pragma acc parallel copy(a)
+        #pragma acc loop gang collapse(2)
+        for (k = 0; k < NK; k++) {
+          a[k][0] = 0.0f;
+          for (j = 0; j < NJ; j++)
+            a[k][j] = a[k][j];
+        }
+        """
+        with pytest.raises(LoweringError, match="perfectly"):
+            acc.compile(src, **GEOM)
+
+    def test_collapsed_inner_annotations_rejected(self):
+        src = """
+        float a[NK][NJ];
+        #pragma acc parallel copy(a)
+        {
+          #pragma acc loop gang collapse(2)
+          for (k = 0; k < NK; k++) {
+            #pragma acc loop vector
+            for (j = 0; j < NJ; j++)
+              a[k][j] = a[k][j];
+          }
+        }
+        """
+        with pytest.raises(Exception):
+            acc.compile(src, **GEOM)

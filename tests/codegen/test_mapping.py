@@ -1,0 +1,61 @@
+"""Parallelism-mapping tests (§2.2: gang→blockIdx.x, worker→threadIdx.y,
+vector→threadIdx.x)."""
+
+import pytest
+
+from repro.codegen.mapping import LaunchGeometry, distribution
+from repro.gpu import kernelir as K
+
+
+GEOM = LaunchGeometry(num_gangs=4, num_workers=8, vector_length=128)
+
+
+def names(e):
+    """Flatten an expression tree to the specials it references."""
+    if isinstance(e, K.Special):
+        return {e.kind}
+    out = set()
+    for f in ("a", "b"):
+        if hasattr(e, f):
+            out |= names(getattr(e, f))
+    return out
+
+
+class TestGeometry:
+    def test_paper_configuration(self):
+        g = LaunchGeometry(192, 8, 128)
+        assert g.threads_per_block == 1024
+        assert g.total_threads == 196608
+
+    def test_size_of(self):
+        assert GEOM.size_of("gang") == 4
+        assert GEOM.size_of("worker") == 8
+        assert GEOM.size_of("vector") == 128
+
+
+class TestDistribution:
+    def test_single_levels(self):
+        assert names(distribution(("gang",), GEOM).position) == {"bx"}
+        assert names(distribution(("worker",), GEOM).position) == {"ty"}
+        assert names(distribution(("vector",), GEOM).position) == {"tx"}
+
+    def test_totals(self):
+        assert distribution(("gang",), GEOM).total == 4
+        assert distribution(("worker", "vector"), GEOM).total == 1024
+        assert distribution(("gang", "worker", "vector"), GEOM).total == 4096
+
+    def test_gang_vector_skips_worker_dim(self):
+        d = distribution(("gang", "vector"), GEOM)
+        assert names(d.position) == {"bx", "tx"}
+        assert d.total == 4 * 128
+
+    def test_composition_order_outer_to_inner(self):
+        # (gang, worker): pos = bx * num_workers + ty
+        d = distribution(("gang", "worker"), GEOM)
+        assert isinstance(d.position, K.Bin) and d.position.op == "+"
+        assert isinstance(d.position.b, K.Special)
+        assert d.position.b.kind == "ty"
+
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            distribution((), GEOM)

@@ -1,0 +1,147 @@
+"""Reduction-operator tests: identities, combines, reference reductions."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.errors import AnalysisError
+from repro.codegen.reduction.operators import OPERATORS, get_operator
+
+ALL_DTYPES = [DType.INT, DType.LONG, DType.FLOAT, DType.DOUBLE]
+INT_DTYPES = [DType.INT, DType.LONG]
+ANYTYPE_OPS = ["+", "*", "max", "min", "&&", "||"]
+INT_ONLY_OPS = ["&", "|", "^"]
+
+
+class TestRegistry:
+    def test_all_nine_openacc_operators_present(self):
+        assert set(OPERATORS) == {"+", "*", "max", "min", "&", "|", "^",
+                                  "&&", "||"}
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(AnalysisError):
+            get_operator("-")
+
+
+class TestIdentities:
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    def test_sum_identity(self, dtype):
+        assert get_operator("+").identity(dtype) == 0
+
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    def test_prod_identity(self, dtype):
+        assert get_operator("*").identity(dtype) == 1
+
+    def test_max_identity_int(self):
+        assert get_operator("max").identity(DType.INT) == np.iinfo(np.int32).min
+
+    def test_max_identity_float(self):
+        assert get_operator("max").identity(DType.FLOAT) == -np.inf
+
+    def test_min_identity_long(self):
+        assert get_operator("min").identity(DType.LONG) == np.iinfo(np.int64).max
+
+    def test_band_identity_is_all_ones(self):
+        assert get_operator("&").identity(DType.INT) == -1
+
+    def test_logical_identities(self):
+        assert get_operator("&&").identity(DType.INT) == 1
+        assert get_operator("||").identity(DType.INT) == 0
+
+    @pytest.mark.parametrize("op", INT_ONLY_OPS)
+    def test_bitwise_rejects_float(self, op):
+        with pytest.raises(AnalysisError):
+            get_operator(op).identity(DType.FLOAT)
+
+    @pytest.mark.parametrize("op,dtype",
+                             [(o, d) for o in ANYTYPE_OPS for d in ALL_DTYPES])
+    def test_identity_is_neutral(self, op, dtype):
+        red = get_operator(op)
+        ident = red.identity(dtype)
+        for v in (0, 1, 5):
+            assert red.np_combine(ident, v, dtype) == red.np_combine(
+                v, ident, dtype) == dtype.np.type(
+                    red.np_reduce(np.array([v]), dtype))
+
+
+class TestReferenceReduce:
+    def test_sum_matches_numpy(self):
+        x = np.arange(100, dtype=np.int32)
+        assert get_operator("+").np_reduce(x, DType.INT) == x.sum()
+
+    def test_prod_wraps_like_c_int(self):
+        x = np.full(40, 3, dtype=np.int32)  # 3^40 overflows int32
+        got = get_operator("*").np_reduce(x, DType.INT)
+        expect = np.int32(1)
+        with np.errstate(over="ignore"):
+            for _ in range(40):
+                expect = np.int32(expect * 3)
+        assert got == expect
+
+    def test_max_min(self):
+        x = np.array([3.5, -7.0, 2.0], dtype=np.float64)
+        assert get_operator("max").np_reduce(x, DType.DOUBLE) == 3.5
+        assert get_operator("min").np_reduce(x, DType.DOUBLE) == -7.0
+
+    def test_bitwise(self):
+        x = np.array([0b1100, 0b1010], dtype=np.int32)
+        assert get_operator("&").np_reduce(x, DType.INT) == 0b1000
+        assert get_operator("|").np_reduce(x, DType.INT) == 0b1110
+        assert get_operator("^").np_reduce(x, DType.INT) == 0b0110
+
+    def test_logical(self):
+        land, lor = get_operator("&&"), get_operator("||")
+        assert land.np_reduce(np.array([1, 2, 3]), DType.INT) == 1
+        assert land.np_reduce(np.array([1, 0, 3]), DType.INT) == 0
+        assert lor.np_reduce(np.array([0, 0, 0]), DType.INT) == 0
+        assert lor.np_reduce(np.array([0, 7, 0]), DType.INT) == 1
+
+    def test_empty_reduce_is_identity(self):
+        for tok in ANYTYPE_OPS:
+            red = get_operator(tok)
+            assert red.np_reduce(np.array([], dtype=np.int32), DType.INT) \
+                == red.identity(DType.INT)
+
+
+class TestCombineIR:
+    """The kernel-IR combine expressions execute to the same results."""
+
+    @pytest.mark.parametrize("op,a,b,expect", [
+        ("+", 3, 4, 7),
+        ("*", 3, 4, 12),
+        ("max", 3, 4, 4),
+        ("min", 3, 4, 3),
+        ("&", 0b110, 0b011, 0b010),
+        ("|", 0b110, 0b011, 0b111),
+        ("^", 0b110, 0b011, 0b101),
+        ("&&", 2, 0, 0),
+        ("&&", 2, 5, 1),
+        ("||", 0, 0, 0),
+        ("||", 0, 9, 1),
+    ])
+    def test_combine_int(self, op, a, b, expect):
+        from repro.gpu.device import K20C
+        from repro.gpu.executor import CompiledKernel
+        from repro.gpu import kernelir as K
+        from repro.gpu.memory import GlobalMemory
+
+        red = get_operator(op)
+        g = GlobalMemory(K20C)
+        g.alloc("out", 1, DType.INT)
+        kern = K.Kernel("comb", (
+            K.GStore("out", K.const_int(0),
+                     red.combine(K.Const(a, DType.INT),
+                                 K.Const(b, DType.INT), DType.INT)),
+        ), buffers=("out",))
+        CompiledKernel(kern, K20C).run(g, 1, (1, 1))
+        assert g["out"].data[0] == expect
+
+    def test_float_max_uses_fmax(self):
+        from repro.gpu import kernelir as K
+        expr = get_operator("max").combine(K.Reg("a"), K.Reg("b"), DType.FLOAT)
+        assert isinstance(expr, K.Call) and expr.fn == "fmax"
+
+    def test_int_max_uses_integer_max(self):
+        from repro.gpu import kernelir as K
+        expr = get_operator("max").combine(K.Reg("a"), K.Reg("b"), DType.INT)
+        assert isinstance(expr, K.Call) and expr.fn == "max"

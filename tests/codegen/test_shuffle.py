@@ -1,0 +1,122 @@
+"""Warp-shuffle reduction strategy tests (extension, ablation A9)."""
+
+import numpy as np
+import pytest
+
+from repro import acc
+from repro.gpu import kernelir as K
+
+VEC = """
+float input[NK][NJ][NI];
+float temp[NK][NJ][NI];
+#pragma acc parallel copyin(input) copyout(temp)
+{
+  #pragma acc loop gang
+  for(k=0; k<NK; k++){
+    #pragma acc loop worker
+    for(j=0; j<NJ; j++){
+      int i_sum = j;
+      #pragma acc loop vector reduction(+:i_sum)
+      for(i=0; i<NI; i++)
+        i_sum += input[k][j][i];
+      temp[k][j][0] = i_sum;
+    }
+  }
+}
+"""
+
+
+def walk(stmts):
+    for s in stmts:
+        yield s
+        for f in ("body", "then", "orelse"):
+            if hasattr(s, f):
+                yield from walk(getattr(s, f))
+
+
+def run_vec(strat, vl=64, nw=4):
+    prog = acc.compile(VEC, num_gangs=3, num_workers=nw, vector_length=vl,
+                       vector_strategy=strat)
+    rng = np.random.default_rng(1)
+    inp = rng.integers(0, 6, size=(2, 5, 200)).astype(np.float32)
+    res = prog.run(input=inp, temp=np.zeros_like(inp))
+    expect = np.zeros_like(inp)
+    for k in range(2):
+        for j in range(5):
+            expect[k, j, 0] = j + inp[k, j].sum()
+    np.testing.assert_allclose(res.outputs["temp"], expect)
+    return prog, res
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("vl", [16, 32, 64, 128])
+    def test_matches_logstep_results(self, vl):
+        run_vec("shuffle", vl=vl)
+
+    def test_emits_shfl_instructions(self):
+        prog, _ = run_vec("shuffle")
+        assert any(isinstance(s, K.ShflDown)
+                   for s in walk(prog.lowered.main_kernel.body))
+
+    def test_logstep_emits_none(self):
+        prog, _ = run_vec("logstep")
+        assert not any(isinstance(s, K.ShflDown)
+                       for s in walk(prog.lowered.main_kernel.body))
+
+    def test_non_pow2_width_falls_back_to_logstep(self):
+        prog = acc.compile(VEC, num_gangs=2, num_workers=2,
+                           vector_length=96, vector_strategy="shuffle")
+        assert not any(isinstance(s, K.ShflDown)
+                       for s in walk(prog.lowered.main_kernel.body))
+        rng = np.random.default_rng(2)
+        inp = rng.integers(0, 6, size=(2, 3, 150)).astype(np.float32)
+        res = prog.run(input=inp, temp=np.zeros_like(inp))
+        assert res.outputs["temp"][0, 0, 0] == 0 + inp[0, 0].sum()
+
+
+class TestCostShape:
+    def test_fewer_barriers_and_shared_accesses(self):
+        _, log = run_vec("logstep", vl=128)
+        _, shf = run_vec("shuffle", vl=128)
+        main = "acc_region_main"
+        assert shf.kernel_stats[main].barriers \
+            < log.kernel_stats[main].barriers
+        assert shf.kernel_stats[main].shared_accesses \
+            < log.kernel_stats[main].shared_accesses
+
+    def test_single_warp_block_needs_minimal_shared(self):
+        _, shf = run_vec("shuffle", vl=32, nw=1)
+        main = "acc_region_main"
+        # only the per-row broadcast slot remains
+        assert shf.kernel_stats[main].shared_bytes <= 32
+
+
+class TestFlatBlockShuffle:
+    def test_worker_vector_span_uses_shuffle(self):
+        src = """
+        float input[NK][NJ][NI];
+        float out[NK];
+        #pragma acc parallel copyin(input) copyout(out)
+        {
+          #pragma acc loop gang
+          for(k=0; k<NK; k++){
+            int s = k;
+            #pragma acc loop worker reduction(+:s)
+            for(j=0; j<NJ; j++){
+              #pragma acc loop vector
+              for(i=0; i<NI; i++)
+                s += input[k][j][i];
+            }
+            out[k] = s;
+          }
+        }
+        """
+        prog = acc.compile(src, num_gangs=2, num_workers=4,
+                           vector_length=32, vector_strategy="shuffle")
+        assert any(isinstance(s, K.ShflDown)
+                   for s in walk(prog.lowered.main_kernel.body))
+        rng = np.random.default_rng(3)
+        inp = rng.integers(0, 5, size=(3, 6, 80)).astype(np.float32)
+        res = prog.run(input=inp, out=np.zeros(3, np.float32))
+        expect = np.array([k + inp[k].sum() for k in range(3)], np.float32)
+        np.testing.assert_allclose(res.outputs["out"], expect)

@@ -1,0 +1,243 @@
+"""C-subset parser tests, including the paper's figure programs verbatim."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast_nodes as A
+from repro.frontend.cparser import parse_region, parse_statements
+
+
+class TestExpressions:
+    def expr(self, src):
+        (stmt,) = parse_statements(f"x = {src};")
+        return stmt.value
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("a + b * c")
+        assert isinstance(e, A.CBinary) and e.op == "+"
+        assert isinstance(e.right, A.CBinary) and e.right.op == "*"
+
+    def test_parentheses(self):
+        e = self.expr("(a + b) * c")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_relational_vs_logical(self):
+        e = self.expr("a < b && c < d")
+        assert e.op == "&&"
+        assert e.left.op == "<" and e.right.op == "<"
+
+    def test_bitwise_precedence_chain(self):
+        e = self.expr("a | b ^ c & d")
+        assert e.op == "|" and e.right.op == "^" and e.right.right.op == "&"
+
+    def test_unary(self):
+        e = self.expr("-a * !b")
+        assert e.op == "*"
+        assert isinstance(e.left, A.CUnary) and e.left.op == "-"
+        assert isinstance(e.right, A.CUnary) and e.right.op == "!"
+
+    def test_cast(self):
+        e = self.expr("(double)a / n")
+        assert e.op == "/"
+        assert isinstance(e.left, A.CCast) and e.left.ctype == "double"
+
+    def test_ternary(self):
+        e = self.expr("a < b ? a : b")
+        assert isinstance(e, A.CCond)
+
+    def test_multidim_index(self):
+        e = self.expr("input[k][j][i]")
+        assert isinstance(e, A.CIndex)
+        assert isinstance(e.base, A.CIndex)
+        assert isinstance(e.base.base, A.CIndex)
+        assert e.base.base.base == A.CIdent("input")
+
+    def test_flat_index_expression(self):
+        e = self.expr("A[i*n+k]")
+        assert isinstance(e, A.CIndex) and isinstance(e.index, A.CBinary)
+
+    def test_call(self):
+        e = self.expr("fmax(error, fabs(a - b))")
+        assert isinstance(e, A.CCall) and e.name == "fmax"
+        assert isinstance(e.args[1], A.CCall)
+
+    def test_float_literals(self):
+        assert self.expr("1.0").is_double
+        assert not self.expr("1.0f").is_double
+
+
+class TestStatements:
+    def test_decl_scalar(self):
+        (d,) = parse_statements("int i_sum = j;")
+        assert d == A.CDecl("int", "i_sum", (), A.CIdent("j"), line=1)
+
+    def test_decl_array(self):
+        (d,) = parse_statements("float temp[NK][NJ][NI];")
+        assert d.name == "temp" and len(d.dims) == 3
+
+    def test_unsigned_int_folds_to_int(self):
+        (d,) = parse_statements("unsigned int x;")
+        assert d.ctype == "int"
+
+    def test_compound_assign(self):
+        (s,) = parse_statements("sum += a[i];")
+        assert s.op == "+" and isinstance(s.target, A.CIdent)
+
+    def test_increment_statement(self):
+        (s,) = parse_statements("i++;")
+        assert s.op == "+" and s.value == A.CIntLit(1)
+
+    def test_if_else(self):
+        (s,) = parse_statements("if (x < 1.0) m += 1; else m -= 1;")
+        assert isinstance(s, A.CIf) and len(s.then) == 1 and len(s.orelse) == 1
+
+    def test_assignment_to_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statements("5 = x;")
+
+
+class TestForLoops:
+    def test_canonical_form(self):
+        (f,) = parse_statements("for (i = 0; i < n; i++) x += 1;")
+        assert (f.var, f.start, f.step) == ("i", A.CIntLit(0), A.CIntLit(1))
+        assert f.end == A.CIdent("n")
+
+    def test_le_condition_becomes_exclusive(self):
+        (f,) = parse_statements("for (i = 0; i <= n; i++) x += 1;")
+        assert f.end == A.CBinary("+", A.CIdent("n"), A.CIntLit(1))
+
+    def test_decl_in_init(self):
+        (f,) = parse_statements("for (int i = 0; i < 4; ++i) x += 1;")
+        assert f.decl_type == "int"
+
+    def test_step(self):
+        (f,) = parse_statements("for (i = 1; i < n; i += 2) x += 1;")
+        assert f.step == A.CIntLit(2)
+
+    def test_descending_rejected(self):
+        with pytest.raises(ParseError, match="ascending"):
+            parse_statements("for (i = n; i > 0; i--) x += 1;")
+
+    def test_wrong_var_in_condition(self):
+        with pytest.raises(ParseError, match="loop variable"):
+            parse_statements("for (i = 0; j < n; i++) x += 1;")
+
+    def test_nested(self):
+        (f,) = parse_statements(
+            "for (i = 0; i < n; i++) { for (j = 0; j < m; j++) x += 1; }")
+        assert isinstance(f.body[0], A.CFor)
+
+
+class TestRegions:
+    def test_fig4a_reduction_in_vector(self):
+        # Paper Fig. 4(a), verbatim shape
+        src = """
+        #pragma acc parallel copyin(input) copyout(temp)
+        {
+          #pragma acc loop gang
+          for(k=0; k<NK; k++){
+            #pragma acc loop worker
+            for(j=0; j<NJ; j++){
+              int i_sum = j;
+              #pragma acc loop vector reduction(+:i_sum)
+              for(i=0; i<NI; i++)
+                i_sum += input[k][j][i];
+              temp[k][j][0] = i_sum;
+            }
+          }
+        }
+        """
+        region = parse_region(src)
+        assert region.info.kind == "parallel"
+        gang_loop = region.body[0]
+        assert isinstance(gang_loop, A.CFor)
+        assert gang_loop.pragma.levels == ("gang",)
+        worker_loop = gang_loop.body[0]
+        assert worker_loop.pragma.levels == ("worker",)
+        decl, vec_loop, store = worker_loop.body
+        assert isinstance(decl, A.CDecl) and decl.name == "i_sum"
+        assert vec_loop.pragma.reductions == (("+", "i_sum"),)
+        assert isinstance(store, A.CAssign)
+
+    def test_preamble_declarations(self):
+        src = """
+        sum = 0;
+        #pragma acc parallel copyin(input)
+        {
+          #pragma acc loop gang reduction(+:sum)
+          for(k=0; k<NK; k++)
+            sum += input[k];
+        }
+        """
+        region = parse_region(src)
+        assert len(region.preamble) == 1
+        assert region.body[0].pragma.reductions == (("+", "sum"),)
+
+    def test_region_without_braces(self):
+        src = """
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang vector reduction(+:m)
+        for(i=0; i<n; i++)
+          m += a[i];
+        """
+        region = parse_region(src)
+        assert region.body[0].pragma.levels == ("gang", "vector")
+
+    def test_combined_parallel_loop_attaches_to_for(self):
+        src = """
+        #pragma acc parallel loop gang vector reduction(+:m) copyin(a)
+        for(i=0; i<n; i++)
+          m += a[i];
+        """
+        region = parse_region(src)
+        f = region.body[0]
+        assert f.pragma is not None
+        assert f.pragma.levels == ("gang", "vector")
+
+    def test_missing_region_rejected(self):
+        with pytest.raises(ParseError, match="region"):
+            parse_region("x = 1;")
+
+    def test_loop_pragma_without_for_rejected(self):
+        with pytest.raises(ParseError, match="for loop"):
+            parse_region("""
+            #pragma acc parallel
+            {
+              #pragma acc loop gang
+              x = 1;
+            }
+            """)
+
+    def test_nested_region_rejected(self):
+        with pytest.raises(ParseError, match="nested"):
+            parse_region("""
+            #pragma acc parallel
+            {
+              #pragma acc parallel
+              { x = 1; }
+            }
+            """)
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError, match="after the compute region"):
+            parse_region("""
+            #pragma acc parallel
+            { x = 1; }
+            y = 2;
+            """)
+
+    def test_fig13c_monte_carlo(self):
+        # Paper Fig. 13(c) shape: if statement guarding the reduction
+        src = """
+        #pragma acc parallel copyin(x, y)
+        {
+          #pragma acc loop gang vector reduction(+:m)
+          for(i = 0; i < n; i++){
+            if(x[i]*x[i] + y[i]*y[i] < 1.0)
+              m += 1;
+          }
+        }
+        """
+        region = parse_region(src)
+        loop = region.body[0]
+        assert isinstance(loop.body[0], A.CIf)

@@ -1,0 +1,82 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend.lexer import tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind != "EOF"]
+
+
+class TestBasics:
+    def test_identifiers_and_ints(self):
+        assert kinds("foo bar42 7") == [("ID", "foo"), ("ID", "bar42"),
+                                        ("INT", "7")]
+
+    def test_floats(self):
+        toks = kinds("1.5 2.0f .5 1e3")
+        assert [k for k, _ in toks] == ["FLOAT"] * 4
+
+    def test_hex(self):
+        assert kinds("0xFF")[0] == ("INT", "0xFF")
+
+    def test_multichar_operators_longest_match(self):
+        assert [t for _, t in kinds("a<<=b")] == ["a", "<<=", "b"]
+        assert [t for _, t in kinds("a<=b")] == ["a", "<=", "b"]
+        assert [t for _, t in kinds("i++")] == ["i", "++"]
+        assert [t for _, t in kinds("a&&b||c")] == ["a", "&&", "b", "||", "c"]
+
+    def test_punctuation(self):
+        assert [t for _, t in kinds("a[i] = f(x);")] == \
+            ["a", "[", "i", "]", "=", "f", "(", "x", ")", ";"]
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")
+        lines = {t.text: t.line for t in toks if t.kind == "ID"}
+        assert lines == {"a": 1, "b": 2, "c": 4}
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("ID", "a"), ("ID", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("ID", "a"), ("ID", "b")]
+
+    def test_block_comment_preserves_lines(self):
+        toks = tokenize("/* one\ntwo */ b")
+        b = [t for t in toks if t.text == "b"][0]
+        assert b.line == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("a /* never closed")
+
+
+class TestPragmas:
+    def test_pragma_token(self):
+        toks = tokenize("#pragma acc loop gang\nfor")
+        assert toks[0].kind == "PRAGMA"
+        assert toks[0].text == "acc loop gang"
+
+    def test_pragma_continuation(self):
+        src = "#pragma acc parallel \\\n  copyin(input) \\\n  copyout(temp)\nx"
+        toks = tokenize(src)
+        assert toks[0].kind == "PRAGMA"
+        assert "copyin(input)" in toks[0].text
+        assert "copyout(temp)" in toks[0].text
+        assert toks[1].text == "x"
+
+    def test_non_pragma_preprocessor_ignored(self):
+        toks = tokenize("#include <stdio.h>\n#define N 5\nx")
+        assert toks[0].kind == "ID" and toks[0].text == "x"
+
+    def test_indented_pragma(self):
+        toks = tokenize("   #pragma acc loop vector\nfor")
+        assert toks[0].kind == "PRAGMA"

@@ -1,0 +1,171 @@
+"""Property-based frontend tests.
+
+Random expression trees are printed to C, parsed back, compiled through
+the full pipeline, and evaluated both on the simulated device and by
+direct Python evaluation — precedence, associativity and conversion rules
+must agree everywhere.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import acc
+from repro.frontend.cparser import parse_region, parse_statements
+from repro.frontend import ast_nodes as A
+
+# -- random integer expressions over variables a, b, c ----------------------
+
+_BINOPS = ["+", "-", "*", "&", "|", "^", "<<"]
+
+
+def exprs(depth):
+    leaf = st.one_of(
+        st.integers(0, 7).map(lambda v: str(v)),
+        st.sampled_from(["va", "vb", "vc"]),
+    )
+    if depth == 0:
+        return leaf
+    sub = exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(_BINOPS), sub, sub).map(
+            lambda t: f"{t[1]} {t[0]} {t[2]}"),
+        st.tuples(st.sampled_from(_BINOPS), sub, sub).map(
+            lambda t: f"({t[1]} {t[0]} {t[2]})"),
+        sub.map(lambda s: f"-({s})"),
+        sub.map(lambda s: f"~({s})"),
+    )
+
+
+def py_eval(src, va, vb, vc):
+    """Evaluate with C/int32 semantics via numpy."""
+    env = {"va": np.int32(va), "vb": np.int32(vb), "vc": np.int32(vc)}
+    # python's operators match C for + - * & | ^ << on int32 numpy scalars
+    with np.errstate(over="ignore"):
+        return np.int32(eval(src, {"__builtins__": {}}, env))  # noqa: S307
+
+
+class TestExpressionSemantics:
+    @given(src=exprs(3), va=st.integers(0, 7), vb=st.integers(0, 7),
+           vc=st.integers(0, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_parsed_precedence_matches_python(self, src, va, vb, vc):
+        # shifts by huge amounts are UB in C; cap the rhs structurally
+        if "<<" in src:
+            return  # handled separately below with safe operands
+        program = f"""
+        int out[n];
+        #pragma acc parallel copyout(out)
+        #pragma acc loop gang
+        for (i = 0; i < n; i++)
+            out[i] = {src};
+        """
+        prog = acc.compile(program, num_gangs=1, num_workers=1,
+                           vector_length=1)
+        kwargs = {name: val for name, val in
+                  (("va", va), ("vb", vb), ("vc", vc)) if name in src}
+        res = prog.run(out=np.zeros(1, np.int32), **kwargs)
+        assert res.outputs["out"][0] == py_eval(src, va, vb, vc)
+
+    @given(va=st.integers(0, 7), vb=st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_shift_expression(self, va, vb):
+        program = """
+        int out[n];
+        #pragma acc parallel copyout(out)
+        #pragma acc loop gang
+        for (i = 0; i < n; i++)
+            out[i] = (va << vb) + 1;
+        """
+        prog = acc.compile(program, num_gangs=1, num_workers=1,
+                           vector_length=1)
+        res = prog.run(out=np.zeros(1, np.int32), va=va, vb=vb)
+        assert res.outputs["out"][0] == (va << vb) + 1
+
+
+class TestParserRobustness:
+    @given(st.text(
+        alphabet="abcxyz0123456789+-*/%<>=!&|^~?:()[]{};, \n\t.",
+        max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_never_crashes_only_raises_parse_errors(self, junk):
+        from repro.errors import CompileError
+        try:
+            parse_region(junk)
+        except CompileError:
+            pass  # expected: clean rejection
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_integer_literals_roundtrip(self, v):
+        (stmt,) = parse_statements(f"x = {v};")
+        assert isinstance(stmt.value, A.CIntLit) and stmt.value.value == v
+
+    def test_deeply_nested_parentheses(self):
+        depth = 40
+        src = "x = " + "(" * depth + "1" + ")" * depth + ";"
+        (stmt,) = parse_statements(src)
+        assert stmt.value == A.CIntLit(1)
+
+    def test_deeply_nested_loops(self):
+        inner = "x += 1;"
+        for d in range(10):
+            inner = f"for (i{d} = 0; i{d} < 2; i{d}++) {{ {inner} }}"
+        (loop,) = parse_statements(inner)
+        assert isinstance(loop, A.CFor)
+
+
+class TestFrontendEdgeCases:
+    def test_comment_between_pragma_and_loop(self):
+        region = parse_region("""
+        float a[n];
+        #pragma acc parallel copy(a)
+        {
+          #pragma acc loop gang
+          /* the gang loop */
+          for (i = 0; i < n; i++)
+            a[i] = a[i];
+        }
+        """)
+        assert region.body[0].pragma.levels == ("gang",)
+
+    def test_else_if_chain(self):
+        (s,) = parse_statements("""
+        if (x < 1) y = 1;
+        else if (x < 2) y = 2;
+        else y = 3;
+        """)
+        assert isinstance(s.orelse[0], A.CIf)
+
+    def test_hex_literals_in_expressions(self):
+        (s,) = parse_statements("x = 0xFF & mask;")
+        assert s.value.left == A.CIntLit(255)
+
+    def test_unary_plus_dropped(self):
+        (s,) = parse_statements("x = +y;")
+        assert s.value == A.CIdent("y")
+
+    def test_chained_else_binding(self):
+        # else binds to the nearest if
+        (s,) = parse_statements(
+            "if (a < 1) if (b < 1) x = 1; else x = 2;")
+        assert s.orelse == ()
+        assert len(s.then) == 1 and s.then[0].orelse != ()
+
+    def test_empty_statement_tolerated(self):
+        stmts = parse_statements("; x = 1; ;")
+        assert any(isinstance(s, A.CAssign) for s in stmts)
+
+    def test_float_exponent_forms(self):
+        (s,) = parse_statements("x = 1e3 + 2.5e-2;")
+        assert isinstance(s.value.left, A.CFloatLit)
+        assert s.value.left.value == 1000.0
+
+    def test_long_pragma_continuation_chain(self):
+        src = ("#pragma acc parallel \\\n copyin(a) \\\n copyout(b) \\\n"
+               " num_gangs(4)\n{ \n#pragma acc loop gang\n"
+               "for (i=0;i<n;i++) b[i]=a[i]; }")
+        src = "float a[n];\nfloat b[n];\n" + src
+        region = parse_region(src)
+        assert region.info.num_gangs == 4

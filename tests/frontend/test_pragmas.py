@@ -1,0 +1,140 @@
+"""OpenACC directive parser tests."""
+
+import pytest
+
+from repro.errors import DirectiveError
+from repro.frontend.pragmas import (
+    AccLoopInfo, AccRegionInfo, parse_pragma,
+)
+
+
+class TestRegionDirectives:
+    def test_bare_parallel(self):
+        info = parse_pragma("acc parallel")
+        assert isinstance(info, AccRegionInfo)
+        assert info.kind == "parallel"
+        assert info.data == ()
+
+    def test_kernels(self):
+        assert parse_pragma("acc kernels").kind == "kernels"
+
+    def test_data_clauses(self):
+        info = parse_pragma("acc parallel copyin(input) copyout(temp) "
+                            "create(scratch) copy(both)")
+        got = {(d.kind, d.name) for d in info.data}
+        assert got == {("copyin", "input"), ("copyout", "temp"),
+                       ("create", "scratch"), ("copy", "both")}
+
+    def test_multiple_names_per_clause(self):
+        info = parse_pragma("acc parallel copyin(a, b, c)")
+        assert [d.name for d in info.data] == ["a", "b", "c"]
+
+    def test_subarray_ranges_parsed(self):
+        info = parse_pragma("acc parallel copyin(x[0:n])")
+        assert info.data[0].name == "x"
+        assert info.data[0].ranges == (("0", "n"),)
+
+    def test_launch_config(self):
+        info = parse_pragma("acc parallel num_gangs(192) num_workers(8) "
+                            "vector_length(128)")
+        assert (info.num_gangs, info.num_workers, info.vector_length) == \
+            (192, 8, 128)
+
+    def test_prefixed_data_clauses(self):
+        info = parse_pragma("acc parallel pcopyin(a)")
+        assert info.data[0].kind == "copyin"
+
+    def test_present_not_mangled(self):
+        info = parse_pragma("acc parallel present(a)")
+        assert info.data[0].kind == "present"
+
+    def test_reduction_on_parallel_rejected(self):
+        with pytest.raises(DirectiveError, match="loop directive"):
+            parse_pragma("acc parallel reduction(+:sum)")
+
+    def test_unknown_clause(self):
+        with pytest.raises(DirectiveError):
+            parse_pragma("acc parallel async(1)")
+
+    def test_unknown_directive(self):
+        with pytest.raises(DirectiveError):
+            parse_pragma("acc update host(x)")
+
+    def test_non_acc_pragma_returns_none(self):
+        assert parse_pragma("omp parallel for") is None
+
+    def test_combined_parallel_loop(self):
+        info = parse_pragma("acc parallel loop gang vector "
+                            "reduction(max:error) copyin(a)")
+        assert isinstance(info, AccRegionInfo)
+        assert info.combined_loop is not None
+        assert info.combined_loop.levels == ("gang", "vector")
+        assert info.combined_loop.reductions == (("max", "error"),)
+        assert info.data[0].name == "a"
+
+
+class TestLoopDirectives:
+    def test_levels(self):
+        info = parse_pragma("acc loop gang")
+        assert isinstance(info, AccLoopInfo)
+        assert info.levels == ("gang",)
+        assert info.is_parallel
+
+    def test_multi_level_same_line(self):
+        # the paper's "same line gang worker vector" case (Fig. 10)
+        info = parse_pragma("acc loop gang worker vector reduction(+:sum)")
+        assert info.levels == ("gang", "worker", "vector")
+        assert info.reductions == (("+", "sum"),)
+
+    def test_level_order_enforced(self):
+        with pytest.raises(DirectiveError, match="ordered"):
+            parse_pragma("acc loop vector gang")
+
+    def test_duplicate_level_rejected(self):
+        with pytest.raises(DirectiveError, match="duplicate"):
+            parse_pragma("acc loop gang gang")
+
+    def test_seq(self):
+        info = parse_pragma("acc loop seq")
+        assert info.seq and not info.is_parallel
+
+    def test_seq_with_level_rejected(self):
+        with pytest.raises(DirectiveError):
+            parse_pragma("acc loop seq vector")
+
+    @pytest.mark.parametrize("op", ["+", "*", "max", "min", "&", "|", "^",
+                                    "&&", "||"])
+    def test_all_reduction_operators(self, op):
+        info = parse_pragma(f"acc loop vector reduction({op}:x)")
+        assert info.reductions == ((op, "x"),)
+
+    def test_reduction_multiple_vars(self):
+        info = parse_pragma("acc loop vector reduction(+:a,b)")
+        assert info.reductions == (("+", "a"), ("+", "b"))
+
+    def test_multiple_reduction_clauses(self):
+        # §3.3: same clause list, different data types / operators
+        info = parse_pragma("acc loop vector reduction(+:a) reduction(max:b)")
+        assert info.reductions == (("+", "a"), ("max", "b"))
+
+    def test_bad_reduction_operator(self):
+        with pytest.raises(DirectiveError, match="operator"):
+            parse_pragma("acc loop vector reduction(-:x)")
+
+    def test_collapse(self):
+        assert parse_pragma("acc loop gang collapse(2)").collapse == 2
+
+    def test_collapse_requires_positive(self):
+        with pytest.raises(DirectiveError):
+            parse_pragma("acc loop gang collapse(0)")
+
+    def test_private(self):
+        info = parse_pragma("acc loop gang private(x, y)")
+        assert info.private == ("x", "y")
+
+    def test_independent(self):
+        assert parse_pragma("acc loop independent").independent
+
+    def test_unknown_loop_clause(self):
+        with pytest.raises(DirectiveError):
+            parse_pragma("acc loop tile(2)")

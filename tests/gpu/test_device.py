@@ -1,0 +1,75 @@
+"""Tests for the device model: limits, occupancy, validation."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.gpu.device import DeviceProperties, K20C
+
+
+class TestDefaults:
+    def test_k20c_matches_paper_platform(self):
+        # Paper §4: Kepler K20c, 5 GB global memory, 13 SMs (12 usable),
+        # <=16 blocks per SM, 1024 threads per block, warps of 32.
+        assert K20C.warp_size == 32
+        assert K20C.max_threads_per_block == 1024
+        assert K20C.num_sms == 13
+        assert K20C.usable_sms == 12
+        assert K20C.max_blocks_per_sm == 16
+        assert K20C.global_mem_bytes == 5 * 1024**3
+
+    def test_paper_gang_choice_fills_device(self):
+        # The paper chooses 192 gangs = 12 SMs x 16 blocks; with the paper's
+        # 128x8 blocks, occupancy is warp-limited but the grid choice is
+        # about the block-count cap.
+        assert K20C.usable_sms * K20C.max_blocks_per_sm == 192
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            K20C.warp_size = 64  # type: ignore[misc]
+
+    def test_with_overrides(self):
+        d = K20C.with_overrides(kernel_launch_us=0.0)
+        assert d.kernel_launch_us == 0.0
+        assert K20C.kernel_launch_us == 5.0
+        assert d.warp_size == K20C.warp_size
+
+
+class TestValidateBlock:
+    def test_accepts_paper_block_shape(self):
+        K20C.validate_block(128, 8)  # vector 128 x worker 8 = 1024 threads
+
+    def test_rejects_too_many_threads(self):
+        with pytest.raises(ResourceError):
+            K20C.validate_block(256, 8)
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ResourceError):
+            K20C.validate_block(0, 1)
+
+    def test_rejects_oversized_shared(self):
+        with pytest.raises(ResourceError):
+            K20C.validate_block(32, 1, shared_bytes=K20C.shared_mem_per_block + 1)
+
+    def test_accepts_exact_shared_limit(self):
+        K20C.validate_block(32, 1, shared_bytes=K20C.shared_mem_per_block)
+
+
+class TestOccupancy:
+    def test_full_block_is_warp_limited(self):
+        # 1024 threads = 32 warps; 64 warps/SM -> 2 blocks/SM -> 24 device-wide
+        assert K20C.concurrent_blocks(1024, 0) == 24
+
+    def test_small_block_is_block_cap_limited(self):
+        # 32 threads = 1 warp; min(16 blocks, 64 warps) -> 16/SM -> 192
+        assert K20C.concurrent_blocks(32, 0) == 192
+
+    def test_shared_memory_limits_occupancy(self):
+        # 24 KiB/block -> 2 blocks/SM by shared memory
+        assert K20C.concurrent_blocks(32, 24 * 1024) == 24
+
+    def test_at_least_one_block(self):
+        assert K20C.concurrent_blocks(1024, K20C.shared_mem_per_block) >= 1
+
+    def test_scales_with_usable_sms(self):
+        d = DeviceProperties(usable_sms=1)
+        assert d.concurrent_blocks(32, 0) == 16

@@ -1,0 +1,361 @@
+"""Executor tests: SIMT semantics with hand-built kernel IR.
+
+These kernels are written the way the codegen writes them (window-sliding
+``while`` loops per the paper's Fig. 3), so they double as an executable
+specification for the lowering layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.errors import BarrierDivergenceError, SimulationError
+from repro.gpu.device import K20C
+from repro.gpu.executor import CompiledKernel
+from repro.gpu.kernelir import (
+    Assign, AtomicUpdate, Bin, Call, Cast, Comment, Const, GLoad, GStore, If,
+    Kernel, Param, Reg, Select, SLoad, SStore, SharedArraySpec, Special, Sync,
+    UniformWhile, Un, While, const_int, dump,
+)
+from repro.gpu.memory import GlobalMemory
+
+
+def run(kernel, gmem, grid=1, block=(32, 1), params=None, trace=False):
+    return CompiledKernel(kernel, K20C).run(gmem, grid, block, params=params,
+                                            trace=trace)
+
+
+def window_copy_kernel(n_param="N"):
+    """out[i] = in[i] * 2 over a window-sliding grid-stride loop (Fig. 3)."""
+    i = Reg("i")
+    body = (
+        Assign("i", Bin("+", Bin("*", Special("bx"), Special("bdx")),
+                        Special("tx"))),
+        While(Bin("<", i, Param(n_param)), (
+            GLoad("v", "in", i),
+            GStore("out", i, Bin("*", Reg("v"), Const(2, DType.INT))),
+            Assign("i", Bin("+", i, Bin("*", Special("gdx"), Special("bdx")))),
+        )),
+    )
+    return Kernel("copy2x", body, params=(n_param,), buffers=("in", "out"))
+
+
+class TestBasicExecution:
+    def test_window_sliding_copy_exact(self):
+        g = GlobalMemory(K20C)
+        n = 1000  # not a multiple of anything convenient
+        g.alloc("in", n, DType.INT, init=np.arange(n))
+        g.alloc("out", n, DType.INT)
+        run(window_copy_kernel(), g, grid=4, block=(64, 1),
+            params={"N": np.int32(n)})
+        np.testing.assert_array_equal(g["out"].data, np.arange(n) * 2)
+
+    def test_independent_of_thread_count(self):
+        # Paper §2.2: "independent of the number of threads used in each level"
+        n = 257
+        results = []
+        for grid, bdx in [(1, 32), (3, 64), (9, 128), (192, 32)]:
+            g = GlobalMemory(K20C)
+            g.alloc("in", n, DType.INT, init=np.arange(n))
+            g.alloc("out", n, DType.INT)
+            run(window_copy_kernel(), g, grid=grid, block=(bdx, 1),
+                params={"N": np.int32(n)})
+            results.append(g["out"].data.copy())
+        for r in results[1:]:
+            np.testing.assert_array_equal(r, results[0])
+
+    def test_2d_block_indexing(self):
+        # each thread writes its flattened id
+        g = GlobalMemory(K20C)
+        g.alloc("out", 64, DType.INT)
+        k = Kernel("ids", (
+            GStore("out", Special("tid"), Special("tid")),
+        ), buffers=("out",))
+        run(k, g, grid=1, block=(16, 4))
+        np.testing.assert_array_equal(g["out"].data, np.arange(64))
+
+    def test_ty_tx_decomposition(self):
+        g = GlobalMemory(K20C)
+        g.alloc("out", 64, DType.INT)
+        k = Kernel("xy", (
+            GStore("out", Bin("+", Bin("*", Special("ty"), Special("bdx")),
+                              Special("tx")),
+                   Bin("+", Bin("*", Special("ty"), const_int(100)),
+                       Special("tx"))),
+        ), buffers=("out",))
+        run(k, g, grid=1, block=(16, 4))
+        expect = (np.arange(64) // 16) * 100 + np.arange(64) % 16
+        np.testing.assert_array_equal(g["out"].data, expect)
+
+    def test_param_missing_raises(self):
+        g = GlobalMemory(K20C)
+        g.alloc("in", 4, DType.INT)
+        g.alloc("out", 4, DType.INT)
+        with pytest.raises(SimulationError, match="not bound"):
+            run(window_copy_kernel(), g)
+
+    def test_unallocated_buffer_raises(self):
+        g = GlobalMemory(K20C)
+        g.alloc("in", 4, DType.INT)
+        with pytest.raises(SimulationError, match="out"):
+            run(window_copy_kernel(), g, params={"N": np.int32(4)})
+
+    def test_register_read_before_write(self):
+        k = Kernel("bad", (Assign("x", Reg("y")),))
+        with pytest.raises(SimulationError, match="'y'"):
+            run(k, GlobalMemory(K20C))
+
+
+class TestControlFlow:
+    def test_if_masks_both_sides(self):
+        g = GlobalMemory(K20C)
+        g.alloc("out", 32, DType.INT)
+        k = Kernel("branch", (
+            If(Bin("<", Special("tx"), const_int(10)),
+               (GStore("out", Special("tx"), const_int(1)),),
+               (GStore("out", Special("tx"), const_int(2)),)),
+        ), buffers=("out",))
+        stats = run(k, g)
+        expect = np.where(np.arange(32) < 10, 1, 2)
+        np.testing.assert_array_equal(g["out"].data, expect)
+        assert stats.divergent_branches == 1
+
+    def test_uniform_branch_not_divergent(self):
+        g = GlobalMemory(K20C)
+        g.alloc("out", 64, DType.INT)
+        k = Kernel("warpsel", (
+            # condition uniform within each warp: ty < 1 with bdx=32
+            If(Bin("<", Special("ty"), const_int(1)),
+               (GStore("out", Special("tid"), const_int(1)),)),
+        ), buffers=("out",))
+        stats = run(k, g, block=(32, 2))
+        assert stats.divergent_branches == 0
+        assert (g["out"].data[:32] == 1).all() and (g["out"].data[32:] == 0).all()
+
+    def test_nested_if(self):
+        g = GlobalMemory(K20C)
+        g.alloc("out", 32, DType.INT)
+        k = Kernel("nest", (
+            If(Bin("<", Special("tx"), const_int(16)), (
+                If(Bin("<", Special("tx"), const_int(8)),
+                   (GStore("out", Special("tx"), const_int(1)),),
+                   (GStore("out", Special("tx"), const_int(2)),)),
+            )),
+        ), buffers=("out",))
+        run(k, g)
+        tx = np.arange(32)
+        expect = np.where(tx < 8, 1, np.where(tx < 16, 2, 0))
+        np.testing.assert_array_equal(g["out"].data, expect)
+
+    def test_while_per_thread_trip_counts(self):
+        # thread tx iterates tx times accumulating 1 each time
+        g = GlobalMemory(K20C)
+        g.alloc("out", 8, DType.INT)
+        k = Kernel("tri", (
+            Assign("acc", const_int(0)),
+            Assign("i", const_int(0)),
+            While(Bin("<", Reg("i"), Special("tx")), (
+                Assign("acc", Bin("+", Reg("acc"), const_int(1))),
+                Assign("i", Bin("+", Reg("i"), const_int(1))),
+            )),
+            GStore("out", Special("tx"), Reg("acc")),
+        ), buffers=("out",))
+        run(k, g, block=(8, 1))
+        np.testing.assert_array_equal(g["out"].data, np.arange(8))
+
+    def test_uniform_while_keeps_full_mask_for_sync(self):
+        # trip counts differ across threads but sync stays legal
+        g = GlobalMemory(K20C)
+        g.alloc("out", 8, DType.INT)
+        k = Kernel("uw", (
+            Assign("j", Special("tx")),
+            UniformWhile(Bin("<", Reg("j"), const_int(4)), (
+                Sync(),
+                If(Bin("<", Reg("j"), const_int(4)),
+                   (GStore("out", Reg("j"), Reg("j")),)),
+                Assign("j", Bin("+", Reg("j"), Special("bdx"))),
+            )),
+        ), buffers=("out",))
+        stats = run(k, g, block=(8, 1))
+        np.testing.assert_array_equal(g["out"].data[:4], np.arange(4))
+        assert stats.barriers == 1  # max trip count across threads is 1
+
+    def test_sync_under_divergence_raises(self):
+        k = Kernel("badsync", (
+            If(Bin("<", Special("tx"), const_int(4)), (Sync(),)),
+        ))
+        with pytest.raises(BarrierDivergenceError):
+            run(k, GlobalMemory(K20C))
+
+    def test_sync_inside_divergent_while_raises(self):
+        k = Kernel("badsync2", (
+            Assign("i", Special("tx")),
+            While(Bin("<", Reg("i"), const_int(4)), (
+                Sync(),
+                Assign("i", Bin("+", Reg("i"), const_int(1))),
+            )),
+        ))
+        with pytest.raises(BarrierDivergenceError):
+            run(k, GlobalMemory(K20C))
+
+
+class TestSharedAndSync:
+    def test_shared_reverse_via_sync(self):
+        # classic staging: write tx, sync, read reversed
+        g = GlobalMemory(K20C)
+        g.alloc("out", 32, DType.INT)
+        k = Kernel("rev", (
+            SStore("s", Special("tx"), Special("tx")),
+            Sync(),
+            SLoad("v", "s", Bin("-", const_int(31), Special("tx"))),
+            GStore("out", Special("tx"), Reg("v")),
+        ), buffers=("out",), shared=(SharedArraySpec("s", DType.INT, 32),))
+        stats = run(k, g)
+        np.testing.assert_array_equal(g["out"].data, 31 - np.arange(32))
+        assert stats.barriers == 1
+
+    def test_shared_fresh_per_block(self):
+        # block 1 must not observe block 0's shared stores
+        g = GlobalMemory(K20C)
+        g.alloc("out", 2, DType.INT)
+        k = Kernel("fresh", (
+            If(Bin("==", Special("bx"), const_int(0)),
+               (SStore("s", const_int(0), const_int(99)),)),
+            Sync(),
+            SLoad("v", "s", const_int(0)),
+            If(Bin("==", Special("tx"), const_int(0)),
+               (GStore("out", Special("bx"), Reg("v")),)),
+        ), buffers=("out",), shared=(SharedArraySpec("s", DType.INT, 1),))
+        run(k, g, grid=2)
+        np.testing.assert_array_equal(g["out"].data, [99, 0])
+
+
+class TestExpressions:
+    def test_c_integer_division_truncates(self):
+        g = GlobalMemory(K20C)
+        g.alloc("out", 4, DType.INT)
+        k = Kernel("cdiv", (
+            Assign("a", Bin("-", Bin("*", Special("tx"), const_int(4)),
+                            const_int(7))),  # -7, -3, 1, 5
+            GStore("out", Special("tx"), Bin("/", Reg("a"), const_int(2))),
+        ), buffers=("out",))
+        run(k, g, block=(4, 1))
+        np.testing.assert_array_equal(g["out"].data, [-3, -1, 0, 2])
+
+    def test_c_modulo_sign_of_dividend(self):
+        g = GlobalMemory(K20C)
+        g.alloc("out", 4, DType.INT)
+        k = Kernel("cmod", (
+            Assign("a", Bin("-", Bin("*", Special("tx"), const_int(4)),
+                            const_int(7))),
+            GStore("out", Special("tx"), Bin("%", Reg("a"), const_int(3))),
+        ), buffers=("out",))
+        run(k, g, block=(4, 1))
+        np.testing.assert_array_equal(g["out"].data, [-1, 0, 1, 2])
+
+    def test_float_cast_truncates_toward_zero(self):
+        g = GlobalMemory(K20C)
+        g.alloc("out", 2, DType.INT)
+        k = Kernel("cast", (
+            Assign("f", Select(Bin("==", Special("tx"), const_int(0)),
+                               Const(-2.7, DType.FLOAT),
+                               Const(2.7, DType.FLOAT))),
+            GStore("out", Special("tx"), Cast(DType.INT, Reg("f"))),
+        ), buffers=("out",))
+        run(k, g, block=(2, 1))
+        np.testing.assert_array_equal(g["out"].data, [-2, 2])
+
+    def test_intrinsics(self):
+        g = GlobalMemory(K20C)
+        g.alloc("out", 3, DType.DOUBLE)
+        k = Kernel("intr", (
+            GStore("out", const_int(0), Call("fmax", (
+                Const(1.5, DType.DOUBLE), Const(2.5, DType.DOUBLE)))),
+            GStore("out", const_int(1), Call("fabs", (
+                Const(-3.0, DType.DOUBLE),))),
+            GStore("out", const_int(2), Call("sqrt", (
+                Const(9.0, DType.DOUBLE),))),
+        ), buffers=("out",))
+        run(k, g, block=(1, 1))
+        np.testing.assert_allclose(g["out"].data, [2.5, 3.0, 3.0])
+
+    def test_logical_ops(self):
+        g = GlobalMemory(K20C)
+        g.alloc("out", 4, DType.INT)
+        k = Kernel("logic", (
+            Assign("a", Bin("&&", Bin("<", Special("tx"), const_int(2)),
+                            Bin(">", Special("tx"), const_int(0)))),
+            GStore("out", Special("tx"), Cast(DType.INT, Reg("a"))),
+        ), buffers=("out",))
+        run(k, g, block=(4, 1))
+        np.testing.assert_array_equal(g["out"].data, [0, 1, 0, 0])
+
+    def test_unary_ops(self):
+        g = GlobalMemory(K20C)
+        g.alloc("out", 2, DType.INT)
+        k = Kernel("un", (
+            GStore("out", const_int(0), Un("neg", const_int(5))),
+            GStore("out", const_int(1), Un("inv", const_int(0))),
+        ), buffers=("out",))
+        run(k, g, block=(1, 1))
+        np.testing.assert_array_equal(g["out"].data, [-5, -1])
+
+    def test_int32_wraps_like_c(self):
+        g = GlobalMemory(K20C)
+        g.alloc("out", 1, DType.INT)
+        big = Const(2**31 - 1, DType.INT)
+        k = Kernel("wrap", (
+            GStore("out", const_int(0), Bin("+", big, Const(1, DType.INT))),
+        ), buffers=("out",))
+        run(k, g, block=(1, 1))
+        assert g["out"].data[0] == -(2**31)
+
+
+class TestAtomics:
+    def test_atomic_add_combines_all_lanes(self):
+        g = GlobalMemory(K20C)
+        g.alloc("acc", 1, DType.INT)
+        k = Kernel("atom", (
+            AtomicUpdate("acc", const_int(0), "+", const_int(1)),
+        ), buffers=("acc",))
+        run(k, g, grid=3, block=(32, 2))
+        assert g["acc"].data[0] == 3 * 64
+
+    def test_atomic_max(self):
+        g = GlobalMemory(K20C)
+        g.alloc("acc", 1, DType.INT)
+        k = Kernel("atommax", (
+            AtomicUpdate("acc", const_int(0), "max", Special("tid")),
+        ), buffers=("acc",))
+        run(k, g, grid=1, block=(16, 2))
+        assert g["acc"].data[0] == 31
+
+
+class TestStatsAndDump:
+    def test_instruction_slots_scale_with_warps(self):
+        k = Kernel("nop", (Assign("x", const_int(0)),))
+        s1 = run(k, GlobalMemory(K20C), block=(32, 1))
+        s2 = run(k, GlobalMemory(K20C), block=(32, 4))
+        assert s2.warp_inst_slots == 4 * s1.warp_inst_slots
+
+    def test_comment_is_free(self):
+        k1 = Kernel("c1", (Comment("hello"), Assign("x", const_int(0))))
+        k2 = Kernel("c2", (Assign("x", const_int(0)),))
+        s1 = run(k1, GlobalMemory(K20C))
+        s2 = run(k2, GlobalMemory(K20C))
+        assert s1.warp_inst_slots == s2.warp_inst_slots
+
+    def test_trace_collects_events(self):
+        g = GlobalMemory(K20C)
+        g.alloc("in", 32, DType.INT)
+        g.alloc("out", 32, DType.INT)
+        stats = run(window_copy_kernel(), g, params={"N": np.int32(32)},
+                    trace=True)
+        kinds = {e.kind for e in stats.trace}
+        assert "gload" in kinds and "gstore" in kinds
+
+    def test_dump_renders_cuda_like_text(self):
+        text = dump(window_copy_kernel())
+        assert "__global__ void copy2x" in text
+        assert "while" in text and "blockIdx.x" in text
+        assert "gridDim.x" in text

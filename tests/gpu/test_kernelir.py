@@ -1,0 +1,90 @@
+"""Kernel-IR node and pretty-printer tests."""
+
+import pytest
+
+from repro.dtypes import DType
+from repro.gpu import kernelir as K
+
+
+class TestNodes:
+    def test_specials_validated(self):
+        K.Special("tx")
+        with pytest.raises(ValueError):
+            K.Special("threadIdx.z")
+
+    def test_const_int_helper(self):
+        c = K.const_int(7)
+        assert c.value == 7 and c.dtype is DType.INT
+
+    def test_kernels_are_hashable(self):
+        k = K.Kernel("k", (K.Assign("x", K.const_int(1)),))
+        assert hash(k) == hash(k)
+
+    def test_shared_bytes_plain_sum(self):
+        k = K.Kernel("k", (), shared=(
+            K.SharedArraySpec("a", DType.FLOAT, 64),
+            K.SharedArraySpec("b", DType.INT, 32),
+        ))
+        assert k.shared_bytes == 64 * 4 + 32 * 4
+
+    def test_shared_bytes_overlay_counts_max(self):
+        # the §3.3 mixed-dtype sharing: one region, widest dtype wins
+        k = K.Kernel("k", (), shared=(
+            K.SharedArraySpec("i", DType.INT, 128, overlay="red"),
+            K.SharedArraySpec("d", DType.DOUBLE, 128, overlay="red"),
+        ))
+        assert k.shared_bytes == 128 * 8
+
+    def test_shared_bytes_mixed_overlay_and_plain(self):
+        k = K.Kernel("k", (), shared=(
+            K.SharedArraySpec("i", DType.INT, 16, overlay="red"),
+            K.SharedArraySpec("d", DType.DOUBLE, 16, overlay="red"),
+            K.SharedArraySpec("p", DType.FLOAT, 8),
+        ))
+        assert k.shared_bytes == 16 * 8 + 8 * 4
+
+
+class TestDump:
+    def test_every_statement_kind_renders(self):
+        body = (
+            K.Comment("hello"),
+            K.Assign("x", K.Bin("+", K.const_int(1), K.Param("n"))),
+            K.GLoad("v", "buf", K.Special("tx")),
+            K.GStore("buf", K.Special("tx"), K.Reg("v")),
+            K.SLoad("w", "s", K.const_int(0)),
+            K.SStore("s", K.const_int(0), K.Un("neg", K.Reg("w"))),
+            K.If(K.Bin("<", K.Special("tx"), K.const_int(4)),
+                 (K.Sync(),), (K.Assign("y", K.const_int(0)),)),
+            K.While(K.Bin("<", K.Reg("x"), K.const_int(4)),
+                    (K.Assign("x", K.Bin("+", K.Reg("x"), K.const_int(1))),)),
+            K.UniformWhile(K.Bin("<", K.Reg("x"), K.const_int(8)),
+                           (K.Sync(),)),
+            K.AtomicUpdate("buf", K.const_int(0), "+", K.Reg("v")),
+            K.Assign("z", K.Select(K.Bin("==", K.Special("ty"),
+                                         K.const_int(0)),
+                                   K.Call("fabs", (K.Reg("v"),)),
+                                   K.Cast(DType.FLOAT, K.const_int(0)))),
+        )
+        k = K.Kernel("demo", body, params=("n",), buffers=("buf",),
+                     shared=(K.SharedArraySpec("s", DType.FLOAT, 4),),
+                     note="test kernel")
+        text = K.dump(k)
+        for token in ("// hello", "$n", "buf[", "s[", "__syncthreads",
+                      "while (", "while-any (", "atomic buf[0] +=",
+                      "fabs(", "(float)", "? ", "__shared__ float s[4]",
+                      "// test kernel", "else"):
+            assert token in text, f"missing {token!r} in dump"
+
+    def test_unary_spellings(self):
+        assert K._fmt_expr(K.Un("not", K.Reg("a"))) == "!a"
+        assert K._fmt_expr(K.Un("inv", K.Reg("a"))) == "~a"
+        assert K._fmt_expr(K.Un("neg", K.Reg("a"))) == "-a"
+
+    def test_special_spellings_match_cuda(self):
+        # Table 1 of the paper
+        assert K._fmt_expr(K.Special("tx")) == "threadIdx.x"
+        assert K._fmt_expr(K.Special("ty")) == "threadIdx.y"
+        assert K._fmt_expr(K.Special("bx")) == "blockIdx.x"
+        assert K._fmt_expr(K.Special("bdx")) == "blockDim.x"
+        assert K._fmt_expr(K.Special("bdy")) == "blockDim.y"
+        assert K._fmt_expr(K.Special("gdx")) == "gridDim.x"

@@ -1,0 +1,51 @@
+"""Launch-helper tests (compile + run + time in one call)."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.errors import ResourceError, SimulationError
+from repro.gpu import GlobalMemory, K20C, launch
+from repro.gpu.kernelir import (
+    Assign, Bin, GStore, Kernel, Reg, Special, const_int,
+)
+
+
+def ids_kernel():
+    return Kernel("ids", (
+        GStore("out", Bin("+", Bin("*", Special("bx"), Special("ntid")),
+                          Special("tid")),
+               Special("bx")),
+    ), buffers=("out",))
+
+
+class TestLaunch:
+    def test_returns_report_with_timing(self):
+        g = GlobalMemory(K20C)
+        g.alloc("out", 64, DType.INT)
+        rep = launch(ids_kernel(), g, grid_dim=2, block_dim=(16, 2))
+        assert rep.stats.blocks == 2
+        assert rep.modeled_us >= K20C.kernel_launch_us
+        assert rep.modeled_ms == rep.modeled_us / 1000.0
+        np.testing.assert_array_equal(g["out"].data,
+                                      np.repeat([0, 1], 32))
+
+    def test_rejects_bad_grid(self):
+        g = GlobalMemory(K20C)
+        g.alloc("out", 4, DType.INT)
+        with pytest.raises(SimulationError):
+            launch(ids_kernel(), g, grid_dim=0, block_dim=(4, 1))
+
+    def test_rejects_oversized_block(self):
+        g = GlobalMemory(K20C)
+        g.alloc("out", 4, DType.INT)
+        with pytest.raises(ResourceError):
+            launch(ids_kernel(), g, grid_dim=1, block_dim=(2048, 1))
+
+    def test_custom_device_constants_flow_through(self):
+        slow = K20C.with_overrides(kernel_launch_us=100.0)
+        g = GlobalMemory(slow)
+        g.alloc("out", 32, DType.INT)
+        rep = launch(ids_kernel(), g, grid_dim=1, block_dim=(32, 1),
+                     device=slow)
+        assert rep.timing.launch_us == 100.0

@@ -1,0 +1,245 @@
+"""Tests for global/shared memory: semantics and traffic accounting."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.errors import OutOfBoundsError, ResourceError
+from repro.gpu.device import K20C
+from repro.gpu.events import KernelStats
+from repro.gpu.kernelir import SharedArraySpec
+from repro.gpu.memory import GlobalMemory, SharedMemory
+
+
+def make_gmem():
+    return GlobalMemory(K20C)
+
+
+def warp_of(n):
+    return (np.arange(n) // 32).astype(np.int32)
+
+
+class TestAllocation:
+    def test_alloc_and_read_back(self):
+        g = make_gmem()
+        buf = g.alloc("a", 16, DType.FLOAT, init=np.arange(16))
+        assert buf.size == 16
+        np.testing.assert_array_equal(buf.data, np.arange(16, dtype=np.float32))
+
+    def test_alloc_zero_initialized(self):
+        g = make_gmem()
+        buf = g.alloc("z", 8, DType.INT)
+        assert (buf.data == 0).all()
+
+    def test_duplicate_name_rejected(self):
+        g = make_gmem()
+        g.alloc("a", 4, DType.INT)
+        with pytest.raises(ResourceError):
+            g.alloc("a", 4, DType.INT)
+
+    def test_bases_are_aligned_and_disjoint(self):
+        g = make_gmem()
+        a = g.alloc("a", 100, DType.DOUBLE)
+        b = g.alloc("b", 100, DType.INT)
+        assert a.base % 256 == 0 and b.base % 256 == 0
+        assert b.base >= a.base + a.nbytes
+
+    def test_over_allocation_rejected(self):
+        g = make_gmem()
+        with pytest.raises(ResourceError):
+            g.alloc("big", K20C.global_mem_bytes, DType.DOUBLE)
+
+    def test_init_size_mismatch_rejected(self):
+        g = make_gmem()
+        with pytest.raises(ResourceError):
+            g.alloc("a", 4, DType.INT, init=np.arange(5))
+
+    def test_free_allows_realloc(self):
+        g = make_gmem()
+        g.alloc("a", 4, DType.INT)
+        g.free("a")
+        g.alloc("a", 8, DType.INT)
+        assert g["a"].size == 8
+
+    def test_missing_buffer_raises(self):
+        g = make_gmem()
+        with pytest.raises(OutOfBoundsError):
+            g["nope"]
+
+
+class TestGlobalAccess:
+    def test_load_gathers_active_lanes(self):
+        g = make_gmem()
+        g.alloc("a", 64, DType.INT, init=np.arange(64) * 10)
+        idx = np.arange(32)
+        mask = idx % 2 == 0
+        stats = KernelStats()
+        out = g.load("a", idx, mask, warp_of(32), stats)
+        np.testing.assert_array_equal(out[mask], idx[mask] * 10)
+        assert (out[~mask] == 0).all()
+
+    def test_store_scatter(self):
+        g = make_gmem()
+        g.alloc("a", 64, DType.FLOAT)
+        idx = np.arange(32) + 8
+        vals = np.full(32, 2.5, dtype=np.float32)
+        stats = KernelStats()
+        g.store("a", idx, vals, np.ones(32, bool), warp_of(32), stats)
+        assert (g["a"].data[8:40] == 2.5).all()
+        assert (g["a"].data[:8] == 0).all()
+
+    def test_duplicate_store_highest_tid_wins(self):
+        g = make_gmem()
+        g.alloc("a", 4, DType.INT)
+        idx = np.zeros(32, dtype=np.int64)
+        vals = np.arange(32, dtype=np.int32)
+        g.store("a", idx, vals, np.ones(32, bool), warp_of(32), KernelStats())
+        assert g["a"].data[0] == 31  # deterministic last-writer-wins
+
+    def test_out_of_bounds_load(self):
+        g = make_gmem()
+        g.alloc("a", 4, DType.INT)
+        with pytest.raises(OutOfBoundsError):
+            g.load("a", np.array([0, 4]), np.ones(2, bool), warp_of(2),
+                   KernelStats())
+
+    def test_negative_index_rejected(self):
+        g = make_gmem()
+        g.alloc("a", 4, DType.INT)
+        with pytest.raises(OutOfBoundsError):
+            g.store("a", np.array([-1]), np.array([1]), np.ones(1, bool),
+                    warp_of(1), KernelStats())
+
+    def test_masked_out_of_bounds_is_ignored(self):
+        g = make_gmem()
+        g.alloc("a", 4, DType.INT)
+        idx = np.array([0, 99])
+        mask = np.array([True, False])
+        g.load("a", idx, mask, warp_of(2), KernelStats())  # no raise
+
+
+class TestCoalescing:
+    def test_unit_stride_float_is_one_transaction_per_warp(self):
+        # 32 threads x 4 bytes consecutive = 128 bytes = 1 segment
+        g = make_gmem()
+        g.alloc("a", 1024, DType.FLOAT)
+        stats = KernelStats()
+        idx = np.arange(32)
+        g.load("a", idx, np.ones(32, bool), warp_of(32), stats)
+        assert stats.global_transactions == 1
+        assert stats.global_bytes == 32 * 4
+
+    def test_unit_stride_double_is_two_transactions(self):
+        g = make_gmem()
+        g.alloc("a", 1024, DType.DOUBLE)
+        stats = KernelStats()
+        g.load("a", np.arange(32), np.ones(32, bool), warp_of(32), stats)
+        assert stats.global_transactions == 2
+
+    def test_stride_32_floats_hits_32_segments(self):
+        # blocking-style access: each lane in its own 128B segment
+        g = make_gmem()
+        g.alloc("a", 32 * 32, DType.FLOAT)
+        stats = KernelStats()
+        g.load("a", np.arange(32) * 32, np.ones(32, bool), warp_of(32), stats)
+        assert stats.global_transactions == 32
+
+    def test_two_warps_count_independently(self):
+        g = make_gmem()
+        g.alloc("a", 1024, DType.FLOAT)
+        stats = KernelStats()
+        g.load("a", np.arange(64), np.ones(64, bool), warp_of(64), stats)
+        assert stats.global_transactions == 2
+
+    def test_same_element_broadcast_is_one_transaction(self):
+        g = make_gmem()
+        g.alloc("a", 64, DType.FLOAT)
+        stats = KernelStats()
+        g.load("a", np.zeros(32, dtype=np.int64), np.ones(32, bool),
+               warp_of(32), stats)
+        assert stats.global_transactions == 1
+
+    def test_atomic_charges_per_lane(self):
+        g = make_gmem()
+        g.alloc("a", 4, DType.INT)
+        stats = KernelStats()
+        g.atomic_update("a", np.zeros(32, dtype=np.int64),
+                        np.ones(32, dtype=np.int32), np.ones(32, bool),
+                        warp_of(32), stats, np.add)
+        assert g["a"].data[0] == 32  # combines, unlike plain store
+        assert stats.global_transactions == 32
+
+
+def make_smem(specs, stats=None):
+    stats = stats if stats is not None else KernelStats()
+    return SharedMemory(K20C, tuple(specs), stats), stats
+
+
+class TestSharedMemory:
+    def test_store_load_roundtrip(self):
+        sm, _ = make_smem([SharedArraySpec("s", DType.FLOAT, 64)])
+        idx = np.arange(32)
+        vals = idx.astype(np.float32) * 0.5
+        sm.store("s", idx, vals, np.ones(32, bool), warp_of(32))
+        out = sm.load("s", idx, np.ones(32, bool), warp_of(32))
+        np.testing.assert_array_equal(out, vals)
+
+    def test_exceeding_shared_limit_raises(self):
+        with pytest.raises(ResourceError):
+            make_smem([SharedArraySpec("s", DType.DOUBLE,
+                                       K20C.shared_mem_per_block)])
+
+    def test_two_arrays_are_disjoint(self):
+        sm, _ = make_smem([
+            SharedArraySpec("a", DType.INT, 32),
+            SharedArraySpec("b", DType.INT, 32),
+        ])
+        sm.store("a", np.arange(32), np.full(32, 7, np.int32),
+                 np.ones(32, bool), warp_of(32))
+        assert (sm.read_array("b") == 0).all()
+
+    def test_out_of_bounds(self):
+        sm, _ = make_smem([SharedArraySpec("s", DType.INT, 8)])
+        with pytest.raises(OutOfBoundsError):
+            sm.load("s", np.array([8]), np.ones(1, bool), warp_of(1))
+
+    def test_alignment_of_mixed_dtypes(self):
+        # int (4B) followed by double (8B): double array must be 8-aligned
+        sm, _ = make_smem([
+            SharedArraySpec("i", DType.INT, 3),
+            SharedArraySpec("d", DType.DOUBLE, 4),
+        ])
+        assert sm._offsets["d"] % 8 == 0
+
+
+class TestBankConflicts:
+    def test_unit_stride_float_is_conflict_free(self):
+        sm, stats = make_smem([SharedArraySpec("s", DType.FLOAT, 64)])
+        sm.load("s", np.arange(32), np.ones(32, bool), warp_of(32))
+        assert stats.shared_accesses == 1
+        assert stats.bank_conflict_extra == 0
+
+    def test_stride_32_floats_is_32_way_conflict(self):
+        # all 32 lanes hit bank 0 with distinct words
+        sm, stats = make_smem([SharedArraySpec("s", DType.FLOAT, 32 * 32)])
+        sm.load("s", np.arange(32) * 32, np.ones(32, bool), warp_of(32))
+        assert stats.shared_accesses == 32
+        assert stats.bank_conflict_extra == 31
+
+    def test_same_word_broadcast_is_free(self):
+        sm, stats = make_smem([SharedArraySpec("s", DType.FLOAT, 32)])
+        sm.load("s", np.zeros(32, dtype=np.int64), np.ones(32, bool),
+                warp_of(32))
+        assert stats.shared_accesses == 1
+        assert stats.bank_conflict_extra == 0
+
+    def test_stride_2_floats_is_2_way_conflict(self):
+        sm, stats = make_smem([SharedArraySpec("s", DType.FLOAT, 64)])
+        sm.load("s", np.arange(32) * 2, np.ones(32, bool), warp_of(32))
+        assert stats.shared_accesses == 2
+
+    def test_doubles_unit_stride_is_2_way(self):
+        # 8-byte elements span two 4-byte words -> stride-2 word pattern
+        sm, stats = make_smem([SharedArraySpec("s", DType.DOUBLE, 32)])
+        sm.load("s", np.arange(32), np.ones(32, bool), warp_of(32))
+        assert stats.shared_accesses == 2

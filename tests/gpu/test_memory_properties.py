@@ -1,0 +1,97 @@
+"""Property tests on the memory model's accounting invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dtypes import DType
+from repro.gpu.device import K20C
+from repro.gpu.events import KernelStats
+from repro.gpu.kernelir import SharedArraySpec
+from repro.gpu.memory import GlobalMemory, SharedMemory
+
+SIZE = 4096
+
+
+def warp_of(n):
+    return (np.arange(n) // 32).astype(np.int32)
+
+
+class TestGlobalAccounting:
+    @given(
+        idx=st.lists(st.integers(0, SIZE - 1), min_size=1, max_size=128),
+        dtype=st.sampled_from([DType.INT, DType.DOUBLE]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_transaction_bounds(self, idx, dtype):
+        """DRAM fetches are bounded by distinct segments and lane count;
+        total requests never exceed active lanes."""
+        g = GlobalMemory(K20C)
+        g.alloc("a", SIZE, dtype)
+        stats = KernelStats()
+        arr = np.asarray(idx, dtype=np.int64)
+        mask = np.ones(len(idx), dtype=bool)
+        g.load("a", arr, mask, warp_of(len(idx)), stats)
+
+        base = g["a"].base
+        segs = np.unique((base + arr * dtype.itemsize) // 128).size
+        requests = stats.global_transactions + stats.l2_transactions
+        assert stats.global_transactions == segs
+        assert requests >= segs
+        assert requests <= len(idx)
+        assert stats.global_bytes == len(idx) * dtype.itemsize
+        assert stats.dram_bytes == segs * 128
+
+    @given(idx=st.lists(st.integers(0, SIZE - 1), min_size=1, max_size=96))
+    @settings(max_examples=30, deadline=None)
+    def test_statement_reuse_never_increases_dram(self, idx):
+        """Re-executing the same access with a reuse slot costs no new
+        DRAM fetches."""
+        g = GlobalMemory(K20C)
+        g.alloc("a", SIZE, DType.FLOAT)
+        arr = np.asarray(idx, dtype=np.int64)
+        mask = np.ones(len(idx), dtype=bool)
+        cache: dict = {}
+        s1 = KernelStats()
+        g.load("a", arr, mask, warp_of(len(idx)), s1, reuse=(cache, 7))
+        s2 = KernelStats()
+        g.load("a", arr, mask, warp_of(len(idx)), s2, reuse=(cache, 7))
+        assert s2.global_transactions == 0
+        assert s2.l2_transactions == \
+            s1.global_transactions + s1.l2_transactions
+
+    @given(
+        values=st.lists(st.integers(-100, 100), min_size=1, max_size=64),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_store_load_roundtrip(self, values, seed):
+        g = GlobalMemory(K20C)
+        g.alloc("a", SIZE, DType.INT)
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(SIZE, size=len(values), replace=False)
+        vals = np.asarray(values, dtype=np.int32)
+        mask = np.ones(len(values), dtype=bool)
+        g.store("a", idx, vals, mask, warp_of(len(values)), KernelStats())
+        out = g.load("a", idx, mask, warp_of(len(values)), KernelStats())
+        np.testing.assert_array_equal(out, vals)
+
+
+class TestSharedAccounting:
+    @given(idx=st.lists(st.integers(0, 255), min_size=1, max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_conflict_degree_bounds(self, idx):
+        """One warp access serializes between 1 and 32 times, and exactly
+        matches the max distinct-words-per-bank."""
+        stats = KernelStats()
+        sm = SharedMemory(K20C, (SharedArraySpec("s", DType.FLOAT, 256),),
+                          stats)
+        arr = np.asarray(idx, dtype=np.int64)
+        mask = np.ones(len(idx), dtype=bool)
+        sm.load("s", arr, mask, np.zeros(len(idx), dtype=np.int32))
+
+        words = np.unique(arr)  # float32: one word per element
+        banks = words % 32
+        expect = max(np.bincount(banks.astype(int), minlength=32).max(), 1)
+        assert stats.shared_accesses == expect
+        assert 1 <= stats.shared_accesses <= 32
+        assert stats.bank_conflict_extra == expect - 1

@@ -1,0 +1,334 @@
+"""Reduction-span inference and structural validation tests (§3.2.1)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.frontend.cparser import parse_region
+from repro.ir.analysis import analyze_region
+from repro.ir.builder import build_region
+
+
+def plan(src, num_workers=8, vector_length=128, infer=True):
+    region = build_region(parse_region(src))
+    return analyze_region(region, num_workers=num_workers,
+                          vector_length=vector_length, infer_span=infer)
+
+
+TRIPLE = """
+float input[NK][NJ][NI];
+float temp[NK][NJ][NI];
+#pragma acc parallel copyin(input) copyout(temp)
+{{
+  #pragma acc loop gang {gang_red}
+  for(k=0; k<NK; k++){{
+    {gdecl}
+    #pragma acc loop worker {worker_red}
+    for(j=0; j<NJ; j++){{
+      {wdecl}
+      #pragma acc loop vector {vector_red}
+      for(i=0; i<NI; i++)
+        {vbody}
+      {wtail}
+    }}
+    {gtail}
+  }}
+}}
+"""
+
+
+def triple(gang_red="", worker_red="", vector_red="", gdecl="", wdecl="",
+           vbody="temp[k][j][i]=input[k][j][i];", wtail="", gtail=""):
+    return TRIPLE.format(gang_red=gang_red, worker_red=worker_red,
+                         vector_red=vector_red, gdecl=gdecl, wdecl=wdecl,
+                         vbody=vbody, wtail=wtail, gtail=gtail)
+
+
+class TestSingleLevelSpans:
+    def test_vector_only(self):
+        p = plan(triple(wdecl="int i_sum = j;",
+                        vector_red="reduction(+:i_sum)",
+                        vbody="i_sum += input[k][j][i];",
+                        wtail="temp[k][j][0] = i_sum;"))
+        (info,) = p.all_reductions
+        assert info.span == ("vector",)
+        assert info.same_line
+        assert not info.gang_involved
+
+    def test_worker_only(self):
+        p = plan(triple(gdecl="int j_sum = k;",
+                        worker_red="reduction(+:j_sum)",
+                        vbody="temp[k][j][i]=input[k][j][i];",
+                        wtail="j_sum += temp[k][j][0];",
+                        gtail="temp[k][0][0] = j_sum;"))
+        (info,) = p.all_reductions
+        assert info.span == ("worker",)
+
+    def test_gang_only(self):
+        p = plan("""
+        float input[NK][NJ][NI];
+        float temp[NK][NJ][NI];
+        double sum = 0.0;
+        #pragma acc parallel copyin(input) create(temp)
+        {
+          #pragma acc loop gang reduction(+:sum)
+          for(k=0; k<NK; k++){
+            #pragma acc loop worker
+            for(j=0; j<NJ; j++){
+              #pragma acc loop vector
+              for(i=0; i<NI; i++)
+                temp[k][j][i]=input[k][j][i];
+            }
+            sum += temp[k][0][0];
+          }
+        }
+        """)
+        (info,) = p.all_reductions
+        assert info.span == ("gang",)
+        assert info.gang_involved
+
+
+class TestSpanInference:
+    """The paper's Fig. 9: clause on worker, accumulation in vector loop."""
+
+    FIG9 = """
+    float input[NK][NJ][NI];
+    float temp[NK];
+    #pragma acc parallel copyin(input) copyout(temp)
+    {
+      #pragma acc loop gang
+      for(k=0; k<NK; k++){
+        int j_sum = k;
+        #pragma acc loop worker reduction(+:j_sum)
+        for(j=0; j<NJ; j++){
+          #pragma acc loop vector
+          for(i=0; i<NI; i++)
+            j_sum += input[k][j][i];
+        }
+        temp[k] = j_sum;
+      }
+    }
+    """
+
+    def test_openuh_infers_worker_vector_span(self):
+        p = plan(self.FIG9)
+        (info,) = p.all_reductions
+        assert info.span == ("worker", "vector")
+        assert not info.same_line
+
+    def test_without_inference_span_is_clause_only(self):
+        # models compilers that require the clause on every level
+        p = plan(self.FIG9, infer=False)
+        (info,) = p.all_reductions
+        assert info.span == ("worker",)
+
+    def test_clause_on_both_levels_widens_span(self):
+        # CAPS style: reduction clause on both worker and vector loops —
+        # even without inference, explicit clauses declare the full span
+        src = self.FIG9.replace(
+            "#pragma acc loop vector",
+            "#pragma acc loop vector reduction(+:j_sum)")
+        p = plan(src, infer=False)
+        infos = p.all_reductions
+        assert len(infos) == 1  # nested clause folded into the outer plan
+        assert infos[0].span == ("worker", "vector")
+
+    def test_gang_worker_vector_span(self):
+        p = plan("""
+        float input[NK][NJ][NI];
+        int sum = 0;
+        #pragma acc parallel copyin(input)
+        {
+          #pragma acc loop gang reduction(+:sum)
+          for(k=0; k<NK; k++){
+            #pragma acc loop worker
+            for(j=0; j<NJ; j++){
+              #pragma acc loop vector
+              for(i=0; i<NI; i++)
+                sum += input[k][j][i];
+            }
+          }
+        }
+        """)
+        (info,) = p.all_reductions
+        assert info.span == ("gang", "worker", "vector")
+
+    def test_same_line_gang_worker_vector(self):
+        p = plan("""
+        float a[n];
+        int sum = 0;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang worker vector reduction(+:sum)
+        for(i=0; i<n; i++)
+          sum += a[i];
+        """)
+        (info,) = p.all_reductions
+        assert info.span == ("gang", "worker", "vector")
+        assert info.same_line
+
+    def test_accumulation_in_seq_loop_adds_no_levels(self):
+        p = plan("""
+        float a[NK][NJ];
+        int sum = 0;
+        #pragma acc parallel copyin(a)
+        {
+          #pragma acc loop gang reduction(+:sum)
+          for(k=0; k<NK; k++){
+            #pragma acc loop seq
+            for(j=0; j<NJ; j++)
+              sum += a[k][j];
+          }
+        }
+        """)
+        (info,) = p.all_reductions
+        assert info.span == ("gang",)
+
+
+class TestStructuralRules:
+    def test_gang_vector_different_loops_rejected_with_workers(self):
+        src = """
+        float a[NK][NI];
+        int sum = 0;
+        #pragma acc parallel copyin(a)
+        {
+          #pragma acc loop gang reduction(+:sum)
+          for(k=0; k<NK; k++){
+            #pragma acc loop vector
+            for(i=0; i<NI; i++)
+              sum += a[k][i];
+          }
+        }
+        """
+        with pytest.raises(AnalysisError, match="worker"):
+            plan(src, num_workers=8)
+
+    def test_gang_vector_ok_with_single_worker(self):
+        src = """
+        float a[NK][NI];
+        int sum = 0;
+        #pragma acc parallel copyin(a)
+        {
+          #pragma acc loop gang reduction(+:sum)
+          for(k=0; k<NK; k++){
+            #pragma acc loop vector
+            for(i=0; i<NI; i++)
+              sum += a[k][i];
+          }
+        }
+        """
+        p = plan(src, num_workers=1)
+        (info,) = p.all_reductions
+        assert info.span == ("gang", "worker", "vector")
+
+    def test_same_line_gang_vector_allowed(self):
+        # Monte Carlo π shape (Fig. 13(c))
+        p = plan("""
+        float x[n];
+        float y[n];
+        int m = 0;
+        #pragma acc parallel copyin(x,y)
+        #pragma acc loop gang vector reduction(+:m)
+        for(i=0; i<n; i++){
+          if(x[i]*x[i] + y[i]*y[i] < 1.0f)
+            m += 1;
+        }
+        """, num_workers=8)
+        (info,) = p.all_reductions
+        assert set(info.span) == {"gang", "worker", "vector"}
+
+    def test_vector_inside_vector_rejected(self):
+        with pytest.raises(AnalysisError, match="already distributed"):
+            plan("""
+            float a[NK][NI];
+            #pragma acc parallel copyin(a)
+            {
+              #pragma acc loop vector
+              for(k=0; k<NK; k++){
+                #pragma acc loop vector
+                for(i=0; i<NI; i++)
+                  a[k][i] = a[k][i];
+              }
+            }
+            """)
+
+    def test_gang_inside_worker_rejected(self):
+        with pytest.raises(AnalysisError, match="may not nest"):
+            plan("""
+            float a[NK][NI];
+            #pragma acc parallel copyin(a)
+            {
+              #pragma acc loop worker
+              for(k=0; k<NK; k++){
+                #pragma acc loop gang
+                for(i=0; i<NI; i++)
+                  a[k][i] = a[k][i];
+              }
+            }
+            """)
+
+    def test_array_reduction_rejected(self):
+        with pytest.raises(AnalysisError, match="scalar"):
+            plan("""
+            float a[n];
+            #pragma acc parallel copy(a)
+            #pragma acc loop gang reduction(+:a)
+            for(i=0; i<n; i++)
+              a[i] = a[i];
+            """)
+
+    def test_bitwise_reduction_on_float_rejected(self):
+        with pytest.raises(AnalysisError, match="integer"):
+            plan("""
+            float a[n];
+            float s = 0.0f;
+            #pragma acc parallel copyin(a)
+            #pragma acc loop gang vector reduction(&:s)
+            for(i=0; i<n; i++)
+              s += a[i];
+            """)
+
+    def test_undefined_reduction_variable(self):
+        with pytest.raises(AnalysisError, match="never declared"):
+            plan("""
+            float a[n];
+            #pragma acc parallel copyin(a)
+            #pragma acc loop gang reduction(+:ghost)
+            for(i=0; i<n; i++)
+              a[i] = a[i];
+            """)
+
+
+class TestBarrierLoops:
+    def test_vector_finalize_marks_enclosing_loops(self):
+        p = plan(triple(wdecl="int i_sum = j;",
+                        vector_red="reduction(+:i_sum)",
+                        vbody="i_sum += input[k][j][i];",
+                        wtail="temp[k][j][0] = i_sum;"))
+        # gang and worker loops both contain the block-level finalize
+        assert len(p.barrier_loops) == 2
+
+    def test_gang_only_reduction_has_no_barrier_loops(self):
+        p = plan("""
+        float a[NK];
+        int sum = 0;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang reduction(+:sum)
+        for(k=0; k<NK; k++)
+          sum += a[k];
+        """)
+        assert p.barrier_loops == set()
+
+    def test_multiple_reductions_same_loop(self):
+        p = plan("""
+        float a[n];
+        int s1 = 0;
+        int s2 = 1;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang worker vector reduction(+:s1) reduction(*:s2)
+        for(i=0; i<n; i++){
+          s1 += a[i];
+          s2 *= a[i];
+        }
+        """)
+        assert len(p.all_reductions) == 2
+        ops = {r.var: r.op.token for r in p.all_reductions}
+        assert ops == {"s1": "+", "s2": "*"}

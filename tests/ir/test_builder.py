@@ -1,0 +1,234 @@
+"""IR builder tests: symbols, typing, index flattening."""
+
+import pytest
+
+from repro.dtypes import DType
+from repro.errors import AnalysisError
+from repro.frontend.cparser import parse_region
+from repro.ir import nodes as N
+from repro.ir.builder import build_region
+
+
+def build(src, **kw):
+    return build_region(parse_region(src), **kw)
+
+
+FIG4A = """
+float input[NK][NJ][NI];
+float temp[NK][NJ][NI];
+#pragma acc parallel copyin(input) copyout(temp)
+{
+  #pragma acc loop gang
+  for(k=0; k<NK; k++){
+    #pragma acc loop worker
+    for(j=0; j<NJ; j++){
+      int i_sum = j;
+      #pragma acc loop vector reduction(+:i_sum)
+      for(i=0; i<NI; i++)
+        i_sum += input[k][j][i];
+      temp[k][j][0] = i_sum;
+    }
+  }
+}
+"""
+
+
+class TestSymbols:
+    def test_arrays_from_clauses(self):
+        r = build(FIG4A)
+        assert r.array("input").transfer == "copyin"
+        assert r.array("temp").transfer == "copyout"
+        assert r.array("input").dtype is DType.FLOAT
+        assert r.array("input").extents == ("NK", "NJ", "NI")
+
+    def test_extent_scalars_bound_from_shape(self):
+        r = build(FIG4A)
+        nk = r.scalar("NK")
+        assert nk.dtype is DType.INT
+        assert nk.from_shape == ("input", 0)
+
+    def test_free_identifiers_become_int_params(self):
+        r = build("""
+        float a[n];
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang vector reduction(+:m)
+        for(i=0; i<count; i++)
+          m += a[i];
+        """)
+        assert r.scalar("count").dtype is DType.INT
+        assert r.scalar("m").dtype is DType.INT
+
+    def test_preamble_scalar_with_init(self):
+        r = build("""
+        double sum = 0.0;
+        float a[n];
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang reduction(+:sum)
+        for(i=0; i<n; i++)
+          sum += a[i];
+        """)
+        s = r.scalar("sum")
+        assert s.dtype is DType.DOUBLE
+        assert s.init.value == 0.0
+
+    def test_undeclared_clause_array_rejected(self):
+        with pytest.raises(AnalysisError, match="no\\s+declaration"):
+            build("""
+            #pragma acc parallel copyin(mystery)
+            #pragma acc loop gang
+            for(i=0; i<n; i++)
+              x = mystery[i];
+            """)
+
+    def test_array_dtypes_kwarg_declares_flat_array(self):
+        r = build("""
+        #pragma acc parallel copyin(A)
+        #pragma acc loop gang vector reduction(+:c)
+        for(i=0; i<n; i++)
+          c += A[i];
+        """, array_dtypes={"A": "float", "c": "float"} if False else
+            {"A": "float"})
+        assert r.array("A").dtype is DType.FLOAT
+        assert r.array("A").extents == ()
+
+    def test_undeclared_preamble_array_defaults_to_copy(self):
+        r = build("""
+        float extra[n];
+        float a[n];
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang
+        for(i=0; i<n; i++)
+          extra[i] = a[i];
+        """)
+        assert r.array("extra").transfer == "copy"
+
+    def test_launch_config_from_directive(self):
+        r = build("""
+        float a[n];
+        #pragma acc parallel copyin(a) num_gangs(64) num_workers(4) \\
+            vector_length(32)
+        #pragma acc loop gang
+        for(i=0; i<n; i++)
+          a[i] = a[i];
+        """)
+        assert (r.num_gangs, r.num_workers, r.vector_length) == (64, 4, 32)
+
+
+class TestTyping:
+    def test_index_flattening_row_major(self):
+        r = build(FIG4A)
+        gang = r.body[0]
+        worker = gang.body[0]
+        vec = worker.body[1]
+        accum = vec.body[0]
+        # i_sum = i_sum + input[(k*NJ + j)*NI + i]
+        ref = accum.value.b if isinstance(accum.value, N.IBin) else None
+        # find the array ref
+        refs = []
+
+        def scan(e):
+            if isinstance(e, N.IArrayRef):
+                refs.append(e)
+            for f in ("a", "b", "cond"):
+                if hasattr(e, f):
+                    scan(getattr(e, f))
+            if hasattr(e, "args"):
+                for a in e.args:
+                    scan(a)
+        scan(accum.value)
+        assert len(refs) == 1
+        idx = refs[0].index
+        assert isinstance(idx, N.IBin) and idx.op == "+"
+        assert idx.dtype is DType.INT
+
+    def test_mixed_int_float_accumulation_casts(self):
+        r = build(FIG4A)
+        worker = r.body[0].body[0]
+        decl = worker.body[0]
+        assert isinstance(decl, N.IDecl)
+        assert decl.dtype is DType.INT  # int i_sum = j;
+        accum = worker.body[1].body[0]
+        # i_sum (int) += input[...] (float): value cast back to int
+        assert accum.target.dtype is DType.INT
+        assert accum.value.dtype is DType.INT
+
+    def test_double_literal_vs_float_literal(self):
+        r = build("""
+        float a[n];
+        double d = 0.0;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang vector reduction(+:d)
+        for(i=0; i<n; i++)
+          d += a[i] * 2.0;
+        """)
+        loop = r.body[0]
+        accum = loop.body[0]
+        assert accum.value.dtype is DType.DOUBLE
+
+    def test_comparison_yields_bool(self):
+        r = build("""
+        float x[n];
+        float y[n];
+        #pragma acc parallel copyin(x, y)
+        #pragma acc loop gang vector reduction(+:m)
+        for(i=0; i<n; i++){
+          if(x[i]*x[i] + y[i]*y[i] < 1.0)
+            m += 1;
+        }
+        """)
+        iff = r.body[0].body[0]
+        assert isinstance(iff, N.IIf)
+        assert iff.cond.dtype is DType.BOOL
+
+    def test_modulo_on_float_rejected(self):
+        with pytest.raises(AnalysisError, match="fmod|integer"):
+            build("""
+            float a[n];
+            #pragma acc parallel copyin(a)
+            #pragma acc loop gang
+            for(i=0; i<n; i++)
+              a[i] = a[i] % 2.0;
+            """)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown function"):
+            build("""
+            float a[n];
+            #pragma acc parallel copyin(a)
+            #pragma acc loop gang
+            for(i=0; i<n; i++)
+              a[i] = mystery_fn(a[i]);
+            """)
+
+    def test_rand_rejected_with_guidance(self):
+        with pytest.raises(AnalysisError, match="host"):
+            build("""
+            float a[n];
+            #pragma acc parallel copyin(a)
+            #pragma acc loop gang
+            for(i=0; i<n; i++)
+              a[i] = rand();
+            """)
+
+    def test_wrong_subscript_count(self):
+        with pytest.raises(AnalysisError, match="dimension"):
+            build("""
+            float a[NK][NJ];
+            #pragma acc parallel copyin(a)
+            #pragma acc loop gang
+            for(i=0; i<NK; i++)
+              x = a[i];
+            """)
+
+    def test_array_decl_inside_region_rejected(self):
+        with pytest.raises(AnalysisError, match="inside the compute region"):
+            build("""
+            float a[n];
+            #pragma acc parallel copyin(a)
+            {
+              float scratch[4];
+              #pragma acc loop gang
+              for(i=0; i<n; i++)
+                a[i] = a[i];
+            }
+            """)

@@ -1,0 +1,157 @@
+"""Host-interpreter tests: the sequential C-semantics oracle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeDataError
+from repro.frontend.cparser import parse_region
+from repro.ir.builder import build_region
+from repro.ir.interp import run_host
+
+
+def host(src, **kw):
+    return run_host(build_region(parse_region(src)), **kw)
+
+
+class TestBasics:
+    def test_simple_sum(self):
+        r = host("""
+        float a[n];
+        long total = 0;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang vector reduction(+:total)
+        for (i = 0; i < n; i++)
+            total += a[i];
+        """, a=np.arange(100, dtype=np.float32))
+        assert r.scalars["total"] == 4950
+
+    def test_array_output(self):
+        r = host("""
+        float a[n];
+        float b[n];
+        #pragma acc parallel copyin(a) copyout(b)
+        #pragma acc loop gang
+        for (i = 0; i < n; i++)
+            b[i] = a[i] * 2.0f + 1.0f;
+        """, a=np.arange(8, dtype=np.float32), b=np.zeros(8, np.float32))
+        np.testing.assert_allclose(r.arrays["b"],
+                                   np.arange(8) * 2.0 + 1.0)
+
+    def test_copyout_starts_zeroed(self):
+        r = host("""
+        float a[n];
+        float b[n];
+        #pragma acc parallel copyin(a) copyout(b)
+        #pragma acc loop gang
+        for (i = 0; i < n; i++)
+            b[0] = a[0];
+        """, a=np.ones(4, np.float32), b=np.full(4, 9.0, np.float32))
+        # entries never written must be 0 (device buffers are zero-alloc'd)
+        np.testing.assert_allclose(r.arrays["b"], [1, 0, 0, 0])
+
+    def test_int_wraparound_matches_c(self):
+        r = host("""
+        int a[n];
+        int p = 1;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang reduction(*:p)
+        for (i = 0; i < n; i++)
+            p *= a[i];
+        """, a=np.full(40, 3, np.int32))
+        expect = np.int32(1)
+        with np.errstate(over="ignore"):
+            for _ in range(40):
+                expect = np.int32(expect * 3)
+        assert r.scalars["p"] == expect
+
+    def test_nested_loops_and_if(self):
+        r = host("""
+        int a[NK][NI];
+        int cnt = 0;
+        #pragma acc parallel copyin(a)
+        {
+          #pragma acc loop gang reduction(+:cnt)
+          for (k = 0; k < NK; k++) {
+            #pragma acc loop vector
+            for (i = 0; i < NI; i++) {
+              if (a[k][i] > 2)
+                cnt += 1;
+            }
+          }
+        }
+        """, a=np.arange(12).reshape(3, 4).astype(np.int32))
+        assert r.scalars["cnt"] == int((np.arange(12) > 2).sum())
+
+    def test_intrinsics(self):
+        r = host("""
+        double a[n];
+        double m = 0.0;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang reduction(max:m)
+        for (i = 0; i < n; i++)
+            m = fmax(m, fabs(a[i]));
+        """, a=np.array([1.0, -7.5, 3.0]))
+        assert r.scalars["m"] == 7.5
+
+    def test_missing_array_raises(self):
+        with pytest.raises(RuntimeDataError):
+            host("""
+            float a[n];
+            #pragma acc parallel copyin(a)
+            #pragma acc loop gang
+            for (i = 0; i < n; i++)
+                a[i] = a[i];
+            """)
+
+    def test_out_of_bounds_detected(self):
+        with pytest.raises(RuntimeDataError, match="out of bounds"):
+            host("""
+            float a[n];
+            #pragma acc parallel copy(a)
+            #pragma acc loop gang
+            for (i = 0; i < n; i++)
+                a[i + 1] = a[i];
+            """, a=np.ones(4, np.float32))
+
+    def test_inputs_not_mutated(self):
+        a = np.ones(4, np.float32)
+        host("""
+        float a[n];
+        #pragma acc parallel copy(a)
+        #pragma acc loop gang
+        for (i = 0; i < n; i++)
+            a[i] = 5.0f;
+        """, a=a)
+        assert (a == 1).all()
+
+
+class TestAgainstSimulator:
+    """The oracle and the device agree on every testsuite case."""
+
+    @pytest.mark.parametrize("position", [
+        "gang", "worker", "vector", "gang worker", "worker vector",
+        "gang worker vector", "same line gang worker vector",
+    ])
+    @pytest.mark.parametrize("op", ["+", "*"])
+    def test_testsuite_cases(self, position, op):
+        from repro import acc
+        from repro.frontend.cparser import parse_region
+        from repro.ir.builder import build_region
+        from repro.testsuite.cases import make_case
+
+        case = make_case(position, op, "int", size=192)
+        region = build_region(parse_region(case.source))
+        rng = np.random.default_rng(11)
+        inputs = case.make_inputs(rng)
+
+        ref = run_host(region, **inputs)
+        prog = acc.compile(case.source, num_gangs=4, num_workers=2,
+                           vector_length=32)
+        res = prog.run(**inputs)
+
+        for kind, name, _ in case.expected(inputs):
+            if kind == "scalar":
+                assert res.scalars[name] == ref.scalars[name]
+            else:
+                np.testing.assert_array_equal(res.outputs[name],
+                                              ref.arrays[name])

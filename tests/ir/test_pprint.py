@@ -1,0 +1,86 @@
+"""IR pretty-printer tests."""
+
+from repro.frontend.cparser import parse_region
+from repro.ir.analysis import analyze_region
+from repro.ir.builder import build_region
+from repro.ir.pprint import format_plan, format_region
+
+SRC = """
+float input[NK][NI];
+float out[NK];
+double s = 2.5;
+#pragma acc parallel copyin(input) copyout(out) num_gangs(8)
+{
+  #pragma acc loop gang
+  for (k = 0; k < NK; k++) {
+    float row = 0.0f;
+    #pragma acc loop vector reduction(+:row)
+    for (i = 0; i < NI; i++) {
+      if (input[k][i] > 0.0f)
+        row += input[k][i];
+    }
+    out[k] = row;
+  }
+}
+"""
+
+
+class TestFormatRegion:
+    def test_symbol_tables(self):
+        text = format_region(build_region(parse_region(SRC)))
+        assert "float input[NKxNI]  (copyin)" in text
+        assert "float out[NK]  (copyout)" in text
+        assert "int NK  <- shape of input[0]" in text
+        assert "double s  init 2.5" in text
+        assert "launch: gangs=8" in text
+
+    def test_loop_annotations(self):
+        text = format_region(build_region(parse_region(SRC)))
+        assert "[gang]" in text
+        assert "[vector reduction(+:row)]" in text
+
+    def test_statements_render(self):
+        text = format_region(build_region(parse_region(SRC)))
+        assert "float row = 0.0f;" in text
+        assert "if ((input[((k * NI) + i)] > 0.0f))" in text
+        assert "out[k] = row;" in text
+
+    def test_unannotated_marker(self):
+        src = SRC.replace("#pragma acc loop vector reduction(+:row)\n", "")
+        text = format_region(build_region(parse_region(src)))
+        assert "[unannotated]" in text
+
+
+class TestFormatPlan:
+    def test_plan_rendering(self):
+        region = build_region(parse_region(SRC))
+        plan = analyze_region(region, num_workers=1, vector_length=64)
+        text = format_plan(plan)
+        assert "row: op '+'" in text
+        assert "span vector" in text
+        assert "lock-step loops" in text
+
+    def test_no_reductions(self):
+        src = """
+        float a[n];
+        #pragma acc parallel copy(a)
+        #pragma acc loop gang
+        for (i = 0; i < n; i++)
+            a[i] = a[i];
+        """
+        region = build_region(parse_region(src))
+        plan = analyze_region(region, num_workers=1, vector_length=32)
+        assert "(no reductions)" in format_plan(plan)
+
+    def test_padded_levels_shown(self):
+        src = """
+        float a[n];
+        long s = 0;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang vector reduction(+:s)
+        for (i = 0; i < n; i++)
+            s += a[i];
+        """
+        region = build_region(parse_region(src))
+        plan = analyze_region(region, num_workers=8, vector_length=32)
+        assert "padded: worker" in format_plan(plan)

@@ -1,0 +1,112 @@
+"""Compiler-driver CLI tests (``python -m repro``)."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main, _parse_array_spec
+
+VECSUM = """
+float a[n];
+long total = 0;
+#pragma acc parallel copyin(a)
+#pragma acc loop gang worker vector reduction(+:total)
+for (i = 0; i < n; i++)
+    total += a[i];
+"""
+
+
+@pytest.fixture
+def vecsum_file(tmp_path):
+    p = tmp_path / "vecsum.c"
+    p.write_text(VECSUM)
+    return str(p)
+
+
+class TestArraySpecs:
+    def test_synthesized_kinds(self):
+        name, arr = _parse_array_spec("a=arange:8:float")
+        assert name == "a" and arr.dtype == np.float32
+        np.testing.assert_array_equal(arr, np.arange(8))
+        _, z = _parse_array_spec("z=zeros:2x3:double")
+        assert z.shape == (2, 3) and (z == 0).all()
+        _, o = _parse_array_spec("o=ones:4:int")
+        assert o.dtype == np.int32 and (o == 1).all()
+
+    def test_npy_file(self, tmp_path):
+        f = tmp_path / "data.npy"
+        np.save(f, np.arange(5))
+        name, arr = _parse_array_spec(f"x={f}")
+        assert name == "x" and arr.sum() == 10
+
+    def test_bad_specs(self):
+        with pytest.raises(SystemExit):
+            _parse_array_spec("missing-equals")
+        with pytest.raises(SystemExit):
+            _parse_array_spec("a=whatever:8:float")
+        with pytest.raises(SystemExit):
+            _parse_array_spec("a=zeros:8")
+
+
+class TestCompileCommand:
+    def test_dump_everything(self, vecsum_file, capsys):
+        rc = main(["compile", vecsum_file, "--dump-ir", "--dump-plan",
+                   "--dump-kernels", "--num-gangs", "4",
+                   "--num-workers", "2", "--vector-length", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "region kind=parallel" in out
+        assert "reduction plan" in out
+        assert "span gang & worker & vector" in out
+        assert "__global__" in out
+        assert "4x2x32" in out
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        p = tmp_path / "bad.c"
+        p.write_text("int x = ;")
+        rc = main(["compile", str(p)])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    def test_run_with_synthesized_data(self, vecsum_file, capsys):
+        rc = main(["run", vecsum_file, "--array", "a=arange:100:float",
+                   "--num-gangs", "4", "--num-workers", "2",
+                   "--vector-length", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scalar total = 4950" in out
+        assert "modeled:" in out
+
+    def test_run_under_baseline_profile(self, vecsum_file, capsys):
+        rc = main(["run", vecsum_file, "--compiler", "vendor-b",
+                   "--array", "a=ones:64:float", "--num-gangs", "2",
+                   "--num-workers", "2", "--vector-length", "32"])
+        assert rc == 0
+        assert "scalar total = 64" in capsys.readouterr().out
+
+    def test_save_outputs(self, tmp_path, capsys, monkeypatch):
+        src = tmp_path / "copy.c"
+        src.write_text("""
+        float a[n];
+        float b[n];
+        #pragma acc parallel copyin(a) copyout(b)
+        #pragma acc loop gang vector
+        for (i = 0; i < n; i++)
+            b[i] = a[i] * 2.0f;
+        """)
+        monkeypatch.chdir(tmp_path)
+        rc = main(["run", str(src), "--array", "a=arange:16:float",
+                   "--array", "b=zeros:16:float", "--save",
+                   "--num-gangs", "2", "--num-workers", "1",
+                   "--vector-length", "32"])
+        assert rc == 0
+        saved = np.load(tmp_path / "b.npy")
+        np.testing.assert_allclose(saved, np.arange(16) * 2)
+
+
+class TestBenchPassthrough:
+    def test_table2_quick(self, capsys):
+        rc = main(["table2", "--quick", "--ops", "+", "--ctypes", "int"])
+        assert rc == 0
+        assert "Table 2" in capsys.readouterr().out

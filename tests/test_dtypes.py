@@ -1,0 +1,59 @@
+"""Scalar type-system tests: C-style mappings and promotions."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import (
+    DType, ctype_to_dtype, from_numpy, is_float, is_integer, promote,
+)
+
+
+class TestMapping:
+    @pytest.mark.parametrize("ctype,np_dtype,size", [
+        ("int", np.int32, 4), ("long", np.int64, 8),
+        ("float", np.float32, 4), ("double", np.float64, 8),
+    ])
+    def test_lp64_mapping(self, ctype, np_dtype, size):
+        dt = ctype_to_dtype(ctype)
+        assert dt.np == np.dtype(np_dtype)
+        assert dt.itemsize == size
+        assert dt.ctype == ctype
+
+    def test_unsigned_models_as_int(self):
+        assert ctype_to_dtype("unsigned") is DType.INT
+
+    def test_roundtrip_from_numpy(self):
+        for dt in (DType.INT, DType.LONG, DType.FLOAT, DType.DOUBLE):
+            assert from_numpy(dt.np) is dt
+
+    def test_unknown_ctype(self):
+        with pytest.raises(KeyError):
+            ctype_to_dtype("size_t")
+
+
+class TestPromotion:
+    """C's usual arithmetic conversions — NOT NumPy's value-based rules."""
+
+    def test_int_float_is_float_not_double(self):
+        # NumPy would say float64; C says float
+        assert promote(DType.INT, DType.FLOAT) is DType.FLOAT
+        assert promote(DType.LONG, DType.FLOAT) is DType.FLOAT
+
+    def test_rank_ladder(self):
+        assert promote(DType.INT, DType.LONG) is DType.LONG
+        assert promote(DType.FLOAT, DType.DOUBLE) is DType.DOUBLE
+        assert promote(DType.INT, DType.DOUBLE) is DType.DOUBLE
+
+    def test_symmetric(self):
+        for a in (DType.INT, DType.LONG, DType.FLOAT, DType.DOUBLE):
+            for b in (DType.INT, DType.LONG, DType.FLOAT, DType.DOUBLE):
+                assert promote(a, b) is promote(b, a)
+
+    def test_bool_promotes_to_int(self):
+        assert promote(DType.BOOL, DType.BOOL) is DType.INT
+        assert promote(DType.BOOL, DType.INT) is DType.INT
+
+    def test_predicates(self):
+        assert is_integer(DType.INT) and is_integer(DType.LONG)
+        assert not is_integer(DType.FLOAT)
+        assert is_float(DType.DOUBLE) and not is_float(DType.LONG)

@@ -1,0 +1,88 @@
+"""Exception-hierarchy tests: every layer raises catchable ReproErrors."""
+
+import numpy as np
+import pytest
+
+from repro import acc
+from repro.errors import (
+    AnalysisError, BarrierDivergenceError, CompileError, DirectiveError,
+    LoweringError, OutOfBoundsError, ParseError, ReproError, ResourceError,
+    RuntimeDataError, SimulationError, UnsupportedReductionError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        CompileError, ParseError, DirectiveError, AnalysisError,
+        UnsupportedReductionError, LoweringError, SimulationError,
+        BarrierDivergenceError, OutOfBoundsError, ResourceError,
+        RuntimeDataError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    @pytest.mark.parametrize("exc", [
+        ParseError, DirectiveError, AnalysisError,
+        UnsupportedReductionError, LoweringError,
+    ])
+    def test_compile_time_family(self, exc):
+        assert issubclass(exc, CompileError)
+
+    def test_parse_error_location(self):
+        e = ParseError("bad token", line=3, col=7)
+        assert "line 3" in str(e) and "col 7" in str(e)
+        assert (e.line, e.col) == (3, 7)
+
+
+class TestOneCatchSiteSuffices:
+    """A driver that catches CompileError handles every front/mid-end
+    failure; catching ReproError handles everything."""
+
+    @pytest.mark.parametrize("src", [
+        "int x = ;",                                 # syntax
+        "#pragma acc parallel async(1)\n{ x = 1; }",  # directive
+        # semantic: reduction variable never defined
+        """
+        float a[n];
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang reduction(+:ghost)
+        for (i = 0; i < n; i++)
+            a[i] = a[i];
+        """,
+    ])
+    def test_compile_errors(self, src):
+        with pytest.raises(CompileError):
+            acc.compile(src)
+
+    def test_runtime_errors(self):
+        prog = acc.compile("""
+        float a[n];
+        #pragma acc parallel copy(a)
+        #pragma acc loop gang
+        for (i = 0; i < n; i++)
+            a[i] = a[i];
+        """, num_gangs=2, num_workers=1, vector_length=32)
+        with pytest.raises(ReproError):
+            prog.run()  # missing array
+
+    def test_launch_config_errors_are_compile_errors(self):
+        with pytest.raises(CompileError, match="threads per block"):
+            acc.compile("""
+            float a[n];
+            #pragma acc parallel copy(a)
+            #pragma acc loop gang
+            for (i = 0; i < n; i++)
+                a[i] = a[i];
+            """, num_workers=16, vector_length=128)
+
+    def test_device_oob_is_simulation_error(self):
+        prog = acc.compile("""
+        float a[n];
+        float b[m];
+        #pragma acc parallel copyin(a) copyout(b)
+        #pragma acc loop gang
+        for (i = 0; i < n; i++)
+            b[i] = a[i];
+        """, num_gangs=2, num_workers=1, vector_length=32)
+        with pytest.raises(SimulationError):
+            prog.run(a=np.ones(8, np.float32), b=np.ones(4, np.float32))

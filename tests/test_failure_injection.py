@@ -1,0 +1,145 @@
+"""Failure-injection tests: break things on purpose, watch the right layer
+object.  The value of a simulator over real hardware is that violations are
+*detected*, not silently absorbed."""
+
+import numpy as np
+import pytest
+
+from repro import acc
+from repro.dtypes import DType
+from repro.errors import (
+    BarrierDivergenceError, OutOfBoundsError, SimulationError,
+)
+from repro.gpu import GlobalMemory, K20C
+from repro.gpu.executor import CompiledKernel
+from repro.gpu import kernelir as K
+
+
+class TestBrokenKernels:
+    def test_handwritten_divergent_barrier_detected(self):
+        # a lowering that forgot the uniform-loop transform: barrier inside
+        # a per-thread loop whose trip count differs across threads
+        kern = K.Kernel("bad", (
+            K.Assign("i", K.Special("tx")),
+            K.While(K.Bin("<", K.Reg("i"), K.const_int(3)), (
+                K.Sync(),
+                K.Assign("i", K.Bin("+", K.Reg("i"), K.const_int(1))),
+            )),
+        ))
+        with pytest.raises(BarrierDivergenceError):
+            CompiledKernel(kern, K20C).run(GlobalMemory(K20C), 1, (8, 1))
+
+    def test_unknown_intrinsic_rejected_at_closure_compile(self):
+        kern = K.Kernel("bad", (
+            K.Assign("x", K.Call("erf", (K.const_int(1),))),
+        ))
+        with pytest.raises(SimulationError, match="erf"):
+            CompiledKernel(kern, K20C)
+
+    def test_unknown_binop_rejected(self):
+        kern = K.Kernel("bad", (
+            K.Assign("x", K.Bin("**", K.const_int(2), K.const_int(3))),
+        ))
+        with pytest.raises(SimulationError, match=r"\*\*"):
+            CompiledKernel(kern, K20C)
+
+    def test_scatter_past_end_of_scratch_detected(self):
+        kern = K.Kernel("bad", (
+            K.GStore("buf", K.Special("tid"), K.const_int(1)),
+        ), buffers=("buf",))
+        g = GlobalMemory(K20C)
+        g.alloc("buf", 16, DType.INT)  # 32 threads, 16 slots
+        with pytest.raises(OutOfBoundsError):
+            CompiledKernel(kern, K20C).run(g, 1, (32, 1))
+
+
+class TestPoisonedData:
+    SRC_MAX = """
+    double a[n];
+    double m = 0.0;
+    #pragma acc parallel copyin(a)
+    #pragma acc loop gang vector reduction(max:m)
+    for (i = 0; i < n; i++)
+        m = fmax(m, a[i]);
+    """
+
+    def test_nan_ignored_by_fmax_like_c(self):
+        prog = acc.compile(self.SRC_MAX, num_gangs=2, num_workers=1,
+                           vector_length=32)
+        a = np.array([1.0, np.nan, 5.0, np.nan, 2.0])
+        res = prog.run(a=a)
+        assert res.scalars["m"] == 5.0  # C fmax ignores NaN operands
+
+    def test_infinities_propagate(self):
+        prog = acc.compile(self.SRC_MAX, num_gangs=2, num_workers=1,
+                           vector_length=32)
+        a = np.array([1.0, np.inf, 2.0])
+        assert np.isinf(prog.run(a=a).scalars["m"])
+
+    def test_float_overflow_saturates_to_inf(self):
+        src = """
+        float a[n];
+        float p = 1.0f;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang vector reduction(*:p)
+        for (i = 0; i < n; i++)
+            p *= a[i];
+        """
+        prog = acc.compile(src, num_gangs=2, num_workers=1,
+                           vector_length=32)
+        a = np.full(64, 1e30, np.float32)
+        assert np.isinf(prog.run(a=a).scalars["p"])
+
+    def test_int_overflow_wraps_deterministically(self):
+        src = """
+        int a[n];
+        int s = 0;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang vector reduction(+:s)
+        for (i = 0; i < n; i++)
+            s += a[i];
+        """
+        prog = acc.compile(src, num_gangs=2, num_workers=1,
+                           vector_length=32)
+        a = np.full(4, 2**30, np.int32)
+        got = prog.run(a=a).scalars["s"]
+        assert got == np.int32(4 * 2**30 - 2**32)  # wrapped, like C
+
+
+class TestDefectFlagsAreMechanistic:
+    """The modeled vendor defects must be *executed*, not declared."""
+
+    def test_layout_bug_produces_specific_wrong_numbers(self):
+        # the Fig. 4(a) shape: per-worker rows hold *different* partials,
+        # so the transposed-store/row-reduce mismatch mixes them up
+        from repro.testsuite.cases import make_case
+        case = make_case("vector", "+", "int", size=256)
+        inputs = case.make_inputs(np.random.default_rng(5))
+        geom = dict(num_gangs=2, num_workers=4, vector_length=32)
+
+        good = acc.compile(case.source, **geom).run(**inputs)
+        bad = acc.compile(case.source, **geom,
+                          bug_sum_layout_mismatch=True).run(**inputs)
+        (kind, name, expect) = case.expected(inputs)[0]
+        np.testing.assert_array_equal(good.outputs[name], expect)
+        assert not np.array_equal(bad.outputs[name], expect)
+        # deterministic: the same wrong numbers every run
+        again = acc.compile(case.source, **geom,
+                            bug_sum_layout_mismatch=True).run(**inputs)
+        np.testing.assert_array_equal(bad.outputs[name],
+                                      again.outputs[name])
+
+    def test_bug_is_harmless_when_bdy_is_one(self):
+        # the defect's trigger condition, verified from the other side
+        src = """
+        float a[n];
+        long s = 0;
+        #pragma acc parallel copyin(a)
+        #pragma acc loop gang vector reduction(+:s)
+        for (i = 0; i < n; i++)
+            s += a[i];
+        """
+        prog = acc.compile(src, num_gangs=2, num_workers=1,
+                           vector_length=32, bug_sum_layout_mismatch=True)
+        a = np.ones(100, np.float32)
+        assert prog.run(a=a).scalars["s"] == 100

@@ -1,0 +1,114 @@
+"""Property tests on the cost model's sanity: modeled time behaves like
+time (monotone in work, decreasing in parallelism, additive in launches)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import acc
+
+SUM_SRC = """
+float a[n];
+long s = 0;
+#pragma acc parallel copyin(a)
+#pragma acc loop gang worker vector reduction(+:s)
+for (i = 0; i < n; i++)
+    s += a[i];
+"""
+
+
+def kernel_ms(n, **geom):
+    prog = acc.compile(SUM_SRC, **geom)
+    return prog.run(a=np.ones(n, np.float32)).kernel_ms
+
+
+class TestMonotonicity:
+    @given(n1=st.integers(64, 2000), factor=st.integers(2, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_more_work_never_costs_less(self, n1, factor):
+        geom = dict(num_gangs=2, num_workers=2, vector_length=32)
+        t1 = kernel_ms(n1, **geom)
+        t2 = kernel_ms(n1 * factor, **geom)
+        assert t2 >= t1 * 0.999
+
+    def test_more_gangs_help_large_problems(self):
+        # fixed work, more blocks -> more device concurrency, lower time
+        few = kernel_ms(1 << 16, num_gangs=2, num_workers=2,
+                        vector_length=64)
+        many = kernel_ms(1 << 16, num_gangs=16, num_workers=2,
+                         vector_length=64)
+        assert many < few
+
+    def test_transfers_scale_with_array_bytes(self):
+        prog = acc.compile(SUM_SRC, num_gangs=2, num_workers=1,
+                           vector_length=32)
+        small = prog.run(a=np.ones(1 << 10, np.float32))
+        big = prog.run(a=np.ones(1 << 16, np.float32))
+        assert big.transfer_ms > small.transfer_ms
+
+    def test_ledger_total_is_sum_of_entries(self):
+        prog = acc.compile(SUM_SRC, num_gangs=2, num_workers=1,
+                           vector_length=32)
+        res = prog.run(a=np.ones(256, np.float32))
+        assert res.modeled_us == pytest.approx(
+            sum(t for _, t in res.ledger.entries))
+        assert res.kernel_ms + res.transfer_ms == pytest.approx(
+            res.modeled_ms)
+
+    def test_every_kernel_appears_in_ledger(self):
+        prog = acc.compile(SUM_SRC, num_gangs=2, num_workers=1,
+                           vector_length=32)
+        res = prog.run(a=np.ones(256, np.float32))
+        kernel_labels = {lbl for lbl, _ in res.ledger.entries
+                         if lbl.startswith("kernel:")}
+        assert kernel_labels == {f"kernel:{k.name}"
+                                 for k in prog.lowered.kernels}
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=8, deadline=None)
+    def test_modeled_time_is_deterministic(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.random(512).astype(np.float32)
+        # fresh programs -> identical modeled time for identical inputs
+        t1 = acc.compile(SUM_SRC, num_gangs=2, num_workers=2,
+                         vector_length=32).run(a=a).modeled_us
+        t2 = acc.compile(SUM_SRC, num_gangs=2, num_workers=2,
+                         vector_length=32).run(a=a).modeled_us
+        assert t1 == t2
+
+
+class TestStrategyCostOrderings:
+    """The qualitative cost claims the paper makes, as properties."""
+
+    def test_blocking_never_beats_window_on_streaming(self):
+        n = 1 << 18
+        geom = dict(num_gangs=8, num_workers=2, vector_length=64)
+        w = acc.compile(SUM_SRC, **geom).run(
+            a=np.ones(n, np.float32)).kernel_ms
+        b = acc.compile(SUM_SRC, **geom, scheduling="blocking").run(
+            a=np.ones(n, np.float32)).kernel_ms
+        assert b >= w
+
+    def test_sync_elision_never_hurts(self):
+        src = """
+        float a[NK][NI];
+        float out[NK];
+        #pragma acc parallel copyin(a) copyout(out)
+        {
+          #pragma acc loop gang
+          for (k = 0; k < NK; k++) {
+            float s = 0.0f;
+            #pragma acc loop vector reduction(+:s)
+            for (i = 0; i < NI; i++)
+              s += a[k][i];
+            out[k] = s;
+          }
+        }
+        """
+        a = np.ones((8, 512), np.float32)
+        geom = dict(num_gangs=4, num_workers=2, vector_length=64)
+        fast = acc.compile(src, **geom).run(
+            a=a, out=np.zeros(8, np.float32)).kernel_ms
+        slow = acc.compile(src, **geom, elide_warp_sync=False).run(
+            a=a, out=np.zeros(8, np.float32)).kernel_ms
+        assert slow >= fast

@@ -1,0 +1,66 @@
+"""Tests for the reduction-testsuite case generator."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.errors import AnalysisError
+from repro.testsuite.cases import (
+    BENCH_SIZES, POSITIONS, ReductionCase, generate_cases, make_case,
+)
+
+
+class TestGeneration:
+    def test_grid_size(self):
+        cases = generate_cases()
+        assert len(cases) == 7 * 2 * 3
+
+    def test_all_positions_present(self):
+        cases = generate_cases()
+        assert {c.position for c in cases} == set(POSITIONS)
+
+    def test_bench_sizes_cover_all_positions(self):
+        assert set(BENCH_SIZES) == set(POSITIONS)
+
+    def test_labels_match_table2_vocabulary(self):
+        c = make_case("worker vector", "+", "double")
+        assert c.label == "worker vector [+] double"
+        assert c.dtype is DType.DOUBLE
+
+    def test_bitwise_on_float_rejected(self):
+        with pytest.raises(AnalysisError):
+            make_case("gang", "&", "float")
+
+    def test_sources_carry_single_clause_openuh_style(self):
+        # RMP cases annotate ONE loop (the paper's §3.2.1 usability point)
+        c = make_case("worker vector", "+", "int")
+        assert c.source.count("reduction(") == 1
+
+    def test_same_line_case_uses_one_loop(self):
+        c = make_case("same line gang worker vector", "+", "int")
+        assert c.source.count("for(") == 1
+        assert "gang worker vector" in c.source
+
+    def test_deterministic_inputs(self):
+        c = make_case("gang", "+", "int", size=64)
+        a = c.make_inputs(np.random.default_rng(1))
+        b = c.make_inputs(np.random.default_rng(1))
+        np.testing.assert_array_equal(a["input"], b["input"])
+
+    def test_product_data_stays_finite(self):
+        c = make_case("vector", "*", "float", size=4096)
+        inp = c.make_inputs(np.random.default_rng(0))["input"]
+        assert np.isfinite(inp.astype(np.float64).prod())
+
+    @pytest.mark.parametrize("pos", POSITIONS)
+    def test_dims_scale_with_size(self, pos):
+        small = make_case(pos, "+", "int", size=256)
+        big = make_case(pos, "+", "int", size=4096)
+        assert int(np.prod(list(big.dims.values()))) > \
+            int(np.prod(list(small.dims.values())))
+
+    @pytest.mark.parametrize("op", ["+", "*", "max", "min", "&", "|", "^",
+                                    "&&", "||"])
+    def test_every_operator_generates(self, op):
+        c = make_case("same line gang worker vector", op, "int", size=128)
+        assert f"reduction({op}:" in c.source

@@ -1,0 +1,148 @@
+"""Testsuite verification: the Table 2 pass/fail pattern, at small scale.
+
+These are the repository's most important integration tests: they assert
+that the three compiler profiles reproduce the paper's Table 2 exactly —
+OpenUH passes everything; the baselines fail precisely the cells the paper
+reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.testsuite import POSITIONS, make_case, run_case, run_testsuite
+
+SMALL = dict(size=384, num_gangs=6, num_workers=4, vector_length=32)
+
+
+def result(position, op, ctype, compiler):
+    case = make_case(position, op, ctype, size=SMALL["size"])
+    return run_case(case, compiler, num_gangs=SMALL["num_gangs"],
+                    num_workers=SMALL["num_workers"],
+                    vector_length=SMALL["vector_length"])
+
+
+class TestOpenUHPassesEverything:
+    @pytest.mark.parametrize("position", POSITIONS)
+    @pytest.mark.parametrize("op", ["+", "*"])
+    def test_table2_grid_int(self, position, op):
+        r = result(position, op, "int", "openuh")
+        assert r.passed, r.detail
+
+    @pytest.mark.parametrize("position", POSITIONS)
+    def test_table2_grid_double(self, position):
+        r = result(position, "+", "double", "openuh")
+        assert r.passed, r.detail
+
+    @pytest.mark.parametrize("op", ["max", "min", "&", "|", "^", "&&", "||"])
+    def test_all_other_operators(self, op):
+        # the paper: "our algorithms cover ... all reduction operator types"
+        for position in ("vector", "worker", "gang",
+                         "same line gang worker vector"):
+            r = result(position, op, "int", "openuh")
+            assert r.passed, f"{position} [{op}]: {r.detail}"
+
+    def test_float_grid(self):
+        for position in POSITIONS:
+            r = result(position, "+", "float", "openuh")
+            assert r.passed, f"{position}: {r.detail}"
+
+
+class TestVendorBFailurePattern:
+    """vendor-b models PGI 13.10's Table 2 column."""
+
+    @pytest.mark.parametrize("position,op,expect", [
+        ("gang", "+", "pass"),
+        ("gang", "*", "pass"),
+        ("worker", "+", "F"),
+        ("worker", "*", "pass"),
+        ("vector", "+", "F"),
+        ("vector", "*", "pass"),
+        ("gang worker", "+", "F"),
+        ("gang worker", "*", "pass"),
+        ("worker vector", "+", "pass"),
+        ("worker vector", "*", "pass"),
+        ("gang worker vector", "+", "CE"),
+        ("gang worker vector", "*", "pass"),  # int passes in Table 2
+        ("same line gang worker vector", "+", "pass"),
+        ("same line gang worker vector", "*", "pass"),
+    ])
+    def test_int_column(self, position, op, expect):
+        r = result(position, op, "int", "vendor-b")
+        assert r.status == ("pass" if expect == "pass" else expect), r.detail
+
+    def test_gwv_star_compile_error_on_float_and_double(self):
+        # Table 2: PGI '*' on gang worker vector is CE for float/double
+        assert result("gang worker vector", "*", "float",
+                      "vendor-b").status == "CE"
+        assert result("gang worker vector", "*", "double",
+                      "vendor-b").status == "CE"
+
+    def test_failures_are_wrong_values_not_crashes(self):
+        r = result("vector", "+", "int", "vendor-b")
+        assert r.status == "F"
+        assert "expected" in r.detail  # executed and produced wrong numbers
+
+
+class TestVendorAFailurePattern:
+    """vendor-a models CAPS 3.4.0's Table 2 column: all the
+    multi-level-different-loop '+' cases fail (no span inference on the
+    '+' path), everything else passes."""
+
+    @pytest.mark.parametrize("position,op,expect", [
+        ("gang", "+", "pass"),
+        ("worker", "+", "pass"),
+        ("vector", "+", "pass"),
+        ("gang worker", "+", "F"),
+        ("gang worker", "*", "pass"),
+        ("worker vector", "+", "F"),
+        ("worker vector", "*", "pass"),
+        ("gang worker vector", "+", "F"),
+        ("gang worker vector", "*", "pass"),
+        ("same line gang worker vector", "+", "pass"),
+    ])
+    def test_int_column(self, position, op, expect):
+        r = result(position, op, "int", "vendor-a")
+        assert r.status == ("pass" if expect == "pass" else expect), r.detail
+
+    def test_annotating_every_level_fixes_vendor_a(self):
+        # the paper: CAPS needs the reduction clause on every spanned level
+        case = make_case("worker vector", "+", "int", size=SMALL["size"])
+        fixed_src = case.source.replace(
+            "#pragma acc loop vector",
+            "#pragma acc loop vector reduction(+:j_sum)")
+        from repro import acc
+        prog = acc.compile(fixed_src, compiler="vendor-a",
+                           num_gangs=6, num_workers=4, vector_length=32)
+        rng = np.random.default_rng(42)
+        inputs = case.make_inputs(rng)
+        res = prog.run(**inputs)
+        (kind, name, expect) = case.expected(inputs)[0]
+        np.testing.assert_array_equal(res.outputs[name], expect)
+
+
+class TestReportRendering:
+    def test_report_table_shape(self):
+        rep = run_testsuite(compilers=("openuh",), positions=("gang",),
+                            ops=("+",), ctypes=("int",), size=128,
+                            num_gangs=4, num_workers=2, vector_length=32)
+        table = rep.to_table()
+        assert "gang" in table and "openuh" in table
+        assert "1/1 passed" in table
+
+    def test_report_lookup_and_counts(self):
+        rep = run_testsuite(compilers=("openuh", "vendor-b"),
+                            positions=("vector",), ops=("+",),
+                            ctypes=("int",), size=128, num_gangs=4,
+                            num_workers=2, vector_length=32)
+        assert rep.get("vector", "+", "int", "openuh").passed
+        assert rep.get("vector", "+", "int", "vendor-b").status == "F"
+        assert rep.pass_count("openuh") == 1
+        assert rep.pass_count("vendor-b") == 0
+
+    def test_progress_callback(self):
+        seen = []
+        run_testsuite(compilers=("openuh",), positions=("gang",),
+                      ops=("+",), ctypes=("int",), size=128, num_gangs=4,
+                      num_workers=2, vector_length=32,
+                      progress=seen.append)
+        assert len(seen) == 1
