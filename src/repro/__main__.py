@@ -10,6 +10,11 @@ Usage examples::
     python -m repro run examples/programs/vecsum.c \\
         --array "a=arange:1024:float" --compiler vendor-b
 
+    # nvprof-style per-kernel profile (arrays synthesized automatically);
+    # --json writes a chrome://tracing-loadable profile document
+    python -m repro profile examples/programs/vecsum.c
+    python -m repro profile examples/programs/vecsum.c --json profile.json
+
     # regenerate the paper's artifacts
     python -m repro table2 --quick
     python -m repro fig11 --quick
@@ -101,12 +106,7 @@ def _cmd_compile(args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    source = open(args.file).read()
-    prog = acc.compile(source, compiler=args.compiler,
-                       num_gangs=args.num_gangs,
-                       num_workers=args.num_workers,
-                       vector_length=args.vector_length)
+def _parse_run_inputs(args) -> dict:
     kwargs: dict = {}
     for spec in args.array or []:
         name, arr = _parse_array_spec(spec)
@@ -114,7 +114,22 @@ def _cmd_run(args) -> int:
     for spec in args.scalar or []:
         name, val = spec.split("=", 1)
         kwargs[name] = float(val) if "." in val else int(val)
-    res = prog.run(**kwargs)
+    return kwargs
+
+
+def _cmd_run(args) -> int:
+    source = open(args.file).read()
+    profiler = None
+    if args.profile:
+        from repro.obs import Profiler
+        profiler = Profiler()
+    prog = acc.compile(source, compiler=args.compiler,
+                       num_gangs=args.num_gangs,
+                       num_workers=args.num_workers,
+                       vector_length=args.vector_length,
+                       profiler=profiler)
+    kwargs = _parse_run_inputs(args)
+    res = prog.run(profiler=profiler, **kwargs)
     for name, value in res.scalars.items():
         print(f"scalar {name} = {value}")
     for name, arr in res.outputs.items():
@@ -127,6 +142,77 @@ def _cmd_run(args) -> int:
             print(f"       saved to {name}.npy")
     print(f"modeled: {res.modeled_ms:.3f} ms total "
           f"({res.kernel_ms:.3f} ms kernels)")
+    if profiler is not None:
+        from repro.obs.report import format_profile
+        print()
+        print(format_profile(profiler, ledger=res.ledger))
+    return 0
+
+
+def _synthesize_missing_arrays(prog, kwargs: dict, size: int) -> None:
+    """Fill region arrays not passed on the command line.
+
+    Symbolic extents already bound by a provided array keep that binding;
+    everything else defaults to ``size``.  Floats get uniform [0, 1) data,
+    integers small non-negative values — enough to exercise every kernel
+    without overflowing any reduction operator.
+    """
+    bound: dict[str, int] = {}
+    for info in prog.region.arrays:
+        host = kwargs.get(info.name)
+        if host is None or not info.extents:
+            continue
+        for i, ext in enumerate(info.extents):
+            if isinstance(ext, str) and i < np.ndim(host):
+                bound[ext] = host.shape[i]
+    rng = np.random.default_rng(0)
+    for info in prog.region.arrays:
+        if info.name in kwargs:
+            continue
+        extents = info.extents or (size,)
+        shape = tuple(ext if isinstance(ext, int) else bound.get(ext, size)
+                      for ext in extents)
+        n = int(np.prod(shape))
+        if info.dtype.np.kind == "f":
+            # scaled like the "rand" --array kind, so integer accumulators
+            # see non-zero values after C truncation
+            arr = (rng.random(n) * 8).astype(info.dtype.np)
+        else:
+            arr = rng.integers(0, 8, n).astype(info.dtype.np)
+        kwargs[info.name] = arr.reshape(shape)
+        for i, ext in enumerate(extents):
+            if isinstance(ext, str):
+                bound.setdefault(ext, shape[i])
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs import Profiler
+    from repro.obs.report import format_profile
+
+    source = open(args.file).read()
+    profiler = Profiler()
+    prog = acc.compile(source, compiler=args.compiler,
+                       num_gangs=args.num_gangs,
+                       num_workers=args.num_workers,
+                       vector_length=args.vector_length,
+                       profiler=profiler)
+    kwargs = _parse_run_inputs(args)
+    _synthesize_missing_arrays(prog, kwargs, args.size)
+    res = None
+    for _ in range(max(1, args.runs)):
+        res = prog.run(profiler=profiler, trace=args.trace, **kwargs)
+
+    # with --json - the profile document owns stdout; report goes to stderr
+    report_to = sys.stderr if args.json == "-" else sys.stdout
+    for name, value in res.scalars.items():
+        print(f"scalar {name} = {value}", file=report_to)
+    print(format_profile(profiler, ledger=res.ledger), file=report_to)
+    if args.json == "-":
+        print(profiler.to_json(indent=2))
+    elif args.json:
+        with open(args.json, "w") as f:
+            f.write(profiler.to_json(indent=2))
+        print(f"profile written to {args.json}", file=report_to)
     return 0
 
 
@@ -159,6 +245,26 @@ def main(argv=None) -> int:
     pr.add_argument("--scalar", action="append", help="NAME=VALUE")
     pr.add_argument("--save", action="store_true",
                     help="save output arrays to NAME.npy")
+    pr.add_argument("--profile", action="store_true",
+                    help="attach a profiler and print the per-kernel "
+                         "report after the run")
+
+    pp = sub.add_parser(
+        "profile", help="compile, run, and print an nvprof-style report")
+    add_common(pp)
+    pp.add_argument("--array", action="append",
+                    help="NAME=KIND:SHAPE:CTYPE or NAME=file.npy "
+                         "(missing region arrays are synthesized)")
+    pp.add_argument("--scalar", action="append", help="NAME=VALUE")
+    pp.add_argument("--size", type=int, default=1024,
+                    help="extent for synthesized arrays (default 1024)")
+    pp.add_argument("--runs", type=int, default=1,
+                    help="launch the program N times into one profile")
+    pp.add_argument("--trace", action="store_true",
+                    help="also collect per-access structured trace events")
+    pp.add_argument("--json", metavar="PATH",
+                    help="write the Chrome-trace profile document "
+                         "(chrome://tracing loadable; '-' for stdout)")
 
     for bench in ("table2", "fig11", "fig12", "ablations"):
         sub.add_parser(bench, help=f"regenerate {bench} "
@@ -174,6 +280,10 @@ def main(argv=None) -> int:
             if extra:
                 ap.error(f"unrecognized arguments: {' '.join(extra)}")
             return _cmd_run(args)
+        if args.cmd == "profile":
+            if extra:
+                ap.error(f"unrecognized arguments: {' '.join(extra)}")
+            return _cmd_profile(args)
         import importlib
         mod = importlib.import_module(f"repro.bench.{args.cmd}")
         return mod.main(extra)

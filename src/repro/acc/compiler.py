@@ -10,6 +10,7 @@ timing.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -74,6 +75,20 @@ class Program:
         # vendor-a data-clause defect state (§4, heat equation):
         # reduction scalars cached on "the device" across runs
         self._stale_cache: dict[str, np.generic] = {}
+        # the lowering-strategy fingerprint the profiler attaches to
+        # every kernel record of this program
+        o = lowered.options
+        self._strategy = {
+            "scheduling": o.scheduling,
+            "vector_layout": o.vector_layout,
+            "vector_strategy": o.vector_strategy,
+            "worker_strategy": o.worker_strategy,
+            "reduction_memory": o.reduction_memory,
+            "block_rmp_style": o.block_rmp_style,
+            "gang_rmp_style": o.gang_rmp_style,
+            "gang_partial_style": o.gang_partial_style,
+            "elide_warp_sync": o.elide_warp_sync,
+        }
 
     # -- introspection -------------------------------------------------
 
@@ -87,7 +102,15 @@ class Program:
 
     # -- execution -------------------------------------------------------
 
-    def run(self, *, trace: bool = False, data_region=None,
+    def _record_kernel(self, profiler, name: str, stats: KernelStats,
+                       timing, grid_dim: int,
+                       block_dim: tuple[int, int]) -> None:
+        profiler.record_kernel(name, stats, timing, grid_dim=grid_dim,
+                               block_dim=block_dim, device=self.device,
+                               compiler=self.profile.name,
+                               strategy=self._strategy)
+
+    def run(self, *, trace: bool = False, data_region=None, profiler=None,
             **kwargs) -> RunResult:
         """Execute the region: transfers, main kernel, finish kernels.
 
@@ -97,11 +120,20 @@ class Program:
         :class:`~repro.acc.dataregion.DataRegion` — arrays it holds are
         *present* on the device and need not be passed (and are not
         transferred per run).
+
+        ``trace=True`` enables per-access
+        :class:`~repro.gpu.events.TraceEvent` collection on every kernel
+        launch of this run (plumbed to
+        :meth:`~repro.gpu.executor.CompiledKernel.run`).  ``profiler`` (a
+        :class:`repro.obs.Profiler`) receives transfer spans, one
+        :class:`~repro.obs.record.KernelRecord` per launch, and a
+        ``reduction``-finalize span per gang reduction; when ``None``
+        (the default) no profiling work happens at all.
         """
         from repro.acc.runtime import DataEnv
 
         env = DataEnv(region=self.region, device=self.device,
-                      data_region=data_region)
+                      data_region=data_region, profiler=profiler)
         env.bind(kwargs)
 
         # the vendor-a defect: device-resident reduction scalars ignore
@@ -111,52 +143,74 @@ class Program:
                 if g.var in self._stale_cache:
                     env.scalars[g.var] = self._stale_cache[g.var]
 
-        env.enter()
-        for sb in self.lowered.scratch:
-            fill = None
-            if sb.fill_identity_of is not None:
-                from repro.codegen.reduction.operators import get_operator
-                fill = get_operator(sb.fill_identity_of).identity(sb.dtype)
-            env.alloc_scratch(sb.name, sb.dtype, sb.size, fill=fill)
+        run_span = (profiler.region(f"run:{self.lowered.main_kernel.name}",
+                                    "run", compiler=self.profile.name)
+                    if profiler is not None else nullcontext())
+        with run_span:
+            env.enter()
+            for sb in self.lowered.scratch:
+                fill = None
+                if sb.fill_identity_of is not None:
+                    from repro.codegen.reduction.operators import get_operator
+                    fill = get_operator(sb.fill_identity_of).identity(sb.dtype)
+                env.alloc_scratch(sb.name, sb.dtype, sb.size, fill=fill)
 
-        stats: dict[str, KernelStats] = {}
-        geom = self.lowered.geometry
-        fbs0 = self.lowered.options.finish_block_size
-        for g in self.lowered.gang_reductions:
-            if g.init_kernel is None:
-                continue
-            ck = self._compiled[g.init_kernel.name]
-            ist = ck.run(env.gmem, g.init_grid, (fbs0, 1), params={},
-                         trace=trace)
-            stats[g.init_kernel.name] = ist
-            env.ledger.add(f"kernel:{g.init_kernel.name}",
-                           self._cost.kernel_time(ist).total_us)
-        main = self._compiled[self.lowered.main_kernel.name]
-        st = main.run(env.gmem, geom.num_gangs,
-                      (geom.vector_length, geom.num_workers),
-                      params=env.scalars, trace=trace)
-        stats[self.lowered.main_kernel.name] = st
-        env.ledger.add(f"kernel:{self.lowered.main_kernel.name}",
-                       self._cost.kernel_time(st).total_us)
+            stats: dict[str, KernelStats] = {}
+            geom = self.lowered.geometry
+            fbs0 = self.lowered.options.finish_block_size
+            for g in self.lowered.gang_reductions:
+                if g.init_kernel is None:
+                    continue
+                ck = self._compiled[g.init_kernel.name]
+                ist = ck.run(env.gmem, g.init_grid, (fbs0, 1), params={},
+                             trace=trace)
+                stats[g.init_kernel.name] = ist
+                itb = self._cost.kernel_time(ist)
+                env.ledger.add(f"kernel:{g.init_kernel.name}", itb.total_us)
+                if profiler is not None:
+                    self._record_kernel(profiler, g.init_kernel.name, ist,
+                                        itb, g.init_grid, (fbs0, 1))
+            main = self._compiled[self.lowered.main_kernel.name]
+            st = main.run(env.gmem, geom.num_gangs,
+                          (geom.vector_length, geom.num_workers),
+                          params=env.scalars, trace=trace)
+            stats[self.lowered.main_kernel.name] = st
+            mtb = self._cost.kernel_time(st)
+            env.ledger.add(f"kernel:{self.lowered.main_kernel.name}",
+                           mtb.total_us)
+            if profiler is not None:
+                self._record_kernel(profiler, self.lowered.main_kernel.name,
+                                    st, mtb, geom.num_gangs,
+                                    (geom.vector_length, geom.num_workers))
 
-        scalars: dict[str, np.generic] = {}
-        fbs = self.lowered.options.finish_block_size
-        for g in self.lowered.gang_reductions:
-            if g.finish_kernel is not None:
-                ck = self._compiled[g.finish_kernel.name]
-                fst = ck.run(env.gmem, 1, (fbs, 1), params={}, trace=trace)
-                stats[g.finish_kernel.name] = fst
-                env.ledger.add(f"kernel:{g.finish_kernel.name}",
-                               self._cost.kernel_time(fst).total_us)
-            device_total = env.read_result(g.result_buf)
-            host_init = env.scalars[g.var]
-            final = g.op.np_combine(host_init, device_total, g.dtype)
-            scalars[g.var] = final
-            if self.profile.stale_scalar_cache:
-                self._stale_cache[g.var] = final
+            scalars: dict[str, np.generic] = {}
+            fbs = self.lowered.options.finish_block_size
+            for g in self.lowered.gang_reductions:
+                fin_span = (profiler.region(f"finalize:{g.var}", "reduction",
+                                            var=g.var, op=g.op.token)
+                            if profiler is not None else nullcontext())
+                with fin_span:
+                    if g.finish_kernel is not None:
+                        ck = self._compiled[g.finish_kernel.name]
+                        fst = ck.run(env.gmem, 1, (fbs, 1), params={},
+                                     trace=trace)
+                        stats[g.finish_kernel.name] = fst
+                        ftb = self._cost.kernel_time(fst)
+                        env.ledger.add(f"kernel:{g.finish_kernel.name}",
+                                       ftb.total_us)
+                        if profiler is not None:
+                            self._record_kernel(profiler,
+                                                g.finish_kernel.name,
+                                                fst, ftb, 1, (fbs, 1))
+                    device_total = env.read_result(g.result_buf)
+                host_init = env.scalars[g.var]
+                final = g.op.np_combine(host_init, device_total, g.dtype)
+                scalars[g.var] = final
+                if self.profile.stale_scalar_cache:
+                    self._stale_cache[g.var] = final
 
-        outputs = env.exit_outputs()
-        env.cleanup()
+            outputs = env.exit_outputs()
+            env.cleanup()
         return RunResult(outputs=outputs, scalars=scalars,
                          ledger=env.ledger, kernel_stats=stats)
 
@@ -166,37 +220,48 @@ def compile(source: str, *, compiler: str | CompilerProfile = "openuh",
             vector_length: int | None = None,
             device: DeviceProperties = K20C,
             array_dtypes: dict[str, str] | None = None,
-            **option_overrides) -> Program:
+            profiler=None, **option_overrides) -> Program:
     """Compile an OpenACC source fragment for the simulated device.
 
     ``compiler`` selects a profile (``openuh``, ``vendor-a``, ``vendor-b``);
     extra keyword arguments override individual
     :class:`~repro.codegen.lowering.LoweringOptions` fields (used by the
-    ablation benchmarks, e.g. ``scheduling="blocking"``).
+    ablation benchmarks, e.g. ``scheduling="blocking"``).  ``profiler`` (a
+    :class:`repro.obs.Profiler`) records one wall-time span per pipeline
+    phase on the host trace track.
     """
+    def _phase(name: str):
+        return (profiler.phase(name) if profiler is not None
+                else nullcontext())
+
     profile = get_profile(compiler)
-    cregion = parse_region(source)
-    region = build_region(cregion, array_dtypes=array_dtypes)
-    if region.kind == "kernels":
-        # §2.1: the kernels construct leaves scheduling to the compiler
-        from repro.ir.autopar import auto_parallelize
-        region = auto_parallelize(region)
+    with _phase("parse"):
+        cregion = parse_region(source)
+    with _phase("build-ir"):
+        region = build_region(cregion, array_dtypes=array_dtypes)
+        if region.kind == "kernels":
+            # §2.1: the kernels construct leaves scheduling to the compiler
+            from repro.ir.autopar import auto_parallelize
+            region = auto_parallelize(region)
     geom = resolve_geometry(region.num_gangs, region.num_workers,
                             region.vector_length, num_gangs, num_workers,
                             vector_length, device)
-    plan = analyze_region(region, num_workers=geom.num_workers,
-                          vector_length=geom.vector_length,
-                          infer_span=profile.infers_span)
+    with _phase("analyze"):
+        plan = analyze_region(region, num_workers=geom.num_workers,
+                              vector_length=geom.vector_length,
+                              infer_span=profile.infers_span)
 
-    for info in plan.all_reductions:
-        reason = profile.unsupported(info.span, info.same_line,
-                                     info.op.token, info.dtype)
-        if reason:
-            raise UnsupportedReductionError(
-                f"{profile.name}: {reason} (variable {info.var!r})")
+        for info in plan.all_reductions:
+            reason = profile.unsupported(info.span, info.same_line,
+                                         info.op.token, info.dtype)
+            if reason:
+                raise UnsupportedReductionError(
+                    f"{profile.name}: {reason} (variable {info.var!r})")
 
     opts = profile.lowering
     if option_overrides:
         opts = replace(opts, **option_overrides)
-    lowered = lower_region(plan, geom, opts)
-    return Program(lowered, profile, device)
+    with _phase("lower"):
+        lowered = lower_region(plan, geom, opts)
+    with _phase("compile-kernels"):
+        return Program(lowered, profile, device)

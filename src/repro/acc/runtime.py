@@ -51,6 +51,7 @@ class DataEnv:
     ledger: TimingLedger = field(default_factory=TimingLedger)
     scalars: dict[str, np.generic] = field(default_factory=dict)
     host_arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    profiler: object | None = None  # repro.obs.Profiler, opt-in
 
     def __post_init__(self):
         if self.data_region is not None:
@@ -64,6 +65,13 @@ class DataEnv:
     def _resident(self, name: str) -> bool:
         return (self.data_region is not None
                 and self.data_region.holds(name))
+
+    def _charge_transfer(self, label: str, us: float, nbytes: int,
+                         direction: str) -> None:
+        """Ledger a host↔device copy; mirror it into the profiler."""
+        self.ledger.add(label, us)
+        if self.profiler is not None:
+            self.profiler.record_transfer(label, us, nbytes, direction)
 
     # ------------------------------------------------------------------
 
@@ -169,8 +177,9 @@ class DataEnv:
             self.gmem.alloc(arr.name, flat.size, arr.dtype, init=init)
             self._ephemeral.append(arr.name)
             if arr.transfer in ("copy", "copyin"):
-                self.ledger.add(f"h2d:{arr.name}",
-                                self._cost.transfer_time(flat.nbytes))
+                self._charge_transfer(f"h2d:{arr.name}",
+                                      self._cost.transfer_time(flat.nbytes),
+                                      flat.nbytes, "h2d")
 
     def alloc_scratch(self, name: str, dtype: DType, size: int,
                       fill=None) -> None:
@@ -195,8 +204,10 @@ class DataEnv:
                 host = self.host_arrays[arr.name]
                 out[arr.name] = data.reshape(host.shape)
                 if arr.transfer in ("copy", "copyout"):
-                    self.ledger.add(f"d2h:{arr.name}",
-                                    self._cost.transfer_time(data.nbytes))
+                    self._charge_transfer(
+                        f"d2h:{arr.name}",
+                        self._cost.transfer_time(data.nbytes),
+                        data.nbytes, "d2h")
         return out
 
     def cleanup(self) -> None:
@@ -212,6 +223,7 @@ class DataEnv:
     def read_result(self, buf: str) -> np.generic:
         """Read a 1-element result buffer (gang-reduction output)."""
         value = self.gmem[buf].data[0]
-        self.ledger.add(f"d2h:{buf}",
-                        self._cost.transfer_time(int(value.nbytes)))
+        self._charge_transfer(f"d2h:{buf}",
+                              self._cost.transfer_time(int(value.nbytes)),
+                              int(value.nbytes), "d2h")
         return value

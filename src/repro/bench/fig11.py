@@ -13,6 +13,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import sys
 import time
 
 from repro.bench.harness import Series, format_series
@@ -26,15 +27,17 @@ SUBFIGURES = dict(zip(POSITIONS, "abcdefg"))
 
 
 def generate_fig11(positions=POSITIONS, quick: bool = False,
-                   ctypes=("int", "float", "double"), progress=None):
+                   ctypes=("int", "float", "double"), progress=None,
+                   profiler=None):
     """Returns {position: TestsuiteReport-slice} rendered as series."""
     if quick:
         rep = run_testsuite(positions=positions, ctypes=ctypes, size=512,
                             num_gangs=8, num_workers=4, vector_length=32,
-                            progress=progress)
+                            progress=progress, profiler=profiler)
     else:
         rep = run_testsuite(positions=positions, ctypes=ctypes,
-                            sizes=BENCH_SIZES, progress=progress)
+                            sizes=BENCH_SIZES, progress=progress,
+                            profiler=profiler)
     figures = {}
     for pos in positions:
         series = []
@@ -53,10 +56,22 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true")
     ap.add_argument("--positions", nargs="+", default=list(POSITIONS))
+    ap.add_argument("--profile-out", metavar="PATH",
+                    help="write a machine-readable profile of the sweep "
+                         "(Chrome-trace JSON, e.g. artifacts/profile.json)")
     args = ap.parse_args(argv)
     t0 = time.time()
+    sink = None
+    if args.profile_out:
+        from repro.bench.harness import ProfileSink
+        sink = ProfileSink(args.profile_out)
     figures = generate_fig11(positions=tuple(args.positions),
-                             quick=args.quick)
+                             quick=args.quick,
+                             profiler=sink.profiler if sink else None)
+    if sink is not None:
+        path = sink.write({"bench": "fig11", "quick": args.quick,
+                           "positions": list(args.positions)})
+        print(f"[profile written to {path}]", file=sys.stderr)
     for pos, series in figures.items():
         letter = SUBFIGURES.get(pos, "?")
         print()

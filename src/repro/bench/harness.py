@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
-__all__ = ["Series", "format_series", "speedup_note"]
+__all__ = ["ProfileSink", "Series", "format_series", "speedup_note"]
 
 
 @dataclass
@@ -54,3 +55,28 @@ def speedup_note(base: float, other: float) -> str:
     if other >= base:
         return f"{other / base:.2f}x slower"
     return f"{base / other:.2f}x faster"
+
+
+class ProfileSink:
+    """Optional machine-readable profile output for a bench run.
+
+    Holds one :class:`repro.obs.Profiler` that the bench feeds (every
+    kernel launch and transfer of the sweep accumulates into it) and
+    writes the Chrome-trace profile document — plus a ``bench`` metadata
+    block — next to the bench's text tables, e.g.
+    ``artifacts/profile.json`` for ``--quick`` artifact runs.
+    """
+
+    def __init__(self, path: str):
+        from repro.obs import Profiler
+        self.path = path
+        self.profiler = Profiler()
+
+    def write(self, meta: dict | None = None) -> str:
+        """Serialize the accumulated profile; returns the path written."""
+        doc = self.profiler.to_dict()
+        if meta:
+            doc["bench"] = dict(meta)
+        with open(self.path, "w") as f:
+            json.dump(doc, f, indent=2)
+        return self.path

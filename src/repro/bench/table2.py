@@ -25,14 +25,14 @@ __all__ = ["generate_table2"]
 
 
 def generate_table2(quick: bool = False, ops=TABLE2_OPS,
-                    ctypes=TABLE2_CTYPES, progress=None):
+                    ctypes=TABLE2_CTYPES, progress=None, profiler=None):
     """Run the grid and return the report (Table 2)."""
     if quick:
         return run_testsuite(ops=ops, ctypes=ctypes, size=512,
                              num_gangs=8, num_workers=4, vector_length=32,
-                             progress=progress)
+                             progress=progress, profiler=profiler)
     return run_testsuite(ops=ops, ctypes=ctypes, sizes=BENCH_SIZES,
-                         progress=progress)
+                         progress=progress, profiler=profiler)
 
 
 def main(argv=None) -> int:
@@ -46,6 +46,9 @@ def main(argv=None) -> int:
     ap.add_argument("--all-ops", action="store_true",
                     help="the full coverage grid: all 9 OpenACC operators "
                          "x all 4 data types (invalid combos skipped)")
+    ap.add_argument("--profile-out", metavar="PATH",
+                    help="write a machine-readable profile of the sweep "
+                         "(Chrome-trace JSON, e.g. artifacts/profile.json)")
     args = ap.parse_args(argv)
     if args.all_ops:
         args.ops = list(ALL_OPS)
@@ -57,8 +60,19 @@ def main(argv=None) -> int:
         print(f"  {r.case.label:<45} {r.compiler:<10} {r.cell():>10}",
               file=sys.stderr, flush=True)
 
+    sink = None
+    if args.profile_out:
+        from repro.bench.harness import ProfileSink
+        sink = ProfileSink(args.profile_out)
+
     rep = generate_table2(quick=args.quick, ops=tuple(args.ops),
-                          ctypes=tuple(args.ctypes), progress=progress)
+                          ctypes=tuple(args.ctypes), progress=progress,
+                          profiler=sink.profiler if sink else None)
+    if sink is not None:
+        path = sink.write({"bench": "table2", "quick": args.quick,
+                           "ops": list(args.ops),
+                           "ctypes": list(args.ctypes)})
+        print(f"[profile written to {path}]", file=sys.stderr)
     print()
     print("Table 2 — Performance Results of OpenACC Compilers using the")
     print("reduction testsuite (modeled kernel ms; F = wrong result,")

@@ -113,7 +113,25 @@ class TimingLedger:
             out[label] = out.get(label, 0.0) + t
         return out
 
-    def __str__(self) -> str:  # pragma: no cover - debugging aid
-        lines = [f"  {label:<40s} {t:12.2f} us" for label, t in self.entries]
-        lines.append(f"  {'TOTAL':<40s} {self.total_us:12.2f} us")
+    def format_report(self) -> str:
+        """Aligned per-label table: count, total, and share of each label.
+
+        Labels repeat across iterative launches (``kernel:acc_region_main``
+        once per iteration), so rows aggregate by label and keep the count.
+        Used by the profiler's text output (``repro.obs.report``).
+        """
+        totals = self.by_label()
+        counts: dict[str, int] = {}
+        for label, _ in self.entries:
+            counts[label] = counts.get(label, 0) + 1
+        grand = self.total_us
+        lines = []
+        for label, t in totals.items():
+            share = f"{100.0 * t / grand:5.1f}%" if grand > 0 else "    -"
+            lines.append(f"  {label:<40s} x{counts[label]:<5d}"
+                         f"{t:12.2f} us {share}")
+        lines.append(f"  {'TOTAL':<46s}{grand:12.2f} us")
         return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format_report()

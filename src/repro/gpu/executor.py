@@ -476,6 +476,14 @@ class CompiledKernel:
 
         Blocks run sequentially (they are independent by construction —
         that's the premise of the gang level); stats aggregate across blocks.
+
+        ``trace`` is the single opt-in knob for structured
+        :class:`~repro.gpu.events.TraceEvent` collection: off (the default)
+        the executor only accumulates aggregate counters and allocates
+        nothing per access; on, every global load/store and barrier appends
+        one event to ``stats.trace``.  :func:`repro.gpu.launch.launch` and
+        ``Program.run`` plumb the same flag through, and
+        :class:`repro.obs.Profiler` consumes the collected events.
         """
         bdx, bdy = block_dim
         self.device.validate_block(bdx, bdy, self.kernel.shared_bytes)

@@ -1,4 +1,4 @@
-"""Kernel launch convenience: compile, execute, and time a kernel."""
+"""Kernel launch convenience: compile, execute, time — and profile — a kernel."""
 
 from __future__ import annotations
 
@@ -33,8 +33,16 @@ class LaunchReport:
 
 def launch(kernel: Kernel, gmem: GlobalMemory, *, grid_dim: int,
            block_dim: tuple[int, int], params: dict | None = None,
-           device: DeviceProperties = K20C, trace: bool = False) -> LaunchReport:
+           device: DeviceProperties = K20C, trace: bool = False,
+           profiler=None) -> LaunchReport:
     """Compile ``kernel``, run it over the grid, and model its time.
+
+    ``trace=True`` turns on per-access :class:`~repro.gpu.events.TraceEvent`
+    collection for this launch (the same knob
+    :meth:`~repro.gpu.executor.CompiledKernel.run` takes); it is off by
+    default because it records one event per memory statement execution.
+    ``profiler`` (a :class:`repro.obs.Profiler`) receives a
+    :class:`~repro.obs.record.KernelRecord` for the launch.
 
     For repeated launches of the same kernel (iterative solvers), prefer
     compiling once with :class:`~repro.gpu.executor.CompiledKernel` and
@@ -43,4 +51,8 @@ def launch(kernel: Kernel, gmem: GlobalMemory, *, grid_dim: int,
     ck = CompiledKernel(kernel, device)
     stats = ck.run(gmem, grid_dim, block_dim, params=params, trace=trace)
     timing = CostModel(device).kernel_time(stats)
+    if profiler is not None:
+        profiler.record_kernel(kernel.name, stats, timing,
+                               grid_dim=grid_dim, block_dim=block_dim,
+                               device=device)
     return LaunchReport(kernel=kernel, stats=stats, timing=timing)

@@ -1,0 +1,35 @@
+"""``repro.obs`` — profiler, structured tracing, and metrics.
+
+The observability layer over the SIMT simulator (see
+``docs/observability.md``).  Typical use::
+
+    from repro import acc, obs
+
+    prof = obs.Profiler()
+    prog = acc.compile(src, profiler=prof)     # compile-phase spans
+    res = prog.run(a=data, profiler=prof)      # kernels + transfers
+    print(prof.format_report())                # nvprof-style tables
+    open("profile.json", "w").write(prof.to_json())  # chrome://tracing
+
+Everything is opt-in: with no profiler attached, the run path does no
+extra work.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiler import Profiler
+from repro.obs.record import KernelRecord
+from repro.obs.report import format_kernel_table, format_profile
+from repro.obs.trace import Span, TraceRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KernelRecord",
+    "MetricsRegistry",
+    "Profiler",
+    "Span",
+    "TraceRecorder",
+    "format_kernel_table",
+    "format_profile",
+]

@@ -1,0 +1,148 @@
+"""Per-launch profiler records and their derived metrics.
+
+A :class:`KernelRecord` snapshots everything one kernel launch produced —
+the aggregate :class:`~repro.gpu.events.KernelStats` counters, the
+modeled :class:`~repro.gpu.costmodel.TimeBreakdown`, the launch
+configuration, and the lowering strategy that generated the kernel — and
+derives the nvprof-style efficiency metrics the paper's evaluation
+reasons in:
+
+``occupancy``
+    Resident warps per SM over the device's warp capacity, from the same
+    :meth:`~repro.gpu.device.DeviceProperties.concurrent_blocks`
+    calculation the cost model uses.
+``coalescing_efficiency``
+    Useful bytes moved over DRAM segment bytes fetched
+    (``global_bytes / dram_bytes``).  1.0 means every fetched byte was
+    requested; window-sliding vecsum sits at 1.0, blocking-scheduled
+    strided access far below.  May exceed 1.0 when broadcasts serve many
+    lanes from one segment.
+``bank_conflict_degree``
+    Average serialization of shared-memory warp accesses
+    (``shared_accesses / conflict-free accesses``); 1.0 = conflict-free.
+``divergence_rate``
+    Divergent branches per warp-instruction slot.
+``l2_hit_rate``
+    Warp requests served by the L2 over all global warp requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.costmodel import TimeBreakdown
+from repro.gpu.device import DeviceProperties
+from repro.gpu.events import KernelStats
+
+__all__ = ["KernelRecord"]
+
+
+@dataclass
+class KernelRecord:
+    """Everything the profiler keeps about one kernel launch."""
+
+    name: str
+    stats: KernelStats
+    timing: TimeBreakdown
+    grid_dim: int
+    block_dim: tuple[int, int]
+    device: DeviceProperties
+    compiler: str | None = None  # profile name, when launched via acc
+    strategy: dict = field(default_factory=dict)  # lowering options used
+    launch_index: int = 0  # position in the profiling session
+
+    # -- derived metrics ---------------------------------------------------
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block_dim[0] * self.block_dim[1]
+
+    @property
+    def occupancy(self) -> float:
+        """Resident warps per SM / device warp capacity, in (0, 1]."""
+        d = self.device
+        tpb = max(1, self.threads_per_block)
+        warps_per_block = -(-tpb // d.warp_size)
+        resident = d.concurrent_blocks(tpb, self.stats.shared_bytes)
+        per_sm_blocks = min(resident // d.usable_sms,
+                            max(1, self.grid_dim))
+        return min(1.0, (per_sm_blocks * warps_per_block)
+                   / d.max_warps_per_sm)
+
+    @property
+    def coalescing_efficiency(self) -> float:
+        """Useful bytes / DRAM segment bytes (1.0 = perfectly coalesced)."""
+        if self.stats.dram_bytes == 0:
+            return 1.0
+        return self.stats.global_bytes / self.stats.dram_bytes
+
+    @property
+    def bank_conflict_degree(self) -> float:
+        """Mean shared-access serialization degree (1.0 = conflict-free)."""
+        free = self.stats.shared_accesses - self.stats.bank_conflict_extra
+        if free <= 0:
+            return 1.0
+        return self.stats.shared_accesses / free
+
+    @property
+    def divergence_rate(self) -> float:
+        """Divergent branches per warp-instruction slot."""
+        if self.stats.warp_inst_slots == 0:
+            return 0.0
+        return self.stats.divergent_branches / self.stats.warp_inst_slots
+
+    @property
+    def l2_hit_rate(self) -> float:
+        """Global warp requests served by the L2 instead of DRAM."""
+        total = self.stats.global_transactions + self.stats.l2_transactions
+        if total == 0:
+            return 0.0
+        return self.stats.l2_transactions / total
+
+    @property
+    def modeled_us(self) -> float:
+        return self.timing.total_us
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (consumed by the bench profile sink)."""
+        s, t = self.stats, self.timing
+        return {
+            "kernel": self.name,
+            "launch_index": self.launch_index,
+            "compiler": self.compiler,
+            "strategy": dict(self.strategy),
+            "grid_dim": self.grid_dim,
+            "block_dim": list(self.block_dim),
+            "shared_bytes": s.shared_bytes,
+            "counters": {
+                "warp_inst_slots": s.warp_inst_slots,
+                "global_transactions": s.global_transactions,
+                "l2_transactions": s.l2_transactions,
+                "global_bytes": s.global_bytes,
+                "dram_bytes": s.dram_bytes,
+                "shared_accesses": s.shared_accesses,
+                "bank_conflict_extra": s.bank_conflict_extra,
+                "barriers": s.barriers,
+                "divergent_branches": s.divergent_branches,
+                "trace_events": len(s.trace),
+            },
+            "timing_us": {
+                "total": t.total_us,
+                "launch": t.launch_us,
+                "compute": t.compute_us,
+                "global": t.global_us,
+                "shared": t.shared_us,
+                "sync": t.sync_us,
+                "bandwidth_floor": t.bandwidth_floor_us,
+                "concurrency": t.concurrency,
+            },
+            "derived": {
+                "occupancy": self.occupancy,
+                "coalescing_efficiency": self.coalescing_efficiency,
+                "bank_conflict_degree": self.bank_conflict_degree,
+                "divergence_rate": self.divergence_rate,
+                "l2_hit_rate": self.l2_hit_rate,
+            },
+        }

@@ -1,0 +1,113 @@
+"""Plain-text rendering of a profiling session (the nvprof-style view).
+
+``format_profile`` produces three sections:
+
+* a per-kernel table — launches aggregated by kernel name with modeled
+  time, where the time went (compute / global / shared / sync shares),
+  and the derived metrics (occupancy, coalescing efficiency, bank
+  conflict degree, divergence);
+* a per-launch counter table (transactions, bytes, barriers);
+* the metrics-registry snapshot, and (when given) the run's
+  :class:`~repro.gpu.costmodel.TimingLedger` report.
+"""
+
+from __future__ import annotations
+
+from repro.obs.profiler import Profiler
+from repro.obs.record import KernelRecord
+
+__all__ = ["format_kernel_table", "format_profile"]
+
+
+def _pct(part: float, whole: float) -> str:
+    if whole <= 0:
+        return "-"
+    return f"{100.0 * part / whole:.0f}%"
+
+
+def format_kernel_table(records: list[KernelRecord]) -> str:
+    """Aggregate records by kernel name into the headline table."""
+    order: list[str] = []
+    groups: dict[str, list[KernelRecord]] = {}
+    for r in records:
+        if r.name not in groups:
+            groups[r.name] = []
+            order.append(r.name)
+        groups[r.name].append(r)
+
+    name_w = max([len(n) for n in order] + [6]) + 2
+    header = (f"{'kernel':<{name_w}}{'n':>4}{'total us':>12}{'avg us':>10}"
+              f"{'cmp':>5}{'gmem':>6}{'smem':>6}{'sync':>6}"
+              f"{'occ':>6}{'coal':>6}{'bank':>6}{'div':>8}")
+    lines = [header, "-" * len(header)]
+    for name in order:
+        rs = groups[name]
+        total = sum(r.modeled_us for r in rs)
+        busy = sum(r.timing.compute_us + r.timing.global_us
+                   + r.timing.shared_us + r.timing.sync_us for r in rs)
+        compute = sum(r.timing.compute_us for r in rs)
+        gmem = sum(r.timing.global_us for r in rs)
+        smem = sum(r.timing.shared_us for r in rs)
+        sync = sum(r.timing.sync_us for r in rs)
+        gbytes = sum(r.stats.global_bytes for r in rs)
+        dbytes = sum(r.stats.dram_bytes for r in rs)
+        coal = gbytes / dbytes if dbytes else 1.0
+        sacc = sum(r.stats.shared_accesses for r in rs)
+        sfree = sacc - sum(r.stats.bank_conflict_extra for r in rs)
+        bank = sacc / sfree if sfree > 0 else 1.0
+        slots = sum(r.stats.warp_inst_slots for r in rs)
+        div = (sum(r.stats.divergent_branches for r in rs) / slots
+               if slots else 0.0)
+        lines.append(
+            f"{name:<{name_w}}{len(rs):>4}{total:>12.2f}"
+            f"{total / len(rs):>10.2f}"
+            f"{_pct(compute, busy):>5}{_pct(gmem, busy):>6}"
+            f"{_pct(smem, busy):>6}{_pct(sync, busy):>6}"
+            f"{rs[0].occupancy:>6.2f}{coal:>6.2f}{bank:>6.2f}"
+            f"{div:>8.4f}")
+    return "\n".join(lines)
+
+
+def _format_counters(records: list[KernelRecord]) -> str:
+    name_w = max([len(r.name) for r in records] + [6]) + 2
+    header = (f"{'kernel':<{name_w}}{'#':>4}{'inst':>10}{'gtx':>8}"
+              f"{'l2':>8}{'gbytes':>10}{'dram':>10}{'smem':>8}"
+              f"{'+confl':>8}{'barr':>6}{'divbr':>7}{'trace':>7}")
+    lines = [header, "-" * len(header)]
+    for r in records:
+        s = r.stats
+        lines.append(
+            f"{r.name:<{name_w}}{r.launch_index:>4}{s.warp_inst_slots:>10}"
+            f"{s.global_transactions:>8}{s.l2_transactions:>8}"
+            f"{s.global_bytes:>10}{s.dram_bytes:>10}"
+            f"{s.shared_accesses:>8}{s.bank_conflict_extra:>8}"
+            f"{s.barriers:>6}{s.divergent_branches:>7}{len(s.trace):>7}")
+    return "\n".join(lines)
+
+
+def format_profile(profiler: Profiler, ledger=None) -> str:
+    """Full text report for one profiling session."""
+    out: list[str] = []
+    if not profiler.kernels:
+        out.append("(no kernel launches recorded)")
+    else:
+        dev = profiler.kernels[0].device.name
+        comp = profiler.kernels[0].compiler
+        head = f"Profile report — device: {dev}"
+        if comp:
+            head += f", compiler profile: {comp}"
+        out += [head, ""]
+        out += ["Per-kernel summary "
+                "(time shares of busy time; occ=occupancy, "
+                "coal=coalescing efficiency, bank=conflict degree, "
+                "div=divergent branches/slot):",
+                format_kernel_table(profiler.kernels), ""]
+        out += ["Per-launch counters:",
+                _format_counters(profiler.kernels), ""]
+    if ledger is not None:
+        out += ["Timing ledger (modeled us, transfers + kernels):",
+                ledger.format_report(), ""]
+    if (profiler.metrics.counters or profiler.metrics.gauges
+            or profiler.metrics.histograms):
+        out += ["Metrics:", profiler.metrics.format()]
+    return "\n".join(out).rstrip() + "\n"

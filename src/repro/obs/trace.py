@@ -1,0 +1,101 @@
+"""Span-based trace recording with a Chrome-trace exporter.
+
+The simulator has no real clock: kernel and transfer durations are
+*modeled* microseconds, while compile phases are host work measured in
+wall time.  The recorder therefore keeps one virtual clock per *track*
+(``device`` for modeled time, ``host`` for compile-side wall time) and
+lays spans out back-to-back: each :meth:`TraceRecorder.add` places a span
+at the track's current clock and advances it by the span's duration, and
+:meth:`TraceRecorder.region` brackets a group of child spans with an
+enclosing parent span (compile → transfer → kernel → reduction-finalize
+all nest under their run).
+
+Export is the Chrome trace-event JSON format (load the file in
+``chrome://tracing`` or https://ui.perfetto.dev): complete events
+(``"ph": "X"``) with microsecond timestamps, one ``tid`` per track, plus
+``thread_name`` metadata events so the tracks are labeled.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "TraceRecorder"]
+
+#: track name → Chrome-trace tid
+TRACKS = {"device": 0, "host": 1}
+
+
+@dataclass
+class Span:
+    """One timed interval on a track (microseconds)."""
+
+    name: str
+    cat: str
+    start_us: float
+    dur_us: float
+    track: str = "device"
+    args: dict = field(default_factory=dict)
+
+    def to_chrome(self) -> dict:
+        return {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": "X",
+            "ts": round(self.start_us, 4),
+            "dur": round(self.dur_us, 4),
+            "pid": 0,
+            "tid": TRACKS.get(self.track, len(TRACKS)),
+            "args": self.args,
+        }
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates spans on per-track virtual timelines."""
+
+    spans: list[Span] = field(default_factory=list)
+    _clocks: dict[str, float] = field(default_factory=dict)
+
+    def now(self, track: str = "device") -> float:
+        return self._clocks.get(track, 0.0)
+
+    def add(self, name: str, cat: str, dur_us: float,
+            track: str = "device", **args) -> Span:
+        """Place a span at the track clock; advance the clock past it."""
+        start = self._clocks.get(track, 0.0)
+        span = Span(name=name, cat=cat, start_us=start,
+                    dur_us=float(dur_us), track=track, args=args)
+        self.spans.append(span)
+        self._clocks[track] = start + float(dur_us)
+        return span
+
+    @contextmanager
+    def region(self, name: str, cat: str = "region",
+               track: str = "device", **args):
+        """Enclose the spans added inside the ``with`` in a parent span."""
+        start = self._clocks.get(track, 0.0)
+        span = Span(name=name, cat=cat, start_us=start, dur_us=0.0,
+                    track=track, args=args)
+        # insert the parent before its children so viewers nest it naturally
+        self.spans.append(span)
+        try:
+            yield span
+        finally:
+            span.dur_us = self._clocks.get(track, 0.0) - start
+
+    def to_chrome(self) -> dict:
+        """The Chrome trace-event document (``traceEvents`` object form)."""
+        events: list[dict] = [
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+             "args": {"name": f"{track} (modeled)" if track == "device"
+                      else f"{track} (wall)"}}
+            for track, tid in TRACKS.items()
+        ]
+        events.extend(s.to_chrome() for s in self.spans)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_chrome(), indent=indent)

@@ -88,8 +88,18 @@ def run_testsuite(compilers=DEFAULT_COMPILERS, positions=POSITIONS,
                   num_gangs: int | None = None,
                   num_workers: int | None = None,
                   vector_length: int | None = None,
-                  progress=None) -> TestsuiteReport:
-    """Run the grid; ``progress`` (if given) is called per finished case."""
+                  progress=None, profiler=None,
+                  metrics=None) -> TestsuiteReport:
+    """Run the grid; ``progress`` (if given) is called per finished case.
+
+    ``profiler`` (a :class:`repro.obs.Profiler`) accumulates kernel
+    records and spans across every case; ``metrics`` (a
+    :class:`repro.obs.MetricsRegistry`, defaulting to the profiler's when
+    one is attached) tallies per-compiler case outcomes under
+    ``testsuite.*`` names.
+    """
+    if metrics is None and profiler is not None:
+        metrics = profiler.metrics
     report = TestsuiteReport(compilers=tuple(compilers))
     cases = generate_cases(positions=positions, ops=ops, ctypes=ctypes,
                            size=size, sizes=sizes)
@@ -97,8 +107,16 @@ def run_testsuite(compilers=DEFAULT_COMPILERS, positions=POSITIONS,
         for comp in compilers:
             r = run_case(case, comp, num_gangs=num_gangs,
                          num_workers=num_workers,
-                         vector_length=vector_length)
+                         vector_length=vector_length, profiler=profiler)
             report.results.append(r)
+            if metrics is not None:
+                metrics.counter("testsuite.cases").inc()
+                metrics.counter(
+                    f"testsuite.{r.status}.{r.compiler}").inc()
+                if r.modeled_ms is not None:
+                    metrics.histogram(
+                        f"testsuite.kernel_ms.{r.compiler}").observe(
+                            r.modeled_ms)
             if progress:
                 progress(r)
     return report

@@ -53,19 +53,25 @@ def _matches(expected, got, ctype: str) -> bool:
 def run_case(case: ReductionCase, compiler: str = "openuh", *,
              num_gangs: int | None = None, num_workers: int | None = None,
              vector_length: int | None = None, seed: int = 42,
-             **compile_overrides) -> CaseResult:
-    """Compile and run one case; verify against the CPU reference."""
+             profiler=None, **compile_overrides) -> CaseResult:
+    """Compile and run one case; verify against the CPU reference.
+
+    ``profiler`` (a :class:`repro.obs.Profiler`) accumulates the case's
+    compile phases, transfers, and kernel launches — the testsuite sweep
+    passes one profiler through every case to build a whole-run profile.
+    """
     name = compiler if isinstance(compiler, str) else compiler.name
     try:
         prog = acc.compile(case.source, compiler=compiler,
                            num_gangs=num_gangs, num_workers=num_workers,
-                           vector_length=vector_length, **compile_overrides)
+                           vector_length=vector_length, profiler=profiler,
+                           **compile_overrides)
     except CompileError as exc:
         return CaseResult(case, name, CE, detail=str(exc))
 
     rng = np.random.default_rng(seed)
     inputs = case.make_inputs(rng)
-    result = prog.run(**inputs)
+    result = prog.run(profiler=profiler, **inputs)
 
     for kind, varname, expected in case.expected(inputs):
         got = (result.scalars[varname] if kind == "scalar"

@@ -102,6 +102,24 @@ class TestLedger:
         assert led.total_ms == 0.175
         assert led.by_label() == {"kernel:a": 150.0, "xfer": 25.0}
 
+    def test_format_report_aggregates_by_label(self):
+        led = TimingLedger()
+        led.add("kernel:a", 100.0)
+        led.add("kernel:a", 50.0)
+        led.add("xfer", 50.0)
+        text = led.format_report()
+        lines = text.splitlines()
+        assert len(lines) == 3  # two labels + TOTAL
+        assert "kernel:a" in lines[0] and "x2" in lines[0]
+        assert "150.00" in lines[0] and "75.0%" in lines[0]
+        assert "xfer" in lines[1] and "x1" in lines[1]
+        assert "TOTAL" in lines[2] and "200.00" in lines[2]
+        assert str(led) == text
+
+    def test_format_report_empty(self):
+        text = TimingLedger().format_report()
+        assert "TOTAL" in text and "0.00" in text
+
 
 class TestEndToEndShape:
     """Coalesced window-sliding beats strided blocking access (§3.1.3)."""

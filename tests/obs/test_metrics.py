@@ -1,0 +1,69 @@
+"""Metrics-registry behavior: instruments, reuse, snapshots."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("launches")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_monotonic(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = MetricsRegistry().gauge("occupancy")
+        g.set(0.5)
+        g.set(0.25)
+        assert g.value == 0.25
+
+
+class TestHistogram:
+    def test_streaming_summary(self):
+        h = MetricsRegistry().histogram("kernel_us")
+        for v in (10.0, 30.0, 20.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 60.0
+        assert h.mean == 20.0
+        assert h.min == 10.0
+        assert h.max == 30.0
+
+    def test_empty_mean(self):
+        assert MetricsRegistry().histogram("empty").mean == 0.0
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_to_dict_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(4.0)
+        d = reg.to_dict()
+        assert d["counters"] == {"n": 2.0}
+        assert d["gauges"] == {"g": 1.5}
+        assert d["histograms"]["h"]["count"] == 1
+        assert d["histograms"]["h"]["mean"] == 4.0
+
+    def test_format_lists_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(7)
+        reg.histogram("lat").observe(2.0)
+        text = reg.format()
+        assert "hits" in text and "7" in text
+        assert "lat" in text and "n=1" in text

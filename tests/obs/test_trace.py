@@ -1,0 +1,73 @@
+"""Trace-recorder behavior and Chrome-trace export schema."""
+
+import json
+
+from repro.obs.trace import Span, TraceRecorder
+
+
+class TestRecorder:
+    def test_spans_lay_out_back_to_back(self):
+        tr = TraceRecorder()
+        a = tr.add("k1", "kernel", 10.0)
+        b = tr.add("k2", "kernel", 5.0)
+        assert a.start_us == 0.0 and a.dur_us == 10.0
+        assert b.start_us == 10.0
+        assert tr.now() == 15.0
+
+    def test_tracks_have_independent_clocks(self):
+        tr = TraceRecorder()
+        tr.add("compile", "compile", 100.0, track="host")
+        k = tr.add("kernel", "kernel", 7.0)
+        assert k.start_us == 0.0
+        assert tr.now("host") == 100.0
+        assert tr.now("device") == 7.0
+
+    def test_region_encloses_children(self):
+        tr = TraceRecorder()
+        with tr.region("run", "run") as parent:
+            tr.add("h2d", "transfer", 3.0)
+            tr.add("main", "kernel", 9.0)
+        assert parent.start_us == 0.0
+        assert parent.dur_us == 12.0
+        # the parent span is recorded before its children
+        assert tr.spans[0] is parent
+
+
+class TestChromeExport:
+    def _validate(self, doc: dict) -> list[dict]:
+        """Minimal Chrome trace-event schema check; returns the X events."""
+        assert isinstance(doc["traceEvents"], list)
+        xs = []
+        for ev in doc["traceEvents"]:
+            assert ev["ph"] in ("X", "M")
+            assert isinstance(ev["pid"], int)
+            assert isinstance(ev["tid"], int)
+            if ev["ph"] == "X":
+                assert isinstance(ev["name"], str) and ev["name"]
+                assert ev["ts"] >= 0 and ev["dur"] >= 0
+                assert isinstance(ev["args"], dict)
+                xs.append(ev)
+        return xs
+
+    def test_document_shape(self):
+        tr = TraceRecorder()
+        tr.add("k", "kernel", 2.5, grid=4)
+        doc = json.loads(tr.to_json())
+        xs = self._validate(doc)
+        assert len(xs) == 1
+        assert xs[0]["name"] == "k"
+        assert xs[0]["args"]["grid"] == 4
+        # track-name metadata present for both tracks
+        names = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(names) == 2
+
+    def test_device_and_host_get_distinct_tids(self):
+        tr = TraceRecorder()
+        tr.add("d", "kernel", 1.0)
+        tr.add("h", "compile", 1.0, track="host")
+        xs = self._validate(tr.to_chrome())
+        assert xs[0]["tid"] != xs[1]["tid"]
+
+    def test_span_round_trips_through_json(self):
+        s = Span("n", "c", 1.25, 2.5, "device", {"k": 1})
+        assert json.loads(json.dumps(s.to_chrome()))["dur"] == 2.5

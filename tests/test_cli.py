@@ -105,8 +105,82 @@ class TestRunCommand:
         np.testing.assert_allclose(saved, np.arange(16) * 2)
 
 
+class TestProfileCommand:
+    """Smoke coverage for ``python -m repro profile`` (the CI gate the
+    observability layer hangs off)."""
+
+    def test_profile_vecsum_text_report(self, capsys):
+        rc = main(["profile", "examples/programs/vecsum.c",
+                   "--num-gangs", "4", "--num-workers", "2",
+                   "--vector-length", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # per-kernel report: time breakdown, counters, derived metrics
+        assert "Profile report" in out
+        assert "acc_region_main" in out
+        assert "gtx" in out and "barr" in out  # global transactions, barriers
+        assert "coal" in out and "div" in out  # coalescing, divergence
+        assert "occ" in out
+        assert "TOTAL" in out  # timing-ledger section
+        assert "profiler.kernel_launches" in out
+
+    def test_profile_json_stdout_is_schema_valid(self, capsys):
+        import json
+
+        rc = main(["profile", "examples/programs/vecsum.c", "--json", "-",
+                   "--num-gangs", "4", "--num-workers", "2",
+                   "--vector-length", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)  # stdout is the profile document alone
+        assert doc["traceEvents"], "non-empty trace"
+        for ev in doc["traceEvents"]:
+            assert ev["ph"] in ("X", "M")
+            if ev["ph"] == "X":
+                assert ev["ts"] >= 0 and ev["dur"] >= 0
+        assert doc["kernels"], "non-empty kernel records"
+        for k in doc["kernels"]:
+            assert "counters" in k and "timing_us" in k and "derived" in k
+        assert doc["metrics"]["counters"]["profiler.kernel_launches"] >= 1
+
+    def test_profile_json_file_and_repeated_runs(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "profile.json"
+        rc = main(["profile", "examples/programs/vecsum.c",
+                   "--json", str(out_path), "--runs", "2",
+                   "--num-gangs", "2", "--num-workers", "2",
+                   "--vector-length", "32"])
+        assert rc == 0
+        doc = json.loads(out_path.read_text())
+        # two runs of main + finish accumulate into one session
+        assert len(doc["kernels"]) == 4
+        assert doc["metrics"]["counters"]["profiler.kernel_launches"] == 4
+
+    def test_run_profile_flag(self, vecsum_file, capsys):
+        rc = main(["run", vecsum_file, "--array", "a=arange:100:float",
+                   "--profile", "--num-gangs", "4", "--num-workers", "2",
+                   "--vector-length", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scalar total = 4950" in out
+        assert "Profile report" in out
+
+
 class TestBenchPassthrough:
     def test_table2_quick(self, capsys):
         rc = main(["table2", "--quick", "--ops", "+", "--ctypes", "int"])
         assert rc == 0
         assert "Table 2" in capsys.readouterr().out
+
+    def test_table2_profile_out(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "profile.json"
+        rc = main(["table2", "--quick", "--ops", "+", "--ctypes", "int",
+                   "--profile-out", str(path)])
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        assert doc["bench"]["bench"] == "table2"
+        assert doc["kernels"]
+        assert doc["metrics"]["counters"]["testsuite.cases"] > 0
