@@ -16,6 +16,8 @@ Layers (bottom-up):
   (the paper's core contribution);
 * :mod:`repro.acc` — the user-facing ``compile``/``run`` API and the
   compiler profiles (``openuh`` plus two commercial-like baselines);
+* :mod:`repro.faults` — seeded fault injection and resilience campaigns
+  (opt-in; see ``docs/robustness.md``);
 * :mod:`repro.testsuite` — the paper's reduction testsuite (contribution 3);
 * :mod:`repro.apps` — the paper's applications (2-D heat equation, matrix
   multiplication, Monte Carlo π);
@@ -28,7 +30,7 @@ Quick start::
     result = prog.run(a=array, n=...)
 """
 
-from repro import acc
+from repro import acc, faults
 from repro.dtypes import DType
 from repro.errors import (
     ReproError, CompileError, ParseError, AnalysisError,
@@ -39,6 +41,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "acc",
+    "faults",
     "DType",
     "ReproError",
     "CompileError",

@@ -15,6 +15,10 @@ Usage examples::
     python -m repro profile examples/programs/vecsum.c
     python -m repro profile examples/programs/vecsum.c --json profile.json
 
+    # seeded fault-injection campaign; exit 1 if any fault escapes
+    python -m repro faultcheck examples/programs/vecsum.c --seed 0 \\
+        --campaign 50
+
     # regenerate the paper's artifacts
     python -m repro table2 --quick
     python -m repro fig11 --quick
@@ -149,43 +153,8 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _synthesize_missing_arrays(prog, kwargs: dict, size: int) -> None:
-    """Fill region arrays not passed on the command line.
-
-    Symbolic extents already bound by a provided array keep that binding;
-    everything else defaults to ``size``.  Floats get uniform [0, 1) data,
-    integers small non-negative values — enough to exercise every kernel
-    without overflowing any reduction operator.
-    """
-    bound: dict[str, int] = {}
-    for info in prog.region.arrays:
-        host = kwargs.get(info.name)
-        if host is None or not info.extents:
-            continue
-        for i, ext in enumerate(info.extents):
-            if isinstance(ext, str) and i < np.ndim(host):
-                bound[ext] = host.shape[i]
-    rng = np.random.default_rng(0)
-    for info in prog.region.arrays:
-        if info.name in kwargs:
-            continue
-        extents = info.extents or (size,)
-        shape = tuple(ext if isinstance(ext, int) else bound.get(ext, size)
-                      for ext in extents)
-        n = int(np.prod(shape))
-        if info.dtype.np.kind == "f":
-            # scaled like the "rand" --array kind, so integer accumulators
-            # see non-zero values after C truncation
-            arr = (rng.random(n) * 8).astype(info.dtype.np)
-        else:
-            arr = rng.integers(0, 8, n).astype(info.dtype.np)
-        kwargs[info.name] = arr.reshape(shape)
-        for i, ext in enumerate(extents):
-            if isinstance(ext, str):
-                bound.setdefault(ext, shape[i])
-
-
 def _cmd_profile(args) -> int:
+    from repro.faults.campaign import synthesize_inputs
     from repro.obs import Profiler
     from repro.obs.report import format_profile
 
@@ -197,7 +166,7 @@ def _cmd_profile(args) -> int:
                        vector_length=args.vector_length,
                        profiler=profiler)
     kwargs = _parse_run_inputs(args)
-    _synthesize_missing_arrays(prog, kwargs, args.size)
+    synthesize_inputs(prog, kwargs, args.size)
     res = None
     for _ in range(max(1, args.runs)):
         res = prog.run(profiler=profiler, trace=args.trace, **kwargs)
@@ -216,11 +185,50 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_faultcheck(args) -> int:
+    from repro.faults import run_campaign
+
+    source = open(args.file).read()
+    # modest default geometry: a fault campaign runs the program hundreds
+    # of times (trials × voting replicas), so the full paper geometry
+    # (192×8×128) would be needlessly slow for a robustness check
+    num_gangs = args.num_gangs if args.num_gangs is not None else 8
+    num_workers = args.num_workers if args.num_workers is not None else 2
+    vector_length = (args.vector_length if args.vector_length is not None
+                     else 32)
+    detect = not args.no_detect
+    result = run_campaign(source, seed=args.seed, trials=args.campaign,
+                          compiler=args.compiler, num_gangs=num_gangs,
+                          num_workers=num_workers,
+                          vector_length=vector_length, detect=detect,
+                          size=args.size,
+                          watchdog_budget=args.watchdog_budget)
+    if args.json:
+        import json
+        doc = json.dumps(result.to_dict(), indent=2)
+        if args.json == "-":
+            print(doc)
+        else:
+            with open(args.json, "w") as f:
+                f.write(doc + "\n")
+            print(f"campaign written to {args.json}", file=sys.stderr)
+    if args.json != "-":
+        print(result.table())
+    if detect and result.escaped:
+        print(f"FAIL: {result.escaped} fault(s) escaped with detection on",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m repro",
         description="OpenACC reduction compiler + simulated GPU "
                     "(PMAM'14 reproduction)")
+    ap.add_argument("--debug", action="store_true",
+                    help="re-raise errors with a full traceback instead "
+                         "of the one-line message")
     sub = ap.add_subparsers(dest="cmd", required=True)
 
     def add_common(p):
@@ -231,6 +239,10 @@ def main(argv=None) -> int:
         p.add_argument("--num-gangs", type=int, default=None)
         p.add_argument("--num-workers", type=int, default=None)
         p.add_argument("--vector-length", type=int, default=None)
+        # default=SUPPRESS so a subcommand without --debug does not
+        # clobber a top-level `python -m repro --debug <cmd>`
+        p.add_argument("--debug", action="store_true",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
 
     pc = sub.add_parser("compile", help="compile and inspect")
     add_common(pc)
@@ -266,6 +278,25 @@ def main(argv=None) -> int:
                     help="write the Chrome-trace profile document "
                          "(chrome://tracing loadable; '-' for stdout)")
 
+    pf = sub.add_parser(
+        "faultcheck",
+        help="run a seeded fault-injection campaign and classify outcomes")
+    add_common(pf)
+    pf.add_argument("--seed", type=int, default=0,
+                    help="campaign base seed (default 0)")
+    pf.add_argument("--campaign", type=int, default=50, metavar="N",
+                    help="number of fault trials (default 50)")
+    pf.add_argument("--no-detect", action="store_true",
+                    help="disable retries, voting and degradation to "
+                         "measure the bare escape rate")
+    pf.add_argument("--size", type=int, default=256,
+                    help="extent for synthesized arrays (default 256)")
+    pf.add_argument("--watchdog-budget", type=int, default=20_000,
+                    help="per-launch loop-step budget (default 20000)")
+    pf.add_argument("--json", metavar="PATH",
+                    help="write the campaign document as JSON "
+                         "('-' for stdout)")
+
     for bench in ("table2", "fig11", "fig12", "ablations"):
         sub.add_parser(bench, help=f"regenerate {bench} "
                                    "(remaining args forwarded)")
@@ -284,11 +315,17 @@ def main(argv=None) -> int:
             if extra:
                 ap.error(f"unrecognized arguments: {' '.join(extra)}")
             return _cmd_profile(args)
+        if args.cmd == "faultcheck":
+            if extra:
+                ap.error(f"unrecognized arguments: {' '.join(extra)}")
+            return _cmd_faultcheck(args)
         import importlib
         mod = importlib.import_module(f"repro.bench.{args.cmd}")
         return mod.main(extra)
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except (ReproError, OSError) as exc:
+        if getattr(args, "debug", False):
+            raise
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1
 
 

@@ -11,11 +11,14 @@ timing.
 from __future__ import annotations
 
 from contextlib import nullcontext
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.errors import UnsupportedReductionError
+from repro.errors import (
+    DegradedExecutionError, SilentCorruptionError, SimulationError,
+    TransientFaultError, UnsupportedReductionError, WatchdogTimeoutError,
+)
 from repro.frontend.cparser import parse_region
 from repro.gpu.costmodel import CostModel, TimingLedger
 from repro.gpu.device import DeviceProperties, K20C
@@ -28,7 +31,31 @@ from repro.codegen.lowering import LoweredProgram, lower_region
 from repro.acc.launchconfig import resolve_geometry
 from repro.acc.profiles import CompilerProfile, get_profile
 
-__all__ = ["compile", "Program", "RunResult"]
+__all__ = ["compile", "Program", "RunResult", "FALLBACK_CHAIN"]
+
+
+#: The declared graceful-degradation chain (see docs/robustness.md).
+#: Each entry is ``(strategy name, LoweringOptions overrides)`` applied on
+#: top of the program's compiled options; levels are tried in order after
+#: the primary lowering fails, ending at the sequential host interpreter
+#: (``None`` overrides), which has no kernels to break.  The overrides pin
+#: every reduction-strategy knob to a progressively more conservative
+#: setting and clear the modeled defect flags.
+FALLBACK_CHAIN: tuple = (
+    ("shared-tree", dict(
+        scheduling="window", vector_layout="row", vector_strategy="logstep",
+        worker_strategy="first_row", elide_warp_sync=False,
+        reduction_memory="shared", block_rmp_style="direct",
+        gang_rmp_style="direct", gang_partial_style="buffer",
+        bug_sum_layout_mismatch=False)),
+    ("atomic", dict(
+        scheduling="window", vector_layout="row", vector_strategy="logstep",
+        worker_strategy="first_row", elide_warp_sync=False,
+        reduction_memory="global", block_rmp_style="direct",
+        gang_rmp_style="direct", gang_partial_style="atomic",
+        bug_sum_layout_mismatch=False)),
+    ("host-sequential", None),
+)
 
 
 @dataclass
@@ -39,6 +66,18 @@ class RunResult:
     scalars: dict[str, np.generic]  # gang-reduction results
     ledger: TimingLedger
     kernel_stats: dict[str, KernelStats]
+    #: which lowering strategy ultimately served the answer ("primary"
+    #: unless graceful degradation walked the fallback chain)
+    strategy: str = "primary"
+    #: how many execution attempts the transient-fault retry loop used
+    attempts: int = 1
+    #: carried DegradedExecutionError instances, one per degradation event
+    #: (strategy failures walked past, redundant-vote corrections)
+    degradations: list = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degradations) or self.strategy != "primary"
 
     @property
     def modeled_us(self) -> float:
@@ -111,7 +150,10 @@ class Program:
                                strategy=self._strategy)
 
     def run(self, *, trace: bool = False, data_region=None, profiler=None,
-            **kwargs) -> RunResult:
+            faults=None, watchdog_budget: int | None = None,
+            max_attempts: int = 3, backoff_us: float = 100.0,
+            backoff_cap_us: float = 1600.0, runs: int = 1, validate=None,
+            degrade: bool = False, **kwargs) -> RunResult:
         """Execute the region: transfers, main kernel, finish kernels.
 
         Pass every region array as a NumPy array (dtype must match the
@@ -129,12 +171,72 @@ class Program:
         :class:`~repro.obs.record.KernelRecord` per launch, and a
         ``reduction``-finalize span per gang reduction; when ``None``
         (the default) no profiling work happens at all.
+
+        Robustness knobs (all opt-in; with every one at its default the
+        call takes the exact pre-existing fast path — the pinned
+        zero-overhead contract, mirroring the profiler's pure-observer
+        guarantee):
+
+        * ``faults`` — a :class:`repro.faults.FaultPlan` or armed
+          :class:`repro.faults.FaultInjector`; threads seeded fault
+          injection through transfers and every kernel launch.
+        * ``watchdog_budget`` — per-launch loop-step budget override
+          (``None`` = executor default; ``0``/negative disables).
+        * ``max_attempts`` / ``backoff_us`` / ``backoff_cap_us`` — retry
+          policy for faults classified transient (launch/transfer): up to
+          ``max_attempts`` tries with capped exponential *modeled* backoff
+          charged to the ledger as ``retry:backoff`` entries.
+        * ``runs`` — redundant-execution voting: execute the program
+          ``runs`` times and serve the bitwise-majority result; detects
+          silent data corruption, which raises no exception by itself.
+          Requires an idempotent program (no stale-cache profiles).
+        * ``validate`` — callable ``validate(result) -> bool``; a False
+          verdict is treated as detected corruption.
+        * ``degrade=True`` — graceful strategy degradation: when a
+          lowering strategy raises a :class:`SimulationError`, exhausts
+          its retries, or fails validation/voting, recompile down the
+          declared :data:`FALLBACK_CHAIN` and serve the answer from the
+          first strategy that survives, recording the degradation on the
+          result and in ``profiler.metrics``.
         """
+        injector = _as_injector(faults)
+        if (injector is None and runs <= 1 and validate is None
+                and not degrade):
+            # the pinned fast path: bit-identical to the pre-faults runtime
+            return self._execute(trace=trace, data_region=data_region,
+                                 profiler=profiler,
+                                 watchdog_budget=watchdog_budget,
+                                 kwargs=kwargs)
+        return self._run_hardened(
+            trace=trace, data_region=data_region, profiler=profiler,
+            injector=injector, watchdog_budget=watchdog_budget,
+            max_attempts=max_attempts, backoff_us=backoff_us,
+            backoff_cap_us=backoff_cap_us, runs=runs, validate=validate,
+            degrade=degrade, kwargs=kwargs)
+
+    # -- the plain execution path (one attempt, one strategy) ------------
+
+    def _execute(self, *, trace: bool, data_region, profiler,
+                 faults=None, watchdog_budget: int | None = None,
+                 kwargs: dict) -> RunResult:
         from repro.acc.runtime import DataEnv
 
         env = DataEnv(region=self.region, device=self.device,
-                      data_region=data_region, profiler=profiler)
+                      data_region=data_region, profiler=profiler,
+                      faults=faults)
         env.bind(kwargs)
+        try:
+            return self._execute_bound(env, trace=trace, profiler=profiler,
+                                       faults=faults,
+                                       watchdog_budget=watchdog_budget)
+        except BaseException:
+            # free this run's allocations so a retry (or the next run in
+            # a shared data region) can allocate the same names again
+            env.cleanup()
+            raise
+
+    def _execute_bound(self, env, *, trace: bool, profiler, faults,
+                       watchdog_budget: int | None) -> RunResult:
 
         # the vendor-a defect: device-resident reduction scalars ignore
         # host-side reinitialization between runs of the same program
@@ -163,7 +265,8 @@ class Program:
                     continue
                 ck = self._compiled[g.init_kernel.name]
                 ist = ck.run(env.gmem, g.init_grid, (fbs0, 1), params={},
-                             trace=trace)
+                             trace=trace, faults=faults,
+                             watchdog_budget=watchdog_budget)
                 stats[g.init_kernel.name] = ist
                 itb = self._cost.kernel_time(ist)
                 env.ledger.add(f"kernel:{g.init_kernel.name}", itb.total_us)
@@ -173,7 +276,8 @@ class Program:
             main = self._compiled[self.lowered.main_kernel.name]
             st = main.run(env.gmem, geom.num_gangs,
                           (geom.vector_length, geom.num_workers),
-                          params=env.scalars, trace=trace)
+                          params=env.scalars, trace=trace, faults=faults,
+                          watchdog_budget=watchdog_budget)
             stats[self.lowered.main_kernel.name] = st
             mtb = self._cost.kernel_time(st)
             env.ledger.add(f"kernel:{self.lowered.main_kernel.name}",
@@ -193,7 +297,8 @@ class Program:
                     if g.finish_kernel is not None:
                         ck = self._compiled[g.finish_kernel.name]
                         fst = ck.run(env.gmem, 1, (fbs, 1), params={},
-                                     trace=trace)
+                                     trace=trace, faults=faults,
+                                     watchdog_budget=watchdog_budget)
                         stats[g.finish_kernel.name] = fst
                         ftb = self._cost.kernel_time(fst)
                         env.ledger.add(f"kernel:{g.finish_kernel.name}",
@@ -213,6 +318,223 @@ class Program:
             env.cleanup()
         return RunResult(outputs=outputs, scalars=scalars,
                          ledger=env.ledger, kernel_stats=stats)
+
+    # -- hardening: retry, voting, graceful strategy degradation ---------
+
+    def _run_hardened(self, *, trace, data_region, profiler, injector,
+                      watchdog_budget, max_attempts, backoff_us,
+                      backoff_cap_us, runs, validate, degrade,
+                      kwargs) -> RunResult:
+        metrics = profiler.metrics if profiler is not None else None
+        injected_before = len(injector.records) if injector is not None \
+            else 0
+        chain: list[tuple[str, dict | None]] = [("primary", {})]
+        if degrade:
+            for name, overrides in FALLBACK_CHAIN:
+                chain.append((name, overrides))
+
+        degradations: list[DegradedExecutionError] = []
+        result = None
+        last_exc: BaseException | None = None
+        for level, (sname, overrides) in enumerate(chain):
+            target = self
+            if level > 0 and overrides is not None:
+                target = self._fallback_program(sname, overrides)
+                if target is None:  # identical to the primary lowering
+                    continue
+            try:
+                if overrides is None:  # the host-sequential last resort
+                    if data_region is not None:
+                        raise (last_exc if last_exc is not None else
+                               SimulationError(
+                                   "host-sequential fallback cannot run "
+                                   "inside a device data region"))
+                    result = self._run_host(kwargs)
+                else:
+                    result = _vote(
+                        target, runs=runs, trace=trace,
+                        data_region=data_region, profiler=profiler,
+                        injector=injector, watchdog_budget=watchdog_budget,
+                        max_attempts=max_attempts, backoff_us=backoff_us,
+                        backoff_cap_us=backoff_cap_us, kwargs=kwargs,
+                        metrics=metrics, degradations=degradations)
+                if validate is not None and not validate(result):
+                    if metrics is not None:
+                        metrics.counter(
+                            "faults.validation_failures").inc()
+                    raise SilentCorruptionError(
+                        f"result validation failed under strategy "
+                        f"{sname!r}")
+            except (SimulationError, TransientFaultError,
+                    SilentCorruptionError) as exc:
+                last_exc = exc
+                if metrics is not None:
+                    if isinstance(exc, WatchdogTimeoutError):
+                        metrics.counter("faults.watchdog_timeouts").inc()
+                    if isinstance(exc, SilentCorruptionError):
+                        metrics.counter(
+                            "faults.silent_corruption_detected").inc()
+                    metrics.counter("faults.strategy_failures").inc()
+                if level == len(chain) - 1:
+                    raise
+                degradations.append(DegradedExecutionError(
+                    f"strategy {sname!r} failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    strategy=sname, cause=exc))
+                continue
+            # success at this level
+            result.strategy = sname
+            result.degradations = degradations + result.degradations
+            if metrics is not None:
+                metrics.counter(f"faults.served_by.{sname}").inc()
+                if level > 0:
+                    metrics.counter("faults.degraded").inc()
+                if injector is not None:
+                    for rec in injector.records[injected_before:]:
+                        profiler.record_fault(rec.site, rec.kind)
+            return result
+        raise last_exc if last_exc is not None else SimulationError(
+            "empty strategy chain")  # pragma: no cover - chain never empty
+
+    def _fallback_program(self, name: str, overrides: dict):
+        """Compile (and cache) the fallback lowering for one chain level.
+
+        Returns ``None`` when the overrides produce the exact options the
+        primary already uses — degrading to an identical lowering would
+        re-run the same broken code.
+        """
+        if not hasattr(self, "_fallbacks"):
+            self._fallbacks: dict[str, Program | None] = {}
+        if name not in self._fallbacks:
+            opts = replace(self.lowered.options, **overrides)
+            if opts == self.lowered.options:
+                self._fallbacks[name] = None
+            else:
+                lowered = lower_region(self.lowered.plan,
+                                       self.lowered.geometry, opts)
+                self._fallbacks[name] = Program(lowered, self.profile,
+                                                self.device)
+        return self._fallbacks[name]
+
+    def _run_host(self, kwargs: dict) -> RunResult:
+        """The last-resort strategy: sequential host interpretation.
+
+        No kernels, no device memory, no fault-injection sites — by
+        construction it cannot hit anything the fault layer breaks.  The
+        ledger carries a single zero-cost ``host:sequential`` entry (the
+        analytic device cost model does not apply to host execution).
+        """
+        from repro.ir.interp import run_host
+
+        host = run_host(self.region, **kwargs)
+        outputs = {
+            a.name: np.array(host.arrays[a.name], copy=True)
+            for a in self.region.arrays
+            if a.transfer in ("copy", "copyout", "present")
+        }
+        scalars = {g.var: host.scalars[g.var]
+                   for g in self.lowered.gang_reductions}
+        ledger = TimingLedger()
+        ledger.add("host:sequential", 0.0)
+        return RunResult(outputs=outputs, scalars=scalars, ledger=ledger,
+                         kernel_stats={})
+
+
+def _as_injector(faults):
+    """Accept a FaultPlan, an armed FaultInjector, or None."""
+    if faults is None:
+        return None
+    if hasattr(faults, "on_launch"):  # already an injector
+        return faults
+    return faults.injector()  # a FaultPlan
+
+
+def _execute_with_retry(prog: "Program", *, trace, data_region, profiler,
+                        injector, watchdog_budget, max_attempts, backoff_us,
+                        backoff_cap_us, kwargs, metrics) -> RunResult:
+    """Retry transient faults (launch/transfer) with capped backoff.
+
+    The backoff is *modeled* time — no wall-clock sleep — charged to the
+    successful attempt's ledger as ``retry:backoff`` entries, so retries
+    are visible in the timing report.
+    """
+    backoffs: list[float] = []
+    attempt = 1
+    while True:
+        try:
+            res = prog._execute(trace=trace, data_region=data_region,
+                                profiler=profiler, faults=injector,
+                                watchdog_budget=watchdog_budget,
+                                kwargs=kwargs)
+        except TransientFaultError:
+            if metrics is not None:
+                metrics.counter("faults.transient_detected").inc()
+            if attempt >= max_attempts:
+                raise
+            if metrics is not None:
+                metrics.counter("faults.retries").inc()
+            backoffs.append(min(backoff_us * (2 ** (attempt - 1)),
+                                backoff_cap_us))
+            attempt += 1
+            continue
+        for us in backoffs:
+            res.ledger.add("retry:backoff", us)
+        res.attempts = attempt
+        return res
+
+
+def _vote(prog: "Program", *, runs, trace, data_region, profiler, injector,
+          watchdog_budget, max_attempts, backoff_us, backoff_cap_us,
+          kwargs, metrics, degradations) -> RunResult:
+    """Redundant-execution majority voting over ``runs`` replicas.
+
+    A silent bit-flip raises no exception; executing the program N times
+    and comparing results bitwise turns it into either a corrected vote
+    (majority agrees) or a :class:`SilentCorruptionError` (no majority).
+    """
+    def once():
+        return _execute_with_retry(
+            prog, trace=trace, data_region=data_region, profiler=profiler,
+            injector=injector, watchdog_budget=watchdog_budget,
+            max_attempts=max_attempts, backoff_us=backoff_us,
+            backoff_cap_us=backoff_cap_us, kwargs=kwargs, metrics=metrics)
+
+    if runs <= 1:
+        return once()
+    results = [once() for _ in range(runs)]
+    fps = [_fingerprint(r) for r in results]
+    tally: dict[bytes, int] = {}
+    for fp in fps:
+        tally[fp] = tally.get(fp, 0) + 1
+    majority_fp, count = max(tally.items(), key=lambda kv: kv[1])
+    if count < runs // 2 + 1:
+        if metrics is not None:
+            metrics.counter("faults.vote_inconclusive").inc()
+        raise SilentCorruptionError(
+            f"redundant execution produced {len(tally)} distinct results "
+            f"over {runs} runs (no majority)")
+    winner = results[fps.index(majority_fp)]
+    winner.attempts = max(r.attempts for r in results)
+    if count < runs:
+        winner.degradations = winner.degradations + [DegradedExecutionError(
+            f"redundant-execution vote: {runs - count}/{runs} replicas "
+            "diverged; majority result served")]
+        if metrics is not None:
+            metrics.counter("faults.vote_corrected").inc()
+            metrics.counter("faults.silent_corruption_detected").inc()
+    return winner
+
+
+def _fingerprint(res: RunResult) -> bytes:
+    """Bitwise fingerprint of a result's observable outputs."""
+    parts: list[bytes] = []
+    for name in sorted(res.scalars):
+        parts.append(name.encode())
+        parts.append(np.asarray(res.scalars[name]).tobytes())
+    for name in sorted(res.outputs):
+        parts.append(name.encode())
+        parts.append(res.outputs[name].tobytes())
+    return b"\x00".join(parts)
 
 
 def compile(source: str, *, compiler: str | CompilerProfile = "openuh",

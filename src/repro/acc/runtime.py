@@ -52,6 +52,7 @@ class DataEnv:
     scalars: dict[str, np.generic] = field(default_factory=dict)
     host_arrays: dict[str, np.ndarray] = field(default_factory=dict)
     profiler: object | None = None  # repro.obs.Profiler, opt-in
+    faults: object | None = None  # repro.faults.FaultInjector, opt-in
 
     def __post_init__(self):
         if self.data_region is not None:
@@ -174,6 +175,12 @@ class DataEnv:
             flat = host.reshape(-1)
             init = flat if arr.transfer in ("copy", "copyin", "present") \
                 else None
+            if (init is not None and self.faults is not None
+                    and arr.transfer in ("copy", "copyin")):
+                # fault model: the PCIe copy may fail (transient, raises)
+                # or land corrupted; the host array is never mutated
+                init = self.faults.on_transfer(f"h2d:{arr.name}", init,
+                                               "h2d")
             self.gmem.alloc(arr.name, flat.size, arr.dtype, init=init)
             self._ephemeral.append(arr.name)
             if arr.transfer in ("copy", "copyin"):
@@ -201,6 +208,10 @@ class DataEnv:
                 continue
             if arr.transfer in ("copy", "copyout", "present"):
                 data = self.gmem[arr.name].data.copy()
+                if (self.faults is not None
+                        and arr.transfer in ("copy", "copyout")):
+                    data = self.faults.on_transfer(f"d2h:{arr.name}", data,
+                                                   "d2h")
                 host = self.host_arrays[arr.name]
                 out[arr.name] = data.reshape(host.shape)
                 if arr.transfer in ("copy", "copyout"):
@@ -223,6 +234,9 @@ class DataEnv:
     def read_result(self, buf: str) -> np.generic:
         """Read a 1-element result buffer (gang-reduction output)."""
         value = self.gmem[buf].data[0]
+        if self.faults is not None:
+            value = self.faults.on_transfer(f"d2h:{buf}",
+                                            np.array([value]), "d2h")[0]
         self._charge_transfer(f"d2h:{buf}",
                               self._cost.transfer_time(int(value.nbytes)),
                               int(value.nbytes), "d2h")

@@ -55,6 +55,64 @@ class SimulationError(ReproError):
     """Base class for errors detected while executing kernels on the simulator."""
 
 
+class WatchdogTimeoutError(SimulationError):
+    """A kernel launch exceeded its per-launch loop-step budget.
+
+    The executor's watchdog counts loop-iteration steps (the only way a
+    kernel can run unboundedly in this IR) and converts infinite or
+    runaway loops into this typed error instead of hanging the caller.
+    """
+
+    def __init__(self, message: str, *, kernel: str | None = None,
+                 steps: int | None = None, budget: int | None = None):
+        self.kernel = kernel
+        self.steps = steps
+        self.budget = budget
+        super().__init__(message)
+
+
+class TransientFaultError(ReproError):
+    """A fault classified *transient*: retrying the operation may succeed.
+
+    Raised by the fault-injection layer (spurious launch/transfer
+    failures) and treated as retryable by ``Program.run``'s
+    capped-backoff retry loop.
+    """
+
+
+class KernelLaunchError(TransientFaultError):
+    """A kernel launch failed spuriously (injected transient fault)."""
+
+
+class TransferFaultError(TransientFaultError):
+    """A host↔device transfer failed in flight (injected transient fault)."""
+
+
+class SilentCorruptionError(ReproError):
+    """Redundant execution or result validation detected divergent results.
+
+    A bit-flip in data produces no exception on its own; this error is how
+    the detection machinery (majority voting, ``validate=`` hooks) turns a
+    silent corruption into a detectable event.
+    """
+
+
+class DegradedExecutionError(ReproError):
+    """A result was served by a fallback strategy or corrected by voting.
+
+    Normally *carried*, not raised: ``RunResult.degradations`` holds one
+    instance per degradation event so callers can inspect how the answer
+    was produced.  It is only raised when every strategy in the fallback
+    chain fails.
+    """
+
+    def __init__(self, message: str, *, strategy: str | None = None,
+                 cause: BaseException | None = None):
+        self.strategy = strategy
+        self.cause = cause
+        super().__init__(message)
+
+
 class BarrierDivergenceError(SimulationError):
     """``__syncthreads()`` executed under divergent control flow.
 

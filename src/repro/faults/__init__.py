@@ -1,0 +1,29 @@
+"""Deterministic fault injection and resilience campaigns.
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, the seeded,
+  JSON-serializable description of *what* to inject and how often;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the live object
+  the simulator calls at each fault site, recording every injection as a
+  :class:`FaultRecord`;
+* :mod:`repro.faults.campaign` — :func:`run_campaign`, which runs N
+  seeded single-fault trials against a program and classifies each as
+  clean / masked / detected / corrected-by-retry / degraded / escaped.
+
+Injection is strictly opt-in: ``Program.run`` and ``CompiledKernel.run``
+take ``faults=None`` by default and the fault-free path is bit-identical
+to a build without this package (see ``tests/faults/test_zero_overhead``).
+"""
+
+from repro.faults.campaign import (CATEGORIES, CampaignResult,
+                                   TrialOutcome, run_campaign,
+                                   synthesize_inputs)
+from repro.faults.injector import FaultInjector, FaultRecord
+from repro.faults.plan import FAULT_KINDS, FaultPlan
+
+__all__ = [
+    "FaultPlan", "FaultInjector", "FaultRecord", "FAULT_KINDS",
+    "CampaignResult", "TrialOutcome", "run_campaign",
+    "synthesize_inputs", "CATEGORIES",
+]

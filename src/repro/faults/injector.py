@@ -1,0 +1,164 @@
+"""The runtime fault injector: consumes a plan's RNG stream, records hits.
+
+One :class:`FaultInjector` is threaded through a run (``Program.run(
+faults=...)`` or ``CompiledKernel.run(faults=...)``); the simulator and
+runtime query it at well-defined *sites*:
+
+* :meth:`on_gload` / :meth:`on_sload` — after a memory read gathers its
+  values, maybe flip one bit of one active lane (the register sees the
+  corrupted value; the buffer is untouched — a transient read upset);
+* :meth:`on_transfer` — before a host↔device copy lands, maybe corrupt
+  one element or raise :class:`~repro.errors.TransferFaultError`;
+* :meth:`on_launch` — at kernel-launch entry, maybe raise
+  :class:`~repro.errors.KernelLaunchError`;
+* :meth:`on_stuck_query` — at kernel-launch entry, maybe put the whole
+  launch in stuck-warp mode (loop exits never fire; the watchdog or a
+  bounds check converts the spin into a typed error).
+
+Sites that are disabled in the plan (probability 0) consume **no** RNG
+draws, so enabling one kind never perturbs another kind's sites — and a
+run with no injector attached does no fault work at all.
+
+Every injection appends a :class:`FaultRecord`; ``records`` is the ground
+truth the campaign classifier and the determinism tests read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import KernelLaunchError, TransferFaultError
+
+__all__ = ["FaultInjector", "FaultRecord"]
+
+_UINT_FOR_SIZE = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault: where, what, and the exact corruption applied."""
+
+    index: int  # injection ordinal within this injector
+    site: str   # e.g. "gload:a", "h2d:a", "launch:acc_region_main"
+    kind: str   # "bitflip" | "transfer-corrupt" | "transfer-fail" | ...
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "site": self.site, "kind": self.kind,
+                "detail": dict(self.detail)}
+
+
+class FaultInjector:
+    """Mutable per-run state of one :class:`~repro.faults.plan.FaultPlan`."""
+
+    def __init__(self, plan):
+        self.plan = plan
+        self._rng = np.random.default_rng(np.random.SeedSequence(plan.seed))
+        self.records: list[FaultRecord] = []
+
+    # -- arming ----------------------------------------------------------
+
+    @property
+    def armed(self) -> bool:
+        """True while this injector may still inject (``max_faults`` cap)."""
+        return (self.plan.max_faults is None
+                or len(self.records) < self.plan.max_faults)
+
+    def _fire(self, p: float) -> bool:
+        # disabled sites must not consume RNG draws (site independence)
+        if p <= 0.0 or not self.armed:
+            return False
+        return bool(self._rng.random() < p)
+
+    def _record(self, site: str, kind: str, **detail) -> FaultRecord:
+        rec = FaultRecord(len(self.records), site, kind, detail)
+        self.records.append(rec)
+        return rec
+
+    # -- bit flips -------------------------------------------------------
+
+    def _flip_lane(self, out: np.ndarray, lane: int, site: str) -> None:
+        utype = _UINT_FOR_SIZE.get(out.dtype.itemsize)
+        if utype is None:
+            return
+        bit = int(self._rng.integers(out.dtype.itemsize * 8))
+        u = out.view(utype)
+        u[lane] ^= utype(1) << utype(bit)
+        self._record(site, "bitflip", lane=lane, bit=bit)
+
+    def on_gload(self, buf: str, out: np.ndarray, mask: np.ndarray) -> None:
+        """Maybe corrupt one active lane of a gathered global read."""
+        if not self._fire(self.plan.p_gload_flip):
+            return
+        lanes = np.flatnonzero(mask)
+        if lanes.size == 0:
+            return
+        lane = int(lanes[self._rng.integers(lanes.size)])
+        self._flip_lane(out, lane, f"gload:{buf}")
+
+    def on_sload(self, arr: str, out: np.ndarray, mask: np.ndarray) -> None:
+        """Maybe corrupt one active lane of a gathered shared read."""
+        if not self._fire(self.plan.p_sload_flip):
+            return
+        lanes = np.flatnonzero(mask)
+        if lanes.size == 0:
+            return
+        lane = int(lanes[self._rng.integers(lanes.size)])
+        self._flip_lane(out, lane, f"sload:{arr}")
+
+    # -- transfers -------------------------------------------------------
+
+    def on_transfer(self, label: str, data: np.ndarray,
+                    direction: str) -> np.ndarray:
+        """Pass a host↔device copy through the fault model.
+
+        Returns the (possibly corrupted, always fresh) array to land, or
+        raises :class:`TransferFaultError` for a spurious in-flight
+        failure.  The caller's array is never mutated.
+        """
+        if self._fire(self.plan.p_transfer_fail):
+            self._record(label, "transfer-fail", direction=direction)
+            raise TransferFaultError(
+                f"injected {direction} transfer failure on {label}")
+        if self._fire(self.plan.p_transfer_corrupt):
+            data = np.array(data, copy=True)
+            flat = data.reshape(-1)
+            elem = int(self._rng.integers(flat.size)) if flat.size else 0
+            if flat.size:
+                utype = _UINT_FOR_SIZE.get(flat.dtype.itemsize)
+                if utype is not None:
+                    bit = int(self._rng.integers(flat.dtype.itemsize * 8))
+                    u = flat.view(utype)
+                    u[elem] ^= utype(1) << utype(bit)
+                    self._record(label, "transfer-corrupt",
+                                 direction=direction, elem=elem, bit=bit)
+        return data
+
+    # -- launches --------------------------------------------------------
+
+    def on_launch(self, kernel: str) -> None:
+        """Maybe fail this launch spuriously (transient, retryable)."""
+        if self._fire(self.plan.p_launch_fail):
+            self._record(f"launch:{kernel}", "launch-fail")
+            raise KernelLaunchError(
+                f"injected spurious launch failure for kernel {kernel!r}")
+
+    def on_stuck_query(self, kernel: str) -> bool:
+        """Maybe put this launch in stuck-warp mode (loops never exit)."""
+        if self._fire(self.plan.p_stuck_warp):
+            self._record(f"stuck:{kernel}", "stuck-warp")
+            return True
+        return False
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        """Fault sites hit so far, in injection order."""
+        return tuple(r.site for r in self.records)
+
+    def to_dict(self) -> dict:
+        return {"plan": self.plan.to_dict(),
+                "records": [r.to_dict() for r in self.records]}

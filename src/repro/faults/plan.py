@@ -1,0 +1,116 @@
+"""Seeded, serializable fault plans.
+
+A :class:`FaultPlan` is the *configuration* of a fault-injection trial: a
+seed plus per-site firing probabilities.  It is immutable and
+JSON-serializable so a campaign (and its failures) can be replayed
+exactly — the determinism contract is:
+
+    same plan + same program + same inputs  ⇒  same fault sites,
+    same corrupted bits, same final classification.
+
+The plan itself holds no mutable state; call :meth:`FaultPlan.injector`
+to obtain the per-run :class:`~repro.faults.injector.FaultInjector` that
+consumes the seeded RNG stream and records what it injected.
+
+Fault kinds (each gated by its own probability, default 0.0 = never):
+
+* ``p_gload_flip``       — flip one bit of one lane of a global-memory read;
+* ``p_sload_flip``       — same, for shared-memory reads;
+* ``p_transfer_corrupt`` — flip one bit of one element of a host↔device copy;
+* ``p_transfer_fail``    — spurious transfer failure
+  (:class:`~repro.errors.TransferFaultError`, transient → retryable);
+* ``p_launch_fail``      — spurious kernel-launch failure
+  (:class:`~repro.errors.KernelLaunchError`, transient → retryable);
+* ``p_stuck_warp``       — stuck-warp mode for one launch: loops whose exit
+  condition fires never make progress, so the launch spins until the
+  executor watchdog (or a bounds check) converts the hang into a typed
+  error.
+
+``max_faults`` (default 1) arms the injector for at most that many
+injections per injector instance — single-fault trials keep campaign
+classification crisp.  ``None`` means unlimited.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+
+__all__ = ["FaultPlan", "FAULT_KINDS"]
+
+#: the campaign's rotation of single-kind plans: (label, plan field, prob)
+FAULT_KINDS: tuple[tuple[str, str, float], ...] = (
+    ("gload-flip", "p_gload_flip", 0.02),
+    ("sload-flip", "p_sload_flip", 0.05),
+    ("transfer-corrupt", "p_transfer_corrupt", 0.5),
+    ("transfer-fail", "p_transfer_fail", 0.5),
+    ("launch-fail", "p_launch_fail", 0.5),
+    ("stuck-warp", "p_stuck_warp", 0.5),
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Immutable, seeded configuration for one fault-injection run."""
+
+    seed: int = 0
+    p_gload_flip: float = 0.0
+    p_sload_flip: float = 0.0
+    p_transfer_corrupt: float = 0.0
+    p_transfer_fail: float = 0.0
+    p_launch_fail: float = 0.0
+    p_stuck_warp: float = 0.0
+    #: stop injecting after this many faults (None = unlimited)
+    max_faults: int | None = 1
+
+    def __post_init__(self):
+        for f in fields(self):
+            if f.name.startswith("p_"):
+                p = getattr(self, f.name)
+                if not 0.0 <= p <= 1.0:
+                    raise ValueError(
+                        f"{f.name} must be a probability in [0, 1], got {p}")
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {sorted(unknown)}")
+        return cls(**d)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, s: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(s))
+
+    # -- activation ------------------------------------------------------
+
+    @property
+    def any_enabled(self) -> bool:
+        return any(getattr(self, f.name) > 0.0 for f in fields(self)
+                   if f.name.startswith("p_"))
+
+    def injector(self):
+        """A fresh, armed :class:`~repro.faults.injector.FaultInjector`."""
+        from repro.faults.injector import FaultInjector
+        return FaultInjector(self)
+
+    @classmethod
+    def single(cls, kind: str, seed: int, *,
+               max_faults: int | None = 1) -> "FaultPlan":
+        """A plan enabling exactly one fault kind at its campaign default
+        probability (``kind`` is a label from :data:`FAULT_KINDS`)."""
+        for label, field_name, prob in FAULT_KINDS:
+            if label == kind:
+                return cls(seed=seed, max_faults=max_faults,
+                           **{field_name: prob})
+        raise ValueError(f"unknown fault kind {kind!r} "
+                         f"(kinds: {[k for k, _, _ in FAULT_KINDS]})")

@@ -22,13 +22,22 @@ import itertools
 import numpy as np
 
 from repro.dtypes import DType
-from repro.errors import BarrierDivergenceError, SimulationError
+from repro.errors import (
+    BarrierDivergenceError, SimulationError, WatchdogTimeoutError,
+)
 from repro.gpu import kernelir as K
 from repro.gpu.device import DeviceProperties
 from repro.gpu.events import KernelStats, TraceEvent
 from repro.gpu.memory import GlobalMemory, SharedMemory
 
-__all__ = ["CompiledKernel", "BlockEnv"]
+__all__ = ["CompiledKernel", "BlockEnv", "DEFAULT_WATCHDOG_BUDGET"]
+
+#: Default per-launch watchdog budget, in loop-iteration *steps* (the only
+#: way a kernel can run unboundedly in this IR — straight-line code is
+#: finite).  The largest legitimate launches in the repo execute on the
+#: order of 10^5 loop steps; the default leaves a ~10x margin while still
+#: converting an infinite loop into a typed error in seconds, not hours.
+DEFAULT_WATCHDOG_BUDGET = 1_000_000
 
 #: per-GLoad/GStore statement ids keying the segment-reuse cache
 _stmt_slots = itertools.count()
@@ -121,6 +130,7 @@ class BlockEnv:
         "regs", "tx", "ty", "tid", "bx", "bdx", "bdy", "gdx", "ntid",
         "warp_of", "warp_starts", "nwarps", "gmem", "smem", "stats",
         "params", "block_mask", "trace", "block_index", "seg_cache",
+        "kernel_name", "steps", "watchdog_budget", "stuck",
     )
 
     def __init__(self, bdx: int, bdy: int, gdx: int, gmem: GlobalMemory,
@@ -148,6 +158,11 @@ class BlockEnv:
         self.trace = trace
         self.block_index = 0
         self.seg_cache: dict[int, np.ndarray] = {}
+        # watchdog + fault-injection state (set by CompiledKernel.run)
+        self.kernel_name = ""
+        self.steps = 0  # loop-iteration steps executed this launch
+        self.watchdog_budget: float = DEFAULT_WATCHDOG_BUDGET
+        self.stuck = False  # injected stuck-warp mode: loops never exit
 
     def active_warps(self, mask: np.ndarray) -> int:
         """Number of warps with at least one active lane."""
@@ -369,12 +384,18 @@ def _compile_stmt(s: K.Stmt, device: DeviceProperties):
             m = mask & c
             env.stats.warp_inst_slots += aw  # first condition check
             while m.any():
+                env.steps += 1
+                if env.steps > env.watchdog_budget:
+                    _watchdog_trip(env)
                 maw = env.active_warps(m)
                 fbody(env, m, maw)
                 c = _truthy(np.asarray(fc(env)))
                 if c.shape != m.shape:
                     c = np.broadcast_to(c, m.shape)
-                m = m & c
+                m2 = m & c
+                if env.stuck and not m2.any():
+                    m2 = m  # injected stuck warp: the exit never fires
+                m = m2
                 env.stats.warp_inst_slots += maw  # re-check
         return do_while
 
@@ -384,10 +405,13 @@ def _compile_stmt(s: K.Stmt, device: DeviceProperties):
         def do_uwhile(env, mask, aw):
             env.stats.warp_inst_slots += aw
             while True:
+                env.steps += 1
+                if env.steps > env.watchdog_budget:
+                    _watchdog_trip(env)
                 c = _truthy(np.asarray(fc(env)))
                 if c.shape != mask.shape:
                     c = np.broadcast_to(c, mask.shape)
-                if not (mask & c).any():
+                if not (mask & c).any() and not env.stuck:
                     break
                 fbody(env, mask, aw)
                 env.stats.warp_inst_slots += aw
@@ -446,6 +470,15 @@ def _compile_stmt(s: K.Stmt, device: DeviceProperties):
     raise SimulationError(f"unknown statement node {s!r}")
 
 
+def _watchdog_trip(env: BlockEnv) -> None:
+    raise WatchdogTimeoutError(
+        f"kernel {env.kernel_name!r} exceeded its watchdog budget of "
+        f"{env.watchdog_budget:g} loop steps in block {env.block_index} "
+        "(infinite or runaway loop)",
+        kernel=env.kernel_name, steps=env.steps,
+        budget=int(env.watchdog_budget))
+
+
 def _compile_block(stmts: tuple, device: DeviceProperties):
     fns = [_compile_stmt(s, device) for s in stmts]
     def run(env, mask, aw):
@@ -471,7 +504,8 @@ class CompiledKernel:
         self._body = _compile_block(kernel.body, device)
 
     def run(self, gmem: GlobalMemory, grid_dim: int, block_dim: tuple[int, int],
-            params: dict | None = None, trace: bool = False) -> KernelStats:
+            params: dict | None = None, trace: bool = False, *,
+            faults=None, watchdog_budget: int | None = None) -> KernelStats:
         """Execute over ``grid_dim`` blocks of ``block_dim`` = (bdx, bdy).
 
         Blocks run sequentially (they are independent by construction —
@@ -484,11 +518,22 @@ class CompiledKernel:
         one event to ``stats.trace``.  :func:`repro.gpu.launch.launch` and
         ``Program.run`` plumb the same flag through, and
         :class:`repro.obs.Profiler` consumes the collected events.
+
+        ``faults`` (a :class:`repro.faults.FaultInjector`, opt-in like the
+        profiler) arms this launch for injected transient faults: it may
+        raise :class:`~repro.errors.KernelLaunchError` at entry, flip bits
+        of memory reads, or put the launch in stuck-warp mode.  The
+        watchdog always runs: a launch exceeding ``watchdog_budget`` loop
+        steps (default :data:`DEFAULT_WATCHDOG_BUDGET`; ``0`` or negative
+        disables) raises :class:`~repro.errors.WatchdogTimeoutError`
+        instead of hanging the caller.
         """
         bdx, bdy = block_dim
         self.device.validate_block(bdx, bdy, self.kernel.shared_bytes)
         if grid_dim < 1:
             raise SimulationError(f"grid_dim must be >= 1, got {grid_dim}")
+        if faults is not None:
+            faults.on_launch(self.kernel.name)  # may raise KernelLaunchError
         stats = KernelStats(
             blocks=grid_dim,
             threads_per_block=bdx * bdy,
@@ -504,10 +549,26 @@ class CompiledKernel:
         env = BlockEnv(bdx, bdy, grid_dim, gmem, None, stats, params,
                        self.device.warp_size, trace)
         env.seg_cache = {}  # fresh reuse state per launch
+        env.kernel_name = self.kernel.name
+        if watchdog_budget is None:
+            env.watchdog_budget = DEFAULT_WATCHDOG_BUDGET
+        elif watchdog_budget <= 0:
+            env.watchdog_budget = float("inf")
+        else:
+            env.watchdog_budget = watchdog_budget
+        if faults is not None:
+            env.stuck = faults.on_stuck_query(self.kernel.name)
         full = env.block_mask
         nw = env.nwarps
-        for bx in range(grid_dim):
-            env.reset_for_block(bx)
-            env.smem = SharedMemory(self.device, self.kernel.shared, stats)
-            self._body(env, full, nw)
+        prev_faults = gmem.faults
+        if faults is not None:
+            gmem.faults = faults
+        try:
+            for bx in range(grid_dim):
+                env.reset_for_block(bx)
+                env.smem = SharedMemory(self.device, self.kernel.shared,
+                                        stats, faults=faults)
+                self._body(env, full, nw)
+        finally:
+            gmem.faults = prev_faults
         return stats

@@ -34,7 +34,8 @@ class LaunchReport:
 def launch(kernel: Kernel, gmem: GlobalMemory, *, grid_dim: int,
            block_dim: tuple[int, int], params: dict | None = None,
            device: DeviceProperties = K20C, trace: bool = False,
-           profiler=None) -> LaunchReport:
+           profiler=None, faults=None,
+           watchdog_budget: int | None = None) -> LaunchReport:
     """Compile ``kernel``, run it over the grid, and model its time.
 
     ``trace=True`` turns on per-access :class:`~repro.gpu.events.TraceEvent`
@@ -42,14 +43,19 @@ def launch(kernel: Kernel, gmem: GlobalMemory, *, grid_dim: int,
     :meth:`~repro.gpu.executor.CompiledKernel.run` takes); it is off by
     default because it records one event per memory statement execution.
     ``profiler`` (a :class:`repro.obs.Profiler`) receives a
-    :class:`~repro.obs.record.KernelRecord` for the launch.
+    :class:`~repro.obs.record.KernelRecord` for the launch.  ``faults``
+    (a :class:`repro.faults.FaultInjector`) and ``watchdog_budget`` are
+    forwarded to :meth:`~repro.gpu.executor.CompiledKernel.run` — the
+    former arms fault injection for this launch, the latter overrides the
+    per-launch loop-step budget.
 
     For repeated launches of the same kernel (iterative solvers), prefer
     compiling once with :class:`~repro.gpu.executor.CompiledKernel` and
     calling ``.run`` per iteration; this helper recompiles every call.
     """
     ck = CompiledKernel(kernel, device)
-    stats = ck.run(gmem, grid_dim, block_dim, params=params, trace=trace)
+    stats = ck.run(gmem, grid_dim, block_dim, params=params, trace=trace,
+                   faults=faults, watchdog_budget=watchdog_budget)
     timing = CostModel(device).kernel_time(stats)
     if profiler is not None:
         profiler.record_kernel(kernel.name, stats, timing,

@@ -57,6 +57,9 @@ class GlobalMemory:
         self.device = device
         self._buffers: dict[str, Buffer] = {}
         self._next_base = _ALIGN  # leave address 0 unused, like real allocators
+        #: opt-in fault injector (repro.faults.FaultInjector); attached per
+        #: launch by CompiledKernel.run — None means no fault work at all
+        self.faults = None
 
     # -- allocation --------------------------------------------------------
 
@@ -122,6 +125,10 @@ class GlobalMemory:
         if act.size:
             out[mask] = buf.data[act]
             self._count_transactions(buf, act, warp_of[mask], stats, reuse)
+            if self.faults is not None:
+                # transient read upset: corrupts the gathered register
+                # vector only, never the buffer contents
+                self.faults.on_gload(name, out, mask)
         return out
 
     def store(self, name: str, idx: np.ndarray, values: np.ndarray,
@@ -215,9 +222,10 @@ class SharedMemory:
 
     def __init__(self, device: DeviceProperties,
                  specs: tuple,  # tuple[SharedArraySpec, ...]
-                 stats: KernelStats):
+                 stats: KernelStats, faults=None):
         self.device = device
         self.stats = stats
+        self.faults = faults  # opt-in repro.faults.FaultInjector
         self._arrays: dict[str, np.ndarray] = {}
         self._offsets: dict[str, int] = {}
         self._dtypes: dict[str, DType] = {}
@@ -265,6 +273,8 @@ class SharedMemory:
         if act.size:
             out[mask] = arr[act]
             self._count_banks(name, act, warp_of[mask])
+            if self.faults is not None:
+                self.faults.on_sload(name, out, mask)
         return out
 
     def store(self, name: str, idx: np.ndarray, values: np.ndarray,

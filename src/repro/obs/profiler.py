@@ -91,6 +91,14 @@ class Profiler:
         self.metrics.counter(f"profiler.{direction}_bytes").inc(nbytes)
         self.metrics.counter("profiler.transfers").inc()
 
+    def record_fault(self, site: str, kind: str) -> None:
+        """One injected fault (see :mod:`repro.faults`): a zero-duration
+        trace marker plus per-kind counters, so campaigns show up in the
+        same timeline as the kernels they perturb."""
+        self.trace.add(f"fault:{site}", "fault", 0.0, kind=kind)
+        self.metrics.counter("faults.injected").inc()
+        self.metrics.counter(f"faults.injected.{kind}").inc()
+
     @contextmanager
     def phase(self, name: str, cat: str = "compile", **args):
         """Wall-time span on the host track (compile pipeline phases)."""

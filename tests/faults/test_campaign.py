@@ -1,0 +1,138 @@
+"""Campaign classification: with detection on, nothing escapes."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CATEGORIES, FaultPlan, run_campaign, synthesize_inputs,
+)
+from repro.faults.campaign import _classify, _matches
+
+VECSUM = """
+float a[n];
+float total = 0.0;
+#pragma acc parallel copyin(a)
+#pragma acc loop gang worker vector reduction(+:total)
+for (i = 0; i < n; i++)
+    total += a[i];
+"""
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(VECSUM, seed=0, trials=18, num_gangs=4,
+                        num_workers=2, vector_length=32, size=128)
+
+
+class TestCampaign:
+    def test_nothing_escapes_with_detection_on(self, campaign):
+        assert campaign.escaped == 0
+
+    def test_every_trial_classified(self, campaign):
+        assert sum(campaign.counts.values()) == 18
+        assert all(t.category in CATEGORIES for t in campaign.trials)
+
+    def test_all_kinds_exercised(self, campaign):
+        kinds = {t.kind for t in campaign.trials}
+        assert kinds == {"gload-flip", "sload-flip", "transfer-corrupt",
+                         "transfer-fail", "launch-fail", "stuck-warp"}
+
+    def test_hardening_engages(self, campaign):
+        # the high-probability kinds guarantee corrective activity
+        c = campaign.counts
+        assert c["corrected-by-retry"] > 0
+        assert c["degraded"] > 0
+
+    def test_detection_off_measures_escapes(self):
+        bare = run_campaign(VECSUM, seed=0, trials=18, num_gangs=4,
+                            num_workers=2, vector_length=32, size=128,
+                            detect=False)
+        c = bare.counts
+        # without retries/voting/degradation, faults surface as typed
+        # errors or escape outright — nothing is corrected
+        assert c["corrected-by-retry"] == 0 and c["degraded"] == 0
+        assert c["detected"] + c["escaped"] > 0
+
+    def test_to_dict_json_serializable(self, campaign):
+        doc = json.loads(json.dumps(campaign.to_dict()))
+        assert doc["counts"]["escaped"] == 0
+        assert len(doc["trials"]) == 18
+
+    def test_table_mentions_every_category(self, campaign):
+        table = campaign.table()
+        for cat in CATEGORIES:
+            assert cat in table
+
+
+class TestClassifier:
+    class _Res:
+        def __init__(self, scalars, strategy="primary", attempts=1,
+                     degradations=()):
+            self.scalars = scalars
+            self.outputs = {}
+            self.strategy = strategy
+            self.attempts = attempts
+            self.degradations = list(degradations)
+
+    def _ref(self):
+        return self._Res({"total": np.float32(10.0)})
+
+    def test_no_records_is_clean(self):
+        inj = FaultPlan().injector()
+        assert _classify(self._ref(), self._ref(), inj) == "clean"
+
+    def _fired(self):
+        inj = FaultPlan(p_launch_fail=1.0).injector()
+        try:
+            inj.on_launch("k")
+        except Exception:
+            pass
+        return inj
+
+    def test_wrong_result_escapes(self):
+        res = self._Res({"total": np.float32(11.0)})
+        assert _classify(res, self._ref(), self._fired()) == "escaped"
+
+    def test_degraded_beats_retry(self):
+        res = self._Res({"total": np.float32(10.0)}, strategy="atomic",
+                        attempts=2)
+        assert _classify(res, self._ref(), self._fired()) == "degraded"
+
+    def test_retry_classified(self):
+        res = self._Res({"total": np.float32(10.0)}, attempts=2)
+        assert _classify(res, self._ref(), self._fired()) == \
+            "corrected-by-retry"
+
+    def test_correct_untouched_result_is_masked(self):
+        assert _classify(self._ref(), self._ref(), self._fired()) == "masked"
+
+    def test_float_match_tolerates_reassociation(self):
+        ref = self._Res({"total": np.float32(10.0)})
+        near = self._Res({"total": np.float32(10.0) + np.float32(1e-6)})
+        assert _matches(near, ref)
+        far = self._Res({"total": np.float32(10.5)})
+        assert not _matches(far, ref)
+
+
+class TestInputSynthesis:
+    def test_binds_extents_and_fills_missing(self):
+        from repro import acc
+
+        prog = acc.compile(VECSUM, num_gangs=4, num_workers=2,
+                           vector_length=32)
+        kwargs = {}
+        synthesize_inputs(prog, kwargs, size=64)
+        assert kwargs["a"].shape == (64,)
+        assert kwargs["a"].dtype == np.float32
+
+    def test_existing_arrays_kept(self):
+        from repro import acc
+
+        prog = acc.compile(VECSUM, num_gangs=4, num_workers=2,
+                           vector_length=32)
+        mine = np.ones(32, dtype=np.float32)
+        kwargs = {"a": mine}
+        synthesize_inputs(prog, kwargs, size=64)
+        assert kwargs["a"] is mine

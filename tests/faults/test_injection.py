@@ -1,0 +1,121 @@
+"""FaultInjector site behavior: what each hook corrupts, and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    KernelLaunchError, TransferFaultError, TransientFaultError,
+)
+from repro.faults import FaultPlan
+
+
+def _flip_once(seed):
+    """Drive on_gload with p=1 until it corrupts one lane."""
+    inj = FaultPlan(seed=seed, p_gload_flip=1.0).injector()
+    out = np.arange(8, dtype=np.float32)
+    inj.on_gload("a", out, np.ones(8, dtype=bool))
+    return inj, out
+
+
+class TestBitFlips:
+    def test_gload_flip_corrupts_exactly_one_lane(self):
+        inj, out = _flip_once(seed=5)
+        clean = np.arange(8, dtype=np.float32)
+        assert len(inj.records) == 1
+        rec = inj.records[0]
+        assert rec.site == "gload:a" and rec.kind == "bitflip"
+        diff = np.flatnonzero(out.view(np.uint32) != clean.view(np.uint32))
+        assert diff.tolist() == [rec.detail["lane"]]
+        # exactly one bit differs in that lane
+        xor = int(out.view(np.uint32)[diff[0]]
+                  ^ clean.view(np.uint32)[diff[0]])
+        assert xor == 1 << rec.detail["bit"]
+
+    def test_same_seed_same_flip(self):
+        inj1, out1 = _flip_once(seed=11)
+        inj2, out2 = _flip_once(seed=11)
+        assert inj1.records[0].to_dict() == inj2.records[0].to_dict()
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_only_active_lanes_flipped(self):
+        mask = np.zeros(8, dtype=bool)
+        mask[3] = True
+        for seed in range(10):
+            inj = FaultPlan(seed=seed, p_sload_flip=1.0).injector()
+            out = np.zeros(8, dtype=np.float32)
+            inj.on_sload("s", out, mask)
+            assert inj.records[0].detail["lane"] == 3
+
+    def test_all_lanes_inactive_no_flip(self):
+        inj = FaultPlan(p_gload_flip=1.0).injector()
+        out = np.zeros(4, dtype=np.float32)
+        inj.on_gload("a", out, np.zeros(4, dtype=bool))
+        assert inj.records == [] and not out.any()
+
+
+class TestTransfers:
+    def test_corrupt_never_mutates_callers_array(self):
+        inj = FaultPlan(seed=2, p_transfer_corrupt=1.0).injector()
+        host = np.arange(16, dtype=np.float64)
+        landed = inj.on_transfer("h2d:a", host, "h2d")
+        np.testing.assert_array_equal(host, np.arange(16, dtype=np.float64))
+        assert landed is not host
+        rec = inj.records[0]
+        diff = np.flatnonzero(landed.view(np.uint64) != host.view(np.uint64))
+        assert diff.tolist() == [rec.detail["elem"]]
+
+    def test_fail_raises_transient(self):
+        inj = FaultPlan(p_transfer_fail=1.0).injector()
+        with pytest.raises(TransferFaultError, match="h2d"):
+            inj.on_transfer("h2d:a", np.zeros(4), "h2d")
+        assert isinstance(TransferFaultError("x"), TransientFaultError)
+
+    def test_disabled_passes_through_unchanged(self):
+        inj = FaultPlan().injector()
+        host = np.arange(4, dtype=np.int32)
+        assert inj.on_transfer("d2h:a", host, "d2h") is host
+        assert inj.records == []
+
+
+class TestLaunchSites:
+    def test_launch_fail_is_transient(self):
+        inj = FaultPlan(p_launch_fail=1.0).injector()
+        with pytest.raises(KernelLaunchError, match="kern"):
+            inj.on_launch("kern")
+        assert inj.sites == ("launch:kern",)
+
+    def test_stuck_query(self):
+        inj = FaultPlan(p_stuck_warp=1.0).injector()
+        assert inj.on_stuck_query("kern") is True
+        assert inj.records[0].kind == "stuck-warp"
+        assert inj.on_stuck_query("kern") is False  # disarmed (max_faults=1)
+
+
+class TestSiteIndependence:
+    def test_disabled_sites_consume_no_rng_draws(self):
+        """Enabling one fault kind must not shift another kind's sites:
+        a site with probability 0 draws nothing from the RNG stream."""
+        plan = FaultPlan(seed=123, p_launch_fail=0.5, max_faults=None)
+        direct = plan.injector()
+        direct_outcomes = []
+        for _ in range(20):
+            try:
+                direct.on_launch("k")
+                direct_outcomes.append(False)
+            except KernelLaunchError:
+                direct_outcomes.append(True)
+
+        noisy = plan.injector()
+        noisy_outcomes = []
+        for _ in range(20):
+            # interleave disabled-site queries: must not perturb anything
+            noisy.on_gload("a", np.zeros(4, np.float32),
+                           np.ones(4, dtype=bool))
+            noisy.on_transfer("h2d:a", np.zeros(4), "h2d")
+            try:
+                noisy.on_launch("k")
+                noisy_outcomes.append(False)
+            except KernelLaunchError:
+                noisy_outcomes.append(True)
+        assert direct_outcomes == noisy_outcomes
+        assert any(direct_outcomes) and not all(direct_outcomes)

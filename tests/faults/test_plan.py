@@ -1,0 +1,73 @@
+"""FaultPlan: immutable, validated, JSON-round-trippable configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultInjector, FaultPlan
+
+
+class TestConstruction:
+    def test_defaults_inject_nothing(self):
+        plan = FaultPlan()
+        assert not plan.any_enabled
+        assert plan.max_faults == 1
+
+    def test_frozen(self):
+        plan = FaultPlan()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            plan.seed = 7
+
+    @pytest.mark.parametrize("field", [
+        "p_gload_flip", "p_sload_flip", "p_transfer_corrupt",
+        "p_transfer_fail", "p_launch_fail", "p_stuck_warp",
+    ])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_probabilities_validated(self, field, bad):
+        with pytest.raises(ValueError, match="probability"):
+            FaultPlan(**{field: bad})
+
+    def test_single_enables_exactly_one_kind(self):
+        for label, field, prob in FAULT_KINDS:
+            plan = FaultPlan.single(label, seed=42)
+            assert plan.seed == 42
+            assert getattr(plan, field) == prob
+            others = [f for _, f, _ in FAULT_KINDS if f != field]
+            assert all(getattr(plan, f) == 0.0 for f in others)
+
+    def test_single_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.single("cosmic-ray", seed=0)
+
+
+class TestSerialization:
+    def test_json_round_trip(self):
+        plan = FaultPlan(seed=99, p_gload_flip=0.25, p_launch_fail=1.0,
+                         max_faults=None)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan fields"):
+            FaultPlan.from_dict({"seed": 0, "p_cosmic_ray": 0.5})
+
+    def test_to_dict_is_plain_data(self):
+        d = FaultPlan.single("transfer-fail", seed=3).to_dict()
+        assert d["seed"] == 3 and d["p_transfer_fail"] == 0.5
+        assert all(isinstance(k, str) for k in d)
+
+
+class TestActivation:
+    def test_injector_is_fresh_each_call(self):
+        plan = FaultPlan.single("launch-fail", seed=0)
+        a, b = plan.injector(), plan.injector()
+        assert isinstance(a, FaultInjector) and a is not b
+        assert a.records == [] and b.records == []
+
+    def test_max_faults_caps_arming(self):
+        inj = FaultPlan(p_launch_fail=1.0, max_faults=1).injector()
+        assert inj.armed
+        with pytest.raises(Exception):
+            inj.on_launch("k")
+        assert not inj.armed
+        inj.on_launch("k")  # disarmed: must not raise again
+        assert len(inj.records) == 1

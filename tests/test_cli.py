@@ -184,3 +184,76 @@ class TestBenchPassthrough:
         assert doc["bench"]["bench"] == "table2"
         assert doc["kernels"]
         assert doc["metrics"]["counters"]["testsuite.cases"] > 0
+
+
+class TestFaultcheckCommand:
+    def test_campaign_reports_zero_escaped(self, vecsum_file, capsys):
+        rc = main(["faultcheck", vecsum_file, "--seed", "0",
+                   "--campaign", "12", "--size", "128",
+                   "--num-gangs", "4", "--num-workers", "2",
+                   "--vector-length", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fault campaign: 12 trials" in out
+        assert "detection ON" in out
+        assert "escaped                   0" in out
+
+    def test_campaign_is_repeatable(self, vecsum_file, capsys):
+        argv = ["faultcheck", vecsum_file, "--campaign", "12",
+                "--size", "128", "--num-gangs", "4", "--num-workers", "2",
+                "--vector-length", "32"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_json_document(self, vecsum_file, tmp_path, capsys):
+        out_path = tmp_path / "campaign.json"
+        rc = main(["faultcheck", vecsum_file, "--campaign", "6",
+                   "--size", "128", "--num-gangs", "4",
+                   "--num-workers", "2", "--vector-length", "32",
+                   "--json", str(out_path)])
+        assert rc == 0
+        import json
+        doc = json.loads(out_path.read_text())
+        assert doc["counts"]["escaped"] == 0
+        assert len(doc["trials"]) == 6
+
+
+class TestErrorHandling:
+    """Operational robustness of the driver itself: failures become a
+    typed one-line message and a non-zero exit, never a traceback."""
+
+    def test_missing_file_exit_code(self, capsys):
+        rc = main(["faultcheck", "/no/such/file.c", "--campaign", "2"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: FileNotFoundError:")
+
+    def test_compile_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int x = ;")
+        rc = main(["run", str(bad)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ParseError:")
+
+    def test_missing_input_exit_code(self, vecsum_file, capsys):
+        rc = main(["run", vecsum_file])  # no --array for 'a'
+        assert rc == 1
+        assert "error: RuntimeDataError:" in capsys.readouterr().err
+
+    def test_debug_reraises(self, tmp_path):
+        bad = tmp_path / "bad.c"
+        bad.write_text("int x = ;")
+        from repro.errors import ParseError
+        with pytest.raises(ParseError):
+            main(["--debug", "run", str(bad)])
+        with pytest.raises(FileNotFoundError):
+            main(["faultcheck", "/no/such/file.c", "--debug"])
+
+    def test_success_still_exit_zero(self, vecsum_file):
+        rc = main(["run", vecsum_file, "--array", "a=arange:64:float",
+                   "--num-gangs", "4", "--num-workers", "2",
+                   "--vector-length", "32"])
+        assert rc == 0

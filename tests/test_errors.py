@@ -5,9 +5,12 @@ import pytest
 
 from repro import acc
 from repro.errors import (
-    AnalysisError, BarrierDivergenceError, CompileError, DirectiveError,
+    AnalysisError, BarrierDivergenceError, CompileError,
+    DegradedExecutionError, DirectiveError, KernelLaunchError,
     LoweringError, OutOfBoundsError, ParseError, ReproError, ResourceError,
-    RuntimeDataError, SimulationError, UnsupportedReductionError,
+    RuntimeDataError, SilentCorruptionError, SimulationError,
+    TransferFaultError, TransientFaultError, UnsupportedReductionError,
+    WatchdogTimeoutError,
 )
 
 
@@ -16,7 +19,9 @@ class TestHierarchy:
         CompileError, ParseError, DirectiveError, AnalysisError,
         UnsupportedReductionError, LoweringError, SimulationError,
         BarrierDivergenceError, OutOfBoundsError, ResourceError,
-        RuntimeDataError,
+        RuntimeDataError, TransientFaultError, KernelLaunchError,
+        TransferFaultError, WatchdogTimeoutError, SilentCorruptionError,
+        DegradedExecutionError,
     ])
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
@@ -86,3 +91,40 @@ class TestOneCatchSiteSuffices:
         """, num_gangs=2, num_workers=1, vector_length=32)
         with pytest.raises(SimulationError):
             prog.run(a=np.ones(8, np.float32), b=np.ones(4, np.float32))
+
+
+class TestRobustnessTaxonomy:
+    """The fault/watchdog additions slot into the existing hierarchy so
+    established catch sites keep working."""
+
+    @pytest.mark.parametrize("exc", [KernelLaunchError, TransferFaultError])
+    def test_transient_family(self, exc):
+        # retryable faults share one base the retry loop catches
+        assert issubclass(exc, TransientFaultError)
+        assert not issubclass(exc, SimulationError)
+
+    def test_watchdog_is_a_simulation_error(self):
+        # pre-existing `except SimulationError` handlers see hangs too
+        assert issubclass(WatchdogTimeoutError, SimulationError)
+        e = WatchdogTimeoutError("hung", kernel="k", steps=501, budget=500)
+        assert (e.kernel, e.steps, e.budget) == ("k", 501, 500)
+
+    def test_degraded_execution_carries_context(self):
+        cause = SimulationError("boom")
+        e = DegradedExecutionError("fell back", strategy="atomic",
+                                   cause=cause)
+        assert e.strategy == "atomic" and e.cause is cause
+
+    def test_silent_corruption_not_transient(self):
+        # wrong-but-no-exception results must not be blindly retried:
+        # a deterministic corruption would recur forever
+        assert not issubclass(SilentCorruptionError, TransientFaultError)
+
+    def test_one_catch_site_covers_fault_layer(self):
+        for exc in (TransientFaultError("x"), WatchdogTimeoutError("x"),
+                    SilentCorruptionError("x"),
+                    DegradedExecutionError("x")):
+            try:
+                raise exc
+            except ReproError:
+                pass
