@@ -142,15 +142,17 @@ class Program:
     # -- execution -------------------------------------------------------
 
     def _record_kernel(self, profiler, name: str, stats: KernelStats,
-                       timing, grid_dim: int,
-                       block_dim: tuple[int, int]) -> None:
+                       timing, grid_dim: int, block_dim: tuple[int, int],
+                       executor_mode: str | None = None) -> None:
         profiler.record_kernel(name, stats, timing, grid_dim=grid_dim,
                                block_dim=block_dim, device=self.device,
                                compiler=self.profile.name,
-                               strategy=self._strategy)
+                               strategy=self._strategy,
+                               executor=executor_mode or "batched")
 
     def run(self, *, trace: bool = False, data_region=None, profiler=None,
             faults=None, watchdog_budget: int | None = None,
+            executor_mode: str | None = None, block_batch: int | None = None,
             max_attempts: int = 3, backoff_us: float = 100.0,
             backoff_cap_us: float = 1600.0, runs: int = 1, validate=None,
             degrade: bool = False, **kwargs) -> RunResult:
@@ -198,6 +200,12 @@ class Program:
           declared :data:`FALLBACK_CHAIN` and serve the answer from the
           first strategy that survives, recording the degradation on the
           result and in ``profiler.metrics``.
+
+        ``executor_mode`` (``"batched"`` default / ``"reference"``) and
+        ``block_batch`` select the simulator's executor path for every
+        launch of this run (see
+        :meth:`repro.gpu.executor.CompiledKernel.run`); both paths are
+        pinned bit-identical, so this is a performance knob only.
         """
         injector = _as_injector(faults)
         if (injector is None and runs <= 1 and validate is None
@@ -206,10 +214,13 @@ class Program:
             return self._execute(trace=trace, data_region=data_region,
                                  profiler=profiler,
                                  watchdog_budget=watchdog_budget,
+                                 executor_mode=executor_mode,
+                                 block_batch=block_batch,
                                  kwargs=kwargs)
         return self._run_hardened(
             trace=trace, data_region=data_region, profiler=profiler,
             injector=injector, watchdog_budget=watchdog_budget,
+            executor_mode=executor_mode, block_batch=block_batch,
             max_attempts=max_attempts, backoff_us=backoff_us,
             backoff_cap_us=backoff_cap_us, runs=runs, validate=validate,
             degrade=degrade, kwargs=kwargs)
@@ -218,6 +229,8 @@ class Program:
 
     def _execute(self, *, trace: bool, data_region, profiler,
                  faults=None, watchdog_budget: int | None = None,
+                 executor_mode: str | None = None,
+                 block_batch: int | None = None,
                  kwargs: dict) -> RunResult:
         from repro.acc.runtime import DataEnv
 
@@ -228,7 +241,9 @@ class Program:
         try:
             return self._execute_bound(env, trace=trace, profiler=profiler,
                                        faults=faults,
-                                       watchdog_budget=watchdog_budget)
+                                       watchdog_budget=watchdog_budget,
+                                       executor_mode=executor_mode,
+                                       block_batch=block_batch)
         except BaseException:
             # free this run's allocations so a retry (or the next run in
             # a shared data region) can allocate the same names again
@@ -236,7 +251,9 @@ class Program:
             raise
 
     def _execute_bound(self, env, *, trace: bool, profiler, faults,
-                       watchdog_budget: int | None) -> RunResult:
+                       watchdog_budget: int | None,
+                       executor_mode: str | None = None,
+                       block_batch: int | None = None) -> RunResult:
 
         # the vendor-a defect: device-resident reduction scalars ignore
         # host-side reinitialization between runs of the same program
@@ -266,18 +283,23 @@ class Program:
                 ck = self._compiled[g.init_kernel.name]
                 ist = ck.run(env.gmem, g.init_grid, (fbs0, 1), params={},
                              trace=trace, faults=faults,
-                             watchdog_budget=watchdog_budget)
+                             watchdog_budget=watchdog_budget,
+                             mode=executor_mode, block_batch=block_batch)
                 stats[g.init_kernel.name] = ist
                 itb = self._cost.kernel_time(ist)
                 env.ledger.add(f"kernel:{g.init_kernel.name}", itb.total_us)
                 if profiler is not None:
                     self._record_kernel(profiler, g.init_kernel.name, ist,
-                                        itb, g.init_grid, (fbs0, 1))
+                                        itb, g.init_grid, (fbs0, 1),
+                                        executor_mode=ck.effective_mode(
+                                            executor_mode, g.init_grid,
+                                            env.gmem, faults))
             main = self._compiled[self.lowered.main_kernel.name]
             st = main.run(env.gmem, geom.num_gangs,
                           (geom.vector_length, geom.num_workers),
                           params=env.scalars, trace=trace, faults=faults,
-                          watchdog_budget=watchdog_budget)
+                          watchdog_budget=watchdog_budget,
+                          mode=executor_mode, block_batch=block_batch)
             stats[self.lowered.main_kernel.name] = st
             mtb = self._cost.kernel_time(st)
             env.ledger.add(f"kernel:{self.lowered.main_kernel.name}",
@@ -285,7 +307,10 @@ class Program:
             if profiler is not None:
                 self._record_kernel(profiler, self.lowered.main_kernel.name,
                                     st, mtb, geom.num_gangs,
-                                    (geom.vector_length, geom.num_workers))
+                                    (geom.vector_length, geom.num_workers),
+                                    executor_mode=main.effective_mode(
+                                        executor_mode, geom.num_gangs,
+                                        env.gmem, faults))
 
             scalars: dict[str, np.generic] = {}
             fbs = self.lowered.options.finish_block_size
@@ -298,7 +323,9 @@ class Program:
                         ck = self._compiled[g.finish_kernel.name]
                         fst = ck.run(env.gmem, 1, (fbs, 1), params={},
                                      trace=trace, faults=faults,
-                                     watchdog_budget=watchdog_budget)
+                                     watchdog_budget=watchdog_budget,
+                                     mode=executor_mode,
+                                     block_batch=block_batch)
                         stats[g.finish_kernel.name] = fst
                         ftb = self._cost.kernel_time(fst)
                         env.ledger.add(f"kernel:{g.finish_kernel.name}",
@@ -306,7 +333,11 @@ class Program:
                         if profiler is not None:
                             self._record_kernel(profiler,
                                                 g.finish_kernel.name,
-                                                fst, ftb, 1, (fbs, 1))
+                                                fst, ftb, 1, (fbs, 1),
+                                                executor_mode=(
+                                                    ck.effective_mode(
+                                                        executor_mode, 1,
+                                                        env.gmem, faults)))
                     device_total = env.read_result(g.result_buf)
                 host_init = env.scalars[g.var]
                 final = g.op.np_combine(host_init, device_total, g.dtype)
@@ -324,7 +355,8 @@ class Program:
     def _run_hardened(self, *, trace, data_region, profiler, injector,
                       watchdog_budget, max_attempts, backoff_us,
                       backoff_cap_us, runs, validate, degrade,
-                      kwargs) -> RunResult:
+                      kwargs, executor_mode=None,
+                      block_batch=None) -> RunResult:
         metrics = profiler.metrics if profiler is not None else None
         injected_before = len(injector.records) if injector is not None \
             else 0
@@ -355,6 +387,7 @@ class Program:
                         target, runs=runs, trace=trace,
                         data_region=data_region, profiler=profiler,
                         injector=injector, watchdog_budget=watchdog_budget,
+                        executor_mode=executor_mode, block_batch=block_batch,
                         max_attempts=max_attempts, backoff_us=backoff_us,
                         backoff_cap_us=backoff_cap_us, kwargs=kwargs,
                         metrics=metrics, degradations=degradations)
@@ -451,7 +484,8 @@ def _as_injector(faults):
 
 def _execute_with_retry(prog: "Program", *, trace, data_region, profiler,
                         injector, watchdog_budget, max_attempts, backoff_us,
-                        backoff_cap_us, kwargs, metrics) -> RunResult:
+                        backoff_cap_us, kwargs, metrics, executor_mode=None,
+                        block_batch=None) -> RunResult:
     """Retry transient faults (launch/transfer) with capped backoff.
 
     The backoff is *modeled* time — no wall-clock sleep — charged to the
@@ -465,6 +499,8 @@ def _execute_with_retry(prog: "Program", *, trace, data_region, profiler,
             res = prog._execute(trace=trace, data_region=data_region,
                                 profiler=profiler, faults=injector,
                                 watchdog_budget=watchdog_budget,
+                                executor_mode=executor_mode,
+                                block_batch=block_batch,
                                 kwargs=kwargs)
         except TransientFaultError:
             if metrics is not None:
@@ -485,7 +521,8 @@ def _execute_with_retry(prog: "Program", *, trace, data_region, profiler,
 
 def _vote(prog: "Program", *, runs, trace, data_region, profiler, injector,
           watchdog_budget, max_attempts, backoff_us, backoff_cap_us,
-          kwargs, metrics, degradations) -> RunResult:
+          kwargs, metrics, degradations, executor_mode=None,
+          block_batch=None) -> RunResult:
     """Redundant-execution majority voting over ``runs`` replicas.
 
     A silent bit-flip raises no exception; executing the program N times
@@ -496,6 +533,7 @@ def _vote(prog: "Program", *, runs, trace, data_region, profiler, injector,
         return _execute_with_retry(
             prog, trace=trace, data_region=data_region, profiler=profiler,
             injector=injector, watchdog_budget=watchdog_budget,
+            executor_mode=executor_mode, block_batch=block_batch,
             max_attempts=max_attempts, backoff_us=backoff_us,
             backoff_cap_us=backoff_cap_us, kwargs=kwargs, metrics=metrics)
 

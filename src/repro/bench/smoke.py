@@ -1,0 +1,194 @@
+"""CI bench smoke: executor fast-path speedup guard.
+
+Runs a scaled-down Table 2 sweep (the paper's 192-gang launch geometry
+on small per-position sizes, each case compiled once up front — the
+executor is what this gate guards, so compilation sits outside the timed
+region) and a 64-gang reduction, in both executor modes, and records,
+per workload, the modeled kernel ms (which must be byte-equal across
+modes — the bit-identity contract) and the wall-clock seconds of each
+mode.
+
+Usage::
+
+    python -m repro.bench.smoke --out BENCH_table2.json    # write baseline
+    python -m repro.bench.smoke --check BENCH_table2.json  # CI gate
+
+``--check`` compares against a committed baseline.  Absolute wall-clock
+is machine-dependent, so the regression metric is the *ratio*
+``batched_wall / reference_wall`` of the same run — a dimensionless
+measure of how much of the fast path's advantage survives.  The gate
+fails when the current ratio exceeds the baseline ratio by more than
+``--tolerance`` (default 25%), or when modeled ms diverge between modes
+at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["run_smoke", "check_against_baseline"]
+
+TOLERANCE = 0.25
+
+_REDUCTION_SRC = '''float a[n];
+float total = 0.0;
+#pragma acc parallel copyin(a)
+#pragma acc loop gang worker vector reduction(+:total)
+for (i = 0; i < n; i++)
+    total += a[i];
+'''
+
+
+def _time_best(fn, reps: int):
+    best, result = float("inf"), None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _table2_workload(reps: int) -> dict:
+    from repro import acc
+    from repro.testsuite.cases import POSITIONS, generate_cases
+
+    # the paper's launch geometry (Table 2 runs 192 gangs x 8 workers x
+    # 128 vector) at scaled-down sizes: multi-gang execution, which is
+    # exactly what the batched path accelerates
+    cases = generate_cases(positions=POSITIONS, ops=("+",),
+                           ctypes=("float",), size=4096)
+    compiled = [(case,
+                 acc.compile(case.source, num_gangs=192, num_workers=8,
+                             vector_length=128),
+                 case.make_inputs(np.random.default_rng(42)))
+                for case in cases]
+
+    out = {}
+    for mode in ("batched", "reference"):
+        def sweep(m=mode):
+            return [prog.run(executor_mode=m, **inputs)
+                    for _, prog, inputs in compiled]
+        wall, results = _time_best(sweep, reps)
+        out[mode] = {
+            "wall_s": wall,
+            "cells": [(case.label, round(res.kernel_ms, 9))
+                      for (case, _, _), res in zip(compiled, results)],
+        }
+    return {
+        "modeled_identical": out["batched"]["cells"]
+        == out["reference"]["cells"],
+        "modeled_ms_total": sum(ms for _, ms in out["batched"]["cells"]),
+        "batched_wall_s": out["batched"]["wall_s"],
+        "reference_wall_s": out["reference"]["wall_s"],
+        "speedup": out["reference"]["wall_s"] / out["batched"]["wall_s"],
+    }
+
+
+def _gang64_workload(reps: int) -> dict:
+    from repro import acc
+
+    prog = acc.compile(_REDUCTION_SRC, num_gangs=64, num_workers=4,
+                       vector_length=32)
+    a = (np.arange(1 << 16) % 97).astype(np.float32)
+    out = {}
+    for mode in ("batched", "reference"):
+        wall, res = _time_best(
+            lambda m=mode: prog.run(executor_mode=m, a=a), reps)
+        out[mode] = {
+            "wall_s": wall,
+            "total_hex": np.asarray(res.scalars["total"]).tobytes().hex(),
+            "modeled_ms": res.kernel_ms,
+        }
+    return {
+        "modeled_identical":
+            out["batched"]["total_hex"] == out["reference"]["total_hex"]
+            and out["batched"]["modeled_ms"]
+            == out["reference"]["modeled_ms"],
+        "modeled_ms_total": out["batched"]["modeled_ms"],
+        "batched_wall_s": out["batched"]["wall_s"],
+        "reference_wall_s": out["reference"]["wall_s"],
+        "speedup": out["reference"]["wall_s"] / out["batched"]["wall_s"],
+    }
+
+
+def run_smoke(reps: int = 2) -> dict:
+    """Both workloads, both modes; returns the baseline document."""
+    return {
+        "bench": "executor-fast-path-smoke",
+        "reps": reps,
+        "workloads": {
+            "table2_quick": _table2_workload(reps),
+            "reduction_64gang": _gang64_workload(reps),
+        },
+    }
+
+
+def check_against_baseline(current: dict, baseline: dict,
+                           tolerance: float = TOLERANCE) -> list[str]:
+    """Failure messages (empty = pass)."""
+    failures = []
+    for name, cur in current["workloads"].items():
+        if not cur["modeled_identical"]:
+            failures.append(
+                f"{name}: batched and reference modes disagree on "
+                "modeled results — bit-identity contract broken")
+        base = baseline.get("workloads", {}).get(name)
+        if base is None:
+            failures.append(f"{name}: missing from baseline file")
+            continue
+        cur_ratio = cur["batched_wall_s"] / cur["reference_wall_s"]
+        base_ratio = base["batched_wall_s"] / base["reference_wall_s"]
+        if cur_ratio > base_ratio * (1.0 + tolerance):
+            failures.append(
+                f"{name}: batched/reference wall ratio {cur_ratio:.3f} "
+                f"regressed >{tolerance:.0%} vs baseline "
+                f"{base_ratio:.3f}")
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    g = ap.add_mutually_exclusive_group(required=True)
+    g.add_argument("--out", metavar="PATH",
+                   help="run the smoke and write a new baseline JSON")
+    g.add_argument("--check", metavar="PATH",
+                   help="run the smoke and gate against this baseline")
+    ap.add_argument("--reps", type=int, default=2,
+                    help="timing repetitions per mode (best-of)")
+    ap.add_argument("--tolerance", type=float, default=TOLERANCE,
+                    help="allowed wall-ratio regression (default 0.25)")
+    args = ap.parse_args(argv)
+
+    doc = run_smoke(reps=args.reps)
+    for name, w in doc["workloads"].items():
+        print(f"  {name:<20} batched {w['batched_wall_s']*1e3:8.1f} ms  "
+              f"reference {w['reference_wall_s']*1e3:8.1f} ms  "
+              f"speedup {w['speedup']:.2f}x  "
+              f"modeled-identical={w['modeled_identical']}",
+              file=sys.stderr)
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"[baseline written to {args.out}]", file=sys.stderr)
+        return 0
+
+    with open(args.check) as f:
+        baseline = json.load(f)
+    failures = check_against_baseline(doc, baseline,
+                                      tolerance=args.tolerance)
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    if not failures:
+        print("[bench smoke ok]", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,22 @@ Sites that are disabled in the plan (probability 0) consume **no** RNG
 draws, so enabling one kind never perturbs another kind's sites — and a
 run with no injector attached does no fault work at all.
 
+Stream structure: launch-level sites (:meth:`on_launch`,
+:meth:`on_stuck_query`, :meth:`on_transfer`) draw from one *main* stream
+seeded from the plan.  The per-access read sites (:meth:`on_gload` /
+:meth:`on_sload`) draw from a **per-block substream** keyed
+``(plan.seed, block)`` when the caller passes the executing block index.
+A block performs the same sequence of reads whether the executor walks
+blocks one at a time (``mode="reference"``) or advances them all together
+(the batched default), so per-block substreams make the injected
+(block, access, lane, bit) sites identical across executor modes and
+``block_batch`` sizes.  Callers that pass no ``block`` (direct unit-test
+drives) fall back to the main stream.  Caveat: the global ``max_faults``
+cap disarms *all* streams once the record budget is spent, and the order
+in which concurrent blocks reach their sites differs between executor
+modes — cross-mode site identity therefore holds exactly when
+``max_faults=None`` (or while the cap is not yet reached).
+
 Every injection appends a :class:`FaultRecord`; ``records`` is the ground
 truth the campaign classifier and the determinism tests read.
 """
@@ -56,6 +72,10 @@ class FaultInjector:
     def __init__(self, plan):
         self.plan = plan
         self._rng = np.random.default_rng(np.random.SeedSequence(plan.seed))
+        #: lazily created per-block substreams for the read sites; keyed by
+        #: absolute block index so the draw sequence a block sees does not
+        #: depend on which other blocks run, or in what order
+        self._block_rngs: dict[int, np.random.Generator] = {}
         self.records: list[FaultRecord] = []
 
     # -- arming ----------------------------------------------------------
@@ -66,11 +86,24 @@ class FaultInjector:
         return (self.plan.max_faults is None
                 or len(self.records) < self.plan.max_faults)
 
-    def _fire(self, p: float) -> bool:
+    def _rng_for(self, block: int | None) -> np.random.Generator:
+        if block is None:
+            return self._rng
+        rng = self._block_rngs.get(block)
+        if rng is None:
+            seed = self.plan.seed if self.plan.seed is not None else 0
+            rng = np.random.default_rng(
+                np.random.SeedSequence([int(seed), int(block)]))
+            self._block_rngs[block] = rng
+        return rng
+
+    def _fire(self, p: float, rng: np.random.Generator | None = None) -> bool:
         # disabled sites must not consume RNG draws (site independence)
         if p <= 0.0 or not self.armed:
             return False
-        return bool(self._rng.random() < p)
+        if rng is None:
+            rng = self._rng
+        return bool(rng.random() < p)
 
     def _record(self, site: str, kind: str, **detail) -> FaultRecord:
         rec = FaultRecord(len(self.records), site, kind, detail)
@@ -79,34 +112,47 @@ class FaultInjector:
 
     # -- bit flips -------------------------------------------------------
 
-    def _flip_lane(self, out: np.ndarray, lane: int, site: str) -> None:
+    def _flip_lane(self, out: np.ndarray, lane: int, site: str,
+                   rng: np.random.Generator | None = None, **detail) -> None:
         utype = _UINT_FOR_SIZE.get(out.dtype.itemsize)
         if utype is None:
             return
-        bit = int(self._rng.integers(out.dtype.itemsize * 8))
+        if rng is None:
+            rng = self._rng
+        bit = int(rng.integers(out.dtype.itemsize * 8))
         u = out.view(utype)
         u[lane] ^= utype(1) << utype(bit)
-        self._record(site, "bitflip", lane=lane, bit=bit)
+        self._record(site, "bitflip", lane=lane, bit=bit, **detail)
 
-    def on_gload(self, buf: str, out: np.ndarray, mask: np.ndarray) -> None:
-        """Maybe corrupt one active lane of a gathered global read."""
-        if not self._fire(self.plan.p_gload_flip):
+    def on_gload(self, buf: str, out: np.ndarray, mask: np.ndarray,
+                 block: int | None = None) -> None:
+        """Maybe corrupt one active lane of a gathered global read.
+
+        ``block`` (the executing block's absolute index) selects the
+        per-block substream; ``None`` uses the main stream.
+        """
+        rng = self._rng_for(block)
+        if not self._fire(self.plan.p_gload_flip, rng):
             return
         lanes = np.flatnonzero(mask)
         if lanes.size == 0:
             return
-        lane = int(lanes[self._rng.integers(lanes.size)])
-        self._flip_lane(out, lane, f"gload:{buf}")
+        lane = int(lanes[rng.integers(lanes.size)])
+        detail = {} if block is None else {"block": int(block)}
+        self._flip_lane(out, lane, f"gload:{buf}", rng, **detail)
 
-    def on_sload(self, arr: str, out: np.ndarray, mask: np.ndarray) -> None:
+    def on_sload(self, arr: str, out: np.ndarray, mask: np.ndarray,
+                 block: int | None = None) -> None:
         """Maybe corrupt one active lane of a gathered shared read."""
-        if not self._fire(self.plan.p_sload_flip):
+        rng = self._rng_for(block)
+        if not self._fire(self.plan.p_sload_flip, rng):
             return
         lanes = np.flatnonzero(mask)
         if lanes.size == 0:
             return
-        lane = int(lanes[self._rng.integers(lanes.size)])
-        self._flip_lane(out, lane, f"sload:{arr}")
+        lane = int(lanes[rng.integers(lanes.size)])
+        detail = {} if block is None else {"block": int(block)}
+        self._flip_lane(out, lane, f"sload:{arr}", rng, **detail)
 
     # -- transfers -------------------------------------------------------
 

@@ -13,6 +13,13 @@ For speed the IR is *compiled to Python closures once per kernel* (a tree
 walk per statement execution would dominate the simulation time; see the
 optimization guidance in the project's HPC coding guides: hoist work out of
 the hot loop).
+
+This module is the **reference** executor: it advances one block at a
+time, which keeps the semantics obvious and auditable.  The default
+production path is :mod:`repro.gpu.executor_batched`, which advances all
+blocks of a launch at once over a leading block axis and is pinned
+bit-identical to this one; select between them with
+``CompiledKernel.run(..., mode="batched"|"reference")``.
 """
 
 from __future__ import annotations
@@ -269,14 +276,11 @@ def _assign(env: BlockEnv, name: str, value, mask: np.ndarray) -> None:
             np.copyto(base, reg, casting="unsafe")
         env.regs[name] = base
         reg = base
-    if mask.all():
-        if val.shape == reg.shape:
-            reg[:] = val
-        else:
-            reg[:] = val  # scalar broadcast
+    if np.count_nonzero(mask) == mask.size:
+        # full mask: a straight copy beats element-masked copyto
+        reg[:] = val
     else:
-        if val.shape != reg.shape:
-            val = np.broadcast_to(val, reg.shape)
+        # copyto broadcasts scalars/rows to reg's shape
         np.copyto(reg, val, where=mask)
 
 
@@ -502,14 +506,76 @@ class CompiledKernel:
         self.kernel = kernel
         self.device = device
         self._body = _compile_block(kernel.body, device)
+        # block-axis closures, compiled lazily on the first batched run
+        self._batched_body = None
+        self._batch_safety = None  # lazy block-independence verdict
+        # set when a checked batched launch hit a cross-block access at
+        # runtime; later launches then go straight to the reference path
+        self._dynamic_fallback = False
+
+    @property
+    def batch_safety(self):
+        """Static block-independence verdict (see
+        :func:`repro.gpu.executor_batched.analyze_batch_safety`)."""
+        if self._batch_safety is None:
+            from repro.gpu.executor_batched import analyze_batch_safety
+            self._batch_safety = analyze_batch_safety(self.kernel)
+        return self._batch_safety
+
+    def effective_mode(self, mode: str | None, grid_dim: int,
+                       gmem: GlobalMemory, faults=None) -> str:
+        """The executor path a launch will actually take.
+
+        ``"batched"`` (requested or defaulted) degrades to ``"reference"``
+        when bit-identity cannot be kept: statically unsafe kernels
+        (atomics mixed with plain accesses), looped atomics on floating
+        buffers (whose combine order is rounding-sensitive), kernels that
+        already failed the runtime block-disjointness check on an earlier
+        launch, and checked kernels under an armed fault injector (whose
+        RNG consumption cannot be rolled back if the checked attempt
+        aborts).  :func:`repro.gpu.launch.launch` and the profiler report
+        this resolved mode.
+        """
+        if mode is None:
+            mode = "batched"
+        if mode != "batched":
+            return mode
+        if self._dynamic_fallback:
+            return "reference"
+        safety = self.batch_safety
+        if not safety.batchable:
+            return "reference"
+        if safety.checked_bufs and grid_dim > 1 and faults is not None:
+            return "reference"
+        for name in safety.looped_atomic_bufs:
+            if name in gmem and np.dtype(gmem[name].dtype.np).kind == "f":
+                return "reference"
+        return "batched"
 
     def run(self, gmem: GlobalMemory, grid_dim: int, block_dim: tuple[int, int],
             params: dict | None = None, trace: bool = False, *,
-            faults=None, watchdog_budget: int | None = None) -> KernelStats:
+            faults=None, watchdog_budget: int | None = None,
+            mode: str | None = None,
+            block_batch: int | None = None) -> KernelStats:
         """Execute over ``grid_dim`` blocks of ``block_dim`` = (bdx, bdy).
 
-        Blocks run sequentially (they are independent by construction —
-        that's the premise of the gang level); stats aggregate across blocks.
+        Blocks are independent by construction — that's the premise of
+        the gang level.  ``mode`` selects how they are advanced:
+
+        * ``"batched"`` (the default, ``None``) — all blocks of a chunk
+          advance through each statement in one NumPy operation (see
+          :mod:`repro.gpu.executor_batched`); ``block_batch`` bounds the
+          chunk size (default
+          :data:`~repro.gpu.executor_batched.DEFAULT_BLOCK_BATCH`).
+        * ``"reference"`` — one block at a time, the original executor.
+
+        Both modes produce bit-identical results and
+        :class:`~repro.gpu.events.KernelStats` counters; the batched path
+        only removes per-block Python dispatch overhead.  Kernels whose
+        blocks communicate through global memory (the auto-parallelizer's
+        serialized fallbacks, looped float atomics) are detected by
+        :meth:`effective_mode` and silently run on the reference path, so
+        the identity guarantee holds for every kernel.
 
         ``trace`` is the single opt-in knob for structured
         :class:`~repro.gpu.events.TraceEvent` collection: off (the default)
@@ -532,6 +598,13 @@ class CompiledKernel:
         self.device.validate_block(bdx, bdy, self.kernel.shared_bytes)
         if grid_dim < 1:
             raise SimulationError(f"grid_dim must be >= 1, got {grid_dim}")
+        if mode is None:
+            mode = "batched"
+        if mode not in ("batched", "reference"):
+            raise SimulationError(
+                f"unknown executor mode {mode!r} "
+                "(expected 'batched' or 'reference')")
+        mode = self.effective_mode(mode, grid_dim, gmem, faults)
         if faults is not None:
             faults.on_launch(self.kernel.name)  # may raise KernelLaunchError
         stats = KernelStats(
@@ -546,29 +619,70 @@ class CompiledKernel:
                     f"kernel {self.kernel.name!r} requires buffer {b!r} "
                     "which is not allocated"
                 )
+        if watchdog_budget is None:
+            budget = float(DEFAULT_WATCHDOG_BUDGET)
+        elif watchdog_budget <= 0:
+            budget = float("inf")
+        else:
+            budget = float(watchdog_budget)
+        stuck = (faults.on_stuck_query(self.kernel.name)
+                 if faults is not None else False)
+        if mode == "batched":
+            from repro.gpu.executor_batched import _BatchHazard, run_batched
+            safety = self.batch_safety
+            check = snapshot = None
+            if safety.checked_bufs and grid_dim > 1:
+                # optimistic checked launch: track per-location owner and
+                # highest-reader blocks for the unproven buffers, and
+                # snapshot everything the kernel can write so an abort
+                # can roll back
+                check = {b: (np.full(gmem[b].size, -1, dtype=np.int64),
+                             np.full(gmem[b].size, -1, dtype=np.int64))
+                         for b in safety.checked_bufs if b in gmem}
+                snapshot = {b: gmem[b].data.copy()
+                            for b in safety.written_bufs if b in gmem}
+            try:
+                return run_batched(self, gmem, grid_dim, block_dim, stats,
+                                   params, trace, faults, budget, stuck,
+                                   block_batch, check=check)
+            except _BatchHazard:
+                # blocks really did share a location: restore the
+                # pre-launch contents and rerun sequentially (sticky —
+                # later launches of this kernel skip the attempt)
+                self._dynamic_fallback = True
+                for b, data in snapshot.items():
+                    gmem[b].data[:] = data
+                stats = KernelStats(
+                    blocks=grid_dim,
+                    threads_per_block=bdx * bdy,
+                    shared_bytes=self.kernel.shared_bytes,
+                )
         env = BlockEnv(bdx, bdy, grid_dim, gmem, None, stats, params,
                        self.device.warp_size, trace)
         env.seg_cache = {}  # fresh reuse state per launch
         env.kernel_name = self.kernel.name
-        if watchdog_budget is None:
-            env.watchdog_budget = DEFAULT_WATCHDOG_BUDGET
-        elif watchdog_budget <= 0:
-            env.watchdog_budget = float("inf")
-        else:
-            env.watchdog_budget = watchdog_budget
-        if faults is not None:
-            env.stuck = faults.on_stuck_query(self.kernel.name)
+        env.watchdog_budget = budget
+        env.stuck = stuck
         full = env.block_mask
         nw = env.nwarps
+        # one shared-memory allocation serves the whole grid; contents
+        # are zeroed between blocks exactly as a fresh allocation would be
+        smem = SharedMemory(self.device, self.kernel.shared, stats,
+                            faults=faults)
+        env.smem = smem
         prev_faults = gmem.faults
         if faults is not None:
             gmem.faults = faults
         try:
             for bx in range(grid_dim):
                 env.reset_for_block(bx)
-                env.smem = SharedMemory(self.device, self.kernel.shared,
-                                        stats, faults=faults)
+                if bx:
+                    smem.reset()
+                if faults is not None:
+                    gmem.fault_block = bx
+                    smem.fault_block = bx
                 self._body(env, full, nw)
         finally:
             gmem.faults = prev_faults
+            gmem.fault_block = None
         return stats

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.gpu.costmodel import CostModel, TimeBreakdown
@@ -11,7 +12,47 @@ from repro.gpu.executor import CompiledKernel
 from repro.gpu.kernelir import Kernel
 from repro.gpu.memory import GlobalMemory
 
-__all__ = ["LaunchReport", "launch"]
+__all__ = ["LaunchReport", "launch", "compile_cache_info",
+           "compile_cache_clear"]
+
+#: keyed compile cache: kernel identity x device -> CompiledKernel.
+#: Kernel and DeviceProperties are frozen dataclasses, so structural
+#: identity is the key; an LRU bound keeps pathological sweeps from
+#: accumulating closures forever.
+_COMPILE_CACHE: "OrderedDict[tuple, CompiledKernel]" = OrderedDict()
+_COMPILE_CACHE_MAX = 64
+_cache_hits = 0
+_cache_misses = 0
+
+
+def _compiled(kernel: Kernel, device: DeviceProperties) -> CompiledKernel:
+    global _cache_hits, _cache_misses
+    key = (kernel, device)
+    ck = _COMPILE_CACHE.get(key)
+    if ck is not None:
+        _cache_hits += 1
+        _COMPILE_CACHE.move_to_end(key)
+        return ck
+    _cache_misses += 1
+    ck = CompiledKernel(kernel, device)
+    _COMPILE_CACHE[key] = ck
+    if len(_COMPILE_CACHE) > _COMPILE_CACHE_MAX:
+        _COMPILE_CACHE.popitem(last=False)
+    return ck
+
+
+def compile_cache_info() -> dict:
+    """Hit/miss/size snapshot of the launch compile cache."""
+    return {"hits": _cache_hits, "misses": _cache_misses,
+            "size": len(_COMPILE_CACHE), "maxsize": _COMPILE_CACHE_MAX}
+
+
+def compile_cache_clear() -> None:
+    """Drop every cached compilation and zero the hit/miss counters."""
+    global _cache_hits, _cache_misses
+    _COMPILE_CACHE.clear()
+    _cache_hits = 0
+    _cache_misses = 0
 
 
 @dataclass
@@ -35,7 +76,9 @@ def launch(kernel: Kernel, gmem: GlobalMemory, *, grid_dim: int,
            block_dim: tuple[int, int], params: dict | None = None,
            device: DeviceProperties = K20C, trace: bool = False,
            profiler=None, faults=None,
-           watchdog_budget: int | None = None) -> LaunchReport:
+           watchdog_budget: int | None = None,
+           mode: str | None = None,
+           block_batch: int | None = None) -> LaunchReport:
     """Compile ``kernel``, run it over the grid, and model its time.
 
     ``trace=True`` turns on per-access :class:`~repro.gpu.events.TraceEvent`
@@ -47,18 +90,22 @@ def launch(kernel: Kernel, gmem: GlobalMemory, *, grid_dim: int,
     (a :class:`repro.faults.FaultInjector`) and ``watchdog_budget`` are
     forwarded to :meth:`~repro.gpu.executor.CompiledKernel.run` — the
     former arms fault injection for this launch, the latter overrides the
-    per-launch loop-step budget.
+    per-launch loop-step budget.  ``mode`` / ``block_batch`` select the
+    executor path (batched by default) and its block chunk size.
 
-    For repeated launches of the same kernel (iterative solvers), prefer
-    compiling once with :class:`~repro.gpu.executor.CompiledKernel` and
-    calling ``.run`` per iteration; this helper recompiles every call.
+    Compilation is served from a keyed cache (kernel identity × device),
+    so iterative callers that re-launch the same kernel pay the closure
+    compilation once; :func:`compile_cache_info` exposes hit/miss counts.
     """
-    ck = CompiledKernel(kernel, device)
+    ck = _compiled(kernel, device)
     stats = ck.run(gmem, grid_dim, block_dim, params=params, trace=trace,
-                   faults=faults, watchdog_budget=watchdog_budget)
+                   faults=faults, watchdog_budget=watchdog_budget,
+                   mode=mode, block_batch=block_batch)
     timing = CostModel(device).kernel_time(stats)
     if profiler is not None:
         profiler.record_kernel(kernel.name, stats, timing,
                                grid_dim=grid_dim, block_dim=block_dim,
-                               device=device)
+                               device=device,
+                               executor=ck.effective_mode(mode, grid_dim,
+                                                          gmem, faults))
     return LaunchReport(kernel=kernel, stats=stats, timing=timing)

@@ -30,9 +30,15 @@ from repro.errors import OutOfBoundsError, ResourceError
 from repro.gpu.device import DeviceProperties
 from repro.gpu.events import KernelStats
 
-__all__ = ["Buffer", "GlobalMemory", "SharedMemory"]
+__all__ = ["Buffer", "GlobalMemory", "SharedMemory", "BatchedSharedMemory",
+           "finalize_segment_reuse"]
 
 _ALIGN = 256
+
+#: tag multiplier separating the block id from the segment id in the
+#: batched segment-reuse bookkeeping; segment ids are byte address //
+#: transaction size, far below 2^40 for any allocatable device memory
+_SEG_TAG = 1 << 40
 
 
 @dataclass
@@ -60,6 +66,10 @@ class GlobalMemory:
         #: opt-in fault injector (repro.faults.FaultInjector); attached per
         #: launch by CompiledKernel.run — None means no fault work at all
         self.faults = None
+        #: absolute index of the block currently executing (set by the
+        #: reference executor per block) so fault sites key the per-block
+        #: RNG substream; None routes to the injector's main stream
+        self.fault_block = None
 
     # -- allocation --------------------------------------------------------
 
@@ -128,7 +138,8 @@ class GlobalMemory:
             if self.faults is not None:
                 # transient read upset: corrupts the gathered register
                 # vector only, never the buffer contents
-                self.faults.on_gload(name, out, mask)
+                self.faults.on_gload(name, out, mask,
+                                     block=self.fault_block)
         return out
 
     def store(self, name: str, idx: np.ndarray, values: np.ndarray,
@@ -216,6 +227,264 @@ class GlobalMemory:
         stats.global_bytes += int(act_idx.size) * buf.dtype.itemsize
         stats.dram_bytes += dram * self.device.transaction_bytes
 
+    # -- batched access (all blocks of a chunk advance in one call) ---------
+
+    def load_batched(self, name: str, idx: np.ndarray, mask: np.ndarray,
+                     warpkey: np.ndarray, block_of: np.ndarray,
+                     block_ids: np.ndarray, stats: KernelStats,
+                     reuse: tuple | None = None,
+                     act: np.ndarray | None = None,
+                     act_block: np.ndarray | None = None,
+                     reps: tuple | None = None) -> np.ndarray:
+        """Gather ``buffer[idx]`` for all active lanes of a block chunk.
+
+        ``idx``/``mask`` are ``(blocks, threads)``; ``warpkey`` is an
+        int64 ``(blocks, threads)`` array of block-qualified warp ids
+        (distinct across the chunk's blocks), ``block_of`` the absolute
+        block index per lane, ``block_ids`` the chunk's absolute block
+        indices.  Counter totals are bit-identical to executing each
+        block's access through :meth:`load` in block order.  ``act`` /
+        ``act_block`` let a caller that already gathered ``idx[mask]`` /
+        ``block_of[mask]`` (the checked executor path) avoid the second
+        masked gather.  ``reps`` — ``(rep, rblk)`` per-block
+        representative indices for statically per-block-uniform accesses
+        — lets transaction counting skip the per-lane key construction
+        entirely (see :meth:`_count_transactions_batched`).
+        """
+        buf = self[name]
+        if act is None:
+            act = idx[mask]
+        out = np.zeros(idx.shape, dtype=buf.dtype.np)
+        if act.size:
+            self._check_bounds(buf, act)
+            out[mask] = buf.data[act]
+            if act_block is None and reps is None:
+                act_block = block_of[mask]
+            self._count_transactions_batched(buf, act, warpkey[mask],
+                                             act_block, stats, reuse, reps)
+            if self.faults is not None:
+                for i in np.flatnonzero(mask.any(axis=1)):
+                    self.faults.on_gload(name, out[i], mask[i],
+                                         block=int(block_ids[i]))
+        return out
+
+    def store_batched(self, name: str, idx: np.ndarray, values: np.ndarray,
+                      mask: np.ndarray, warpkey: np.ndarray,
+                      block_of: np.ndarray, stats: KernelStats,
+                      reuse: tuple | None = None,
+                      act: np.ndarray | None = None,
+                      act_block: np.ndarray | None = None,
+                      reps: tuple | None = None) -> None:
+        """Scatter ``buffer[idx] = values`` for a block chunk.
+
+        Duplicate indices resolve exactly as the reference path: NumPy
+        fancy assignment applies positions in (block, thread) order, so
+        the highest (block, thread) wins — the same winner as blocks
+        executed one at a time.
+        """
+        buf = self[name]
+        if act is None:
+            act = idx[mask]
+        if not act.size:
+            return
+        self._check_bounds(buf, act)
+        buf.data[act] = np.asarray(values, dtype=buf.dtype.np)[mask]
+        if act_block is None and reps is None:
+            act_block = block_of[mask]
+        self._count_transactions_batched(buf, act, warpkey[mask],
+                                         act_block, stats, reuse, reps)
+
+    def _count_transactions_batched(self, buf: Buffer, act_idx: np.ndarray,
+                                    act_warpkey: np.ndarray,
+                                    act_block: np.ndarray,
+                                    stats: KernelStats,
+                                    reuse: tuple | None = None,
+                                    reps: tuple | None = None) -> None:
+        """Block-axis version of :meth:`_count_transactions`.
+
+        Warp requests use block-qualified warp keys, so per-warp segment
+        sets never merge across blocks and ``requests`` equals the sum of
+        the per-block request counts.  The statement-level segment-reuse
+        model needs more care: in the reference executor the per-slot
+        cache chains *across* blocks (block ``b``'s first execution of a
+        statement compares against the previous block's final segments).
+        Here each block's segments are tagged with the block id, later
+        executions compare against the same block's previous execution
+        (exact), and first executions are counted as all-DRAM eagerly;
+        :func:`finalize_segment_reuse` replays the cross-block chain at
+        launch end and moves the overlap from DRAM to L2, restoring
+        bit-identical totals.
+
+        ``reps`` — ``(rep, rblk)``, one representative index and block id
+        per active block — asserts the index is per-block uniform (the
+        static :func:`~repro.gpu.executor_batched._lane_uniform_stmts`
+        verdict).  Every lane of a block then touches the one segment its
+        representative touches, so warp requests collapse to the distinct
+        warp keys and the per-lane key construction below is skipped —
+        the dominant cost of broadcast-heavy kernels.
+        """
+        if reps is not None:
+            rep, rblk = reps
+            seg_r = rep.astype(np.int64)
+            seg_r *= buf.dtype.itemsize
+            seg_r += buf.base
+            seg_r //= self.device.transaction_bytes
+            # one segment per warp: requests = distinct warp keys (the
+            # block-qualified keys arrive sorted along the lane order)
+            requests = 1 + int(np.count_nonzero(
+                act_warpkey[1:] != act_warpkey[:-1]))
+            # one tagged segment per block, already unique and sorted
+            # (rblk is strictly increasing)
+            uniq_bseg = rblk.astype(np.int64) * _SEG_TAG
+            uniq_bseg += seg_r
+        else:
+            # in-place key arithmetic: each array below is a fresh
+            # temporary, so the compound expressions are unrolled to
+            # avoid extra passes
+            seg = act_idx.astype(np.int64)
+            seg *= buf.dtype.itemsize
+            seg += buf.base
+            seg //= self.device.transaction_bytes
+            # sort+diff dedup: ~10x cheaper than np.unique's hash path at
+            # the per-statement sizes this runs at (callers guarantee
+            # act_idx is non-empty)
+            wkey = act_warpkey * _SEG_TAG
+            wkey += seg
+            if not _is_sorted(wkey):
+                wkey.sort()
+            requests = 1 + int(np.count_nonzero(wkey[1:] != wkey[:-1]))
+            bkey = act_block * _SEG_TAG
+            bkey += seg
+            if not _is_sorted(bkey):
+                bkey.sort()
+            newseg = np.empty(bkey.size, dtype=bool)
+            newseg[0] = True
+            np.not_equal(bkey[1:], bkey[:-1], out=newseg[1:])
+            uniq_bseg = bkey[newseg]
+        if reuse is not None:
+            cache, slot = reuse
+            st = cache.get(slot)
+            if st is None:
+                st = cache[slot] = _SlotReuse()
+            if st.cur.size:
+                dram = int(uniq_bseg.size
+                           - _in_sorted(uniq_bseg, st.cur).sum())
+            else:
+                dram = int(uniq_bseg.size)
+            blk = uniq_bseg // _SEG_TAG
+            bstart = np.empty(blk.size, dtype=bool)
+            bstart[0] = True
+            np.not_equal(blk[1:], blk[:-1], out=bstart[1:])
+            starts = np.flatnonzero(bstart)
+            pblocks = blk[starts]
+            pb = pblocks.tolist()
+            if not st.seen.issuperset(pb):
+                for j, b in enumerate(pb):
+                    if b not in st.seen:
+                        lo = starts[j]
+                        hi = starts[j + 1] if j + 1 < starts.size \
+                            else uniq_bseg.size
+                        st.first[b] = uniq_bseg[lo:hi] - b * _SEG_TAG
+                        st.seen.add(b)
+            if not st.cur.size or st.blocks.issubset(pbset := set(pb)):
+                # every cached block is executing this statement, so the
+                # eviction replaces the whole cache: skip the range
+                # subtraction (the steady state of full-chunk loops)
+                st.cur = uniq_bseg
+                st.blocks = set(pb)
+            else:
+                # evict the executing blocks' previous entries: tagged
+                # keys put each block in the contiguous key range
+                # [b*TAG, (b+1)*TAG), so eviction is range subtraction
+                lo = np.searchsorted(st.cur, pblocks * _SEG_TAG)
+                hi = np.searchsorted(st.cur, (pblocks + 1) * _SEG_TAG)
+                if len(pb) <= 8:
+                    keep_mask = np.ones(st.cur.size, dtype=bool)
+                    for l, h in zip(lo.tolist(), hi.tolist()):
+                        keep_mask[l:h] = False
+                    keep = st.cur[keep_mask]
+                else:
+                    delta = np.zeros(st.cur.size + 1, dtype=np.int32)
+                    np.add.at(delta, lo, 1)
+                    np.add.at(delta, hi, -1)
+                    keep = st.cur[np.cumsum(delta[:-1]) == 0]
+                st.cur = np.sort(np.concatenate([keep, uniq_bseg]))
+                st.blocks |= pbset
+        else:
+            dram = int(uniq_bseg.size)
+        stats.global_transactions += dram
+        stats.l2_transactions += requests - dram
+        stats.global_bytes += int(act_idx.size) * buf.dtype.itemsize
+        stats.dram_bytes += dram * self.device.transaction_bytes
+
+
+def _is_sorted(a: np.ndarray) -> bool:
+    """True when ``a`` is already non-decreasing.
+
+    The dominant access shapes (coalesced walks, per-block-uniform
+    broadcast reads) produce pre-sorted dedup keys, so one comparison
+    pass routinely replaces an O(n log n) sort.
+    """
+    return a.size < 2 or bool((a[1:] >= a[:-1]).all())
+
+
+def _in_sorted(values: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Membership of sorted ``values`` in sorted ``table``.
+
+    Equivalent to ``np.isin(values, table, assume_unique=True)`` but a
+    plain binary search — no hashing and no temporary concatenation, which
+    makes it materially cheaper at the per-statement call rates of the
+    batched executor's reuse bookkeeping.
+    """
+    if not table.size:
+        return np.zeros(values.shape, dtype=bool)
+    pos = np.minimum(np.searchsorted(table, values), table.size - 1)
+    return table[pos] == values
+
+
+class _SlotReuse:
+    """Per-statement segment-reuse state for the batched executor."""
+
+    __slots__ = ("cur", "first", "seen", "blocks")
+
+    def __init__(self):
+        #: sorted block-tagged segments of each block's latest execution
+        self.cur = np.empty(0, dtype=np.int64)
+        #: untagged segments of each block's *first* execution
+        self.first: dict[int, np.ndarray] = {}
+        self.seen: set[int] = set()
+        #: blocks with an entry in ``cur`` (drives the full-replacement
+        #: eviction fast path)
+        self.blocks: set[int] = set()
+
+
+def finalize_segment_reuse(cache: dict, stats: KernelStats,
+                           transaction_bytes: int) -> None:
+    """Apply the cross-block reuse correction at batched-launch end.
+
+    The reference executor runs blocks in index order, so block ``b``'s
+    first execution of a statement sees the slot cache left by the nearest
+    preceding block that executed it.  Replay that chain: for consecutive
+    executing blocks ``(p, b)``, segments of ``b``'s first execution that
+    also appear in ``p``'s final execution were counted as DRAM eagerly
+    but are L2 hits in the reference accounting.
+    """
+    for st in cache.values():
+        if not isinstance(st, _SlotReuse) or len(st.first) < 2:
+            continue
+        blocks = sorted(st.first)
+        cblk = st.cur // _SEG_TAG
+        overlap = 0
+        for p, b in zip(blocks, blocks[1:]):
+            lo = np.searchsorted(cblk, p)
+            hi = np.searchsorted(cblk, p + 1)
+            last_p = st.cur[lo:hi] - p * _SEG_TAG
+            overlap += int(_in_sorted(st.first[b], last_p).sum())
+        if overlap:
+            stats.global_transactions -= overlap
+            stats.l2_transactions += overlap
+            stats.dram_bytes -= overlap * transaction_bytes
+
 
 class SharedMemory:
     """Per-block shared memory: named arrays + bank-conflict accounting."""
@@ -226,6 +495,7 @@ class SharedMemory:
         self.device = device
         self.stats = stats
         self.faults = faults  # opt-in repro.faults.FaultInjector
+        self.fault_block = None  # executing block (reference executor)
         self._arrays: dict[str, np.ndarray] = {}
         self._offsets: dict[str, int] = {}
         self._dtypes: dict[str, DType] = {}
@@ -274,7 +544,8 @@ class SharedMemory:
             out[mask] = arr[act]
             self._count_banks(name, act, warp_of[mask])
             if self.faults is not None:
-                self.faults.on_sload(name, out, mask)
+                self.faults.on_sload(name, out, mask,
+                                     block=self.fault_block)
         return out
 
     def store(self, name: str, idx: np.ndarray, values: np.ndarray,
@@ -285,6 +556,14 @@ class SharedMemory:
             return
         arr[act] = np.asarray(values, dtype=arr.dtype)[mask]
         self._count_banks(name, act, warp_of[mask])
+
+    def reset(self) -> None:
+        """Zero all arrays, as a freshly allocated block would see them.
+
+        Lets one allocation serve every block of a launch (the reference
+        executor resets between blocks instead of reallocating)."""
+        for arr in self._arrays.values():
+            arr.fill(0)
 
     def read_array(self, name: str) -> np.ndarray:
         """Direct (cost-free) view for tests and debugging."""
@@ -333,3 +612,76 @@ class SharedMemory:
         serialized = int(degrees.sum())
         self.stats.shared_accesses += serialized
         self.stats.bank_conflict_extra += serialized - int(degrees.size)
+
+
+class BatchedSharedMemory(SharedMemory):
+    """Shared memory for a chunk of blocks advancing together.
+
+    Each named array is carried as a ``(blocks, size)`` matrix — one row
+    per block of the chunk, so cross-block isolation is structural.  Bank
+    accounting reuses :meth:`SharedMemory._count_banks` with
+    block-qualified warp keys: per-(block, warp) conflict degrees are
+    computed exactly as the per-block model and summed.
+    """
+
+    def __init__(self, device: DeviceProperties, specs: tuple,
+                 stats: KernelStats, nblocks: int, faults=None,
+                 block_ids: np.ndarray | None = None):
+        super().__init__(device, specs, stats, faults=faults)
+        self.nblocks = nblocks
+        self.block_ids = block_ids  # absolute block index per row
+        for name, arr in self._arrays.items():
+            self._arrays[name] = np.zeros((nblocks, arr.size),
+                                          dtype=arr.dtype)
+
+    def load(self, name: str, idx: np.ndarray, mask: np.ndarray,
+             warpkey: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Gather with ``(blocks, threads)`` index/mask arrays.
+
+        ``warpkey`` holds block-qualified warp ids, ``rows`` the chunk row
+        index per lane.
+        """
+        arr = self._array2(name, idx, mask)
+        out = np.zeros(idx.shape, dtype=arr.dtype)
+        act = idx[mask]
+        if act.size:
+            out[mask] = arr[rows[mask], act]
+            self._count_banks(name, act, warpkey[mask])
+            if self.faults is not None:
+                # the executor may pass row-compacted arrays: mask row i
+                # maps to chunk row rows[i, 0], which indexes block_ids
+                ids = self.block_ids
+                for i in np.flatnonzero(mask.any(axis=1)):
+                    b = int(ids[rows[i, 0]]) if ids is not None else None
+                    self.faults.on_sload(name, out[i], mask[i], block=b)
+        return out
+
+    def store(self, name: str, idx: np.ndarray, values: np.ndarray,
+              mask: np.ndarray, warpkey: np.ndarray,
+              rows: np.ndarray) -> None:
+        arr = self._array2(name, idx, mask)
+        act = idx[mask]
+        if not act.size:
+            return
+        arr[rows[mask], act] = np.asarray(values, dtype=arr.dtype)[mask]
+        self._count_banks(name, act, warpkey[mask])
+
+    def read_block(self, name: str, row: int) -> np.ndarray:
+        """One block's view of a shared array (tests/debugging)."""
+        return self._arrays[name][row]
+
+    def _array2(self, name: str, idx: np.ndarray,
+                mask: np.ndarray) -> np.ndarray:
+        try:
+            arr = self._arrays[name]
+        except KeyError:
+            raise OutOfBoundsError(f"no such shared array {name!r}") from None
+        act = idx[mask]
+        size = arr.shape[1]
+        if act.size and (act.min() < 0 or act.max() >= size):
+            bad = act[(act < 0) | (act >= size)][0]
+            raise OutOfBoundsError(
+                f"index {int(bad)} out of bounds for shared array "
+                f"{name!r} of size {size}"
+            )
+        return arr

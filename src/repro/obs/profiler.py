@@ -57,12 +57,14 @@ class Profiler:
                       block_dim: tuple[int, int],
                       device: DeviceProperties,
                       compiler: str | None = None,
-                      strategy: dict | None = None) -> KernelRecord:
+                      strategy: dict | None = None,
+                      executor: str = "batched") -> KernelRecord:
         """Snapshot one kernel launch; returns the new record."""
         rec = KernelRecord(
             name=name, stats=stats, timing=timing, grid_dim=grid_dim,
             block_dim=block_dim, device=device, compiler=compiler,
             strategy=dict(strategy or {}), launch_index=len(self.kernels),
+            executor=executor,
         )
         self.kernels.append(rec)
         self.trace.add(name, "kernel", timing.total_us,

@@ -50,6 +50,7 @@ class KernelRecord:
     compiler: str | None = None  # profile name, when launched via acc
     strategy: dict = field(default_factory=dict)  # lowering options used
     launch_index: int = 0  # position in the profiling session
+    executor: str = "batched"  # executor mode that ran the launch
 
     # -- derived metrics ---------------------------------------------------
 
@@ -112,6 +113,7 @@ class KernelRecord:
             "kernel": self.name,
             "launch_index": self.launch_index,
             "compiler": self.compiler,
+            "executor": self.executor,
             "strategy": dict(self.strategy),
             "grid_dim": self.grid_dim,
             "block_dim": list(self.block_dim),

@@ -53,12 +53,17 @@ def _matches(expected, got, ctype: str) -> bool:
 def run_case(case: ReductionCase, compiler: str = "openuh", *,
              num_gangs: int | None = None, num_workers: int | None = None,
              vector_length: int | None = None, seed: int = 42,
-             profiler=None, **compile_overrides) -> CaseResult:
+             profiler=None, executor_mode: str | None = None,
+             block_batch: int | None = None,
+             **compile_overrides) -> CaseResult:
     """Compile and run one case; verify against the CPU reference.
 
     ``profiler`` (a :class:`repro.obs.Profiler`) accumulates the case's
     compile phases, transfers, and kernel launches — the testsuite sweep
     passes one profiler through every case to build a whole-run profile.
+    ``executor_mode`` / ``block_batch`` select the simulator's executor
+    path (see :meth:`repro.gpu.executor.CompiledKernel.run`); results are
+    identical either way, only wall-clock differs.
     """
     name = compiler if isinstance(compiler, str) else compiler.name
     try:
@@ -71,7 +76,8 @@ def run_case(case: ReductionCase, compiler: str = "openuh", *,
 
     rng = np.random.default_rng(seed)
     inputs = case.make_inputs(rng)
-    result = prog.run(profiler=profiler, **inputs)
+    result = prog.run(profiler=profiler, executor_mode=executor_mode,
+                      block_batch=block_batch, **inputs)
 
     for kind, varname, expected in case.expected(inputs):
         got = (result.scalars[varname] if kind == "scalar"

@@ -1,0 +1,73 @@
+"""Launch compile-cache tests (keyed on kernel identity × device)."""
+
+import numpy as np
+
+from repro.dtypes import DType
+from repro.gpu import GlobalMemory, K20C, launch
+from repro.gpu.kernelir import Bin, GStore, Kernel, Special
+from repro.gpu.launch import (
+    _COMPILE_CACHE_MAX, compile_cache_clear, compile_cache_info,
+)
+
+
+def ids_kernel(name="ids"):
+    return Kernel(name, (
+        GStore("out", Bin("+", Bin("*", Special("bx"), Special("ntid")),
+                          Special("tid")),
+               Special("bx")),
+    ), buffers=("out",))
+
+
+def _gmem(device=K20C):
+    g = GlobalMemory(device)
+    g.alloc("out", 64, DType.INT)
+    return g
+
+
+class TestCompileCache:
+    def setup_method(self):
+        compile_cache_clear()
+
+    def test_relaunch_hits_cache(self):
+        # two *separately constructed* but structurally equal kernels
+        # share one compilation: the key is kernel identity, not object id
+        launch(ids_kernel(), _gmem(), grid_dim=2, block_dim=(16, 2))
+        launch(ids_kernel(), _gmem(), grid_dim=2, block_dim=(16, 2))
+        info = compile_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 1
+        assert info["size"] == 1
+
+    def test_cached_launch_same_results(self):
+        g1, g2 = _gmem(), _gmem()
+        r1 = launch(ids_kernel(), g1, grid_dim=2, block_dim=(16, 2))
+        r2 = launch(ids_kernel(), g2, grid_dim=2, block_dim=(16, 2))
+        np.testing.assert_array_equal(g1["out"].data, g2["out"].data)
+        assert r1.stats.summary() == r2.stats.summary()
+        assert compile_cache_info()["hits"] == 1
+
+    def test_different_device_is_a_different_entry(self):
+        slow = K20C.with_overrides(kernel_launch_us=100.0)
+        launch(ids_kernel(), _gmem(), grid_dim=1, block_dim=(32, 1))
+        launch(ids_kernel(), _gmem(slow), grid_dim=1, block_dim=(32, 1),
+               device=slow)
+        info = compile_cache_info()
+        assert info["misses"] == 2
+        assert info["hits"] == 0
+        assert info["size"] == 2
+
+    def test_eviction_keeps_cache_bounded(self):
+        for i in range(_COMPILE_CACHE_MAX + 8):
+            launch(ids_kernel(f"k{i}"), _gmem(), grid_dim=1,
+                   block_dim=(32, 1))
+        info = compile_cache_info()
+        assert info["size"] == _COMPILE_CACHE_MAX
+        assert info["misses"] == _COMPILE_CACHE_MAX + 8
+
+    def test_clear_resets_counters(self):
+        launch(ids_kernel(), _gmem(), grid_dim=1, block_dim=(32, 1))
+        compile_cache_clear()
+        assert compile_cache_info() == {
+            "hits": 0, "misses": 0, "size": 0,
+            "maxsize": _COMPILE_CACHE_MAX,
+        }

@@ -1,0 +1,90 @@
+"""Reduction trip-count edge cases, in both executor modes.
+
+The paper's testsuite sweeps positions and operators at comfortable
+sizes; the degenerate trip counts live here: a zero-trip loop must leave
+the reduction scalar at its host initial value, a single-trip loop must
+apply exactly one combine, and non-power-of-two sizes must not depend on
+the tree-fold padding.  Each case runs on the batched and the reference
+executor and the two must agree bitwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro import acc
+
+MODES = ("batched", "reference")
+GEOM = dict(num_gangs=4, num_workers=2, vector_length=32)
+
+
+def _sum_prog(ctype="float"):
+    return acc.compile(f'''{ctype} a[n];
+{ctype} total = {"7.5" if ctype in ("float", "double") else "7"};
+#pragma acc parallel copyin(a)
+#pragma acc loop gang worker vector reduction(+:total)
+for (i = 0; i < n; i++)
+    total += a[i];
+''', **GEOM)
+
+
+def _prod_prog():
+    return acc.compile('''int a[n];
+int total = 3;
+#pragma acc parallel copyin(a)
+#pragma acc loop gang worker vector reduction(*:total)
+for (i = 0; i < n; i++)
+    total *= a[i];
+''', **GEOM)
+
+
+class TestZeroTrip:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_sum_keeps_initial_scalar(self, mode):
+        res = _sum_prog().run(executor_mode=mode,
+                              a=np.empty(0, np.float32))
+        assert res.scalars["total"] == np.float32(7.5)
+        assert res.scalars["total"].dtype == np.float32
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_product_keeps_initial_scalar(self, mode):
+        res = _prod_prog().run(executor_mode=mode, a=np.empty(0, np.int32))
+        assert res.scalars["total"] == np.int32(3)
+
+
+class TestSingleTrip:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_sum_applies_one_combine_exactly(self, mode):
+        res = _sum_prog().run(executor_mode=mode,
+                              a=np.array([2.0], np.float32))
+        assert res.scalars["total"] == np.float32(9.5)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_product_applies_one_combine_exactly(self, mode):
+        res = _prod_prog().run(executor_mode=mode,
+                               a=np.array([5], np.int32))
+        assert res.scalars["total"] == np.int32(15)
+
+
+class TestNonPowerOfTwoTrips:
+    # sizes straddling warp/block boundaries; int keeps the check exact
+    @pytest.mark.parametrize("n", [3, 37, 63, 65, 127, 1000])
+    def test_int_sum_exact(self, n):
+        prog = _sum_prog("int")
+        a = (np.arange(n) % 13).astype(np.int32)
+        results = {m: prog.run(executor_mode=m, a=a) for m in MODES}
+        for res in results.values():
+            assert res.scalars["total"] == np.int32(a.sum() + 7)
+        assert (results["batched"].scalars["total"].tobytes()
+                == results["reference"].scalars["total"].tobytes())
+
+    @pytest.mark.parametrize("n", [37, 1000])
+    def test_float_sum_modes_agree_bitwise(self, n):
+        prog = _sum_prog()
+        a = ((np.arange(n) % 7) / 4.0).astype(np.float32)
+        rb = prog.run(executor_mode="batched", a=a)
+        rr = prog.run(executor_mode="reference", a=a)
+        assert (rb.scalars["total"].tobytes()
+                == rr.scalars["total"].tobytes())
+        np.testing.assert_allclose(rb.scalars["total"],
+                                   a.sum(dtype=np.float64) + 7.5,
+                                   rtol=1e-5)
