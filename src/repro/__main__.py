@@ -11,9 +11,16 @@ Usage examples::
         --array "a=arange:1024:float" --compiler vendor-b
 
     # nvprof-style per-kernel profile (arrays synthesized automatically);
-    # --json writes a chrome://tracing-loadable profile document
+    # --json writes a chrome://tracing-loadable profile document and
+    # --lines adds per-statement attribution + annotated listings
     python -m repro profile examples/programs/vecsum.c
     python -m repro profile examples/programs/vecsum.c --json profile.json
+    python -m repro profile examples/programs/vecsum.c --lines
+
+    # annotated kernel listings only (per-line %time / transactions /
+    # conflicts gutters + roofline verdict); --json dumps the rows
+    python -m repro annotate examples/programs/vecsum.c
+    python -m repro annotate examples/programs/vecsum.c --json -
 
     # seeded fault-injection campaign; exit 1 if any fault escapes
     python -m repro faultcheck examples/programs/vecsum.c --seed 0 \\
@@ -169,7 +176,8 @@ def _cmd_profile(args) -> int:
     synthesize_inputs(prog, kwargs, args.size)
     res = None
     for _ in range(max(1, args.runs)):
-        res = prog.run(profiler=profiler, trace=args.trace, **kwargs)
+        res = prog.run(profiler=profiler, trace=args.trace,
+                       attribution=args.lines, **kwargs)
 
     # with --json - the profile document owns stdout; report goes to stderr
     report_to = sys.stderr if args.json == "-" else sys.stdout
@@ -182,6 +190,42 @@ def _cmd_profile(args) -> int:
         with open(args.json, "w") as f:
             f.write(profiler.to_json(indent=2))
         print(f"profile written to {args.json}", file=report_to)
+    return 0
+
+
+def _cmd_annotate(args) -> int:
+    from repro.faults.campaign import synthesize_inputs
+    from repro.obs import Profiler, annotate_record, record_rows
+    from repro.obs.report import _first_attributed
+
+    source = open(args.file).read()
+    profiler = Profiler()
+    prog = acc.compile(source, compiler=args.compiler,
+                       num_gangs=args.num_gangs,
+                       num_workers=args.num_workers,
+                       vector_length=args.vector_length)
+    kwargs = _parse_run_inputs(args)
+    synthesize_inputs(prog, kwargs, args.size)
+    prog.run(profiler=profiler, attribution=True, **kwargs)
+
+    records = _first_attributed(profiler.kernels)
+    # with --json - the rows document owns stdout; listing goes to stderr
+    report_to = sys.stderr if args.json == "-" else sys.stdout
+    print("\n\n".join(annotate_record(r) for r in records), file=report_to)
+    if args.json:
+        import json
+        doc = json.dumps({"kernels": [
+            {"kernel": r.name,
+             "executor": r.executor,
+             "roofline": r.roofline().to_dict(),
+             "statements": record_rows(r)}
+            for r in records]}, indent=2)
+        if args.json == "-":
+            print(doc)
+        else:
+            with open(args.json, "w") as f:
+                f.write(doc + "\n")
+            print(f"attribution written to {args.json}", file=report_to)
     return 0
 
 
@@ -277,6 +321,25 @@ def main(argv=None) -> int:
     pp.add_argument("--json", metavar="PATH",
                     help="write the Chrome-trace profile document "
                          "(chrome://tracing loadable; '-' for stdout)")
+    pp.add_argument("--lines", action="store_true",
+                    help="per-statement attribution: annotated kernel "
+                         "listings in the report, statement counter "
+                         "tracks and roofline verdicts in the JSON")
+
+    pa = sub.add_parser(
+        "annotate",
+        help="print kernels with per-line %%time/transaction/conflict "
+             "gutters and a roofline verdict")
+    add_common(pa)
+    pa.add_argument("--array", action="append",
+                    help="NAME=KIND:SHAPE:CTYPE or NAME=file.npy "
+                         "(missing region arrays are synthesized)")
+    pa.add_argument("--scalar", action="append", help="NAME=VALUE")
+    pa.add_argument("--size", type=int, default=1024,
+                    help="extent for synthesized arrays (default 1024)")
+    pa.add_argument("--json", metavar="PATH",
+                    help="write per-statement rows + roofline verdicts "
+                         "as JSON ('-' for stdout)")
 
     pf = sub.add_parser(
         "faultcheck",
@@ -315,6 +378,10 @@ def main(argv=None) -> int:
             if extra:
                 ap.error(f"unrecognized arguments: {' '.join(extra)}")
             return _cmd_profile(args)
+        if args.cmd == "annotate":
+            if extra:
+                ap.error(f"unrecognized arguments: {' '.join(extra)}")
+            return _cmd_annotate(args)
         if args.cmd == "faultcheck":
             if extra:
                 ap.error(f"unrecognized arguments: {' '.join(extra)}")

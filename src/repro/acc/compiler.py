@@ -148,11 +148,13 @@ class Program:
                                block_dim=block_dim, device=self.device,
                                compiler=self.profile.name,
                                strategy=self._strategy,
-                               executor=executor_mode or "batched")
+                               executor=executor_mode or "batched",
+                               kernel=self._compiled[name].kernel)
 
     def run(self, *, trace: bool = False, data_region=None, profiler=None,
             faults=None, watchdog_budget: int | None = None,
             executor_mode: str | None = None, block_batch: int | None = None,
+            attribution: bool = False,
             max_attempts: int = 3, backoff_us: float = 100.0,
             backoff_cap_us: float = 1600.0, runs: int = 1, validate=None,
             degrade: bool = False, **kwargs) -> RunResult:
@@ -206,6 +208,14 @@ class Program:
         launch of this run (see
         :meth:`repro.gpu.executor.CompiledKernel.run`); both paths are
         pinned bit-identical, so this is a performance knob only.
+
+        ``attribution=True`` fills a per-statement
+        :class:`~repro.gpu.events.AttributionTable` on every launch's
+        ``stats.attribution`` (both executors produce bit-identical
+        tables) — the input to the annotated-listing and roofline views
+        in :mod:`repro.obs.attribution` / :mod:`repro.obs.roofline`.
+        Off by default: the run path allocates nothing for it when
+        disabled.
         """
         injector = _as_injector(faults)
         if (injector is None and runs <= 1 and validate is None
@@ -216,11 +226,13 @@ class Program:
                                  watchdog_budget=watchdog_budget,
                                  executor_mode=executor_mode,
                                  block_batch=block_batch,
+                                 attribution=attribution,
                                  kwargs=kwargs)
         return self._run_hardened(
             trace=trace, data_region=data_region, profiler=profiler,
             injector=injector, watchdog_budget=watchdog_budget,
             executor_mode=executor_mode, block_batch=block_batch,
+            attribution=attribution,
             max_attempts=max_attempts, backoff_us=backoff_us,
             backoff_cap_us=backoff_cap_us, runs=runs, validate=validate,
             degrade=degrade, kwargs=kwargs)
@@ -231,6 +243,7 @@ class Program:
                  faults=None, watchdog_budget: int | None = None,
                  executor_mode: str | None = None,
                  block_batch: int | None = None,
+                 attribution: bool = False,
                  kwargs: dict) -> RunResult:
         from repro.acc.runtime import DataEnv
 
@@ -243,7 +256,8 @@ class Program:
                                        faults=faults,
                                        watchdog_budget=watchdog_budget,
                                        executor_mode=executor_mode,
-                                       block_batch=block_batch)
+                                       block_batch=block_batch,
+                                       attribution=attribution)
         except BaseException:
             # free this run's allocations so a retry (or the next run in
             # a shared data region) can allocate the same names again
@@ -253,7 +267,8 @@ class Program:
     def _execute_bound(self, env, *, trace: bool, profiler, faults,
                        watchdog_budget: int | None,
                        executor_mode: str | None = None,
-                       block_batch: int | None = None) -> RunResult:
+                       block_batch: int | None = None,
+                       attribution: bool = False) -> RunResult:
 
         # the vendor-a defect: device-resident reduction scalars ignore
         # host-side reinitialization between runs of the same program
@@ -284,7 +299,8 @@ class Program:
                 ist = ck.run(env.gmem, g.init_grid, (fbs0, 1), params={},
                              trace=trace, faults=faults,
                              watchdog_budget=watchdog_budget,
-                             mode=executor_mode, block_batch=block_batch)
+                             mode=executor_mode, block_batch=block_batch,
+                             attribution=attribution)
                 stats[g.init_kernel.name] = ist
                 itb = self._cost.kernel_time(ist)
                 env.ledger.add(f"kernel:{g.init_kernel.name}", itb.total_us)
@@ -299,7 +315,8 @@ class Program:
                           (geom.vector_length, geom.num_workers),
                           params=env.scalars, trace=trace, faults=faults,
                           watchdog_budget=watchdog_budget,
-                          mode=executor_mode, block_batch=block_batch)
+                          mode=executor_mode, block_batch=block_batch,
+                          attribution=attribution)
             stats[self.lowered.main_kernel.name] = st
             mtb = self._cost.kernel_time(st)
             env.ledger.add(f"kernel:{self.lowered.main_kernel.name}",
@@ -325,7 +342,8 @@ class Program:
                                      trace=trace, faults=faults,
                                      watchdog_budget=watchdog_budget,
                                      mode=executor_mode,
-                                     block_batch=block_batch)
+                                     block_batch=block_batch,
+                                     attribution=attribution)
                         stats[g.finish_kernel.name] = fst
                         ftb = self._cost.kernel_time(fst)
                         env.ledger.add(f"kernel:{g.finish_kernel.name}",
@@ -356,7 +374,7 @@ class Program:
                       watchdog_budget, max_attempts, backoff_us,
                       backoff_cap_us, runs, validate, degrade,
                       kwargs, executor_mode=None,
-                      block_batch=None) -> RunResult:
+                      block_batch=None, attribution=False) -> RunResult:
         metrics = profiler.metrics if profiler is not None else None
         injected_before = len(injector.records) if injector is not None \
             else 0
@@ -388,6 +406,7 @@ class Program:
                         data_region=data_region, profiler=profiler,
                         injector=injector, watchdog_budget=watchdog_budget,
                         executor_mode=executor_mode, block_batch=block_batch,
+                        attribution=attribution,
                         max_attempts=max_attempts, backoff_us=backoff_us,
                         backoff_cap_us=backoff_cap_us, kwargs=kwargs,
                         metrics=metrics, degradations=degradations)
@@ -485,7 +504,7 @@ def _as_injector(faults):
 def _execute_with_retry(prog: "Program", *, trace, data_region, profiler,
                         injector, watchdog_budget, max_attempts, backoff_us,
                         backoff_cap_us, kwargs, metrics, executor_mode=None,
-                        block_batch=None) -> RunResult:
+                        block_batch=None, attribution=False) -> RunResult:
     """Retry transient faults (launch/transfer) with capped backoff.
 
     The backoff is *modeled* time — no wall-clock sleep — charged to the
@@ -501,6 +520,7 @@ def _execute_with_retry(prog: "Program", *, trace, data_region, profiler,
                                 watchdog_budget=watchdog_budget,
                                 executor_mode=executor_mode,
                                 block_batch=block_batch,
+                                attribution=attribution,
                                 kwargs=kwargs)
         except TransientFaultError:
             if metrics is not None:
@@ -522,7 +542,7 @@ def _execute_with_retry(prog: "Program", *, trace, data_region, profiler,
 def _vote(prog: "Program", *, runs, trace, data_region, profiler, injector,
           watchdog_budget, max_attempts, backoff_us, backoff_cap_us,
           kwargs, metrics, degradations, executor_mode=None,
-          block_batch=None) -> RunResult:
+          block_batch=None, attribution=False) -> RunResult:
     """Redundant-execution majority voting over ``runs`` replicas.
 
     A silent bit-flip raises no exception; executing the program N times
@@ -534,6 +554,7 @@ def _vote(prog: "Program", *, runs, trace, data_region, profiler, injector,
             prog, trace=trace, data_region=data_region, profiler=profiler,
             injector=injector, watchdog_budget=watchdog_budget,
             executor_mode=executor_mode, block_batch=block_batch,
+            attribution=attribution,
             max_attempts=max_attempts, backoff_us=backoff_us,
             backoff_cap_us=backoff_cap_us, kwargs=kwargs, metrics=metrics)
 

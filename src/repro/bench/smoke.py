@@ -116,6 +116,35 @@ def _gang64_workload(reps: int) -> dict:
     }
 
 
+def _attribution_guard() -> dict:
+    """The attribution zero-overhead pin (boolean, not timed).
+
+    Three contracts the ``--check`` gate enforces on the *current* run
+    (no baseline needed): with ``attribution`` off the run allocates no
+    tables; on, every launch fills one; and turning it on is a pure
+    observer — bitwise-identical results and an identical ledger.
+    """
+    from repro import acc
+
+    prog = acc.compile(_REDUCTION_SRC, num_gangs=8, num_workers=2,
+                       vector_length=32)
+    a = (np.arange(1 << 12) % 97).astype(np.float32)
+    plain = prog.run(a=a)
+    attributed = prog.run(attribution=True, a=a)
+    return {
+        "off_allocates_nothing": all(
+            st.attribution is None
+            for st in plain.kernel_stats.values()),
+        "on_fills_tables": all(
+            st.attribution is not None and bool(st.attribution.rows)
+            for st in attributed.kernel_stats.values()),
+        "pure_observer": (
+            np.asarray(plain.scalars["total"]).tobytes()
+            == np.asarray(attributed.scalars["total"]).tobytes()
+            and plain.ledger.entries == attributed.ledger.entries),
+    }
+
+
 def run_smoke(reps: int = 2) -> dict:
     """Both workloads, both modes; returns the baseline document."""
     return {
@@ -125,6 +154,7 @@ def run_smoke(reps: int = 2) -> dict:
             "table2_quick": _table2_workload(reps),
             "reduction_64gang": _gang64_workload(reps),
         },
+        "attribution_guard": _attribution_guard(),
     }
 
 
@@ -132,6 +162,11 @@ def check_against_baseline(current: dict, baseline: dict,
                            tolerance: float = TOLERANCE) -> list[str]:
     """Failure messages (empty = pass)."""
     failures = []
+    for check, ok in current.get("attribution_guard", {}).items():
+        if not ok:
+            failures.append(f"attribution_guard: {check} violated — "
+                            "per-statement attribution must be opt-in "
+                            "and a pure observer")
     for name, cur in current["workloads"].items():
         if not cur["modeled_identical"]:
             failures.append(

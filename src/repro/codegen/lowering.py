@@ -181,7 +181,10 @@ class _Lowerer:
             for dt, size in sorted(self.shared_sizes.items(),
                                    key=lambda kv: kv[0].value)
         )
-        kernel = K.Kernel(
+        # sid stamping keeps ids stable through the compile cache and the
+        # executors (sid/loc are compare-excluded, so stamped and
+        # unstamped kernels stay structurally identical)
+        kernel = K.stamp_sids(K.Kernel(
             name="acc_region_main",
             body=tuple(body),
             params=tuple(s.name for s in self.region.scalars),
@@ -189,7 +192,7 @@ class _Lowerer:
             shared=shared,
             note=f"lowered with {self.opts.scheduling} scheduling, "
                  f"{self.opts.vector_layout} vector layout",
-        )
+        ))
         return LoweredProgram(
             main_kernel=kernel,
             geometry=self.geom,
@@ -1048,14 +1051,14 @@ class _Lowerer:
             init_grid = max(1, -(-size // bdx))
             pos = K.Bin("+", K.Bin("*", K.Special("bx"), K.const_int(bdx)),
                         K.Special("tx"))
-            init_kernel = K.Kernel(
+            init_kernel = K.stamp_sids(K.Kernel(
                 name=f"acc_reduction_init_{info.var}",
                 body=(K.If(K.Bin("<", pos, K.const_int(size)), (
                     K.GStore(pbuf, pos, info.op.identity_const(info.dtype)),
                 )),),
                 buffers=(pbuf,),
                 note=f"zero-initialize the {size} partials of {info.var!r}",
-            )
+            ))
         self.gang_reductions.append(GangReductionSpec(
             var=info.var, op=info.op, dtype=info.dtype, partial_buf=pbuf,
             result_buf=rbuf, finish_kernel=finish,
@@ -1089,14 +1092,14 @@ class _Lowerer:
                 K.GStore(rbuf, K.const_int(0), K.Reg("_fres")),
             )),
         )
-        return K.Kernel(
+        return K.stamp_sids(K.Kernel(
             name=f"acc_reduction_finish_{info.var}",
             body=body,
             buffers=(pbuf, rbuf),
             shared=(K.SharedArraySpec(arr, dtype, bdx),),
             note=f"finish kernel for gang reduction of {info.var!r} "
                  f"({n} partials)",
-        )
+        ))
 
     def _elide(self, row_width: int) -> bool:
         """Warp-sync elision is only safe for warp-aligned rows (§3.3's

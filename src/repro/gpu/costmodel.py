@@ -29,7 +29,11 @@ from dataclasses import dataclass, field
 from repro.gpu.device import DeviceProperties
 from repro.gpu.events import KernelStats
 
-__all__ = ["CostModel", "TimeBreakdown"]
+__all__ = ["CostModel", "LAUNCH_SID", "TimeBreakdown"]
+
+#: pseudo-statement id carrying the fixed kernel-launch overhead in
+#: per-statement time apportionment (no real statement has sid < 0)
+LAUNCH_SID = -1
 
 
 @dataclass
@@ -80,6 +84,46 @@ class CostModel:
             concurrency=conc,
         )
 
+    def stmt_times(self, stats: KernelStats) -> dict[int, float]:
+        """Apportion :meth:`kernel_time` across statements (sid → µs).
+
+        Each attribution row is charged the same per-unit cycle costs the
+        kernel-level model uses (issue, global/L2 segments, shared
+        accesses, barrier waits); because the per-column row sums equal
+        the kernel counters exactly, the rows' busy cycles sum to the
+        kernel's.  The busy-or-bandwidth-bound portion of the total
+        (``total_us - launch_us`` — which silently absorbs the DRAM
+        bandwidth floor when it binds) is then split in proportion to
+        each row's cycles, the fixed launch overhead becomes a pseudo-row
+        under :data:`LAUNCH_SID`, and the float residual is folded into
+        the largest row, so the returned values sum to
+        ``kernel_time(stats).total_us`` to within an ulp.
+
+        Requires ``stats.attribution`` (run with ``attribution=True``).
+        """
+        if stats.attribution is None:
+            raise ValueError("stats has no attribution table; run the "
+                             "kernel with attribution=True")
+        d = self.device
+        tb = self.kernel_time(stats)
+        cycles = {
+            sid: (r.warp_slots * d.issue_cycles
+                  + r.global_transactions * d.global_segment_cycles
+                  + r.l2_transactions * d.l2_segment_cycles
+                  + r.shared_accesses * d.shared_access_cycles
+                  + r.barrier_arrivals * d.sync_cycles)
+            for sid, r in sorted(stats.attribution.rows.items())
+        }
+        out: dict[int, float] = {LAUNCH_SID: tb.launch_us}
+        busy = sum(cycles.values())
+        if busy > 0:
+            scale = (tb.total_us - tb.launch_us) / busy
+            for sid, c in cycles.items():
+                out[sid] = c * scale
+        residual = tb.total_us - sum(out.values())
+        out[max(out, key=out.get)] += residual
+        return out
+
     def transfer_time(self, nbytes: int) -> float:
         """Modeled host↔device copy time in microseconds."""
         d = self.device
@@ -118,7 +162,9 @@ class TimingLedger:
 
         Labels repeat across iterative launches (``kernel:acc_region_main``
         once per iteration), so rows aggregate by label and keep the count.
-        Used by the profiler's text output (``repro.obs.report``).
+        Rows are sorted most-expensive first, ties broken by label, so the
+        report is stable across dict insertion order.  Used by the
+        profiler's text output (``repro.obs.report``).
         """
         totals = self.by_label()
         counts: dict[str, int] = {}
@@ -126,7 +172,8 @@ class TimingLedger:
             counts[label] = counts.get(label, 0) + 1
         grand = self.total_us
         lines = []
-        for label, t in totals.items():
+        for label, t in sorted(totals.items(),
+                               key=lambda kv: (-kv[1], kv[0])):
             share = f"{100.0 * t / grand:5.1f}%" if grand > 0 else "    -"
             lines.append(f"  {label:<40s} x{counts[label]:<5d}"
                          f"{t:12.2f} us {share}")

@@ -24,9 +24,9 @@ Counter semantics:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
-__all__ = ["KernelStats", "TraceEvent"]
+__all__ = ["AttributionTable", "KernelStats", "StmtCounters", "TraceEvent"]
 
 
 @dataclass
@@ -36,6 +36,73 @@ class TraceEvent:
     kind: str  # "gload", "gstore", "sload", "sstore", "sync", "branch"
     block: int
     detail: str
+
+
+@dataclass
+class StmtCounters:
+    """Per-statement accounting (one row of an :class:`AttributionTable`).
+
+    Filled by both executors under the opt-in ``attribution`` launch knob;
+    the batched and reference paths must produce bit-identical rows (pinned
+    by the differential test suite).  ``warp_slots`` mirrors the statement's
+    contribution to ``KernelStats.warp_inst_slots`` exactly, so summing a
+    column over all rows reproduces the kernel-level counter.
+    """
+
+    execs: int = 0  # per-block executions (a block entering the stmt once)
+    lanes: int = 0  # active thread-lanes summed over executions
+    warp_slots: int = 0  # (warp, statement) issue slots
+    global_transactions: int = 0  # DRAM segment fetches
+    l2_transactions: int = 0  # warp requests served by the L2
+    global_bytes: int = 0
+    dram_bytes: int = 0
+    shared_accesses: int = 0  # conflict-serialized shared warp accesses
+    bank_conflict_extra: int = 0
+    divergence_splits: int = 0  # warps with lanes on both sides of a branch
+    barrier_arrivals: int = 0  # per-block __syncthreads arrivals
+    barrier_wait_slots: int = 0  # warp slots spent at the barrier
+    atomic_rounds: int = 0  # serialized atomic transactions
+    fault_events: int = 0  # injected faults landing on this statement
+
+    def merge(self, other: "StmtCounters") -> None:
+        for f in fields(StmtCounters):
+            setattr(self, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(StmtCounters)}
+
+
+class AttributionTable:
+    """sid → :class:`StmtCounters` accounting table for one launch.
+
+    Only allocated when a launch opts in (``attribution=True``); the
+    executors' closures check for ``None`` at run time so the off path
+    allocates nothing.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self):
+        self.rows: dict[int, StmtCounters] = {}
+
+    def row(self, sid: int) -> StmtCounters:
+        r = self.rows.get(sid)
+        if r is None:
+            r = self.rows[sid] = StmtCounters()
+        return r
+
+    def merge(self, other: "AttributionTable") -> None:
+        for sid, r in other.rows.items():
+            self.row(sid).merge(r)
+
+    def as_dict(self) -> dict[int, dict]:
+        return {sid: self.rows[sid].as_dict() for sid in sorted(self.rows)}
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AttributionTable):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
 
 
 @dataclass
@@ -59,24 +126,37 @@ class KernelStats:
     divergent_branches: int = 0
 
     trace: list[TraceEvent] = field(default_factory=list)
+    #: opt-in per-statement accounting (``attribution=True`` launches only)
+    attribution: AttributionTable | None = None
+
+    #: launch-configuration fields: describe the launch rather than count
+    #: events, so :meth:`merge` must not sum them
+    CONFIG_FIELDS = frozenset({"blocks", "threads_per_block", "shared_bytes"})
 
     def merge(self, other: "KernelStats") -> None:
-        """Fold another stats object (e.g. per-block counters) into this one."""
-        self.warp_inst_slots += other.warp_inst_slots
-        self.global_transactions += other.global_transactions
-        self.l2_transactions += other.l2_transactions
-        self.global_bytes += other.global_bytes
-        self.dram_bytes += other.dram_bytes
-        self.shared_accesses += other.shared_accesses
-        self.bank_conflict_extra += other.bank_conflict_extra
-        self.barriers += other.barriers
-        self.divergent_branches += other.divergent_branches
+        """Fold another stats object (e.g. per-block counters) into this one.
+
+        Counter fields are discovered by reflection so a newly added counter
+        cannot silently be dropped; only the launch-configuration fields and
+        the structured ``trace``/``attribution`` extras are special-cased.
+        """
+        for f in fields(KernelStats):
+            if f.name in self.CONFIG_FIELDS or f.name in ("trace",
+                                                          "attribution"):
+                continue
+            setattr(self, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
         self.trace.extend(other.trace)
+        if other.attribution is not None:
+            if self.attribution is None:
+                self.attribution = AttributionTable()
+            self.attribution.merge(other.attribution)
 
     def summary(self) -> str:
         """Human-readable one-line summary (used by the inspect example)."""
         return (
             f"blocks={self.blocks} tpb={self.threads_per_block} "
+            f"sbytes={self.shared_bytes} "
             f"inst={self.warp_inst_slots} gtx={self.global_transactions} "
             f"l2={self.l2_transactions} gbytes={self.global_bytes} "
             f"dram={self.dram_bytes} smem={self.shared_accesses} "

@@ -34,7 +34,7 @@ from repro.errors import (
 )
 from repro.gpu import kernelir as K
 from repro.gpu.device import DeviceProperties
-from repro.gpu.events import KernelStats, TraceEvent
+from repro.gpu.events import AttributionTable, KernelStats, TraceEvent
 from repro.gpu.memory import GlobalMemory, SharedMemory
 
 __all__ = ["CompiledKernel", "BlockEnv", "DEFAULT_WATCHDOG_BUDGET"]
@@ -137,7 +137,7 @@ class BlockEnv:
         "regs", "tx", "ty", "tid", "bx", "bdx", "bdy", "gdx", "ntid",
         "warp_of", "warp_starts", "nwarps", "gmem", "smem", "stats",
         "params", "block_mask", "trace", "block_index", "seg_cache",
-        "kernel_name", "steps", "watchdog_budget", "stuck",
+        "kernel_name", "steps", "watchdog_budget", "stuck", "attr",
     )
 
     def __init__(self, bdx: int, bdy: int, gdx: int, gmem: GlobalMemory,
@@ -170,6 +170,10 @@ class BlockEnv:
         self.steps = 0  # loop-iteration steps executed this launch
         self.watchdog_budget: float = DEFAULT_WATCHDOG_BUDGET
         self.stuck = False  # injected stuck-warp mode: loops never exit
+        #: opt-in per-statement AttributionTable (None = accounting off;
+        #: the compiled closures check at run time so the off path costs
+        #: one attribute read per statement and allocates nothing)
+        self.attr: AttributionTable | None = None
 
     def active_warps(self, mask: np.ndarray) -> int:
         """Number of warps with at least one active lane."""
@@ -284,8 +288,25 @@ def _assign(env: BlockEnv, name: str, value, mask: np.ndarray) -> None:
         np.copyto(reg, val, where=mask)
 
 
-def _compile_stmt(s: K.Stmt, device: DeviceProperties):
-    """Compile one statement to ``fn(env, mask, aw)``."""
+def _attr_global(row, st: KernelStats, g0: int, l0: int,
+                 b0: int, d0: int) -> None:
+    """Fold a global-access counter delta into an attribution row."""
+    row.global_transactions += st.global_transactions - g0
+    row.l2_transactions += st.l2_transactions - l0
+    row.global_bytes += st.global_bytes - b0
+    row.dram_bytes += st.dram_bytes - d0
+
+
+def _compile_stmt(s: K.Stmt, device: DeviceProperties,
+                  slot_sids: dict | None = None):
+    """Compile one statement to ``fn(env, mask, aw)``.
+
+    ``slot_sids`` (filled at compile time) maps each global-access
+    statement's segment-reuse ``slot`` back to its stamped ``sid`` so the
+    batched executor's launch-end reuse correction can be attributed to
+    the right statement.
+    """
+    sid = s.sid
     if isinstance(s, K.Comment):
         return lambda env, mask, aw: None
 
@@ -294,6 +315,11 @@ def _compile_stmt(s: K.Stmt, device: DeviceProperties):
         name = s.dst
         def do_assign(env, mask, aw):
             env.stats.warp_inst_slots += aw
+            if env.attr is not None:
+                r = env.attr.row(sid)
+                r.execs += 1
+                r.lanes += int(mask.sum())
+                r.warp_slots += aw
             _assign(env, name, fv(env), mask)
         return do_assign
 
@@ -301,13 +327,30 @@ def _compile_stmt(s: K.Stmt, device: DeviceProperties):
         fi = _compile_expr(s.index)
         name, buf = s.dst, s.buf
         slot = next(_stmt_slots)
+        if slot_sids is not None:
+            slot_sids[slot] = sid
         def do_gload(env, mask, aw):
             env.stats.warp_inst_slots += aw
             idx = np.asarray(fi(env))
             if idx.shape != mask.shape:
                 idx = np.broadcast_to(idx, mask.shape)
+            a = env.attr
+            if a is not None:
+                st = env.stats
+                g0, l0 = st.global_transactions, st.l2_transactions
+                b0, d0 = st.global_bytes, st.dram_bytes
+                fr = env.gmem.faults
+                f0 = len(fr.records) if fr is not None else 0
             out = env.gmem.load(buf, idx, mask, env.warp_of, env.stats,
                                 reuse=(env.seg_cache, slot))
+            if a is not None:
+                r = a.row(sid)
+                r.execs += 1
+                r.lanes += int(mask.sum())
+                r.warp_slots += aw
+                _attr_global(r, st, g0, l0, b0, d0)
+                if fr is not None:
+                    r.fault_events += len(fr.records) - f0
             _assign(env, name, out, mask)
             if env.trace:
                 env.stats.trace.append(TraceEvent("gload", env.block_index, buf))
@@ -317,6 +360,8 @@ def _compile_stmt(s: K.Stmt, device: DeviceProperties):
         fi, fv = _compile_expr(s.index), _compile_expr(s.value)
         buf = s.buf
         slot = next(_stmt_slots)
+        if slot_sids is not None:
+            slot_sids[slot] = sid
         def do_gstore(env, mask, aw):
             env.stats.warp_inst_slots += aw
             idx = np.asarray(fi(env))
@@ -325,8 +370,19 @@ def _compile_stmt(s: K.Stmt, device: DeviceProperties):
             val = np.asarray(fv(env))
             if val.shape != mask.shape:
                 val = np.broadcast_to(val, mask.shape)
+            a = env.attr
+            if a is not None:
+                st = env.stats
+                g0, l0 = st.global_transactions, st.l2_transactions
+                b0, d0 = st.global_bytes, st.dram_bytes
             env.gmem.store(buf, idx, val, mask, env.warp_of, env.stats,
                            reuse=(env.seg_cache, slot))
+            if a is not None:
+                r = a.row(sid)
+                r.execs += 1
+                r.lanes += int(mask.sum())
+                r.warp_slots += aw
+                _attr_global(r, st, g0, l0, b0, d0)
             if env.trace:
                 env.stats.trace.append(TraceEvent("gstore", env.block_index, buf))
         return do_gstore
@@ -339,7 +395,22 @@ def _compile_stmt(s: K.Stmt, device: DeviceProperties):
             idx = np.asarray(fi(env))
             if idx.shape != mask.shape:
                 idx = np.broadcast_to(idx, mask.shape)
+            a = env.attr
+            if a is not None:
+                st = env.stats
+                s0, c0 = st.shared_accesses, st.bank_conflict_extra
+                fr = env.smem.faults
+                f0 = len(fr.records) if fr is not None else 0
             out = env.smem.load(arr, idx, mask, env.warp_of)
+            if a is not None:
+                r = a.row(sid)
+                r.execs += 1
+                r.lanes += int(mask.sum())
+                r.warp_slots += aw
+                r.shared_accesses += st.shared_accesses - s0
+                r.bank_conflict_extra += st.bank_conflict_extra - c0
+                if fr is not None:
+                    r.fault_events += len(fr.records) - f0
             _assign(env, name, out, mask)
         return do_sload
 
@@ -354,13 +425,25 @@ def _compile_stmt(s: K.Stmt, device: DeviceProperties):
             val = np.asarray(fv(env))
             if val.shape != mask.shape:
                 val = np.broadcast_to(val, mask.shape)
+            a = env.attr
+            if a is not None:
+                st = env.stats
+                s0, c0 = st.shared_accesses, st.bank_conflict_extra
             env.smem.store(arr, idx, val, mask, env.warp_of)
+            if a is not None:
+                r = a.row(sid)
+                r.execs += 1
+                r.lanes += int(mask.sum())
+                r.warp_slots += aw
+                r.shared_accesses += st.shared_accesses - s0
+                r.bank_conflict_extra += st.bank_conflict_extra - c0
         return do_sstore
 
     if isinstance(s, K.If):
         fc = _compile_expr(s.cond)
-        fthen = _compile_block(s.then, device)
-        felse = _compile_block(s.orelse, device) if s.orelse else None
+        fthen = _compile_block(s.then, device, slot_sids)
+        felse = _compile_block(s.orelse, device, slot_sids) \
+            if s.orelse else None
         def do_if(env, mask, aw):
             env.stats.warp_inst_slots += aw
             c = _truthy(np.asarray(fc(env)))
@@ -371,7 +454,14 @@ def _compile_stmt(s: K.Stmt, device: DeviceProperties):
             # divergence: warps with lanes on both sides
             t = np.add.reduceat(m_then, env.warp_starts) > 0
             e = np.add.reduceat(m_else, env.warp_starts) > 0
-            env.stats.divergent_branches += int((t & e).sum())
+            d = int((t & e).sum())
+            env.stats.divergent_branches += d
+            if env.attr is not None:
+                r = env.attr.row(sid)
+                r.execs += 1
+                r.lanes += int(mask.sum())
+                r.warp_slots += aw
+                r.divergence_splits += d
             if m_then.any():
                 fthen(env, m_then, env.active_warps(m_then))
             if felse is not None and m_else.any():
@@ -380,13 +470,19 @@ def _compile_stmt(s: K.Stmt, device: DeviceProperties):
 
     if isinstance(s, K.While):
         fc = _compile_expr(s.cond)
-        fbody = _compile_block(s.body, device)
+        fbody = _compile_block(s.body, device, slot_sids)
         def do_while(env, mask, aw):
             c = _truthy(np.asarray(fc(env)))
             if c.shape != mask.shape:
                 c = np.broadcast_to(c, mask.shape)
             m = mask & c
             env.stats.warp_inst_slots += aw  # first condition check
+            r = None
+            if env.attr is not None:
+                r = env.attr.row(sid)
+                r.execs += 1
+                r.lanes += int(mask.sum())
+                r.warp_slots += aw
             while m.any():
                 env.steps += 1
                 if env.steps > env.watchdog_budget:
@@ -401,13 +497,21 @@ def _compile_stmt(s: K.Stmt, device: DeviceProperties):
                     m2 = m  # injected stuck warp: the exit never fires
                 m = m2
                 env.stats.warp_inst_slots += maw  # re-check
+                if r is not None:
+                    r.warp_slots += maw
         return do_while
 
     if isinstance(s, K.UniformWhile):
         fc = _compile_expr(s.cond)
-        fbody = _compile_block(s.body, device)
+        fbody = _compile_block(s.body, device, slot_sids)
         def do_uwhile(env, mask, aw):
             env.stats.warp_inst_slots += aw
+            r = None
+            if env.attr is not None:
+                r = env.attr.row(sid)
+                r.execs += 1
+                r.lanes += int(mask.sum())
+                r.warp_slots += aw
             while True:
                 env.steps += 1
                 if env.steps > env.watchdog_budget:
@@ -419,6 +523,8 @@ def _compile_stmt(s: K.Stmt, device: DeviceProperties):
                     break
                 fbody(env, mask, aw)
                 env.stats.warp_inst_slots += aw
+                if r is not None:
+                    r.warp_slots += aw
         return do_uwhile
 
     if isinstance(s, K.Sync):
@@ -430,6 +536,13 @@ def _compile_stmt(s: K.Stmt, device: DeviceProperties):
                 )
             env.stats.barriers += 1
             env.stats.warp_inst_slots += aw
+            if env.attr is not None:
+                r = env.attr.row(sid)
+                r.execs += 1
+                r.lanes += int(mask.sum())
+                r.warp_slots += aw
+                r.barrier_arrivals += 1
+                r.barrier_wait_slots += aw
             if env.trace:
                 env.stats.trace.append(TraceEvent("sync", env.block_index, ""))
         return do_sync
@@ -439,6 +552,11 @@ def _compile_stmt(s: K.Stmt, device: DeviceProperties):
         ws = device.warp_size
         def do_shfl(env, mask, aw):
             env.stats.warp_inst_slots += aw
+            if env.attr is not None:
+                r = env.attr.row(sid)
+                r.execs += 1
+                r.lanes += int(mask.sum())
+                r.warp_slots += aw
             try:
                 reg = env.regs[src]
             except KeyError:
@@ -467,8 +585,22 @@ def _compile_stmt(s: K.Stmt, device: DeviceProperties):
             val = np.asarray(fv(env))
             if val.shape != mask.shape:
                 val = np.broadcast_to(val, mask.shape)
+            a = env.attr
+            if a is not None:
+                st = env.stats
+                g0, l0 = st.global_transactions, st.l2_transactions
+                b0, d0 = st.global_bytes, st.dram_bytes
             env.gmem.atomic_update(buf, idx, val, mask, env.warp_of,
                                    env.stats, combine)
+            if a is not None:
+                r = a.row(sid)
+                r.execs += 1
+                r.lanes += int(mask.sum())
+                r.warp_slots += aw
+                _attr_global(r, st, g0, l0, b0, d0)
+                # atomics serialize: every charged transaction is one
+                # round of the read-modify-write queue
+                r.atomic_rounds += st.global_transactions - g0
         return do_atomic
 
     raise SimulationError(f"unknown statement node {s!r}")
@@ -483,8 +615,9 @@ def _watchdog_trip(env: BlockEnv) -> None:
         budget=int(env.watchdog_budget))
 
 
-def _compile_block(stmts: tuple, device: DeviceProperties):
-    fns = [_compile_stmt(s, device) for s in stmts]
+def _compile_block(stmts: tuple, device: DeviceProperties,
+                   slot_sids: dict | None = None):
+    fns = [_compile_stmt(s, device, slot_sids) for s in stmts]
     def run(env, mask, aw):
         for f in fns:
             f(env, mask, aw)
@@ -505,7 +638,10 @@ class CompiledKernel:
     def __init__(self, kernel: K.Kernel, device: DeviceProperties):
         self.kernel = kernel
         self.device = device
-        self._body = _compile_block(kernel.body, device)
+        # segment-reuse slot -> stamped statement sid, filled as closures
+        # compile (both executors share it: slots are globally unique)
+        self._slot_sids: dict[int, int] = {}
+        self._body = _compile_block(kernel.body, device, self._slot_sids)
         # block-axis closures, compiled lazily on the first batched run
         self._batched_body = None
         self._batch_safety = None  # lazy block-independence verdict
@@ -555,8 +691,8 @@ class CompiledKernel:
     def run(self, gmem: GlobalMemory, grid_dim: int, block_dim: tuple[int, int],
             params: dict | None = None, trace: bool = False, *,
             faults=None, watchdog_budget: int | None = None,
-            mode: str | None = None,
-            block_batch: int | None = None) -> KernelStats:
+            mode: str | None = None, block_batch: int | None = None,
+            attribution: bool = False) -> KernelStats:
         """Execute over ``grid_dim`` blocks of ``block_dim`` = (bdx, bdy).
 
         Blocks are independent by construction — that's the premise of
@@ -593,6 +729,12 @@ class CompiledKernel:
         steps (default :data:`DEFAULT_WATCHDOG_BUDGET`; ``0`` or negative
         disables) raises :class:`~repro.errors.WatchdogTimeoutError`
         instead of hanging the caller.
+
+        ``attribution`` (opt-in, like ``trace``) fills a per-statement
+        :class:`~repro.gpu.events.AttributionTable` on
+        ``stats.attribution``, keyed by the stamped statement ``sid``s.
+        Both executor modes produce bit-identical tables; off (the
+        default) the closures allocate nothing.
         """
         bdx, bdy = block_dim
         self.device.validate_block(bdx, bdy, self.kernel.shared_bytes)
@@ -612,6 +754,8 @@ class CompiledKernel:
             threads_per_block=bdx * bdy,
             shared_bytes=self.kernel.shared_bytes,
         )
+        if attribution:
+            stats.attribution = AttributionTable()
         params = dict(params or {})
         for b in self.kernel.buffers:
             if b not in gmem:
@@ -657,12 +801,15 @@ class CompiledKernel:
                     threads_per_block=bdx * bdy,
                     shared_bytes=self.kernel.shared_bytes,
                 )
+                if attribution:
+                    stats.attribution = AttributionTable()
         env = BlockEnv(bdx, bdy, grid_dim, gmem, None, stats, params,
                        self.device.warp_size, trace)
         env.seg_cache = {}  # fresh reuse state per launch
         env.kernel_name = self.kernel.name
         env.watchdog_budget = budget
         env.stuck = stuck
+        env.attr = stats.attribution
         full = env.block_mask
         nw = env.nwarps
         # one shared-memory allocation serves the whole grid; contents

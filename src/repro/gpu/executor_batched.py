@@ -42,7 +42,8 @@ from repro.gpu import kernelir as K
 from repro.gpu.device import DeviceProperties
 from repro.gpu.events import KernelStats, TraceEvent
 from repro.gpu.executor import (
-    ATOMIC_OPS, _assign, _compile_expr, _truthy, _watchdog_trip, _stmt_slots,
+    ATOMIC_OPS, _assign, _attr_global, _compile_expr, _truthy,
+    _watchdog_trip, _stmt_slots,
 )
 from repro.gpu.memory import (
     BatchedSharedMemory, GlobalMemory, finalize_segment_reuse,
@@ -230,7 +231,7 @@ class BatchedBlockEnv:
         "warp_starts", "nwarps", "warpkey", "block_of", "rows", "block_ids",
         "gmem", "smem", "stats", "params", "block_mask", "trace",
         "block_index", "seg_cache", "kernel_name", "steps",
-        "watchdog_budget", "stuck", "check",
+        "watchdog_budget", "stuck", "check", "attr",
     )
 
     def __init__(self, bdx: int, bdy: int, gdx: int, block_ids: np.ndarray,
@@ -273,6 +274,9 @@ class BatchedBlockEnv:
         self.stuck = False
         #: per-buffer owner-block arrays for checked launches (or None)
         self.check: dict | None = None
+        #: opt-in per-statement AttributionTable (shared with the launch
+        #: stats; None = accounting off)
+        self.attr = None
 
 
 def _warps_per_block(env: BatchedBlockEnv, mask: np.ndarray) -> np.ndarray:
@@ -376,6 +380,7 @@ def _compact_env(env: BatchedBlockEnv, idx: np.ndarray) -> BatchedBlockEnv:
     sub.watchdog_budget = env.watchdog_budget
     sub.stuck = env.stuck
     sub.check = env.check
+    sub.attr = env.attr
     return sub
 
 
@@ -406,7 +411,8 @@ def _expand_env(env: BatchedBlockEnv, sub: BatchedBlockEnv,
 # --------------------------------------------------------------------------
 
 def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
-                          uniform_ids: frozenset = frozenset()):
+                          uniform_ids: frozenset = frozenset(),
+                          slot_sids: dict | None = None):
     """Compile one statement to ``fn(env, mask, aw, aws)`` over a chunk.
 
     ``mask`` is ``(blocks, threads)`` bool; ``aw`` is the per-block
@@ -414,8 +420,18 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
     reference executor would not run the statement for) and ``aws`` its
     precomputed total — the region runner sums ``aw`` once so straight-
     line statements don't each pay the reduction.  ``uniform_ids`` holds
-    the :func:`_lane_uniform_stmts` verdicts.
+    the :func:`_lane_uniform_stmts` verdicts; ``slot_sids`` maps each
+    global access's segment-reuse slot back to its stamped ``sid`` (for
+    the launch-end reuse correction's per-statement attribution).
+
+    Attribution parity with the reference executor: ``execs`` counts
+    blocks with at least one active lane (the reference closure runs
+    exactly once per such block), ``lanes``/``warp_slots`` are the lane
+    and warp-slot sums the reference path accumulates block by block,
+    and the counter deltas around each memory access distribute the same
+    totals because the accounting calls are shared.
     """
+    sid = s.sid
     if isinstance(s, K.Comment):
         return lambda env, mask, aw, aws: None
 
@@ -424,6 +440,11 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
         name = s.dst
         def do_assign(env, mask, aw, aws):
             env.stats.warp_inst_slots += aws
+            if env.attr is not None:
+                r = env.attr.row(sid)
+                r.execs += int(mask.any(axis=1).sum())
+                r.lanes += int(mask.sum())
+                r.warp_slots += aws
             _assign(env, name, fv(env), mask)
         return do_assign
 
@@ -432,8 +453,17 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
         name, buf = s.dst, s.buf
         uni = id(s) in uniform_ids
         slot = next(_stmt_slots)
+        if slot_sids is not None:
+            slot_sids[slot] = sid
         def do_gload(env, mask, aw, aws):
             env.stats.warp_inst_slots += aws
+            a = env.attr
+            if a is not None:
+                st = env.stats
+                g0, l0 = st.global_transactions, st.l2_transactions
+                b0, d0 = st.global_bytes, st.dram_bytes
+                fr = env.gmem.faults
+                f0 = len(fr.records) if fr is not None else 0
             idx = np.asarray(fi(env))
             if idx.shape != mask.shape:
                 idx = np.broadcast_to(idx, mask.shape)
@@ -472,6 +502,14 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
                 buf, idx, mask, env.warpkey, env.block_of, env.block_ids,
                 env.stats, reuse=(env.seg_cache, slot), act=act,
                 act_block=blk, reps=reps)
+            if a is not None:
+                r = a.row(sid)
+                r.execs += int(mask.any(axis=1).sum())
+                r.lanes += int(mask.sum())
+                r.warp_slots += aws
+                _attr_global(r, st, g0, l0, b0, d0)
+                if fr is not None:
+                    r.fault_events += len(fr.records) - f0
             _assign(env, name, out, mask)
             if env.trace:
                 trace = env.stats.trace
@@ -484,8 +522,15 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
         buf = s.buf
         uni = id(s) in uniform_ids
         slot = next(_stmt_slots)
+        if slot_sids is not None:
+            slot_sids[slot] = sid
         def do_gstore(env, mask, aw, aws):
             env.stats.warp_inst_slots += aws
+            a = env.attr
+            if a is not None:
+                st = env.stats
+                g0, l0 = st.global_transactions, st.l2_transactions
+                b0, d0 = st.global_bytes, st.dram_bytes
             idx = np.asarray(fi(env))
             if idx.shape != mask.shape:
                 idx = np.broadcast_to(idx, mask.shape)
@@ -523,6 +568,12 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
                 buf, idx, val, mask, env.warpkey, env.block_of, env.stats,
                 reuse=(env.seg_cache, slot), act=act, act_block=blk,
                 reps=reps)
+            if a is not None:
+                r = a.row(sid)
+                r.execs += int(mask.any(axis=1).sum())
+                r.lanes += int(mask.sum())
+                r.warp_slots += aws
+                _attr_global(r, st, g0, l0, b0, d0)
             if env.trace:
                 trace = env.stats.trace
                 for b in env.block_ids[mask.any(axis=1)]:
@@ -537,7 +588,22 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
             idx = np.asarray(fi(env))
             if idx.shape != mask.shape:
                 idx = np.broadcast_to(idx, mask.shape)
+            a = env.attr
+            if a is not None:
+                st = env.stats
+                s0, c0 = st.shared_accesses, st.bank_conflict_extra
+                fr = env.smem.faults
+                f0 = len(fr.records) if fr is not None else 0
             out = env.smem.load(arr, idx, mask, env.warpkey, env.rows)
+            if a is not None:
+                r = a.row(sid)
+                r.execs += int(mask.any(axis=1).sum())
+                r.lanes += int(mask.sum())
+                r.warp_slots += aws
+                r.shared_accesses += st.shared_accesses - s0
+                r.bank_conflict_extra += st.bank_conflict_extra - c0
+                if fr is not None:
+                    r.fault_events += len(fr.records) - f0
             _assign(env, name, out, mask)
         return do_sload
 
@@ -552,14 +618,26 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
             val = np.asarray(fv(env))
             if val.shape != mask.shape:
                 val = np.broadcast_to(val, mask.shape)
+            a = env.attr
+            if a is not None:
+                st = env.stats
+                s0, c0 = st.shared_accesses, st.bank_conflict_extra
             env.smem.store(arr, idx, val, mask, env.warpkey, env.rows)
+            if a is not None:
+                r = a.row(sid)
+                r.execs += int(mask.any(axis=1).sum())
+                r.lanes += int(mask.sum())
+                r.warp_slots += aws
+                r.shared_accesses += st.shared_accesses - s0
+                r.bank_conflict_extra += st.bank_conflict_extra - c0
         return do_sstore
 
     if isinstance(s, K.If):
         fc = _compile_expr(s.cond)
-        fthen = _compile_block_batched(s.then, device, uniform_ids)
-        felse = _compile_block_batched(s.orelse, device, uniform_ids) \
-            if s.orelse else None
+        fthen = _compile_block_batched(s.then, device, uniform_ids,
+                                       slot_sids)
+        felse = _compile_block_batched(s.orelse, device, uniform_ids,
+                                       slot_sids) if s.orelse else None
         def do_if(env, mask, aw, aws):
             env.stats.warp_inst_slots += aws
             c = _truthy(np.asarray(fc(env)))
@@ -569,7 +647,14 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
             m_else = mask & ~c
             t = np.add.reduceat(m_then, env.warp_starts, axis=1) > 0
             e = np.add.reduceat(m_else, env.warp_starts, axis=1) > 0
-            env.stats.divergent_branches += int((t & e).sum())
+            d = int((t & e).sum())
+            env.stats.divergent_branches += d
+            if env.attr is not None:
+                r = env.attr.row(sid)
+                r.execs += int(mask.any(axis=1).sum())
+                r.lanes += int(mask.sum())
+                r.warp_slots += aws
+                r.divergence_splits += d
             if m_then.any():
                 fthen(env, m_then, t.sum(axis=1))
             if felse is not None and m_else.any():
@@ -578,13 +663,20 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
 
     if isinstance(s, K.While):
         fc = _compile_expr(s.cond)
-        fbody = _compile_block_batched(s.body, device, uniform_ids)
+        fbody = _compile_block_batched(s.body, device, uniform_ids,
+                                       slot_sids)
         def do_while(env, mask, aw, aws):
             c = _truthy(np.asarray(fc(env)))
             if c.shape != mask.shape:
                 c = np.broadcast_to(c, mask.shape)
             m = mask & c
             env.stats.warp_inst_slots += aws  # first check
+            r = None
+            if env.attr is not None:
+                r = env.attr.row(sid)
+                r.execs += int(mask.any(axis=1).sum())
+                r.lanes += int(mask.sum())
+                r.warp_slots += aws
             stack = []  # (parent env, kept rows) per compaction level
             live = m.any(axis=1)
             lc = int(live.sum())
@@ -614,6 +706,8 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
                         m2 = np.where(dead[:, None], m, m2)
                 m = m2
                 env.stats.warp_inst_slots += maws  # re-check
+                if r is not None:
+                    r.warp_slots += maws
                 live = m.any(axis=1)
                 lc = int(live.sum())
             for parent, idx in reversed(stack):
@@ -623,10 +717,17 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
 
     if isinstance(s, K.UniformWhile):
         fc = _compile_expr(s.cond)
-        fbody = _compile_block_batched(s.body, device, uniform_ids)
+        fbody = _compile_block_batched(s.body, device, uniform_ids,
+                                       slot_sids)
         def do_uwhile(env, mask, aw, aws):
             env.stats.warp_inst_slots += aws
             live = mask.any(axis=1)
+            r = None
+            if env.attr is not None:
+                r = env.attr.row(sid)
+                r.execs += int(live.sum())
+                r.lanes += int(mask.sum())
+                r.warp_slots += aws
             if not live.any():
                 return
             stack = []  # (parent env, kept rows) per compaction level
@@ -654,6 +755,8 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
                 baws = int(baw.sum())
                 fbody(env, bmask, baw, baws)
                 env.stats.warp_inst_slots += baws
+                if r is not None:
+                    r.warp_slots += baws
             for parent, idx in reversed(stack):
                 _expand_env(parent, env, idx)
                 env = parent
@@ -672,6 +775,14 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
                 )
             env.stats.barriers += int(anyb.sum())
             env.stats.warp_inst_slots += aws
+            if env.attr is not None:
+                r = env.attr.row(sid)
+                arrived = int(anyb.sum())
+                r.execs += arrived
+                r.lanes += int(mask.sum())
+                r.warp_slots += aws
+                r.barrier_arrivals += arrived
+                r.barrier_wait_slots += aws
             if env.trace:
                 trace = env.stats.trace
                 for b in env.block_ids[anyb]:
@@ -683,6 +794,11 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
         ws = device.warp_size
         def do_shfl(env, mask, aw, aws):
             env.stats.warp_inst_slots += aws
+            if env.attr is not None:
+                r = env.attr.row(sid)
+                r.execs += int(mask.any(axis=1).sum())
+                r.lanes += int(mask.sum())
+                r.warp_slots += aws
             try:
                 reg = env.regs[src]
             except KeyError:
@@ -712,18 +828,32 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
             val = np.asarray(fv(env))
             if val.shape != mask.shape:
                 val = np.broadcast_to(val, mask.shape)
+            a = env.attr
+            if a is not None:
+                st = env.stats
+                g0, l0 = st.global_transactions, st.l2_transactions
+                b0, d0 = st.global_bytes, st.dram_bytes
             # ufunc.at applies duplicates in flattened (block, thread)
             # order — the same combine order as blocks run one at a time
             env.gmem.atomic_update(buf, idx, val, mask, env.warpkey,
                                    env.stats, combine)
+            if a is not None:
+                r = a.row(sid)
+                r.execs += int(mask.any(axis=1).sum())
+                r.lanes += int(mask.sum())
+                r.warp_slots += aws
+                _attr_global(r, st, g0, l0, b0, d0)
+                r.atomic_rounds += st.global_transactions - g0
         return do_atomic
 
     raise SimulationError(f"unknown statement node {s!r}")
 
 
 def _compile_block_batched(stmts: tuple, device: DeviceProperties,
-                           uniform_ids: frozenset = frozenset()):
-    fns = [_compile_stmt_batched(s, device, uniform_ids) for s in stmts]
+                           uniform_ids: frozenset = frozenset(),
+                           slot_sids: dict | None = None):
+    fns = [_compile_stmt_batched(s, device, uniform_ids, slot_sids)
+           for s in stmts]
     def run(env, mask, aw, aws=None):
         if aws is None:
             aws = int(aw.sum())
@@ -756,7 +886,8 @@ def run_batched(ck, gmem: GlobalMemory, grid_dim: int,
     body = ck._batched_body
     if body is None:
         body = ck._batched_body = _compile_block_batched(
-            ck.kernel.body, ck.device, _lane_uniform_stmts(ck.kernel))
+            ck.kernel.body, ck.device, _lane_uniform_stmts(ck.kernel),
+            ck._slot_sids)
     seg_cache: dict = {}
     steps = 0
     prev_faults = gmem.faults
@@ -777,6 +908,7 @@ def run_batched(ck, gmem: GlobalMemory, grid_dim: int,
             env.watchdog_budget = budget
             env.stuck = stuck
             env.check = check
+            env.attr = stats.attribution
             body(env, env.block_mask,
                  np.full(len(ids), env.nwarps, dtype=np.int64))
             steps = env.steps
@@ -789,5 +921,7 @@ def run_batched(ck, gmem: GlobalMemory, grid_dim: int,
                     maxread.fill(-1)
     finally:
         gmem.faults = prev_faults
-    finalize_segment_reuse(seg_cache, stats, ck.device.transaction_bytes)
+    finalize_segment_reuse(seg_cache, stats, ck.device.transaction_bytes,
+                           attr=stats.attribution,
+                           slot_sids=ck._slot_sids)
     return stats

@@ -24,6 +24,8 @@ the executor never relies on NumPy's promotion rules (which differ from C's).
 
 from __future__ import annotations
 
+import dataclasses
+import itertools
 from dataclasses import dataclass, field
 
 from repro.dtypes import DType
@@ -38,7 +40,8 @@ __all__ = [
     # containers
     "SharedArraySpec", "Kernel",
     # helpers
-    "const_int", "dump",
+    "const_int", "dump", "dump_with_sids", "stamp_sids", "walk_stmts",
+    "stmt_text",
     "SPECIALS",
 ]
 
@@ -148,7 +151,17 @@ def const_int(v: int) -> Const:
 # --------------------------------------------------------------------------
 
 class Stmt:
-    """Base class for kernel-IR statements."""
+    """Base class for kernel-IR statements.
+
+    Every concrete statement carries a *stable statement id* ``sid`` plus
+    an optional source location ``loc`` (a short ``"file:line"``-style
+    string).  Both are ``compare=False`` fields: statements stamped with
+    different ids still compare (and hash) equal, so structural kernel
+    identity — the launch compile-cache key and the golden-IR tests — is
+    unaffected.  ``sid`` is ``-1`` until :func:`stamp_sids` assigns
+    pre-order ids at the end of lowering; the executors key the opt-in
+    per-statement attribution tables on it.
+    """
 
     __slots__ = ()
 
@@ -159,6 +172,8 @@ class Assign(Stmt):
 
     dst: str
     value: Expr
+    sid: int = field(default=-1, compare=False)
+    loc: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -168,6 +183,8 @@ class GLoad(Stmt):
     dst: str
     buf: str
     index: Expr
+    sid: int = field(default=-1, compare=False)
+    loc: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -177,6 +194,8 @@ class GStore(Stmt):
     buf: str
     index: Expr
     value: Expr
+    sid: int = field(default=-1, compare=False)
+    loc: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -186,6 +205,8 @@ class SLoad(Stmt):
     dst: str
     arr: str
     index: Expr
+    sid: int = field(default=-1, compare=False)
+    loc: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -195,6 +216,8 @@ class SStore(Stmt):
     arr: str
     index: Expr
     value: Expr
+    sid: int = field(default=-1, compare=False)
+    loc: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -204,6 +227,8 @@ class If(Stmt):
     cond: Expr
     then: tuple[Stmt, ...]
     orelse: tuple[Stmt, ...] = ()
+    sid: int = field(default=-1, compare=False)
+    loc: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -212,6 +237,8 @@ class While(Stmt):
 
     cond: Expr
     body: tuple[Stmt, ...]
+    sid: int = field(default=-1, compare=False)
+    loc: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -224,11 +251,16 @@ class UniformWhile(Stmt):
 
     cond: Expr
     body: tuple[Stmt, ...]
+    sid: int = field(default=-1, compare=False)
+    loc: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
 class Sync(Stmt):
     """``__syncthreads()`` — errors if executed under divergent control flow."""
+
+    sid: int = field(default=-1, compare=False)
+    loc: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -236,6 +268,8 @@ class Comment(Stmt):
     """No-op annotation kept for kernel dumps (costs nothing)."""
 
     text: str
+    sid: int = field(default=-1, compare=False)
+    loc: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -251,6 +285,8 @@ class AtomicUpdate(Stmt):
     index: Expr
     op: str  # a reduction-operator token, e.g. "+", "max"
     value: Expr
+    sid: int = field(default=-1, compare=False)
+    loc: str | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -267,6 +303,8 @@ class ShflDown(Stmt):
     dst: str
     src: str
     delta: int
+    sid: int = field(default=-1, compare=False)
+    loc: str | None = field(default=None, compare=False)
 
 
 # --------------------------------------------------------------------------
@@ -322,6 +360,51 @@ class Kernel:
 
 
 # --------------------------------------------------------------------------
+# Statement-id stamping (source-counter attribution support)
+# --------------------------------------------------------------------------
+
+def _stamp_block(stmts: tuple[Stmt, ...], counter) -> tuple[Stmt, ...]:
+    out = []
+    for s in stmts:
+        sid = next(counter)  # pre-order: parent before children
+        if isinstance(s, If):
+            s = dataclasses.replace(
+                s, sid=sid, then=_stamp_block(s.then, counter),
+                orelse=_stamp_block(s.orelse, counter))
+        elif isinstance(s, (While, UniformWhile)):
+            s = dataclasses.replace(s, sid=sid,
+                                    body=_stamp_block(s.body, counter))
+        else:
+            s = dataclasses.replace(s, sid=sid)
+        out.append(s)
+    return tuple(out)
+
+
+def stamp_sids(kernel: Kernel) -> Kernel:
+    """Return ``kernel`` with every statement stamped with a pre-order sid.
+
+    Ids are dense (``0..n-1``), deterministic for a given body shape, and
+    excluded from equality/hash, so the stamped kernel is structurally
+    identical to the input (same compile-cache key, same golden dumps).
+    The lowering applies this as its final step; the executors and the
+    attribution layer rely on the ids being stable across compilations.
+    """
+    counter = itertools.count()
+    return dataclasses.replace(kernel, body=_stamp_block(kernel.body, counter))
+
+
+def walk_stmts(stmts: tuple[Stmt, ...], depth: int = 0):
+    """Yield ``(stmt, depth)`` over a statement tree in pre-order."""
+    for s in stmts:
+        yield s, depth
+        if isinstance(s, If):
+            yield from walk_stmts(s.then, depth + 1)
+            yield from walk_stmts(s.orelse, depth + 1)
+        elif isinstance(s, (While, UniformWhile)):
+            yield from walk_stmts(s.body, depth + 1)
+
+
+# --------------------------------------------------------------------------
 # Pretty printer (used by the inspect example and golden tests)
 # --------------------------------------------------------------------------
 
@@ -362,51 +445,68 @@ def _fmt_expr(e: Expr) -> str:
     raise TypeError(f"unknown expr {e!r}")
 
 
-def _dump_stmts(stmts: tuple[Stmt, ...], indent: int, out: list[str]) -> None:
+def _head_text(s: Stmt) -> str:
+    """The one-line rendering of a statement (loop/branch heads included)."""
+    if isinstance(s, Assign):
+        return f"{s.dst} = {_fmt_expr(s.value)};"
+    if isinstance(s, GLoad):
+        return f"{s.dst} = {s.buf}[{_fmt_expr(s.index)}];  // global"
+    if isinstance(s, GStore):
+        return f"{s.buf}[{_fmt_expr(s.index)}] = {_fmt_expr(s.value)};  // global"
+    if isinstance(s, SLoad):
+        return f"{s.dst} = {s.arr}[{_fmt_expr(s.index)}];  // shared"
+    if isinstance(s, SStore):
+        return f"{s.arr}[{_fmt_expr(s.index)}] = {_fmt_expr(s.value)};  // shared"
+    if isinstance(s, If):
+        return f"if ({_fmt_expr(s.cond)})"
+    if isinstance(s, While):
+        return f"while ({_fmt_expr(s.cond)})"
+    if isinstance(s, UniformWhile):
+        return f"while-any ({_fmt_expr(s.cond)})"
+    if isinstance(s, Sync):
+        return "__syncthreads();"
+    if isinstance(s, Comment):
+        return f"// {s.text}"
+    if isinstance(s, AtomicUpdate):
+        return (f"atomic {s.buf}[{_fmt_expr(s.index)}] "
+                f"{s.op}= {_fmt_expr(s.value)};")
+    if isinstance(s, ShflDown):
+        return f"{s.dst} = __shfl_down({s.src}, {s.delta});"
+    raise TypeError(f"unknown stmt {s!r}")
+
+
+def stmt_text(s: Stmt) -> str:
+    """Short single-line text of a statement (used to *name* statements
+    in attribution reports and roofline verdicts)."""
+    return _head_text(s)
+
+
+def _dump_stmts(stmts: tuple[Stmt, ...], indent: int, out: list[str],
+                sid_lines: dict[int, int] | None = None) -> None:
     pad = "  " * indent
     for s in stmts:
-        if isinstance(s, Assign):
-            out.append(f"{pad}{s.dst} = {_fmt_expr(s.value)};")
-        elif isinstance(s, GLoad):
-            out.append(f"{pad}{s.dst} = {s.buf}[{_fmt_expr(s.index)}];  // global")
-        elif isinstance(s, GStore):
-            out.append(f"{pad}{s.buf}[{_fmt_expr(s.index)}] = {_fmt_expr(s.value)};  // global")
-        elif isinstance(s, SLoad):
-            out.append(f"{pad}{s.dst} = {s.arr}[{_fmt_expr(s.index)}];  // shared")
-        elif isinstance(s, SStore):
-            out.append(f"{pad}{s.arr}[{_fmt_expr(s.index)}] = {_fmt_expr(s.value)};  // shared")
-        elif isinstance(s, If):
+        if sid_lines is not None and s.sid >= 0:
+            sid_lines[s.sid] = len(out)
+        if isinstance(s, If):
             out.append(f"{pad}if ({_fmt_expr(s.cond)}) {{")
-            _dump_stmts(s.then, indent + 1, out)
+            _dump_stmts(s.then, indent + 1, out, sid_lines)
             if s.orelse:
                 out.append(f"{pad}}} else {{")
-                _dump_stmts(s.orelse, indent + 1, out)
+                _dump_stmts(s.orelse, indent + 1, out, sid_lines)
             out.append(f"{pad}}}")
         elif isinstance(s, While):
             out.append(f"{pad}while ({_fmt_expr(s.cond)}) {{")
-            _dump_stmts(s.body, indent + 1, out)
+            _dump_stmts(s.body, indent + 1, out, sid_lines)
             out.append(f"{pad}}}")
         elif isinstance(s, UniformWhile):
             out.append(f"{pad}while-any ({_fmt_expr(s.cond)}) {{")
-            _dump_stmts(s.body, indent + 1, out)
+            _dump_stmts(s.body, indent + 1, out, sid_lines)
             out.append(f"{pad}}}")
-        elif isinstance(s, Sync):
-            out.append(f"{pad}__syncthreads();")
-        elif isinstance(s, Comment):
-            out.append(f"{pad}// {s.text}")
-        elif isinstance(s, AtomicUpdate):
-            out.append(
-                f"{pad}atomic {s.buf}[{_fmt_expr(s.index)}] "
-                f"{s.op}= {_fmt_expr(s.value)};"
-            )
-        elif isinstance(s, ShflDown):
-            out.append(f"{pad}{s.dst} = __shfl_down({s.src}, {s.delta});")
         else:
-            raise TypeError(f"unknown stmt {s!r}")
+            out.append(pad + _head_text(s))
 
 
-def dump(kernel: Kernel) -> str:
-    """Render a kernel as pseudo-CUDA text."""
+def _dump_header(kernel: Kernel) -> list[str]:
     out = [f"__global__ void {kernel.name}"
            f"({', '.join(kernel.params)}) // buffers: {', '.join(kernel.buffers)}"]
     for sa in kernel.shared:
@@ -414,6 +514,26 @@ def dump(kernel: Kernel) -> str:
     if kernel.note:
         out.append(f"  // {kernel.note}")
     out.append("{")
+    return out
+
+
+def dump(kernel: Kernel) -> str:
+    """Render a kernel as pseudo-CUDA text."""
+    out = _dump_header(kernel)
     _dump_stmts(kernel.body, 1, out)
     out.append("}")
     return "\n".join(out)
+
+
+def dump_with_sids(kernel: Kernel) -> tuple[list[str], dict[int, int]]:
+    """Render a kernel as pseudo-CUDA *lines* plus a sid → line-index map.
+
+    The map points each stamped statement at the 0-based index of its
+    first rendered line, so the attribution layer can attach per-line
+    gutters (``%time / transactions / conflicts``) to the listing.
+    """
+    out = _dump_header(kernel)
+    sid_lines: dict[int, int] = {}
+    _dump_stmts(kernel.body, 1, out, sid_lines)
+    out.append("}")
+    return out, sid_lines

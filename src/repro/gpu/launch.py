@@ -78,7 +78,8 @@ def launch(kernel: Kernel, gmem: GlobalMemory, *, grid_dim: int,
            profiler=None, faults=None,
            watchdog_budget: int | None = None,
            mode: str | None = None,
-           block_batch: int | None = None) -> LaunchReport:
+           block_batch: int | None = None,
+           attribution: bool = False) -> LaunchReport:
     """Compile ``kernel``, run it over the grid, and model its time.
 
     ``trace=True`` turns on per-access :class:`~repro.gpu.events.TraceEvent`
@@ -93,6 +94,10 @@ def launch(kernel: Kernel, gmem: GlobalMemory, *, grid_dim: int,
     per-launch loop-step budget.  ``mode`` / ``block_batch`` select the
     executor path (batched by default) and its block chunk size.
 
+    ``attribution=True`` additionally fills a per-statement
+    :class:`~repro.gpu.events.AttributionTable` on ``stats.attribution``
+    (see :mod:`repro.obs.attribution` for rendering).
+
     Compilation is served from a keyed cache (kernel identity × device),
     so iterative callers that re-launch the same kernel pay the closure
     compilation once; :func:`compile_cache_info` exposes hit/miss counts.
@@ -100,12 +105,14 @@ def launch(kernel: Kernel, gmem: GlobalMemory, *, grid_dim: int,
     ck = _compiled(kernel, device)
     stats = ck.run(gmem, grid_dim, block_dim, params=params, trace=trace,
                    faults=faults, watchdog_budget=watchdog_budget,
-                   mode=mode, block_batch=block_batch)
+                   mode=mode, block_batch=block_batch,
+                   attribution=attribution)
     timing = CostModel(device).kernel_time(stats)
     if profiler is not None:
         profiler.record_kernel(kernel.name, stats, timing,
                                grid_dim=grid_dim, block_dim=block_dim,
                                device=device,
                                executor=ck.effective_mode(mode, grid_dim,
-                                                          gmem, faults))
+                                                          gmem, faults),
+                               kernel=kernel)
     return LaunchReport(kernel=kernel, stats=stats, timing=timing)

@@ -459,7 +459,8 @@ class _SlotReuse:
 
 
 def finalize_segment_reuse(cache: dict, stats: KernelStats,
-                           transaction_bytes: int) -> None:
+                           transaction_bytes: int,
+                           attr=None, slot_sids: dict | None = None) -> None:
     """Apply the cross-block reuse correction at batched-launch end.
 
     The reference executor runs blocks in index order, so block ``b``'s
@@ -468,8 +469,14 @@ def finalize_segment_reuse(cache: dict, stats: KernelStats,
     executing blocks ``(p, b)``, segments of ``b``'s first execution that
     also appear in ``p``'s final execution were counted as DRAM eagerly
     but are L2 hits in the reference accounting.
+
+    ``attr`` (an :class:`~repro.gpu.events.AttributionTable`) with
+    ``slot_sids`` (slot → stamped statement sid) applies the same
+    correction to the owning statement's row — the correction is per
+    slot, and each slot belongs to exactly one statement, so the
+    per-statement tables stay bit-identical to the reference executor's.
     """
-    for st in cache.values():
+    for slot, st in cache.items():
         if not isinstance(st, _SlotReuse) or len(st.first) < 2:
             continue
         blocks = sorted(st.first)
@@ -484,6 +491,12 @@ def finalize_segment_reuse(cache: dict, stats: KernelStats,
             stats.global_transactions -= overlap
             stats.l2_transactions += overlap
             stats.dram_bytes -= overlap * transaction_bytes
+            if attr is not None:
+                row = attr.row(slot_sids.get(slot, -1)
+                               if slot_sids is not None else -1)
+                row.global_transactions -= overlap
+                row.l2_transactions += overlap
+                row.dram_bytes -= overlap * transaction_bytes
 
 
 class SharedMemory:

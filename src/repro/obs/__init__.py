@@ -15,21 +15,31 @@ Everything is opt-in: with no profiler attached, the run path does no
 extra work.
 """
 
+from repro.obs.attribution import (annotate_kernel, annotate_record,
+                                   attribution_rows, record_rows)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profiler import Profiler
 from repro.obs.record import KernelRecord
 from repro.obs.report import format_kernel_table, format_profile
-from repro.obs.trace import Span, TraceRecorder
+from repro.obs.roofline import Roofline, classify
+from repro.obs.trace import CounterSample, Span, TraceRecorder
 
 __all__ = [
     "Counter",
+    "CounterSample",
     "Gauge",
     "Histogram",
     "KernelRecord",
     "MetricsRegistry",
     "Profiler",
+    "Roofline",
     "Span",
     "TraceRecorder",
+    "annotate_kernel",
+    "annotate_record",
+    "attribution_rows",
+    "classify",
     "format_kernel_table",
     "format_profile",
+    "record_rows",
 ]

@@ -1,0 +1,127 @@
+"""Statement-level views of an attributed launch: annotated listings
+and machine-readable per-statement tables.
+
+Input is a kernel's IR plus :class:`~repro.gpu.events.KernelStats` whose
+``attribution`` table was filled at launch (``attribution=True``); the
+cost model apportions the launch's modeled time across statements
+(:meth:`~repro.gpu.costmodel.CostModel.stmt_times`), and the renderers
+here line the numbers up with the pseudo-CUDA listing:
+
+* :func:`annotate_kernel` — the listing with a per-line gutter
+  (``%time | global transactions | bank-conflict extra``), topped by the
+  roofline verdict and the launch-overhead share;
+* :func:`attribution_rows` — the same data as JSON-ready dicts, one per
+  statement, sorted hottest-first.
+
+Both accept either a bare ``(kernel, stats)`` pair or a profiler
+:class:`~repro.obs.record.KernelRecord` via the small wrappers at the
+bottom, so CLI and tests share one code path.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.costmodel import LAUNCH_SID, CostModel
+from repro.gpu.device import DeviceProperties
+from repro.gpu.events import KernelStats
+from repro.gpu.kernelir import Kernel, dump_with_sids, stmt_text, walk_stmts
+from repro.obs.roofline import classify, stmt_category
+
+__all__ = ["annotate_kernel", "annotate_record", "attribution_rows",
+           "record_rows"]
+
+_GUTTER_BLANK = " " * 24 + " | "
+
+
+def _require(stats: KernelStats) -> None:
+    if stats.attribution is None:
+        raise ValueError("stats has no attribution table; run with "
+                         "attribution=True")
+
+
+def annotate_kernel(kernel: Kernel, stats: KernelStats,
+                    device: DeviceProperties) -> str:
+    """The annotated pseudo-CUDA listing of one attributed launch.
+
+    Gutter columns per statement line: percent of modeled kernel time,
+    global transactions, bank-conflict extra accesses.  Non-statement
+    lines (braces, the signature) get an empty gutter.
+    """
+    _require(stats)
+    times = CostModel(device).stmt_times(stats)
+    roof = classify(stats, timing=CostModel(device).kernel_time(stats),
+                    device=device, kernel=kernel)
+    lines, sid_lines = dump_with_sids(kernel)
+    total = sum(times.values())
+
+    gutters = [_GUTTER_BLANK] * len(lines)
+    for sid, lineno in sid_lines.items():
+        row = stats.attribution.rows.get(sid)
+        us = times.get(sid, 0.0)
+        if row is None:  # never executed (e.g. a dead branch)
+            gutters[lineno] = f"{'-':>7} {'-':>8} {'-':>7} | "
+            continue
+        pct = 100.0 * us / total if total > 0 else 0.0
+        gutters[lineno] = (f"{pct:6.1f}% {row.global_transactions:>8}"
+                          f" {row.bank_conflict_extra:>7} | ")
+
+    head = [
+        f"// {kernel.name}: {roof.verdict}"
+        + (f" — dominant: {roof.dominant_text}" if roof.dominant_text
+           else ""),
+        f"// modeled {roof.total_us:.2f} us total; launch overhead "
+        f"{times.get(LAUNCH_SID, 0.0):.2f} us "
+        f"({100.0 * roof.launch_share:.1f}%)",
+        f"{'%time':>7} {'gtx':>8} {'confl':>7} |",
+    ]
+    return "\n".join(head + [(g + ln).rstrip()
+                             for g, ln in zip(gutters, lines)])
+
+
+def attribution_rows(kernel: Kernel | None, stats: KernelStats,
+                     device: DeviceProperties) -> list[dict]:
+    """JSON-ready per-statement rows, hottest first.
+
+    The launch overhead appears as a final pseudo-row with
+    ``sid == LAUNCH_SID``.  ``kernel`` may be ``None`` (no source text
+    available); rows then carry counters and times only.
+    """
+    _require(stats)
+    times = CostModel(device).stmt_times(stats)
+    total = sum(times.values())
+    texts = ({s.sid: (stmt_text(s), depth)
+              for s, depth in walk_stmts(kernel.body) if s.sid >= 0}
+             if kernel is not None else {})
+    out = []
+    for sid, us in times.items():
+        entry = {
+            "sid": sid,
+            "time_us": us,
+            "time_share": us / total if total > 0 else 0.0,
+        }
+        if sid == LAUNCH_SID:
+            entry["text"] = "<kernel launch overhead>"
+            entry["category"] = "launch"
+        else:
+            row = stats.attribution.rows[sid]
+            entry["category"] = stmt_category(row)
+            if sid in texts:
+                entry["text"], entry["depth"] = texts[sid]
+            entry["counters"] = row.as_dict()
+        out.append(entry)
+    out.sort(key=lambda e: (-e["time_us"], e["sid"]))
+    return out
+
+
+# -- KernelRecord convenience wrappers ---------------------------------
+
+def annotate_record(record) -> str:
+    """Annotated listing straight from a profiler record (needs the
+    record to carry the kernel IR — true for every ``acc`` launch)."""
+    if record.kernel is None:
+        raise ValueError(f"record {record.name!r} carries no kernel IR")
+    return annotate_kernel(record.kernel, record.stats, record.device)
+
+
+def record_rows(record) -> list[dict]:
+    """Per-statement JSON rows from a profiler record."""
+    return attribution_rows(record.kernel, record.stats, record.device)

@@ -58,19 +58,33 @@ class Profiler:
                       device: DeviceProperties,
                       compiler: str | None = None,
                       strategy: dict | None = None,
-                      executor: str = "batched") -> KernelRecord:
-        """Snapshot one kernel launch; returns the new record."""
+                      executor: str = "batched",
+                      kernel=None) -> KernelRecord:
+        """Snapshot one kernel launch; returns the new record.
+
+        ``kernel`` (the :class:`~repro.gpu.kernelir.Kernel` IR, when the
+        launch site has it) enables the per-statement views: annotated
+        listings and the roofline's dominant-statement naming."""
         rec = KernelRecord(
             name=name, stats=stats, timing=timing, grid_dim=grid_dim,
             block_dim=block_dim, device=device, compiler=compiler,
             strategy=dict(strategy or {}), launch_index=len(self.kernels),
-            executor=executor,
+            executor=executor, kernel=kernel,
         )
         self.kernels.append(rec)
         self.trace.add(name, "kernel", timing.total_us,
                        grid=grid_dim, block=list(block_dim),
                        gtx=stats.global_transactions,
                        barriers=stats.barriers)
+        if stats.attribution is not None:
+            rows = sorted(stats.attribution.rows.items())
+            self.trace.counter(
+                f"{name}.stmt_gtx",
+                {f"s{sid}": r.global_transactions for sid, r in rows})
+            self.trace.counter(
+                f"{name}.stmt_slots",
+                {f"s{sid}": r.warp_slots for sid, r in rows})
+            self.metrics.counter("profiler.attributed_launches").inc()
         m = self.metrics
         m.counter("profiler.kernel_launches").inc()
         m.counter("profiler.warp_inst_slots").inc(stats.warp_inst_slots)

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from repro.gpu.costmodel import TimeBreakdown
 from repro.gpu.device import DeviceProperties
 from repro.gpu.events import KernelStats
+from repro.gpu.kernelir import Kernel
 
 __all__ = ["KernelRecord"]
 
@@ -51,6 +52,7 @@ class KernelRecord:
     strategy: dict = field(default_factory=dict)  # lowering options used
     launch_index: int = 0  # position in the profiling session
     executor: str = "batched"  # executor mode that ran the launch
+    kernel: Kernel | None = None  # IR, when the launch site had it handy
 
     # -- derived metrics ---------------------------------------------------
 
@@ -109,7 +111,7 @@ class KernelRecord:
     def to_dict(self) -> dict:
         """JSON-ready snapshot (consumed by the bench profile sink)."""
         s, t = self.stats, self.timing
-        return {
+        out = {
             "kernel": self.name,
             "launch_index": self.launch_index,
             "compiler": self.compiler,
@@ -148,3 +150,14 @@ class KernelRecord:
                 "l2_hit_rate": self.l2_hit_rate,
             },
         }
+        if s.attribution is not None:
+            out["attribution"] = s.attribution.as_dict()
+            out["roofline"] = self.roofline().to_dict()
+        return out
+
+    def roofline(self):
+        """Classify this launch on the roofline (lazy import: the
+        classifier lives one layer up, in :mod:`repro.obs.roofline`)."""
+        from repro.obs.roofline import classify
+        return classify(self.stats, self.timing, self.device,
+                        kernel=self.kernel)

@@ -85,6 +85,20 @@ def _format_counters(records: list[KernelRecord]) -> str:
     return "\n".join(lines)
 
 
+def _first_attributed(records: list[KernelRecord]) -> list[KernelRecord]:
+    """One representative attributed record per kernel name (launch
+    order preserved) — repeats of iterative launches add no information
+    to the listing."""
+    seen: set[str] = set()
+    out = []
+    for r in records:
+        if (r.stats.attribution is not None and r.kernel is not None
+                and r.name not in seen):
+            seen.add(r.name)
+            out.append(r)
+    return out
+
+
 def format_profile(profiler: Profiler, ledger=None) -> str:
     """Full text report for one profiling session."""
     out: list[str] = []
@@ -104,6 +118,13 @@ def format_profile(profiler: Profiler, ledger=None) -> str:
                 format_kernel_table(profiler.kernels), ""]
         out += ["Per-launch counters:",
                 _format_counters(profiler.kernels), ""]
+        attributed = _first_attributed(profiler.kernels)
+        if attributed:
+            from repro.obs.attribution import annotate_record
+            out += ["Per-statement attribution "
+                    "(first attributed launch per kernel):", ""]
+            for rec in attributed:
+                out += [annotate_record(rec), ""]
     if ledger is not None:
         out += ["Timing ledger (modeled us, transfers + kernels):",
                 ledger.format_report(), ""]

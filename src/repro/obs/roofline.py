@@ -1,0 +1,168 @@
+"""Roofline-style bottleneck classification of one kernel launch.
+
+The paper's evaluation reasons about *why* a lowering strategy is slow:
+strided gang loads burn DRAM segments (memory-bound), shared-memory
+log-step trees pay barrier and bank-serialization cost (sync/shared-
+bound), device atomics serialize lane by lane (atomic-bound), and tiny
+finish kernels are all launch latency.  :func:`classify` turns one
+launch's counters and modeled :class:`~repro.gpu.costmodel.TimeBreakdown`
+into exactly that verdict.
+
+With a per-statement :class:`~repro.gpu.events.AttributionTable` on the
+stats (``attribution=True`` at launch), the verdict is computed from
+attributed statement times — which is what separates an atomic update
+from the surrounding loads sharing the same ``global_us`` bucket — and
+the dominant statement is named.  Without attribution the classifier
+falls back to the kernel-level component split (no atomic distinction,
+no dominant statement).
+
+The fixed kernel-launch overhead never competes for the verdict (it is a
+host-side constant, not a device roofline), but its share is reported so
+launch-dominated finish kernels are still visible as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.costmodel import LAUNCH_SID, CostModel, TimeBreakdown
+from repro.gpu.device import DeviceProperties
+from repro.gpu.events import KernelStats, StmtCounters
+from repro.gpu.kernelir import Kernel, stmt_text, walk_stmts
+
+__all__ = ["Roofline", "classify", "stmt_category"]
+
+#: verdict labels, in the order ties resolve (first wins)
+VERDICTS = ("memory-bound", "atomic-bound", "sync-bound", "shared-bound",
+            "latency-bound")
+
+#: attributed-time category → verdict label
+_CATEGORY_VERDICT = {
+    "memory": "memory-bound",
+    "atomic": "atomic-bound",
+    "sync": "sync-bound",
+    "shared": "shared-bound",
+    "compute": "latency-bound",
+}
+
+
+def stmt_category(row: StmtCounters) -> str:
+    """The cost category of one attribution row.
+
+    A row belongs to exactly one statement, so the categories cannot mix:
+    atomic updates are the only rows with serialization rounds, barriers
+    the only ones with arrivals, and so on down to pure-compute rows.
+    """
+    if row.atomic_rounds > 0:
+        return "atomic"
+    if row.barrier_arrivals > 0:
+        return "sync"
+    if row.shared_accesses > 0:
+        return "shared"
+    if row.global_transactions + row.l2_transactions > 0:
+        return "memory"
+    return "compute"
+
+
+@dataclass
+class Roofline:
+    """One launch's bottleneck verdict and the evidence behind it."""
+
+    verdict: str
+    total_us: float
+    launch_us: float
+    #: category → attributed µs (from statement rows when available,
+    #: else the kernel-level component split)
+    category_us: dict = field(default_factory=dict)
+    #: True when the DRAM bandwidth floor, not per-access latency,
+    #: bounds the busy time (forces ``memory-bound``)
+    bandwidth_limited: bool = False
+    dominant_sid: int | None = None
+    dominant_text: str | None = None
+    dominant_us: float | None = None
+
+    @property
+    def launch_share(self) -> float:
+        return self.launch_us / self.total_us if self.total_us > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "total_us": self.total_us,
+            "launch_us": self.launch_us,
+            "launch_share": self.launch_share,
+            "bandwidth_limited": self.bandwidth_limited,
+            "category_us": dict(self.category_us),
+            "dominant_sid": self.dominant_sid,
+            "dominant_text": self.dominant_text,
+            "dominant_us": self.dominant_us,
+        }
+
+
+def _sid_texts(kernel: Kernel | None) -> dict[int, str]:
+    if kernel is None:
+        return {}
+    return {s.sid: stmt_text(s) for s, _ in walk_stmts(kernel.body)
+            if s.sid >= 0}
+
+
+def classify(stats: KernelStats, timing: TimeBreakdown,
+             device: DeviceProperties,
+             kernel: Kernel | None = None) -> Roofline:
+    """Classify one launch on the roofline (see module docstring).
+
+    ``kernel`` (the IR) is only used to render the dominant statement's
+    text; the verdict is pure counters + timing.
+    """
+    busy = (timing.compute_us + timing.global_us + timing.shared_us
+            + timing.sync_us)
+    bandwidth_limited = timing.bandwidth_floor_us > busy > 0
+
+    if stats.attribution is None:
+        category_us = {
+            "compute": timing.compute_us,
+            "memory": timing.global_us,
+            "shared": timing.shared_us,
+            "sync": timing.sync_us,
+        }
+        dominant_sid = dominant_text = dominant_us = None
+    else:
+        times = CostModel(device).stmt_times(stats)
+        rows = stats.attribution.rows
+        category_us: dict[str, float] = {}
+        dominant_sid, dominant_us = None, 0.0
+        for sid, us in times.items():
+            if sid == LAUNCH_SID:
+                continue
+            cat = stmt_category(rows[sid])
+            category_us[cat] = category_us.get(cat, 0.0) + us
+            if dominant_sid is None or us > dominant_us:
+                dominant_sid, dominant_us = sid, us
+        dominant_text = _sid_texts(kernel).get(dominant_sid)
+        if dominant_sid is None:
+            dominant_us = None
+
+    if bandwidth_limited:
+        verdict = "memory-bound"
+    elif any(category_us.values()):
+        # sync and shared trees are two faces of the same machinery
+        # (the log-step reduction); they compete for dominance jointly
+        # and the larger face names the verdict
+        joint = dict(category_us)
+        tree = joint.pop("sync", 0.0) + joint.pop("shared", 0.0)
+        if tree >= max(joint.values(), default=0.0) and tree > 0:
+            verdict = ("sync-bound"
+                       if category_us.get("sync", 0.0)
+                       >= category_us.get("shared", 0.0)
+                       else "shared-bound")
+        else:
+            best = max(joint, key=joint.get)
+            verdict = _CATEGORY_VERDICT[best]
+    else:
+        verdict = "latency-bound"  # nothing executed: pure launch cost
+
+    return Roofline(verdict=verdict, total_us=timing.total_us,
+                    launch_us=timing.launch_us, category_us=category_us,
+                    bandwidth_limited=bandwidth_limited,
+                    dominant_sid=dominant_sid, dominant_text=dominant_text,
+                    dominant_us=dominant_us)

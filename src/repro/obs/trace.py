@@ -22,7 +22,7 @@ import json
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["Span", "TraceRecorder"]
+__all__ = ["CounterSample", "Span", "TraceRecorder"]
 
 #: track name → Chrome-trace tid
 TRACKS = {"device": 0, "host": 1}
@@ -53,10 +53,32 @@ class Span:
 
 
 @dataclass
+class CounterSample:
+    """One Chrome counter-event sample (``"ph": "C"``): a named track of
+    numeric series stacked by the viewer at a point in time."""
+
+    name: str
+    ts_us: float
+    values: dict
+    track: str = "device"
+
+    def to_chrome(self) -> dict:
+        return {
+            "name": self.name,
+            "ph": "C",
+            "ts": round(self.ts_us, 4),
+            "pid": 0,
+            "tid": TRACKS.get(self.track, len(TRACKS)),
+            "args": self.values,
+        }
+
+
+@dataclass
 class TraceRecorder:
     """Accumulates spans on per-track virtual timelines."""
 
     spans: list[Span] = field(default_factory=list)
+    counters: list[CounterSample] = field(default_factory=list)
     _clocks: dict[str, float] = field(default_factory=dict)
 
     def now(self, track: str = "device") -> float:
@@ -71,6 +93,18 @@ class TraceRecorder:
         self.spans.append(span)
         self._clocks[track] = start + float(dur_us)
         return span
+
+    def counter(self, name: str, values: dict,
+                track: str = "device") -> CounterSample:
+        """Sample a counter track at the track's current clock.
+
+        ``values`` maps series name → number; repeated samples under the
+        same ``name`` become a stacked counter track in trace viewers
+        (used for the per-statement attribution counters)."""
+        sample = CounterSample(name=name, ts_us=self._clocks.get(track, 0.0),
+                               values=dict(values), track=track)
+        self.counters.append(sample)
+        return sample
 
     @contextmanager
     def region(self, name: str, cat: str = "region",
@@ -95,6 +129,7 @@ class TraceRecorder:
             for track, tid in TRACKS.items()
         ]
         events.extend(s.to_chrome() for s in self.spans)
+        events.extend(c.to_chrome() for c in self.counters)
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     def to_json(self, indent: int | None = None) -> str:

@@ -90,7 +90,8 @@ def run_testsuite(compilers=DEFAULT_COMPILERS, positions=POSITIONS,
                   vector_length: int | None = None,
                   progress=None, profiler=None,
                   metrics=None, executor_mode: str | None = None,
-                  block_batch: int | None = None) -> TestsuiteReport:
+                  block_batch: int | None = None,
+                  attribution: bool = False) -> TestsuiteReport:
     """Run the grid; ``progress`` (if given) is called per finished case.
 
     ``profiler`` (a :class:`repro.obs.Profiler`) accumulates kernel
@@ -110,7 +111,7 @@ def run_testsuite(compilers=DEFAULT_COMPILERS, positions=POSITIONS,
                          num_workers=num_workers,
                          vector_length=vector_length, profiler=profiler,
                          executor_mode=executor_mode,
-                         block_batch=block_batch)
+                         block_batch=block_batch, attribution=attribution)
             report.results.append(r)
             if metrics is not None:
                 metrics.counter("testsuite.cases").inc()

@@ -54,7 +54,7 @@ def run_case(case: ReductionCase, compiler: str = "openuh", *,
              num_gangs: int | None = None, num_workers: int | None = None,
              vector_length: int | None = None, seed: int = 42,
              profiler=None, executor_mode: str | None = None,
-             block_batch: int | None = None,
+             block_batch: int | None = None, attribution: bool = False,
              **compile_overrides) -> CaseResult:
     """Compile and run one case; verify against the CPU reference.
 
@@ -63,7 +63,9 @@ def run_case(case: ReductionCase, compiler: str = "openuh", *,
     passes one profiler through every case to build a whole-run profile.
     ``executor_mode`` / ``block_batch`` select the simulator's executor
     path (see :meth:`repro.gpu.executor.CompiledKernel.run`); results are
-    identical either way, only wall-clock differs.
+    identical either way, only wall-clock differs.  ``attribution=True``
+    fills per-statement tables on every launch's stats (visible through
+    the profiler's kernel records).
     """
     name = compiler if isinstance(compiler, str) else compiler.name
     try:
@@ -77,7 +79,8 @@ def run_case(case: ReductionCase, compiler: str = "openuh", *,
     rng = np.random.default_rng(seed)
     inputs = case.make_inputs(rng)
     result = prog.run(profiler=profiler, executor_mode=executor_mode,
-                      block_batch=block_batch, **inputs)
+                      block_batch=block_batch, attribution=attribution,
+                      **inputs)
 
     for kind, varname, expected in case.expected(inputs):
         got = (result.scalars[varname] if kind == "scalar"

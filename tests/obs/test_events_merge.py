@@ -1,0 +1,114 @@
+"""Reflection-based merge contracts for the execution counters.
+
+``KernelStats.merge`` and ``StmtCounters.merge`` discover their counter
+fields by reflection, so a newly added counter cannot silently be
+dropped; these tests enforce the same property from the outside — they
+derive the expected behavior from ``dataclasses.fields`` too, so adding
+a field with the wrong merge semantics (summed config, dropped counter)
+fails here without the test needing to learn the field's name.
+"""
+
+from dataclasses import fields
+
+from repro.gpu.events import AttributionTable, KernelStats, StmtCounters
+
+
+def _filled(cls, start: int = 1):
+    """An instance with every int field set to a distinct non-zero value."""
+    obj = cls()
+    for i, f in enumerate(fields(cls), start=start):
+        if f.name in ("trace", "attribution"):
+            continue
+        setattr(obj, f.name, i)
+    return obj
+
+
+class TestKernelStatsMerge:
+    def test_every_counter_field_is_summed(self):
+        a, b = _filled(KernelStats, 1), _filled(KernelStats, 100)
+        expect = {
+            f.name: getattr(a, f.name)
+            + (getattr(b, f.name)
+               if f.name not in KernelStats.CONFIG_FIELDS else 0)
+            for f in fields(KernelStats)
+            if f.name not in ("trace", "attribution")
+        }
+        a.merge(b)
+        for name, want in expect.items():
+            assert getattr(a, name) == want, name
+
+    def test_config_fields_describe_not_count(self):
+        # blocks / threads_per_block / shared_bytes are launch shape, and
+        # merging per-block stats must not multiply them
+        a = KernelStats(blocks=4, threads_per_block=128, shared_bytes=512)
+        b = KernelStats(blocks=4, threads_per_block=128, shared_bytes=512,
+                        warp_inst_slots=7)
+        a.merge(b)
+        assert (a.blocks, a.threads_per_block, a.shared_bytes) == (4, 128,
+                                                                   512)
+        assert a.warp_inst_slots == 7
+
+    def test_config_fields_exist(self):
+        names = {f.name for f in fields(KernelStats)}
+        assert KernelStats.CONFIG_FIELDS <= names
+
+    def test_trace_extends_and_attribution_merges(self):
+        a, b = KernelStats(), KernelStats()
+        b.trace.append(object())
+        b.attribution = AttributionTable()
+        b.attribution.row(3).execs = 2
+        a.merge(b)
+        assert len(a.trace) == 1
+        assert a.attribution is not None
+        assert a.attribution.rows[3].execs == 2
+        # merging again accumulates instead of replacing
+        a.merge(b)
+        assert a.attribution.rows[3].execs == 4
+
+    def test_summary_names_every_counter_field(self):
+        # the one-line summary must not silently omit a counter: every
+        # non-structural field's value appears in the rendered text
+        st = _filled(KernelStats, 1000)
+        text = st.summary()
+        for f in fields(KernelStats):
+            if f.name in ("trace", "attribution"):
+                continue
+            assert str(getattr(st, f.name)) in text, f.name
+
+
+class TestStmtCountersMerge:
+    def test_every_field_is_summed(self):
+        a, b = _filled(StmtCounters, 1), _filled(StmtCounters, 50)
+        expect = {f.name: getattr(a, f.name) + getattr(b, f.name)
+                  for f in fields(StmtCounters)}
+        a.merge(b)
+        assert a.as_dict() == expect
+
+    def test_as_dict_covers_every_field(self):
+        assert set(StmtCounters().as_dict()) == {
+            f.name for f in fields(StmtCounters)}
+
+
+class TestAttributionTable:
+    def test_row_get_or_create(self):
+        t = AttributionTable()
+        r = t.row(5)
+        assert t.row(5) is r
+        assert set(t.rows) == {5}
+
+    def test_merge_unions_rows(self):
+        a, b = AttributionTable(), AttributionTable()
+        a.row(1).execs = 1
+        b.row(1).execs = 2
+        b.row(9).lanes = 3
+        a.merge(b)
+        assert a.rows[1].execs == 3
+        assert a.rows[9].lanes == 3
+
+    def test_equality_is_by_content(self):
+        a, b = AttributionTable(), AttributionTable()
+        a.row(2).execs = 1
+        b.row(2).execs = 1
+        assert a == b
+        b.row(2).execs = 2
+        assert a != b

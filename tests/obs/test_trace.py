@@ -2,7 +2,9 @@
 
 import json
 
-from repro.obs.trace import Span, TraceRecorder
+import numpy as np
+
+from repro.obs.trace import CounterSample, Span, TraceRecorder
 
 
 class TestRecorder:
@@ -39,9 +41,13 @@ class TestChromeExport:
         assert isinstance(doc["traceEvents"], list)
         xs = []
         for ev in doc["traceEvents"]:
-            assert ev["ph"] in ("X", "M")
+            assert ev["ph"] in ("X", "M", "C")
             assert isinstance(ev["pid"], int)
             assert isinstance(ev["tid"], int)
+            if ev["ph"] == "C":
+                assert isinstance(ev["name"], str) and ev["name"]
+                assert ev["ts"] >= 0
+                assert isinstance(ev["args"], dict)
             if ev["ph"] == "X":
                 assert isinstance(ev["name"], str) and ev["name"]
                 assert ev["ts"] >= 0 and ev["dur"] >= 0
@@ -71,3 +77,69 @@ class TestChromeExport:
     def test_span_round_trips_through_json(self):
         s = Span("n", "c", 1.25, 2.5, "device", {"k": 1})
         assert json.loads(json.dumps(s.to_chrome()))["dur"] == 2.5
+
+    def test_counter_samples_export_as_C_events(self):
+        tr = TraceRecorder()
+        tr.add("k", "kernel", 4.0)
+        c = tr.counter("k.stmt_gtx", {"s0": 12, "s3": 7})
+        assert isinstance(c, CounterSample)
+        assert c.ts_us == 4.0  # sampled at the track clock, after the span
+        doc = json.loads(tr.to_json())
+        self._validate(doc)
+        cs = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert len(cs) == 1
+        assert cs[0]["name"] == "k.stmt_gtx"
+        assert cs[0]["ts"] == 4.0
+        assert cs[0]["args"] == {"s0": 12, "s3": 7}
+
+
+class TestProfiledRunNesting:
+    """Span nesting of a real profiled run: the ``run`` region must
+    enclose its transfer and kernel children on the device track, and
+    compile phases must land on the host track."""
+
+    SRC = """float a[n];
+float total = 0.0;
+#pragma acc parallel copyin(a)
+#pragma acc loop gang worker vector reduction(+:total)
+for (i = 0; i < n; i++)
+    total += a[i];
+"""
+
+    def _profiled_doc(self):
+        from repro import acc, obs
+        prof = obs.Profiler()
+        prog = acc.compile(self.SRC, num_gangs=4, num_workers=2,
+                           vector_length=32, profiler=prof)
+        prog.run(profiler=prof,
+                 a=(np.arange(256) % 7).astype(np.float32))
+        return prof, json.loads(prof.to_json())
+
+    def test_run_region_encloses_transfer_and_kernel_spans(self):
+        prof, doc = self._profiled_doc()
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_cat = {}
+        for ev in xs:
+            by_cat.setdefault(ev["cat"], []).append(ev)
+        assert by_cat["run"], "no run region recorded"
+        run = by_cat["run"][0]
+        for cat in ("transfer", "kernel"):
+            assert by_cat[cat], f"no {cat} spans recorded"
+            for child in by_cat[cat]:
+                assert child["tid"] == run["tid"]
+                assert run["ts"] <= child["ts"]
+                assert (child["ts"] + child["dur"]
+                        <= run["ts"] + run["dur"] + 1e-6), child["name"]
+
+    def test_compile_phases_nest_on_host_track(self):
+        prof, doc = self._profiled_doc()
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        hosts = [e for e in xs if e["cat"] == "compile"]
+        devices = [e for e in xs if e["cat"] in ("kernel", "transfer")]
+        assert hosts and devices
+        assert {e["tid"] for e in hosts}.isdisjoint(
+            {e["tid"] for e in devices})
+        # host spans also lay out back-to-back (non-overlapping)
+        hosts.sort(key=lambda e: e["ts"])
+        for a, b in zip(hosts, hosts[1:]):
+            assert a["ts"] + a["dur"] <= b["ts"] + 1e-6
