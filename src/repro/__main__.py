@@ -2,9 +2,16 @@
 
 Usage examples::
 
-    # inspect the compilation pipeline of an OpenACC source file
+    # inspect the compilation pipeline of an OpenACC source file;
+    # --dump-ir prints each pass's before/after IR listings
     python -m repro compile examples/programs/vecsum.c --dump-ir \\
         --dump-plan --dump-kernels
+
+    # per-pass timing/notes and the autotuner's cost-model decisions;
+    # --ir adds before/after diffs for every pass that changed the IR
+    python -m repro explain examples/programs/vecsum.c
+    python -m repro explain examples/programs/vecsum.c --ir \\
+        --pipeline optimized
 
     # compile and run, synthesizing input data
     python -m repro run examples/programs/vecsum.c \\
@@ -78,42 +85,120 @@ def _parse_array_spec(spec: str) -> tuple[str, np.ndarray]:
     return name, arr.reshape(shape)
 
 
-def _cmd_compile(args) -> int:
-    source = open(args.file).read()
-    from repro.frontend.cparser import parse_region
-    from repro.ir.builder import build_region
-    from repro.ir.analysis import analyze_region
-    from repro.ir.autopar import auto_parallelize
-    from repro.ir.pprint import format_plan, format_region
-    from repro.acc.launchconfig import resolve_geometry
-    from repro.acc.profiles import get_profile
+def _render_pass_table(prog) -> str:
+    """One line per pass: changed-marker, name, kind, wall time, note."""
+    lines = [f"pipeline {prog.pipeline!r}"]
+    for rec in prog.pass_records:
+        mark = "*" if rec.changed else " "
+        note = f"  {rec.note}" if rec.note else ""
+        lines.append(f"  {mark} {rec.name:<18} {rec.kind:<9} "
+                     f"{rec.wall_ms:7.2f} ms{note}")
+    if any(r.changed for r in prog.pass_records):
+        lines.append("  (* = pass changed the IR listing)")
+    return "\n".join(lines)
 
-    profile = get_profile(args.compiler)
-    region = build_region(parse_region(source))
-    if region.kind == "kernels":
-        region = auto_parallelize(region)
-    geom = resolve_geometry(region.num_gangs, region.num_workers,
-                            region.vector_length, args.num_gangs,
-                            args.num_workers, args.vector_length)
-    if args.dump_ir:
-        print(format_region(region))
-        print()
-    plan = analyze_region(region, num_workers=geom.num_workers,
-                          vector_length=geom.vector_length,
-                          infer_span=profile.infers_span)
-    if args.dump_plan:
-        print(format_plan(plan))
-        print()
-    prog = acc.compile(source, compiler=args.compiler,
+
+def _render_pass_ir(prog) -> str:
+    """Before/after listings for every pass that changed the IR.
+
+    A listing a pass introduces (the region after build-ir, the kernels
+    after lowering) prints in full; a listing a pass rewrote prints as a
+    unified diff so barrier elimination or fusion reads at a glance.
+    """
+    import difflib
+    out = []
+    for rec in prog.pass_records:
+        if not rec.changed:
+            continue
+        out.append(f"== pass {rec.name} " + "=" * max(1, 56 - len(rec.name)))
+        for nm in sorted(set(rec.before) | set(rec.after)):
+            before, after = rec.before.get(nm), rec.after.get(nm)
+            if before == after:
+                continue
+            if before is None:
+                out.append(f"-- {nm} (new)")
+                out.append(after.rstrip())
+            elif after is None:
+                out.append(f"-- {nm} (removed)")
+            else:
+                out.append("\n".join(difflib.unified_diff(
+                    before.splitlines(), after.splitlines(),
+                    fromfile=f"{nm} before {rec.name}",
+                    tofile=f"{nm} after {rec.name}", lineterm="")))
+        out.append("")
+    return "\n".join(out).rstrip()
+
+
+def _render_autotune(prog) -> str:
+    if not prog.autotune:
+        return ("autotune: no decisions (pass not in this pipeline, or no "
+                "tunable reductions)")
+    lines = ["autotune decisions:"]
+    for var, rec in sorted(prog.autotune.items()):
+        if "skipped" in rec:
+            lines.append(f"  {var}: skipped -- {rec['skipped']}")
+            continue
+        for fld, dec in sorted(rec.items()):
+            est = ", ".join(f"{c}={us:.3f}us" for c, us
+                            in dec["estimates_us"].items())
+            tag = ("" if dec["choice"] == dec["default"]
+                   else f"  (profile default: {dec['default']})")
+            lines.append(f"  {var}.{fld} = {dec['choice']}{tag}")
+            lines.append(f"    modeled: {est}")
+    return "\n".join(lines)
+
+
+def _compile_from_args(args, *, capture_ir=False, profiler=None):
+    source = open(args.file).read()
+    return acc.compile(source, compiler=args.compiler,
                        num_gangs=args.num_gangs,
                        num_workers=args.num_workers,
-                       vector_length=args.vector_length)
-    print(f"compiled with profile {profile.name!r}: "
+                       vector_length=args.vector_length,
+                       pipeline=args.pipeline, capture_ir=capture_ir,
+                       profiler=profiler)
+
+
+def _cmd_compile(args) -> int:
+    from repro.ir.pprint import format_plan
+
+    prog = _compile_from_args(args, capture_ir=args.dump_ir)
+    geom = prog.lowered.geometry
+    if args.dump_ir:
+        print(_render_pass_table(prog))
+        dumps = _render_pass_ir(prog)
+        if dumps:
+            print()
+            print(dumps)
+        print()
+    if args.dump_plan:
+        print(format_plan(prog.lowered.plan))
+        print()
+    print(f"compiled with profile {prog.profile.name!r} "
+          f"(pipeline {prog.pipeline!r}): "
           f"{len(prog.lowered.kernels)} kernel(s), geometry "
           f"{geom.num_gangs}x{geom.num_workers}x{geom.vector_length}")
     if args.dump_kernels:
         print()
         print(prog.dump_kernels())
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    prog = _compile_from_args(args, capture_ir=True)
+    geom = prog.lowered.geometry
+    print(f"profile {prog.profile.name!r}, geometry "
+          f"{geom.num_gangs}x{geom.num_workers}x{geom.vector_length}, "
+          f"{len(prog.lowered.kernels)} kernel(s): "
+          f"{', '.join(k.name for k in prog.lowered.kernels)}")
+    print()
+    print(_render_pass_table(prog))
+    print()
+    print(_render_autotune(prog))
+    if args.ir:
+        dumps = _render_pass_ir(prog)
+        if dumps:
+            print()
+            print(dumps)
     return 0
 
 
@@ -129,16 +214,11 @@ def _parse_run_inputs(args) -> dict:
 
 
 def _cmd_run(args) -> int:
-    source = open(args.file).read()
     profiler = None
     if args.profile:
         from repro.obs import Profiler
         profiler = Profiler()
-    prog = acc.compile(source, compiler=args.compiler,
-                       num_gangs=args.num_gangs,
-                       num_workers=args.num_workers,
-                       vector_length=args.vector_length,
-                       profiler=profiler)
+    prog = _compile_from_args(args, profiler=profiler)
     kwargs = _parse_run_inputs(args)
     res = prog.run(profiler=profiler, **kwargs)
     for name, value in res.scalars.items():
@@ -165,13 +245,8 @@ def _cmd_profile(args) -> int:
     from repro.obs import Profiler
     from repro.obs.report import format_profile
 
-    source = open(args.file).read()
     profiler = Profiler()
-    prog = acc.compile(source, compiler=args.compiler,
-                       num_gangs=args.num_gangs,
-                       num_workers=args.num_workers,
-                       vector_length=args.vector_length,
-                       profiler=profiler)
+    prog = _compile_from_args(args, profiler=profiler)
     kwargs = _parse_run_inputs(args)
     synthesize_inputs(prog, kwargs, args.size)
     res = None
@@ -198,12 +273,8 @@ def _cmd_annotate(args) -> int:
     from repro.obs import Profiler, annotate_record, record_rows
     from repro.obs.report import _first_attributed
 
-    source = open(args.file).read()
     profiler = Profiler()
-    prog = acc.compile(source, compiler=args.compiler,
-                       num_gangs=args.num_gangs,
-                       num_workers=args.num_workers,
-                       vector_length=args.vector_length)
+    prog = _compile_from_args(args)
     kwargs = _parse_run_inputs(args)
     synthesize_inputs(prog, kwargs, args.size)
     prog.run(profiler=profiler, attribution=True, **kwargs)
@@ -246,7 +317,8 @@ def _cmd_faultcheck(args) -> int:
                           num_workers=num_workers,
                           vector_length=vector_length, detect=detect,
                           size=args.size,
-                          watchdog_budget=args.watchdog_budget)
+                          watchdog_budget=args.watchdog_budget,
+                          pipeline=args.pipeline)
     if args.json:
         import json
         doc = json.dumps(result.to_dict(), indent=2)
@@ -283,6 +355,10 @@ def main(argv=None) -> int:
         p.add_argument("--num-gangs", type=int, default=None)
         p.add_argument("--num-workers", type=int, default=None)
         p.add_argument("--vector-length", type=int, default=None)
+        p.add_argument("--pipeline", default=None, metavar="NAME",
+                       help="pass pipeline: 'minimal', 'optimized', or a "
+                            "comma list of optimization passes (default: "
+                            "REPRO_PASSES env, then the profile's choice)")
         # default=SUPPRESS so a subcommand without --debug does not
         # clobber a top-level `python -m repro --debug <cmd>`
         p.add_argument("--debug", action="store_true",
@@ -290,9 +366,19 @@ def main(argv=None) -> int:
 
     pc = sub.add_parser("compile", help="compile and inspect")
     add_common(pc)
-    pc.add_argument("--dump-ir", action="store_true")
+    pc.add_argument("--dump-ir", action="store_true",
+                    help="print the pass table and before/after IR for "
+                         "every pass that changed it")
     pc.add_argument("--dump-plan", action="store_true")
     pc.add_argument("--dump-kernels", action="store_true")
+
+    pe = sub.add_parser(
+        "explain",
+        help="show the pass pipeline: per-pass timing/notes and the "
+             "autotuner's cost-model strategy decisions")
+    add_common(pe)
+    pe.add_argument("--ir", action="store_true",
+                    help="also print before/after IR diffs per pass")
 
     pr = sub.add_parser("run", help="compile and execute")
     add_common(pr)
@@ -370,6 +456,10 @@ def main(argv=None) -> int:
             if extra:
                 ap.error(f"unrecognized arguments: {' '.join(extra)}")
             return _cmd_compile(args)
+        if args.cmd == "explain":
+            if extra:
+                ap.error(f"unrecognized arguments: {' '.join(extra)}")
+            return _cmd_explain(args)
         if args.cmd == "run":
             if extra:
                 ap.error(f"unrecognized arguments: {' '.join(extra)}")

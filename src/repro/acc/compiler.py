@@ -17,18 +17,14 @@ import numpy as np
 
 from repro.errors import (
     DegradedExecutionError, SilentCorruptionError, SimulationError,
-    TransientFaultError, UnsupportedReductionError, WatchdogTimeoutError,
+    TransientFaultError, WatchdogTimeoutError,
 )
-from repro.frontend.cparser import parse_region
 from repro.gpu.costmodel import CostModel, TimingLedger
 from repro.gpu.device import DeviceProperties, K20C
 from repro.gpu.events import KernelStats
 from repro.gpu.executor import CompiledKernel
 from repro.gpu.kernelir import dump as dump_kernel
-from repro.ir.analysis import analyze_region
-from repro.ir.builder import build_region
 from repro.codegen.lowering import LoweredProgram, lower_region
-from repro.acc.launchconfig import resolve_geometry
 from repro.acc.profiles import CompilerProfile, get_profile
 
 __all__ = ["compile", "Program", "RunResult", "FALLBACK_CHAIN"]
@@ -103,11 +99,20 @@ class Program:
     """A compiled OpenACC region, runnable on the simulated device."""
 
     def __init__(self, lowered: LoweredProgram, profile: CompilerProfile,
-                 device: DeviceProperties):
+                 device: DeviceProperties, *, pipeline: str = "",
+                 autotune: dict | None = None, pass_records=None):
         self.lowered = lowered
         self.profile = profile
         self.device = device
         self.region = lowered.plan.region
+        #: name of the pass pipeline that produced the kernels ("" for
+        #: direct lower_region callers, e.g. the fallback chain)
+        self.pipeline = pipeline
+        #: per-variable autotune decisions/estimates (optimized pipeline)
+        self.autotune = dict(autotune or {})
+        #: PassRecord list from the pass manager (``capture_ir=True``
+        #: compiles carry before/after listings for explain/--dump-ir)
+        self.pass_records = list(pass_records or [])
         self._cost = CostModel(device)
         self._compiled = {k.name: CompiledKernel(k, device)
                           for k in lowered.kernels}
@@ -128,12 +133,27 @@ class Program:
             "gang_partial_style": o.gang_partial_style,
             "elide_warp_sync": o.elide_warp_sync,
         }
+        if pipeline:
+            self._strategy["pipeline"] = pipeline
+        autotuned = {var: {fld: dec["choice"] for fld, dec in rec.items()
+                          if isinstance(dec, dict) and "choice" in dec}
+                     for var, rec in self.autotune.items()}
+        autotuned = {var: c for var, c in autotuned.items() if c}
+        if autotuned:
+            self._strategy["autotune"] = autotuned
 
     # -- introspection -------------------------------------------------
 
     @property
     def geometry(self):
         return self.lowered.geometry
+
+    @property
+    def strategy(self) -> dict:
+        """The lowering-strategy fingerprint the profiler attaches to
+        every kernel record (includes ``pipeline`` and per-variable
+        ``autotune`` choices when the pass pipeline recorded them)."""
+        return dict(self._strategy)
 
     def dump_kernels(self) -> str:
         """Pseudo-CUDA text of every generated kernel (for inspection)."""
@@ -601,48 +621,42 @@ def compile(source: str, *, compiler: str | CompilerProfile = "openuh",
             vector_length: int | None = None,
             device: DeviceProperties = K20C,
             array_dtypes: dict[str, str] | None = None,
-            profiler=None, **option_overrides) -> Program:
+            profiler=None, pipeline=None, capture_ir: bool = False,
+            **option_overrides) -> Program:
     """Compile an OpenACC source fragment for the simulated device.
 
     ``compiler`` selects a profile (``openuh``, ``vendor-a``, ``vendor-b``);
     extra keyword arguments override individual
     :class:`~repro.codegen.lowering.LoweringOptions` fields (used by the
-    ablation benchmarks, e.g. ``scheduling="blocking"``).  ``profiler`` (a
-    :class:`repro.obs.Profiler`) records one wall-time span per pipeline
-    phase on the host trace track.
+    ablation benchmarks, e.g. ``scheduling="blocking"``) — the autotune
+    pass never second-guesses an explicitly overridden field.
+
+    ``pipeline`` selects the pass pipeline (a name like ``"minimal"`` /
+    ``"optimized"``, a comma list of optional passes, or a
+    :class:`~repro.passes.PipelineSpec`); when ``None`` it resolves from
+    the ``REPRO_PASSES`` environment variable, then the profile (see
+    :func:`repro.passes.resolve_pipeline`).  ``capture_ir=True`` keeps
+    before/after IR listings on each pass record (``Program.pass_records``
+    — the data behind ``repro explain`` and ``compile --dump-ir``).
+
+    ``profiler`` (a :class:`repro.obs.Profiler`) records one wall-time
+    span per pass on the host trace track.
     """
-    def _phase(name: str):
-        return (profiler.phase(name) if profiler is not None
-                else nullcontext())
+    from repro.passes import CompileState, PassManager, resolve_pipeline
 
     profile = get_profile(compiler)
-    with _phase("parse"):
-        cregion = parse_region(source)
-    with _phase("build-ir"):
-        region = build_region(cregion, array_dtypes=array_dtypes)
-        if region.kind == "kernels":
-            # §2.1: the kernels construct leaves scheduling to the compiler
-            from repro.ir.autopar import auto_parallelize
-            region = auto_parallelize(region)
-    geom = resolve_geometry(region.num_gangs, region.num_workers,
-                            region.vector_length, num_gangs, num_workers,
-                            vector_length, device)
-    with _phase("analyze"):
-        plan = analyze_region(region, num_workers=geom.num_workers,
-                              vector_length=geom.vector_length,
-                              infer_span=profile.infers_span)
-
-        for info in plan.all_reductions:
-            reason = profile.unsupported(info.span, info.same_line,
-                                         info.op.token, info.dtype)
-            if reason:
-                raise UnsupportedReductionError(
-                    f"{profile.name}: {reason} (variable {info.var!r})")
-
     opts = profile.lowering
     if option_overrides:
         opts = replace(opts, **option_overrides)
-    with _phase("lower"):
-        lowered = lower_region(plan, geom, opts)
-    with _phase("compile-kernels"):
-        return Program(lowered, profile, device)
+    spec = resolve_pipeline(pipeline, profile)
+    state = CompileState(
+        source=source, profile=profile, device=device, options=opts,
+        array_dtypes=array_dtypes, num_gangs=num_gangs,
+        num_workers=num_workers, vector_length=vector_length,
+        pinned_options=frozenset(option_overrides))
+    PassManager(spec, capture_ir=capture_ir).run(state, profiler=profiler)
+    with (profiler.phase("compile-kernels") if profiler is not None
+          else nullcontext()):
+        return Program(state.lowered, profile, device,
+                       pipeline=state.pipeline, autotune=state.autotune,
+                       pass_records=state.records)

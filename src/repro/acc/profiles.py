@@ -43,6 +43,12 @@ class CompilerProfile:
     #: device and reused as the next run's initial value, ignoring host
     #: updates (reproduces the heat-equation non-convergence)
     stale_scalar_cache: bool = False
+    #: default pass pipeline (see :mod:`repro.passes`): the defect-model
+    #: vendor profiles pin ``minimal`` — running kernel-IR optimizations
+    #: over deliberately wrong lowerings would be unfaithful to the
+    #: baselines they reproduce.  Overridable per compile via the
+    #: ``pipeline=`` argument or the ``REPRO_PASSES`` environment variable.
+    pipeline: str = "optimized"
 
     def infers_span(self, op_token: str) -> bool:
         return self.infer_span_ops is None or op_token in self.infer_span_ops
@@ -78,6 +84,7 @@ VENDOR_A = CompilerProfile(
     ),
     infer_span_ops=frozenset({"*", "max", "min", "&", "|", "^", "&&", "||"}),
     stale_scalar_cache=True,
+    pipeline="minimal",
 )
 
 
@@ -115,6 +122,7 @@ VENDOR_B = CompilerProfile(
         zero_init_partials=True,
     ),
     unsupported=_vendor_b_unsupported,
+    pipeline="minimal",
 )
 
 

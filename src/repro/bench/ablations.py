@@ -54,6 +54,11 @@ class AblationRow:
 
 def _measure(case, *, geom=None, **overrides) -> tuple[float, dict]:
     geom = geom or {}
+    # each ablation isolates ONE lowering choice, so the paper-shape
+    # minimal pipeline is the default here — otherwise the optimizer
+    # (e.g. finish-kernel fusion) would blur the comparison.  The
+    # pipeline itself is ablation A10, which overrides this.
+    overrides.setdefault("pipeline", "minimal")
     prog = acc.compile(case.source, **geom, **overrides)
     rng = np.random.default_rng(42)
     inputs = case.make_inputs(rng)
@@ -170,6 +175,20 @@ def a9_shuffle(size=16384) -> list[AblationRow]:
     ])
 
 
+def a10_pass_pipeline(size=1 << 20) -> list[AblationRow]:
+    """Extension: the kernel-IR optimization pipeline (finish-kernel
+    fusion, barrier elimination, constant folding) vs the paper-shape
+    minimal lowering.  Float '+' keeps the cost-model autotuner out of
+    the comparison (inexact combine, so it declines to retune), leaving
+    exactly the bit-identity-preserving kernel-IR passes."""
+    case = make_case("same line gang worker vector", "+", "float", size=size)
+    return _rows("A10", case, [
+        ("minimal pipeline (paper shape)", dict(pipeline="minimal")),
+        ("optimized pipeline (kernel-IR passes)",
+         dict(pipeline="optimized")),
+    ])
+
+
 ABLATIONS = {
     "A1": (a1_vector_layouts, "vector layout: row vs transposed"),
     "A2": (a2_worker_strategies, "worker strategy: first-row vs duplicated"),
@@ -180,11 +199,12 @@ ABLATIONS = {
     "A7": (a7_memory_space, "reduction staging: shared vs global"),
     "A8": (a8_gang_handoff, "gang handoff: finish kernel vs atomics"),
     "A9": (a9_shuffle, "block combine: log-step vs warp shuffles"),
+    "A10": (a10_pass_pipeline, "pass pipeline: minimal vs optimized"),
 }
 
 _QUICK_SIZES = {"A1": 2048, "A2": 2048, "A3": 1 << 18, "A4": 2048,
                 "A5": 1 << 16, "A6": 2048, "A7": 1 << 16, "A8": 1 << 16,
-                "A9": 2048}
+                "A9": 2048, "A10": 1 << 16}
 
 
 def run_ablation(name: str, quick: bool = False) -> list[AblationRow]:

@@ -145,6 +145,59 @@ def _attribution_guard() -> dict:
     }
 
 
+def _passes_guard() -> dict:
+    """Pass-pipeline gate: minimal vs optimized on Table 2 configurations.
+
+    Gang-involved float ``+`` cases under the buffer handoff, so the
+    optimized pipeline has a finish kernel to fuse; float keeps the
+    cost-model autotuner out (inexact combine — it declines to retune),
+    leaving finish-kernel fusion + barrier elimination + constant
+    folding, which are bit-identity-preserving by construction.  The
+    ``--check`` gate requires bitwise-identical scalars per config and a
+    >=5% modeled-time win on at least two configs (no baseline needed —
+    these are properties of the current build).
+    """
+    from repro import acc
+    from repro.testsuite.cases import generate_cases, make_case
+
+    paper_geom = dict(num_gangs=192, num_workers=8, vector_length=128)
+    configs = [(case.label, case, paper_geom) for case in generate_cases(
+        positions=("gang", "gang worker", "gang worker vector",
+                   "same line gang worker vector"),
+        ops=("+",), ctypes=("float",), size=4096)]
+    # one warp-sized-block geometry: every __syncthreads is redundant
+    # there, so this row isolates the barrier-elimination win
+    configs.append((
+        "same-line gwv float + (24x1x32, warp-sized blocks)",
+        make_case("same line gang worker vector", "+", "float", size=4096),
+        dict(num_gangs=24, num_workers=1, vector_length=32)))
+
+    rows = []
+    for label, case, geom in configs:
+        inputs = case.make_inputs(np.random.default_rng(7))
+        runs = {}
+        for pipe in ("minimal", "optimized"):
+            prog = acc.compile(case.source, pipeline=pipe, **geom)
+            runs[pipe] = prog.run(**inputs)
+        bits = {pipe: {name: np.asarray(val).tobytes().hex()
+                       for name, val in r.scalars.items()}
+                for pipe, r in runs.items()}
+        ms_min = runs["minimal"].kernel_ms
+        ms_opt = runs["optimized"].kernel_ms
+        rows.append({
+            "config": label,
+            "bitwise_identical": bits["minimal"] == bits["optimized"],
+            "minimal_ms": round(ms_min, 9),
+            "optimized_ms": round(ms_opt, 9),
+            "improvement": round((ms_min - ms_opt) / ms_min, 4),
+        })
+    return {
+        "configs": rows,
+        "all_identical": all(r["bitwise_identical"] for r in rows),
+        "improved_5pct": sum(1 for r in rows if r["improvement"] >= 0.05),
+    }
+
+
 def run_smoke(reps: int = 2) -> dict:
     """Both workloads, both modes; returns the baseline document."""
     return {
@@ -155,6 +208,7 @@ def run_smoke(reps: int = 2) -> dict:
             "reduction_64gang": _gang64_workload(reps),
         },
         "attribution_guard": _attribution_guard(),
+        "pass_pipeline": _passes_guard(),
     }
 
 
@@ -167,6 +221,19 @@ def check_against_baseline(current: dict, baseline: dict,
             failures.append(f"attribution_guard: {check} violated — "
                             "per-statement attribution must be opt-in "
                             "and a pure observer")
+    pp = current.get("pass_pipeline")
+    if pp is not None:
+        for row in pp["configs"]:
+            if not row["bitwise_identical"]:
+                failures.append(
+                    f"pass_pipeline: {row['config']}: optimized pipeline "
+                    "changed results bitwise vs minimal — the kernel-IR "
+                    "passes must be identity-preserving")
+        if pp["improved_5pct"] < 2:
+            failures.append(
+                f"pass_pipeline: only {pp['improved_5pct']} config(s) "
+                "improved modeled time by >=5% over the minimal pipeline "
+                "(need 2) — fusion/barrier-elimination wins regressed")
     for name, cur in current["workloads"].items():
         if not cur["modeled_identical"]:
             failures.append(
@@ -206,6 +273,13 @@ def main(argv=None) -> int:
               f"speedup {w['speedup']:.2f}x  "
               f"modeled-identical={w['modeled_identical']}",
               file=sys.stderr)
+    pp = doc["pass_pipeline"]
+    for row in pp["configs"]:
+        print(f"  passes {row['config']:<42} "
+              f"minimal {row['minimal_ms']:8.4f} ms  "
+              f"optimized {row['optimized_ms']:8.4f} ms  "
+              f"({row['improvement']:+.1%})  "
+              f"bit-identical={row['bitwise_identical']}", file=sys.stderr)
 
     if args.out:
         with open(args.out, "w") as f:

@@ -34,9 +34,12 @@ from repro.ir.analysis import RegionPlan, ReductionInfo
 from repro.codegen.mapping import LaunchGeometry, distribution
 from repro.codegen.reduction.logstep import logstep_reduce
 from repro.codegen.reduction.operators import ReductionOperator
+from repro.codegen.reduction.treeutil import cross_warp_handoff, is_pow2, \
+    shuffle_deltas
 
 __all__ = ["LoweringOptions", "LoweredProgram", "GangReductionSpec",
-           "ScratchBuffer", "lower_region"]
+           "ScratchBuffer", "StrategySelector", "PlannedStrategy",
+           "lower_region"]
 
 
 @dataclass(frozen=True)
@@ -149,13 +152,43 @@ def _conj(*exprs: K.Expr | None) -> K.Expr | None:
     return out
 
 
+class StrategySelector:
+    """Per-reduction strategy override hook.
+
+    The lowering consults the selector at each strategy decision point:
+    ``choose(field, var)`` may return a replacement value for one
+    strategy field (``"vector_strategy"`` or ``"gang_partial_style"``)
+    applied to the reduction of variable ``var``, or ``None`` to keep
+    the :class:`LoweringOptions` default.  The cost-model autotune pass
+    drives the lowering through this interface; the base class is the
+    identity selector.
+    """
+
+    def choose(self, field: str, var: str) -> str | None:
+        return None
+
+
+class PlannedStrategy(StrategySelector):
+    """Selector backed by a pre-computed ``{(field, var): value}`` plan."""
+
+    def __init__(self, choices: dict[tuple[str, str], str]):
+        self.choices = dict(choices)
+
+    def choose(self, field: str, var: str) -> str | None:
+        return self.choices.get((field, var))
+
+
 class _Lowerer:
     def __init__(self, plan: RegionPlan, geom: LaunchGeometry,
-                 opts: LoweringOptions):
+                 opts: LoweringOptions, *,
+                 selector: StrategySelector | None = None,
+                 stamp: bool = True):
         self.plan = plan
         self.region = plan.region
         self.geom = geom
         self.opts = opts
+        self.selector = selector
+        self.stamp = stamp
         self.uid = itertools.count()
         self.active: K.Expr | None = None
         self.dist: set[str] = set()
@@ -183,8 +216,9 @@ class _Lowerer:
         )
         # sid stamping keeps ids stable through the compile cache and the
         # executors (sid/loc are compare-excluded, so stamped and
-        # unstamped kernels stay structurally identical)
-        kernel = K.stamp_sids(K.Kernel(
+        # unstamped kernels stay structurally identical); with
+        # ``stamp=False`` the pass pipeline owns stamping as a final pass
+        kernel = self._stamp(K.Kernel(
             name="acc_region_main",
             body=tuple(body),
             params=tuple(s.name for s in self.region.scalars),
@@ -206,6 +240,17 @@ class _Lowerer:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+
+    def _stamp(self, kernel: K.Kernel) -> K.Kernel:
+        return K.stamp_sids(kernel) if self.stamp else kernel
+
+    def _select(self, field: str, var: str) -> str:
+        """Resolve a strategy field, giving the selector first say."""
+        if self.selector is not None:
+            choice = self.selector.choose(field, var)
+            if choice is not None:
+                return choice
+        return getattr(self.opts, field)
 
     def _shared_name(self, dtype: DType) -> str:
         return f"_sred_{dtype.value}"
@@ -663,12 +708,10 @@ class _Lowerer:
         group holds the group's combined value (register traffic only)."""
         t = self._tmp("shfl")
         stmts: list[K.Stmt] = []
-        d = min(width, 32) // 2
-        while d >= 1:
+        for d in shuffle_deltas(width):
             stmts.append(K.ShflDown(t, var, d))
             stmts.append(K.Assign(var, op.combine(K.Reg(var), K.Reg(t),
                                                   dtype)))
-            d //= 2
         return stmts
 
     def _reduce_vector_level_shuffle(self, var: str, op: ReductionOperator,
@@ -684,35 +727,10 @@ class _Lowerer:
         out += self._shuffle_warp_tree(var, op, dtype, bdx)
         res = self._tmp("sres")
         nw = max(1, bdx // 32)
-        if nw > 1:
-            arr = self._need_shared(dtype, bdy * nw)
-            out += [
-                K.If(K.Bin("==", K.Bin("%", tx, K.const_int(32)),
-                           K.const_int(0)),
-                     (K.SStore(arr, K.Bin("+", K.Bin("*", ty,
-                                                     K.const_int(nw)),
-                                          K.Bin("/", tx, K.const_int(32))),
-                               K.Reg(var)),)),
-                K.Sync(),
-                K.Assign(var, op.identity_const(dtype)),
-                K.If(K.Bin("<", tx, K.const_int(nw)),
-                     (K.SLoad(var, arr, K.Bin("+", K.Bin(
-                         "*", ty, K.const_int(nw)), tx)),)),
-                *self._shuffle_warp_tree(var, op, dtype, max(2, nw)),
-                K.If(K.Bin("==", tx, K.const_int(0)),
-                     (K.SStore(arr, K.Bin("*", ty, K.const_int(nw)),
-                               K.Reg(var)),)),
-                K.Sync(),
-                K.SLoad(res, arr, K.Bin("*", ty, K.const_int(nw))),
-            ]
-        else:
-            arr = self._need_shared(dtype, bdy)
-            out += [
-                K.If(K.Bin("==", tx, K.const_int(0)),
-                     (K.SStore(arr, ty, K.Reg(var)),)),
-                K.Sync(),
-                K.SLoad(res, arr, ty),
-            ]
+        arr = self._need_shared(dtype, bdy * nw if nw > 1 else bdy)
+        out += cross_warp_handoff(
+            arr, var, res, op, dtype, lane=tx, nw=nw, row=ty,
+            warp_tree=lambda w: self._shuffle_warp_tree(var, op, dtype, w))
         out.append(K.Assign(var, K.Reg(res)))
         return out
 
@@ -728,37 +746,12 @@ class _Lowerer:
         out += self._shuffle_warp_tree(var, op, dtype, ntid)
         res = self._tmp("sres")
         nw = max(1, ntid // 32)
-        if nw > 1:
-            arr = self._need_shared(dtype, nw)
-            out += [
-                K.If(K.Bin("==", K.Bin("%", tid, K.const_int(32)),
-                           K.const_int(0)),
-                     (K.SStore(arr, K.Bin("/", tid, K.const_int(32)),
-                               K.Reg(var)),)),
-                K.Sync(),
-                K.Assign(var, op.identity_const(dtype)),
-                K.If(K.Bin("<", tid, K.const_int(nw)),
-                     (K.SLoad(var, arr, tid),)),
-                *self._shuffle_warp_tree(var, op, dtype, max(2, nw)),
-                K.If(K.Bin("==", tid, K.const_int(0)),
-                     (K.SStore(arr, K.const_int(0), K.Reg(var)),)),
-                K.Sync(),
-                K.SLoad(res, arr, K.const_int(0)),
-            ]
-        else:
-            arr = self._need_shared(dtype, 1)
-            out += [
-                K.If(K.Bin("==", tid, K.const_int(0)),
-                     (K.SStore(arr, K.const_int(0), K.Reg(var)),)),
-                K.Sync(),
-                K.SLoad(res, arr, K.const_int(0)),
-            ]
+        arr = self._need_shared(dtype, nw if nw > 1 else 1)
+        out += cross_warp_handoff(
+            arr, var, res, op, dtype, lane=tid, nw=nw, row=None,
+            warp_tree=lambda w: self._shuffle_warp_tree(var, op, dtype, w))
         out.append(K.Assign(var, K.Reg(res)))
         return out
-
-    @staticmethod
-    def _pow2(n: int) -> bool:
-        return n >= 1 and (n & (n - 1)) == 0
 
     def _reduce_vector_level(self, var: str, op: ReductionOperator,
                              dtype: DType,
@@ -766,7 +759,8 @@ class _Lowerer:
         """Per-worker-row reduction of per-thread partials (Fig. 6)."""
         value = value if value is not None else K.Reg(var)
         bdx, bdy = self.geom.vector_length, self.geom.num_workers
-        if self.opts.vector_strategy == "shuffle" and self._pow2(bdx) \
+        if self._select("vector_strategy", var) == "shuffle" \
+                and is_pow2(bdx) \
                 and not self.opts.bug_sum_layout_mismatch:
             return self._reduce_vector_level_shuffle(var, op, dtype, value)
         arr = self._need_shared(dtype, bdx * bdy)
@@ -902,7 +896,8 @@ class _Lowerer:
         buffer of workers × vector threads in shared memory)."""
         value = value if value is not None else K.Reg(var)
         ntid = self.geom.threads_per_block
-        if self.opts.vector_strategy == "shuffle" and self._pow2(ntid):
+        if self._select("vector_strategy", var) == "shuffle" \
+                and is_pow2(ntid):
             return self._reduce_flat_block_shuffle(var, op, dtype, value)
         arr = self._need_shared(dtype, ntid)
         tid = K.Special("tid")
@@ -986,7 +981,7 @@ class _Lowerer:
 
     def _finalize_gang(self, info: ReductionInfo, span: set[str],
                        distributed: set[str]) -> list[K.Stmt]:
-        if self.opts.gang_partial_style == "atomic" \
+        if self._select("gang_partial_style", info.var) == "atomic" \
                 and info.op.token in _ATOMIC_CAPABLE:
             return self._finalize_gang_atomic(info, span, distributed)
         geom = self.geom
@@ -1051,7 +1046,7 @@ class _Lowerer:
             init_grid = max(1, -(-size // bdx))
             pos = K.Bin("+", K.Bin("*", K.Special("bx"), K.const_int(bdx)),
                         K.Special("tx"))
-            init_kernel = K.stamp_sids(K.Kernel(
+            init_kernel = self._stamp(K.Kernel(
                 name=f"acc_reduction_init_{info.var}",
                 body=(K.If(K.Bin("<", pos, K.const_int(size)), (
                     K.GStore(pbuf, pos, info.op.identity_const(info.dtype)),
@@ -1092,7 +1087,7 @@ class _Lowerer:
                 K.GStore(rbuf, K.const_int(0), K.Reg("_fres")),
             )),
         )
-        return K.stamp_sids(K.Kernel(
+        return self._stamp(K.Kernel(
             name=f"acc_reduction_finish_{info.var}",
             body=body,
             buffers=(pbuf, rbuf),
@@ -1110,6 +1105,15 @@ class _Lowerer:
 
 
 def lower_region(plan: RegionPlan, geom: LaunchGeometry,
-                 opts: LoweringOptions | None = None) -> LoweredProgram:
-    """Lower an analyzed region to kernels under the given strategy options."""
-    return _Lowerer(plan, geom, opts or LoweringOptions()).lower()
+                 opts: LoweringOptions | None = None, *,
+                 selector: StrategySelector | None = None,
+                 stamp: bool = True) -> LoweredProgram:
+    """Lower an analyzed region to kernels under the given strategy options.
+
+    ``selector`` lets a caller (the autotune pass) override strategy
+    fields per reduction variable; ``stamp=False`` defers sid stamping
+    to the pipeline's final ``stamp-sids`` pass so optimization passes
+    can rewrite kernels without ever exposing stale ids.
+    """
+    return _Lowerer(plan, geom, opts or LoweringOptions(),
+                    selector=selector, stamp=stamp).lower()

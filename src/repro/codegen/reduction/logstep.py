@@ -35,16 +35,11 @@ from repro.errors import LoweringError
 from repro.gpu import kernelir as K
 from repro.codegen.reduction.operators import ReductionOperator
 
+from repro.codegen.reduction.treeutil import prev_pow2
+
 __all__ = ["LogStepReduction", "logstep_reduce", "prev_pow2"]
 
 _uid = itertools.count()
-
-
-def prev_pow2(n: int) -> int:
-    """Largest power of two ≤ n (n ≥ 1)."""
-    if n < 1:
-        raise LoweringError(f"cannot reduce {n} elements")
-    return 1 << (n.bit_length() - 1)
 
 
 @dataclass

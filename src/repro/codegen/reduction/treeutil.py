@@ -1,0 +1,88 @@
+"""Shared tree-step arithmetic for the reduction lowerings.
+
+One home for the power-of-two predicates and the warp-shuffle cross-warp
+handoff that :meth:`_Lowerer._reduce_vector_level_shuffle` and
+:meth:`_Lowerer._reduce_flat_block_shuffle` used to duplicate: the
+per-row variant is the flat variant with a non-``None`` ``row`` index,
+so both call :func:`cross_warp_handoff` with different parameters and
+emit byte-identical IR to the historical open-coded sequences.
+"""
+
+from __future__ import annotations
+
+from repro.dtypes import DType
+from repro.errors import LoweringError
+from repro.gpu import kernelir as K
+from repro.codegen.reduction.operators import ReductionOperator
+
+__all__ = ["is_pow2", "prev_pow2", "shuffle_deltas", "cross_warp_handoff"]
+
+
+def is_pow2(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def prev_pow2(n: int) -> int:
+    """Largest power of two ≤ n (n ≥ 1)."""
+    if n < 1:
+        raise LoweringError(f"cannot reduce {n} elements")
+    return 1 << (n.bit_length() - 1)
+
+
+def shuffle_deltas(width: int, warp_size: int = 32) -> list[int]:
+    """The halving ``__shfl_down`` deltas of one intra-warp butterfly
+    over ``width`` lanes: ``min(width, warp)//2, ..., 1``."""
+    out = []
+    d = min(width, warp_size) // 2
+    while d >= 1:
+        out.append(d)
+        d //= 2
+    return out
+
+
+def cross_warp_handoff(arr: str, var: str, res: str,
+                       op: ReductionOperator, dtype: DType, *,
+                       lane: K.Expr, nw: int,
+                       row: K.Expr | None,
+                       warp_tree) -> list[K.Stmt]:
+    """The shared-memory handoff that follows an intra-warp shuffle tree.
+
+    After every warp reduced its lanes into its lane-0 register, the
+    ``nw`` warp leaders stage their value in ``arr``, the first ``nw``
+    lanes re-shuffle those, and the result is broadcast back through
+    ``arr`` into register ``res``.  ``row`` scopes the handoff to one
+    worker row (``arr`` indexed at ``row*nw + k``); ``None`` means the
+    whole block shares a single group.  ``warp_tree(width)`` builds the
+    second-stage shuffle tree (the caller owns temp naming).
+
+    With ``nw == 1`` there is nothing to re-shuffle: the single leader
+    publishes its value directly.
+    """
+    zero = K.const_int(0)
+    if nw > 1:
+        base = K.Bin("*", row, K.const_int(nw)) if row is not None else None
+        def at(off: K.Expr) -> K.Expr:
+            return off if base is None else K.Bin("+", base, off)
+        leader_idx = zero if base is None else base
+        return [
+            K.If(K.Bin("==", K.Bin("%", lane, K.const_int(32)), zero),
+                 (K.SStore(arr, at(K.Bin("/", lane, K.const_int(32))),
+                           K.Reg(var)),)),
+            K.Sync(),
+            K.Assign(var, op.identity_const(dtype)),
+            K.If(K.Bin("<", lane, K.const_int(nw)),
+                 (K.SLoad(var, arr, at(lane)),)),
+            *warp_tree(max(2, nw)),
+            K.If(K.Bin("==", lane, zero),
+                 (K.SStore(arr, leader_idx, K.Reg(var)),)),
+            K.Sync(),
+            K.SLoad(res, arr, leader_idx),
+        ]
+    leader_idx = zero if row is None else row
+    return [
+        K.If(K.Bin("==", lane, zero),
+             (K.SStore(arr, leader_idx, K.Reg(var)),)),
+        K.Sync(),
+        K.SLoad(res, arr, leader_idx),
+    ]

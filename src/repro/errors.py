@@ -51,6 +51,17 @@ class LoweringError(CompileError):
     """Internal codegen failure: IR shape the lowering cannot handle."""
 
 
+class IRVerificationError(CompileError):
+    """The kernel-IR verifier rejected a kernel between pipeline passes.
+
+    Raised by :func:`repro.gpu.kernelir.verify_kernel` when a lowering or
+    an optimization pass produced structurally broken IR (undefined
+    registers, undeclared buffers, a barrier inside a per-thread masked
+    loop...).  Surfacing this between passes pins the *offending pass*
+    instead of a downstream simulator crash.
+    """
+
+
 class SimulationError(ReproError):
     """Base class for errors detected while executing kernels on the simulator."""
 

@@ -188,7 +188,8 @@ def run_campaign(source: str, *, seed: int = 0, trials: int = 50,
                  vector_length: int | None = None, detect: bool = True,
                  size: int = 256, watchdog_budget: int = 20_000,
                  max_attempts: int = 3, runs: int = 3,
-                 inputs: dict | None = None) -> CampaignResult:
+                 inputs: dict | None = None,
+                 pipeline: str | None = None) -> CampaignResult:
     """Run ``trials`` seeded single-fault trials and classify each one.
 
     ``detect=True`` arms the full hardening stack — transient-fault
@@ -200,7 +201,7 @@ def run_campaign(source: str, *, seed: int = 0, trials: int = 50,
     """
     prog = acc.compile(source, compiler=compiler, num_gangs=num_gangs,
                        num_workers=num_workers,
-                       vector_length=vector_length)
+                       vector_length=vector_length, pipeline=pipeline)
     kwargs: dict = dict(inputs or {})
     synthesize_inputs(prog, kwargs, size)
     ref = prog.run(watchdog_budget=watchdog_budget, **kwargs)

@@ -29,7 +29,8 @@ from dataclasses import dataclass, field
 from repro.gpu.device import DeviceProperties
 from repro.gpu.events import KernelStats
 
-__all__ = ["CostModel", "LAUNCH_SID", "TimeBreakdown"]
+__all__ = ["CostModel", "LAUNCH_SID", "TimeBreakdown",
+           "estimate_reduction_strategies"]
 
 #: pseudo-statement id carrying the fixed kernel-launch overhead in
 #: per-statement time apportionment (no real statement has sid < 0)
@@ -128,6 +129,138 @@ class CostModel:
         """Modeled host↔device copy time in microseconds."""
         d = self.device
         return d.pcie_latency_us + nbytes / (d.pcie_bandwidth_gbps * 1000.0)
+
+
+def _logstep_profile(width: int, elide_warp_sync: bool,
+                     warp_size: int = 32) -> tuple[int, int]:
+    """(combining steps, barriers) of one log-step tree over ``width``,
+    mirroring the sync-emission rules of ``codegen.reduction.logstep``."""
+    if width <= 1:
+        return 0, 0
+    p = 1
+    while p * 2 <= width:
+        p *= 2
+    rem = width - p
+    steps, syncs = 0, 1  # the leading barrier ordering the staging stores
+    if rem:
+        steps += 1
+        if not elide_warp_sync or max(rem, p // 2) > warp_size:
+            syncs += 1
+    s = p // 2
+    while s >= 1:
+        steps += 1
+        if s > 1 and (not elide_warp_sync or s > warp_size):
+            syncs += 1
+        s //= 2
+    return steps, syncs
+
+
+def estimate_reduction_strategies(
+    device: DeviceProperties,
+    geom,
+    *,
+    dtype,
+    partials: int = 0,
+    vector_candidates: tuple[str, ...] = (),
+    gang_candidates: tuple[str, ...] = (),
+    finish_block_size: int = 256,
+    elide_warp_sync: bool = True,
+) -> dict[str, dict[str, float]]:
+    """Analytically price reduction-strategy candidates (µs per launch grid).
+
+    The autotune pass calls this per reduction variable with the candidate
+    values that are *legal* for it (gating — exact-combine operators,
+    power-of-two widths, atomic-capable operators — is the caller's job).
+    Candidates are priced by synthesizing coarse :class:`KernelStats` for
+    just the reduction portion of the kernel and running them through the
+    same :class:`CostModel` the simulator charges, so the comparison uses
+    the device's actual cycle ratios rather than a second ad-hoc model.
+    Absolute values are rough; only the per-field ordering is consumed.
+
+    Returns ``{field: {candidate: modeled_us}}`` for each field with ≥1
+    candidate: ``vector_strategy`` (``logstep`` | ``shuffle``) and
+    ``gang_partial_style`` (``buffer`` | ``atomic``, where ``buffer``
+    includes the extra finish-kernel launch over ``partials`` staged
+    values).
+    """
+    cm = CostModel(device)
+    blocks = geom.num_gangs
+    tpb = geom.threads_per_block
+    warps = max(1, -(-tpb // device.warp_size))
+    itemsize = dtype.itemsize
+    out: dict[str, dict[str, float]] = {}
+
+    if vector_candidates:
+        width = geom.vector_length if geom.vector_length > 1 else tpb
+        est: dict[str, float] = {}
+        for cand in vector_candidates:
+            if cand == "logstep":
+                steps, syncs = _logstep_profile(width, elide_warp_sync,
+                                                device.warp_size)
+                stats = KernelStats(
+                    blocks=blocks, threads_per_block=tpb,
+                    shared_bytes=tpb * itemsize,
+                    # staging store + 3 accesses per combining step, per warp
+                    shared_accesses=(1 + 3 * steps) * warps,
+                    warp_inst_slots=2 * steps * warps,
+                    barriers=syncs)
+            elif cand == "shuffle":
+                lanes = min(width, device.warp_size)
+                shfl_steps = max(1, lanes.bit_length() - 1)
+                nw = max(1, width // device.warp_size)
+                cross = nw > 1
+                stats = KernelStats(
+                    blocks=blocks, threads_per_block=tpb,
+                    shared_bytes=(nw * itemsize if cross else 0),
+                    # one shfl + one combine slot per step per warp, plus
+                    # the cross-warp shared-memory handoff when nw > 1
+                    warp_inst_slots=2 * shfl_steps * warps * (2 if cross
+                                                              else 1),
+                    shared_accesses=(3 * warps if cross else 0),
+                    barriers=(2 if cross else 0))
+            else:  # pragma: no cover - caller passes known candidates
+                continue
+            est[cand] = cm.kernel_time(stats).total_us
+        out["vector_strategy"] = est
+
+    if gang_candidates:
+        est = {}
+        fbs = finish_block_size
+        fwarps = max(1, -(-fbs // device.warp_size))
+        n = max(1, partials)
+        for cand in gang_candidates:
+            if cand == "buffer":
+                # one extra launch: strided accumulation over the partial
+                # buffer, then a log-step tree over the staged block
+                steps, syncs = _logstep_profile(fbs, elide_warp_sync,
+                                                device.warp_size)
+                rounds = -(-n // fbs)
+                stats = KernelStats(
+                    blocks=1, threads_per_block=fbs,
+                    shared_bytes=fbs * itemsize,
+                    global_transactions=rounds * fwarps,
+                    global_bytes=n * itemsize,
+                    dram_bytes=n * itemsize,
+                    shared_accesses=(1 + 3 * steps) * fwarps,
+                    warp_inst_slots=(3 * rounds + 2 * steps) * fwarps,
+                    barriers=syncs)
+                est[cand] = cm.kernel_time(stats).total_us
+            elif cand == "atomic":
+                # no extra launch; the device serializes one RMW round per
+                # contending gang, so drop the launch term from the model
+                stats = KernelStats(
+                    blocks=1, threads_per_block=device.warp_size,
+                    global_transactions=2 * blocks,
+                    global_bytes=blocks * itemsize,
+                    dram_bytes=blocks * itemsize,
+                    warp_inst_slots=blocks)
+                tb = cm.kernel_time(stats)
+                est[cand] = tb.total_us - tb.launch_us
+            else:  # pragma: no cover - caller passes known candidates
+                continue
+        out["gang_partial_style"] = est
+
+    return out
 
 
 @dataclass

@@ -479,10 +479,19 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
                 reps = (rep, rblk)
             if env.check is not None and (state := env.check.get(buf)) \
                     is not None:
-                # reading a location another block wrote breaks the
-                # sequential block order — abort to the reference path
-                # (out-of-range indices are clamped here; the load itself
-                # raises the real OutOfBoundsError just below)
+                # reading a location a *later* block wrote breaks the
+                # sequential block order — abort to the reference path.
+                # Reads of locations owned by an earlier block are fine
+                # one-sided: in reference block order the earlier block
+                # has already stored, and the lockstep chunk replay
+                # executes its store statement before this load; the
+                # read is recorded in ``maxread`` below, so a subsequent
+                # same-chunk *store* by any block ≤ the reader still
+                # trips the store-side hazard check.  (This is what lets
+                # the fused finish-kernel epilogue — last block reads
+                # every gang's partials — stay on the batched path.)
+                # Out-of-range indices are clamped here; the load itself
+                # raises the real OutOfBoundsError just below.
                 owners, maxread = state
                 if not uni:
                     act = idx[mask]
@@ -491,7 +500,7 @@ def _compile_stmt_batched(s: K.Stmt, device: DeviceProperties,
                     rep, rblk = act, blk
                 ci = np.minimum(rep, owners.size - 1)
                 own = owners[ci]
-                if ((own != -1) & (own != rblk)).any():
+                if ((own != -1) & (own > rblk)).any():
                     raise _BatchHazard(buf)
                 # rblk is non-decreasing along the flattened (block,
                 # thread) order, so last-write-wins fancy assignment

@@ -42,6 +42,9 @@ __all__ = [
     # helpers
     "const_int", "dump", "dump_with_sids", "stamp_sids", "walk_stmts",
     "stmt_text",
+    # rewrite utilities / verifier (pass-pipeline support)
+    "transform_block", "map_expr", "expr_reads", "stmt_reads",
+    "stmt_writes", "verify_kernel",
     "SPECIALS",
 ]
 
@@ -402,6 +405,190 @@ def walk_stmts(stmts: tuple[Stmt, ...], depth: int = 0):
             yield from walk_stmts(s.orelse, depth + 1)
         elif isinstance(s, (While, UniformWhile)):
             yield from walk_stmts(s.body, depth + 1)
+
+
+# --------------------------------------------------------------------------
+# Rewrite utilities (the optimization passes' workhorses)
+# --------------------------------------------------------------------------
+
+def transform_block(stmts: tuple[Stmt, ...], fn) -> tuple[Stmt, ...]:
+    """Rebuild a statement tree bottom-up through ``fn``.
+
+    Child blocks (``If.then``/``orelse``, loop bodies) are transformed
+    first, then ``fn(stmt)`` is applied to the (possibly rebuilt)
+    statement.  ``fn`` returns the statement unchanged, a replacement
+    statement, ``None`` to delete it, or a tuple/list of statements to
+    splice in its place.
+    """
+    out: list[Stmt] = []
+    for s in stmts:
+        if isinstance(s, If):
+            s = dataclasses.replace(s, then=transform_block(s.then, fn),
+                                    orelse=transform_block(s.orelse, fn))
+        elif isinstance(s, (While, UniformWhile)):
+            s = dataclasses.replace(s, body=transform_block(s.body, fn))
+        r = fn(s)
+        if r is None:
+            continue
+        if isinstance(r, (tuple, list)):
+            out.extend(r)
+        else:
+            out.append(r)
+    return tuple(out)
+
+
+def map_expr(e: Expr, fn) -> Expr:
+    """Rebuild an expression bottom-up through ``fn`` (applied to every
+    node after its children were mapped)."""
+    if isinstance(e, Bin):
+        e = Bin(e.op, map_expr(e.a, fn), map_expr(e.b, fn))
+    elif isinstance(e, Un):
+        e = Un(e.op, map_expr(e.a, fn))
+    elif isinstance(e, Call):
+        e = Call(e.fn, tuple(map_expr(a, fn) for a in e.args))
+    elif isinstance(e, Cast):
+        e = Cast(e.dtype, map_expr(e.a, fn))
+    elif isinstance(e, Select):
+        e = Select(map_expr(e.cond, fn), map_expr(e.a, fn),
+                   map_expr(e.b, fn))
+    return fn(e)
+
+
+def expr_reads(e: Expr, regs: set[str]) -> None:
+    """Collect the register names an expression reads into ``regs``."""
+    if isinstance(e, Reg):
+        regs.add(e.name)
+    elif isinstance(e, Bin):
+        expr_reads(e.a, regs)
+        expr_reads(e.b, regs)
+    elif isinstance(e, Un):
+        expr_reads(e.a, regs)
+    elif isinstance(e, Call):
+        for a in e.args:
+            expr_reads(a, regs)
+    elif isinstance(e, Cast):
+        expr_reads(e.a, regs)
+    elif isinstance(e, Select):
+        expr_reads(e.cond, regs)
+        expr_reads(e.a, regs)
+        expr_reads(e.b, regs)
+
+
+def _stmt_exprs(s: Stmt) -> tuple[Expr, ...]:
+    if isinstance(s, Assign):
+        return (s.value,)
+    if isinstance(s, GLoad):
+        return (s.index,)
+    if isinstance(s, GStore):
+        return (s.index, s.value)
+    if isinstance(s, SLoad):
+        return (s.index,)
+    if isinstance(s, SStore):
+        return (s.index, s.value)
+    if isinstance(s, (If, While, UniformWhile)):
+        return (s.cond,)
+    if isinstance(s, AtomicUpdate):
+        return (s.index, s.value)
+    return ()
+
+
+def stmt_reads(s: Stmt, *, recurse: bool = False) -> set[str]:
+    """Register names a statement reads (its own expressions; with
+    ``recurse=True``, also everything inside its child blocks)."""
+    regs: set[str] = set()
+    for e in _stmt_exprs(s):
+        expr_reads(e, regs)
+    if isinstance(s, ShflDown):
+        regs.add(s.src)
+    if recurse and isinstance(s, (If, While, UniformWhile)):
+        blocks = (s.then, s.orelse) if isinstance(s, If) else (s.body,)
+        for block in blocks:
+            for inner, _ in walk_stmts(block):
+                regs |= stmt_reads(inner)
+    return regs
+
+
+def stmt_writes(s: Stmt) -> str | None:
+    """The register a statement defines, or ``None``."""
+    if isinstance(s, (Assign, GLoad, SLoad, ShflDown)):
+        return s.dst
+    return None
+
+
+# --------------------------------------------------------------------------
+# IR verifier (run between pipeline passes)
+# --------------------------------------------------------------------------
+
+_KNOWN_STMTS = (Assign, GLoad, GStore, SLoad, SStore, If, While,
+                UniformWhile, Sync, Comment, AtomicUpdate, ShflDown)
+
+
+def verify_kernel(kernel: Kernel, *, expect_sids: bool = False) -> None:
+    """Structural sanity checks over a kernel; raises
+    :class:`~repro.errors.IRVerificationError` on the first violation.
+
+    Run by the pass manager after every kernel-modifying pass so a broken
+    rewrite is pinned to the pass that produced it, not to a downstream
+    simulator crash.  Checks:
+
+    * every statement/expression node is a known IR type;
+    * global buffers touched are declared in ``kernel.buffers``;
+    * shared arrays touched are declared in ``kernel.shared``;
+    * every register read is written *somewhere* in the kernel
+      (flow-insensitive — lowerings guard definitions with masks);
+    * no ``Sync`` inside a per-thread masked ``While`` (barriers are only
+      legal in lock-step ``UniformWhile`` loops);
+    * with ``expect_sids=True`` (after the stamping pass): sids are the
+      dense pre-order ``0..n-1``.
+    """
+    from repro.errors import IRVerificationError
+
+    shared_names = {sa.name for sa in kernel.shared}
+    buffers = set(kernel.buffers)
+    defined: set[str] = set()
+    for s, _ in walk_stmts(kernel.body):
+        if not isinstance(s, _KNOWN_STMTS):
+            raise IRVerificationError(
+                f"{kernel.name}: unknown statement node {s!r}")
+        w = stmt_writes(s)
+        if w is not None:
+            defined.add(w)
+
+    def bad(msg: str) -> IRVerificationError:
+        return IRVerificationError(f"{kernel.name}: {msg}")
+
+    def check_block(stmts, in_masked_loop: bool):
+        for s in stmts:
+            if isinstance(s, Sync) and in_masked_loop:
+                raise bad("__syncthreads() inside a per-thread While loop "
+                          f"(sid={s.sid})")
+            if isinstance(s, (GLoad, GStore, AtomicUpdate)) \
+                    and s.buf not in buffers:
+                raise bad(f"undeclared global buffer {s.buf!r} in "
+                          f"`{stmt_text(s)}`")
+            if isinstance(s, (SLoad, SStore)) and s.arr not in shared_names:
+                raise bad(f"undeclared shared array {s.arr!r} in "
+                          f"`{stmt_text(s)}`")
+            reads = stmt_reads(s)
+            missing = reads - defined
+            if missing:
+                raise bad(f"register(s) {sorted(missing)} read but never "
+                          f"written, in `{stmt_text(s)}`")
+            if isinstance(s, If):
+                check_block(s.then, in_masked_loop)
+                check_block(s.orelse, in_masked_loop)
+            elif isinstance(s, While):
+                check_block(s.body, True)
+            elif isinstance(s, UniformWhile):
+                check_block(s.body, in_masked_loop)
+
+    check_block(kernel.body, False)
+
+    if expect_sids:
+        sids = [s.sid for s, _ in walk_stmts(kernel.body)]
+        if sids != list(range(len(sids))):
+            raise bad(f"statement ids are not the dense pre-order "
+                      f"0..{len(sids) - 1}: {sids[:8]}...")
 
 
 # --------------------------------------------------------------------------

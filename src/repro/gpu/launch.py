@@ -9,25 +9,35 @@ from repro.gpu.costmodel import CostModel, TimeBreakdown
 from repro.gpu.device import DeviceProperties, K20C
 from repro.gpu.events import KernelStats
 from repro.gpu.executor import CompiledKernel
-from repro.gpu.kernelir import Kernel
+from repro.gpu.kernelir import Kernel, walk_stmts
 from repro.gpu.memory import GlobalMemory
 
 __all__ = ["LaunchReport", "launch", "compile_cache_info",
            "compile_cache_clear"]
 
-#: keyed compile cache: kernel identity x device -> CompiledKernel.
-#: Kernel and DeviceProperties are frozen dataclasses, so structural
-#: identity is the key; an LRU bound keeps pathological sweeps from
-#: accumulating closures forever.
+#: keyed compile cache: kernel identity x device x compile configuration
+#: -> CompiledKernel.  Kernel and DeviceProperties are frozen dataclasses,
+#: so structural identity is the base key; ``options_key`` (the pipeline /
+#: lowering configuration that produced the kernel) and the sid stamping
+#: are mixed in because statement sids are ``compare=False`` — two
+#: structurally equal kernels with different stamping (or from different
+#: pass pipelines) must not share a compiled closure, or per-statement
+#: attribution would be charged to the wrong sids.  An LRU bound keeps
+#: pathological sweeps from accumulating closures forever.
 _COMPILE_CACHE: "OrderedDict[tuple, CompiledKernel]" = OrderedDict()
 _COMPILE_CACHE_MAX = 64
 _cache_hits = 0
 _cache_misses = 0
 
 
-def _compiled(kernel: Kernel, device: DeviceProperties) -> CompiledKernel:
+def _sid_fingerprint(kernel: Kernel) -> tuple[int, ...]:
+    return tuple(s.sid for s, _ in walk_stmts(kernel.body))
+
+
+def _compiled(kernel: Kernel, device: DeviceProperties,
+              options_key=None) -> CompiledKernel:
     global _cache_hits, _cache_misses
-    key = (kernel, device)
+    key = (kernel, device, options_key, _sid_fingerprint(kernel))
     ck = _COMPILE_CACHE.get(key)
     if ck is not None:
         _cache_hits += 1
@@ -79,7 +89,8 @@ def launch(kernel: Kernel, gmem: GlobalMemory, *, grid_dim: int,
            watchdog_budget: int | None = None,
            mode: str | None = None,
            block_batch: int | None = None,
-           attribution: bool = False) -> LaunchReport:
+           attribution: bool = False,
+           options_key=None) -> LaunchReport:
     """Compile ``kernel``, run it over the grid, and model its time.
 
     ``trace=True`` turns on per-access :class:`~repro.gpu.events.TraceEvent`
@@ -98,11 +109,15 @@ def launch(kernel: Kernel, gmem: GlobalMemory, *, grid_dim: int,
     :class:`~repro.gpu.events.AttributionTable` on ``stats.attribution``
     (see :mod:`repro.obs.attribution` for rendering).
 
-    Compilation is served from a keyed cache (kernel identity × device),
-    so iterative callers that re-launch the same kernel pay the closure
-    compilation once; :func:`compile_cache_info` exposes hit/miss counts.
+    Compilation is served from a keyed cache (kernel identity × device ×
+    ``options_key`` × sid stamping), so iterative callers that re-launch
+    the same kernel pay the closure compilation once;
+    :func:`compile_cache_info` exposes hit/miss counts.  Callers that
+    compile the same source under different configurations (pipelines,
+    lowering options) pass a hashable ``options_key`` so the variants
+    never share a cache entry.
     """
-    ck = _compiled(kernel, device)
+    ck = _compiled(kernel, device, options_key)
     stats = ck.run(gmem, grid_dim, block_dim, params=params, trace=trace,
                    faults=faults, watchdog_budget=watchdog_budget,
                    mode=mode, block_batch=block_batch,

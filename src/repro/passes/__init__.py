@@ -1,0 +1,36 @@
+"""The pass-manager compilation pipeline.
+
+``acc.compile`` drives a :class:`PassManager` over a mutable
+:class:`CompileState`; passes are registered by name in
+:mod:`repro.passes.frontend` (parse → … → lower),
+:mod:`repro.passes.autotune` (cost-model strategy selection) and
+:mod:`repro.passes.kernelopt` (kernel-IR rewrites + sid stamping).
+See :mod:`repro.passes.manager` for pipeline resolution
+(``pipeline=`` argument > ``REPRO_PASSES`` > compiler profile).
+"""
+
+from repro.passes.manager import (
+    OPTIONAL_PASSES,
+    PASS_REGISTRY,
+    PIPELINES,
+    CompileState,
+    Pass,
+    PassManager,
+    PassRecord,
+    PipelineSpec,
+    register_pass,
+    resolve_pipeline,
+)
+
+__all__ = [
+    "OPTIONAL_PASSES",
+    "PASS_REGISTRY",
+    "PIPELINES",
+    "CompileState",
+    "Pass",
+    "PassManager",
+    "PassRecord",
+    "PipelineSpec",
+    "register_pass",
+    "resolve_pipeline",
+]

@@ -1,0 +1,84 @@
+"""Frontend and lowering passes (the pre-pass-manager compile phases).
+
+Each pass wraps exactly the work the old ``acc.compile`` phase did, so the
+``minimal`` pipeline is behaviour-identical to the historical compiler:
+parse → build-ir → auto-parallelize → resolve-geometry → analyze → lower.
+The lowering pass runs with ``stamp=False`` — sid stamping is the
+pipeline's final ``stamp-sids`` pass (:mod:`repro.passes.kernelopt`), so
+optimization passes never see (or have to maintain) stale statement ids.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedReductionError
+from repro.passes.manager import CompileState, register_pass
+
+__all__ = []
+
+
+@register_pass("parse", "frontend", "parse the C-subset OpenACC source")
+def run_parse(state: CompileState):
+    from repro.frontend.cparser import parse_region
+    state.cregion = parse_region(state.source)
+    return None
+
+
+@register_pass("build-ir", "frontend", "build the loop-nest region IR")
+def run_build_ir(state: CompileState):
+    from repro.ir.builder import build_region
+    state.region = build_region(state.cregion,
+                                array_dtypes=state.array_dtypes)
+    return f"{state.region.kind} region"
+
+
+@register_pass("auto-parallelize", "frontend",
+               "schedule `kernels` regions (§2.1 leaves it to the compiler)")
+def run_auto_parallelize(state: CompileState):
+    if state.region.kind != "kernels":
+        return "not a kernels region (no-op)"
+    from repro.ir.autopar import auto_parallelize
+    state.region = auto_parallelize(state.region)
+    return "assigned loop levels"
+
+
+@register_pass("resolve-geometry", "frontend",
+               "resolve the launch geometry (directives, overrides, device)")
+def run_resolve_geometry(state: CompileState):
+    from repro.acc.launchconfig import resolve_geometry
+    r = state.region
+    state.geometry = resolve_geometry(
+        r.num_gangs, r.num_workers, r.vector_length,
+        state.num_gangs, state.num_workers, state.vector_length,
+        state.device)
+    g = state.geometry
+    return (f"{g.num_gangs} gangs x {g.num_workers} workers x "
+            f"{g.vector_length} vector")
+
+
+@register_pass("analyze", "frontend",
+               "reduction-span analysis + profile supported-shape check")
+def run_analyze(state: CompileState):
+    from repro.ir.analysis import analyze_region
+    geom = state.geometry
+    state.plan = analyze_region(state.region,
+                                num_workers=geom.num_workers,
+                                vector_length=geom.vector_length,
+                                infer_span=state.profile.infers_span)
+    for info in state.plan.all_reductions:
+        reason = state.profile.unsupported(info.span, info.same_line,
+                                           info.op.token, info.dtype)
+        if reason:
+            raise UnsupportedReductionError(
+                f"{state.profile.name}: {reason} (variable {info.var!r})")
+    n = len(state.plan.all_reductions)
+    return f"{n} reduction(s)"
+
+
+@register_pass("lower", "lower",
+               "lower the region plan to kernels (sids stamped later)")
+def run_lower(state: CompileState):
+    from repro.codegen.lowering import lower_region
+    state.lowered = lower_region(state.plan, state.geometry, state.options,
+                                 selector=state.selector, stamp=False)
+    names = [k.name for k in state.lowered.kernels]
+    return f"{len(names)} kernel(s): {', '.join(names)}"

@@ -13,6 +13,8 @@ from repro import acc
 
 
 def normalized_main_dump(src, **geom):
+    # golden dumps pin the raw paper-shape lowering (no kernel-IR passes)
+    geom.setdefault("pipeline", "minimal")
     prog = acc.compile(src, **geom)
     text = prog.dump_kernels().split("\n\n")[0]
     return re.sub(r"_(ls|ld|act|tmp|vres|wres|fres|sres|shfl|init)"
@@ -112,6 +114,7 @@ class TestStructuralInvariants:
 
     def test_transposed_layout_changes_indexing(self):
         prog = acc.compile(self.FIG4A, num_gangs=2, num_workers=4,
-                           vector_length=32, vector_layout="transposed")
+                           vector_length=32, vector_layout="transposed",
+                           pipeline="minimal")
         text = prog.dump_kernels()
         assert "_sred_int[((threadIdx.x * 4) + threadIdx.y)]" in text

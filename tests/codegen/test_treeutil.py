@@ -1,0 +1,88 @@
+"""Direct unit tests for the shared reduction tree arithmetic
+(:mod:`repro.codegen.reduction.treeutil`)."""
+
+import pytest
+
+from repro.codegen.reduction.operators import get_operator
+from repro.codegen.reduction.treeutil import (
+    cross_warp_handoff, is_pow2, prev_pow2, shuffle_deltas,
+)
+from repro.dtypes import DType
+from repro.errors import LoweringError
+from repro.gpu import kernelir as K
+
+
+class TestPow2:
+    def test_is_pow2(self):
+        assert all(is_pow2(1 << i) for i in range(12))
+        assert not any(is_pow2(n) for n in (0, -1, -4, 3, 6, 12, 96, 100))
+
+    def test_prev_pow2(self):
+        assert prev_pow2(1) == 1
+        assert prev_pow2(2) == 2
+        assert prev_pow2(3) == 2
+        assert prev_pow2(100) == 64
+        assert prev_pow2(1024) == 1024
+
+    def test_prev_pow2_rejects_empty(self):
+        with pytest.raises(LoweringError):
+            prev_pow2(0)
+
+    def test_prev_pow2_consistency(self):
+        for n in range(1, 300):
+            p = prev_pow2(n)
+            assert is_pow2(p) and p <= n < 2 * p
+
+
+class TestShuffleDeltas:
+    def test_full_warp(self):
+        assert shuffle_deltas(32) == [16, 8, 4, 2, 1]
+
+    def test_narrow_width(self):
+        assert shuffle_deltas(8) == [4, 2, 1]
+        assert shuffle_deltas(2) == [1]
+
+    def test_wider_than_warp_caps_at_warp(self):
+        assert shuffle_deltas(128) == [16, 8, 4, 2, 1]
+        assert shuffle_deltas(64, warp_size=16) == [8, 4, 2, 1]
+
+    def test_deltas_cover_every_lane_once(self):
+        # summing the deltas reconstructs width-1: each lane folds in
+        # exactly once
+        for w in (2, 4, 8, 16, 32):
+            assert sum(shuffle_deltas(w)) == w - 1
+
+
+class TestCrossWarpHandoff:
+    OP = get_operator("+")
+
+    def _stmts(self, nw, row=None):
+        return cross_warp_handoff(
+            "_s", "acc", "res", self.OP, DType.FLOAT,
+            lane=K.Special("tid"), nw=nw, row=row,
+            warp_tree=lambda width: (K.Assign("acc", K.Reg("acc")),))
+
+    def test_single_warp_publishes_directly(self):
+        stmts = self._stmts(nw=1)
+        # leader store, one barrier, broadcast load — no second tree
+        kinds = [type(s).__name__ for s in stmts]
+        assert kinds == ["If", "Sync", "SLoad"]
+
+    def test_multi_warp_stages_and_reshuffles(self):
+        stmts = self._stmts(nw=4)
+        kinds = [type(s).__name__ for s in stmts]
+        assert kinds == ["If", "Sync", "Assign", "If", "Assign", "If",
+                         "Sync", "SLoad"]
+        # the staging guard selects warp leaders (lane % 32 == 0)
+        guard = stmts[0].cond
+        assert isinstance(guard, K.Bin) and guard.op == "=="
+
+    def test_row_scoping_offsets_indices(self):
+        flat = self._stmts(nw=4, row=None)
+        rowed = self._stmts(nw=4, row=K.Special("ty"))
+        assert flat != rowed
+        # the rowed variant's final broadcast reads at row*nw, the flat
+        # one at index 0
+        assert isinstance(rowed[-1], K.SLoad)
+        assert isinstance(rowed[-1].index, K.Bin)
+        assert isinstance(flat[-1].index, K.Const)

@@ -64,6 +64,38 @@ class TestCompileCache:
         assert info["size"] == _COMPILE_CACHE_MAX
         assert info["misses"] == _COMPILE_CACHE_MAX + 8
 
+    def test_options_key_separates_entries(self):
+        # same kernel compiled under different pipeline/option fingerprints
+        # must not share a cache slot — a post-optimization kernel and its
+        # minimal twin can otherwise alias
+        launch(ids_kernel(), _gmem(), grid_dim=1, block_dim=(32, 1),
+               options_key=("minimal", ()))
+        launch(ids_kernel(), _gmem(), grid_dim=1, block_dim=(32, 1),
+               options_key=("optimized", ("fuse-finish",)))
+        info = compile_cache_info()
+        assert info["misses"] == 2
+        assert info["size"] == 2
+
+    def test_sid_fingerprint_separates_structural_twins(self):
+        # Stmt.sid is compare=False, so two structurally equal kernels
+        # with different statement ids would collide without the sid
+        # fingerprint in the key — corrupting per-statement attribution
+        import dataclasses
+
+        from repro.gpu.kernelir import stamp_sids
+
+        k1 = stamp_sids(ids_kernel())
+        k2 = ids_kernel()
+        k2 = dataclasses.replace(k2, body=tuple(
+            dataclasses.replace(s, sid=100 + i)
+            for i, s in enumerate(k2.body)))
+        assert k1 == k2  # structural equality ignores sids...
+        launch(k1, _gmem(), grid_dim=1, block_dim=(32, 1))
+        launch(k2, _gmem(), grid_dim=1, block_dim=(32, 1))
+        info = compile_cache_info()  # ...but the cache must not
+        assert info["misses"] == 2
+        assert info["size"] == 2
+
     def test_clear_resets_counters(self):
         launch(ids_kernel(), _gmem(), grid_dim=1, block_dim=(32, 1))
         compile_cache_clear()

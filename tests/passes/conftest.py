@@ -1,0 +1,9 @@
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolate_pipeline_env(monkeypatch):
+    """These tests pin pipeline selection explicitly; a ``REPRO_PASSES``
+    override from the environment (e.g. the minimal-pipeline CI job)
+    must not leak into them."""
+    monkeypatch.delenv("REPRO_PASSES", raising=False)

@@ -1,0 +1,51 @@
+"""The pass pipeline's bit-identity contract (acceptance pin).
+
+The full testsuite grid — every Table 2 reduction position x operator x
+dtype — must produce bitwise-identical results under the ``minimal``
+pipeline (the paper-shape lowering, no optimization passes) and the
+default ``optimized`` pipeline, on both executors.  The kernel-IR passes
+(fusion, barrier elimination, folding) are transformations that preserve
+the combination tree exactly, and the autotuner only retunes reductions
+whose combine is grouping-invariant — so any bitwise divergence here is
+a bug in a pass, not an accepted rounding difference.
+"""
+
+import numpy as np
+import pytest
+
+from repro import acc
+from repro.testsuite.cases import generate_cases
+
+GEOM = dict(num_gangs=4, num_workers=2, vector_length=32)
+
+CASES = generate_cases(size=256)
+
+
+def _bits(res):
+    return {name: np.asarray(val).tobytes()
+            for name, val in res.scalars.items()}
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c.label for c in CASES])
+def test_minimal_and_optimized_pipelines_bit_identical(case):
+    rng = np.random.default_rng(3)
+    inputs = case.make_inputs(rng)
+    progs = {pipe: acc.compile(case.source, **GEOM, pipeline=pipe)
+             for pipe in ("minimal", "optimized")}
+    results = {(pipe, mode): prog.run(executor_mode=mode, **inputs)
+               for pipe, prog in progs.items()
+               for mode in ("reference", "batched")}
+
+    baseline = _bits(results[("minimal", "reference")])
+    for key, res in results.items():
+        assert _bits(res) == baseline, \
+            f"pipeline/executor {key} diverged bitwise from " \
+            "minimal/reference"
+
+    # and the shared answer verifies against the host oracle
+    res = results[("optimized", "batched")]
+    for kind, name, expect in case.expected(inputs):
+        got = res.scalars[name] if kind == "scalar" else res.outputs[name]
+        np.testing.assert_allclose(
+            np.asarray(got, dtype=np.float64),
+            np.asarray(expect, dtype=np.float64), rtol=1e-5)

@@ -68,6 +68,51 @@ class TestCompileCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestExplainCommand:
+    def test_pass_table_and_autotune_decisions(self, vecsum_file, capsys,
+                                               monkeypatch):
+        monkeypatch.delenv("REPRO_PASSES", raising=False)
+        rc = main(["explain", vecsum_file, "--num-gangs", "4",
+                   "--num-workers", "2", "--vector-length", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pipeline 'optimized'" in out
+        # every optimized-pipeline pass shows up with its kind
+        for name in ("parse", "build-ir", "analyze", "autotune", "lower",
+                     "fuse-finish", "fold-constants", "eliminate-barriers",
+                     "stamp-sids"):
+            assert name in out
+        # the integer '+' reduction is exact, so the autotuner runs and
+        # its per-variable choice is visible (acceptance criterion)
+        assert "autotune decisions:" in out
+        assert "total.gang_partial_style" in out
+        assert "modeled:" in out
+
+    def test_minimal_pipeline_reports_no_decisions(self, vecsum_file,
+                                                   capsys):
+        rc = main(["explain", vecsum_file, "--pipeline", "minimal",
+                   "--num-gangs", "4", "--num-workers", "2",
+                   "--vector-length", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pipeline 'minimal'" in out
+        assert "autotune: no decisions" in out
+
+    def test_ir_flag_prints_per_pass_diffs(self, vecsum_file, capsys):
+        # pin the pipeline so a REPRO_PASSES=minimal environment (the
+        # second CI job) still gets the rewrite diffs this asserts on
+        rc = main(["explain", vecsum_file, "--ir", "--pipeline",
+                   "optimized", "--num-gangs", "4",
+                   "--num-workers", "2", "--vector-length", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== pass build-ir" in out
+        assert "== pass lower" in out
+        assert "region kind=parallel" in out
+        # rewrites render as unified diffs
+        assert "--- acc_region_main before" in out
+
+
 class TestRunCommand:
     def test_run_with_synthesized_data(self, vecsum_file, capsys):
         rc = main(["run", vecsum_file, "--array", "a=arange:100:float",
@@ -147,8 +192,11 @@ class TestProfileCommand:
         import json
 
         out_path = tmp_path / "profile.json"
+        # pin the paper-shape two-kernel plan: the optimized pipeline
+        # retunes this reduction to a single atomic-handoff kernel
         rc = main(["profile", "examples/programs/vecsum.c",
                    "--json", str(out_path), "--runs", "2",
+                   "--pipeline", "minimal",
                    "--num-gangs", "2", "--num-workers", "2",
                    "--vector-length", "32"])
         assert rc == 0
@@ -156,6 +204,23 @@ class TestProfileCommand:
         # two runs of main + finish accumulate into one session
         assert len(doc["kernels"]) == 4
         assert doc["metrics"]["counters"]["profiler.kernel_launches"] == 4
+
+    def test_profile_pipeline_flag_changes_kernel_count(self, tmp_path,
+                                                        capsys):
+        """The optimized pipeline's autotuner folds this long-+ reduction
+        into one atomic-handoff kernel; the flag must reach the compile."""
+        import json
+
+        out_path = tmp_path / "profile.json"
+        rc = main(["profile", "examples/programs/vecsum.c",
+                   "--json", str(out_path), "--pipeline", "optimized",
+                   "--num-gangs", "2", "--num-workers", "2",
+                   "--vector-length", "32"])
+        assert rc == 0
+        doc = json.loads(out_path.read_text())
+        assert len(doc["kernels"]) == 1
+        assert doc["kernels"][0]["strategy"]["pipeline"] == "optimized"
+        assert "autotune" in doc["kernels"][0]["strategy"]
 
     def test_run_profile_flag(self, vecsum_file, capsys):
         rc = main(["run", vecsum_file, "--array", "a=arange:100:float",
