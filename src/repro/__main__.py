@@ -213,14 +213,40 @@ def _parse_run_inputs(args) -> dict:
     return kwargs
 
 
+def _timeline_scope(args):
+    """``--timeline PATH``: an installed bus for the command's duration."""
+    from repro.obs import timeline as tl
+    if getattr(args, "timeline", None):
+        return tl.enabled()
+    import contextlib
+    return contextlib.nullcontext()
+
+
+def _export_timeline(args, bus) -> None:
+    if getattr(args, "timeline", None) and bus is not None:
+        from repro.obs import timeline as tl
+        if args.timeline == "-":
+            sys.stdout.write(bus.to_jsonl())
+        else:
+            bus.export_jsonl(args.timeline)
+            st = bus.stats()
+            print(f"timeline: {st['emitted']} event(s) "
+                  f"({st['dropped']} dropped) written to {args.timeline}",
+                  file=sys.stderr)
+
+
 def _cmd_run(args) -> int:
+    from repro.obs import timeline as _tl
+
     profiler = None
     if args.profile:
         from repro.obs import Profiler
         profiler = Profiler()
-    prog = _compile_from_args(args, profiler=profiler)
-    kwargs = _parse_run_inputs(args)
-    res = prog.run(profiler=profiler, **kwargs)
+    with _timeline_scope(args):
+        prog = _compile_from_args(args, profiler=profiler)
+        kwargs = _parse_run_inputs(args)
+        res = prog.run(profiler=profiler, **kwargs)
+        _export_timeline(args, _tl.current())
     for name, value in res.scalars.items():
         print(f"scalar {name} = {value}")
     for name, arr in res.outputs.items():
@@ -240,31 +266,58 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _write_profile_json(args, profiler, *, report_to,
+                        truncated_by: BaseException | None = None) -> None:
+    """Write ``--json`` profile output; used on both success and failure.
+
+    When a run dies mid-flight the partial trace is still worth having —
+    it shows exactly how far execution got — so the error path writes
+    whatever was captured and stamps the document ``truncated``.
+    """
+    if not args.json:
+        return
+    doc = profiler.to_json(indent=2, truncated_by=truncated_by)
+    if args.json == "-":
+        print(doc)
+        return
+    with open(args.json, "w") as f:
+        f.write(doc)
+    suffix = (" (truncated: run failed mid-flight)" if truncated_by
+              else "")
+    print(f"profile written to {args.json}{suffix}", file=report_to)
+
+
 def _cmd_profile(args) -> int:
     from repro.faults.campaign import synthesize_inputs
     from repro.obs import Profiler
+    from repro.obs import timeline as _tl
     from repro.obs.report import format_profile
 
     profiler = Profiler()
-    prog = _compile_from_args(args, profiler=profiler)
-    kwargs = _parse_run_inputs(args)
-    synthesize_inputs(prog, kwargs, args.size)
-    res = None
-    for _ in range(max(1, args.runs)):
-        res = prog.run(profiler=profiler, trace=args.trace,
-                       attribution=args.lines, **kwargs)
-
     # with --json - the profile document owns stdout; report goes to stderr
     report_to = sys.stderr if args.json == "-" else sys.stdout
+    with _timeline_scope(args):
+        prog = _compile_from_args(args, profiler=profiler)
+        kwargs = _parse_run_inputs(args)
+        synthesize_inputs(prog, kwargs, args.size)
+        res = None
+        try:
+            for _ in range(max(1, args.runs)):
+                res = prog.run(profiler=profiler, trace=args.trace,
+                               attribution=args.lines, **kwargs)
+        except ReproError as exc:
+            # flush the partial trace before the error surfaces: a failed
+            # run is precisely when the profile is most wanted
+            _write_profile_json(args, profiler, report_to=report_to,
+                                truncated_by=exc)
+            _export_timeline(args, _tl.current())
+            raise
+        _export_timeline(args, _tl.current())
+
     for name, value in res.scalars.items():
         print(f"scalar {name} = {value}", file=report_to)
     print(format_profile(profiler, ledger=res.ledger), file=report_to)
-    if args.json == "-":
-        print(profiler.to_json(indent=2))
-    elif args.json:
-        with open(args.json, "w") as f:
-            f.write(profiler.to_json(indent=2))
-        print(f"profile written to {args.json}", file=report_to)
+    _write_profile_json(args, profiler, report_to=report_to)
     return 0
 
 
@@ -337,6 +390,121 @@ def _cmd_faultcheck(args) -> int:
     return 0
 
 
+def _parse_perturb(specs) -> dict[str, float]:
+    out = {}
+    for spec in specs or []:
+        if ":" not in spec:
+            raise SystemExit(
+                f"bad --perturb spec {spec!r} (need CONFIG:FACTOR, e.g. "
+                "table2_quick:1.2)")
+        label, factor = spec.rsplit(":", 1)
+        out[label] = float(factor)
+    return out
+
+
+def _cmd_obs(args) -> int:
+    from repro.bench import history as H
+
+    if args.obs_cmd == "record":
+        if args.import_baseline:
+            entries = H.import_baseline(args.import_baseline)
+            H.append_entries(args.ledger, entries)
+            print(f"imported {len(entries)} baseline entr"
+                  f"{'y' if len(entries) == 1 else 'ies'} from "
+                  f"{args.import_baseline} into {args.ledger}",
+                  file=sys.stderr)
+            return 0
+        from repro.obs import timeline as tl
+        with tl.enabled():
+            entries = H.measure(reps=args.reps, quick=args.quick,
+                                perturb=_parse_perturb(args.perturb))
+            bus = tl.current()
+            if args.timeline:
+                bus.export_jsonl(args.timeline)
+        H.append_entries(args.ledger, entries)
+        for e in entries:
+            wall = f"{e.wall_ms:9.2f}" if e.wall_ms is not None else \
+                "        -"
+            print(f"  {e.config:<42} {e.pipeline:<9} {e.executor:<9} "
+                  f"modeled {e.modeled_ms:9.4f} ms  wall {wall} ms",
+                  file=sys.stderr)
+        print(f"recorded {len(entries)} entries @ {entries[0].sha} "
+              f"into {args.ledger}", file=sys.stderr)
+        return 0
+
+    entries = H.load_ledger(args.ledger)
+
+    if args.obs_cmd == "compare":
+        metrics = (["modeled", "wall"] if args.metric == "both"
+                   else [args.metric])
+        regressions = 0
+        for metric in metrics:
+            for v in H.detect(entries, metric=metric, k=args.k,
+                              floor=args.floor, against=args.against):
+                mark = {"regression": "REGRESSION", "improvement":
+                        "improvement", "ok": "ok", "skipped": "skipped"}[
+                            v.status]
+                delta = (f"{v.delta_pct:+.1f}%"
+                         if v.delta_pct is not None else "-")
+                note = f"  ({v.note})" if v.note else ""
+                print(f"  {metric:<7} {v.config:<42} {v.pipeline:<9} "
+                      f"{v.executor:<9} {mark:<11} {delta:>8}{note}")
+                regressions += v.status == "regression"
+        if regressions:
+            print(f"FAIL: {regressions} config(s) regressed beyond the "
+                  "noise band", file=sys.stderr)
+            return 1
+        print("[observatory ok: no regressions]", file=sys.stderr)
+        return 0
+
+    if args.obs_cmd == "report":
+        if args.format == "html":
+            doc = H.render_html(entries, metric=args.metric, k=args.k,
+                                floor=args.floor)
+        else:
+            doc = H.format_report(entries, metric=args.metric, k=args.k,
+                                  floor=args.floor) + "\n"
+        if args.out:
+            with open(args.out, "w") as f:
+                f.write(doc)
+            print(f"report written to {args.out}", file=sys.stderr)
+        else:
+            sys.stdout.write(doc)
+        return 0
+
+    raise SystemExit(f"unknown obs subcommand {args.obs_cmd!r}")
+
+
+def _cmd_obs_events(args) -> int:
+    """Filter/pretty-print a timeline JSONL export."""
+    import json
+    shown = 0
+    with open(args.file) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            ev = json.loads(line)
+            if args.category and ev.get("category") != args.category:
+                continue
+            if args.kind and ev.get("kind") != args.kind:
+                continue
+            if args.grep and args.grep not in line:
+                continue
+            attrs = ev.get("attrs") or {}
+            extra = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            dur = (f" {ev['dur_us']:.1f}us"
+                   if ev.get("dur_us") else "")
+            print(f"[{ev['ts_us']:>12.1f}] {ev['category']:<7} "
+                  f"{ev['kind']:<8} {ev['name']}{dur}"
+                  f"{'  ' + extra if extra else ''}")
+            shown += 1
+            if args.limit and shown >= args.limit:
+                break
+    print(f"[{shown} event(s)]", file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m repro",
@@ -390,6 +558,9 @@ def main(argv=None) -> int:
     pr.add_argument("--profile", action="store_true",
                     help="attach a profiler and print the per-kernel "
                          "report after the run")
+    pr.add_argument("--timeline", metavar="PATH",
+                    help="enable the telemetry bus and export its events "
+                         "as JSONL ('-' for stdout)")
 
     pp = sub.add_parser(
         "profile", help="compile, run, and print an nvprof-style report")
@@ -411,6 +582,9 @@ def main(argv=None) -> int:
                     help="per-statement attribution: annotated kernel "
                          "listings in the report, statement counter "
                          "tracks and roofline verdicts in the JSON")
+    pp.add_argument("--timeline", metavar="PATH",
+                    help="enable the telemetry bus and export its events "
+                         "as JSONL ('-' for stdout)")
 
     pa = sub.add_parser(
         "annotate",
@@ -446,6 +620,81 @@ def main(argv=None) -> int:
                     help="write the campaign document as JSON "
                          "('-' for stdout)")
 
+    po = sub.add_parser(
+        "obs",
+        help="the perf observatory: record/compare/report the bench "
+             "history ledger, pretty-print timeline events")
+    po.add_argument("--debug", action="store_true",
+                    default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+    obs_sub = po.add_subparsers(dest="obs_cmd", required=True)
+
+    def add_ledger(p):
+        p.add_argument("--ledger", default="artifacts/bench_history.jsonl",
+                       metavar="PATH",
+                       help="JSONL run ledger (default "
+                            "artifacts/bench_history.jsonl)")
+
+    orec = obs_sub.add_parser(
+        "record", help="measure the config grid and append to the ledger")
+    add_ledger(orec)
+    orec.add_argument("--reps", type=int, default=3,
+                      help="wall-clock repetitions per config (default 3)")
+    orec.add_argument("--quick", action="store_true",
+                      help="small sizes/geometry (tests, sanity runs)")
+    orec.add_argument("--import-baseline", nargs="?",
+                      const="BENCH_table2.json", default=None,
+                      metavar="PATH",
+                      help="seed the ledger from a committed bench-smoke "
+                           "baseline instead of measuring (default "
+                           "BENCH_table2.json)")
+    orec.add_argument("--perturb", action="append", metavar="CONFIG:FACTOR",
+                      help="scale one config's samples (self-test hook, "
+                           "e.g. table2_quick:1.2)")
+    orec.add_argument("--timeline", metavar="PATH",
+                      help="also export the run's telemetry events as "
+                           "JSONL")
+
+    ocmp = obs_sub.add_parser(
+        "compare",
+        help="flag configs whose latest median left the baseline's "
+             "noise band (exit 1 on regression)")
+    add_ledger(ocmp)
+    ocmp.add_argument("--metric", default="modeled",
+                      choices=["modeled", "wall", "both"],
+                      help="modeled ms (deterministic, cross-machine; "
+                           "default), wall ms (same-host only), or both")
+    ocmp.add_argument("--k", type=float, default=3.0,
+                      help="noise-band width in MADs (default 3)")
+    ocmp.add_argument("--floor", type=float, default=0.05,
+                      help="relative band floor (default 0.05 = 5%%)")
+    ocmp.add_argument("--against", default="baseline",
+                      choices=["baseline", "previous"],
+                      help="anchor: each key's first entry (default; "
+                           "drift-proof) or the previous entry")
+
+    orep = obs_sub.add_parser(
+        "report", help="trend report over the ledger (markdown or HTML)")
+    add_ledger(orep)
+    orep.add_argument("--metric", default="modeled",
+                      choices=["modeled", "wall"])
+    orep.add_argument("--k", type=float, default=3.0)
+    orep.add_argument("--floor", type=float, default=0.05)
+    orep.add_argument("--format", default="md", choices=["md", "html"])
+    orep.add_argument("--out", metavar="PATH",
+                      help="write to PATH instead of stdout")
+
+    oev = obs_sub.add_parser(
+        "events", help="filter/pretty-print a timeline JSONL export")
+    oev.add_argument("file", help="timeline JSONL (from --timeline PATH)")
+    oev.add_argument("--category", help="keep one category (gpu, passes, "
+                                        "faults, bench)")
+    oev.add_argument("--kind", choices=["span", "counter", "decision",
+                                        "fault"])
+    oev.add_argument("--grep", metavar="SUBSTR",
+                     help="keep events whose JSONL line contains SUBSTR")
+    oev.add_argument("--limit", type=int, default=0, metavar="N",
+                     help="stop after N events (default: all)")
+
     for bench in ("table2", "fig11", "fig12", "ablations"):
         sub.add_parser(bench, help=f"regenerate {bench} "
                                    "(remaining args forwarded)")
@@ -476,6 +725,12 @@ def main(argv=None) -> int:
             if extra:
                 ap.error(f"unrecognized arguments: {' '.join(extra)}")
             return _cmd_faultcheck(args)
+        if args.cmd == "obs":
+            if extra:
+                ap.error(f"unrecognized arguments: {' '.join(extra)}")
+            if args.obs_cmd == "events":
+                return _cmd_obs_events(args)
+            return _cmd_obs(args)
         import importlib
         mod = importlib.import_module(f"repro.bench.{args.cmd}")
         return mod.main(extra)

@@ -26,6 +26,7 @@ from repro.gpu.executor import CompiledKernel
 from repro.gpu.kernelir import dump as dump_kernel
 from repro.codegen.lowering import LoweredProgram, lower_region
 from repro.acc.profiles import CompilerProfile, get_profile
+from repro.obs import timeline as _timeline
 
 __all__ = ["compile", "Program", "RunResult", "FALLBACK_CHAIN"]
 
@@ -170,6 +171,15 @@ class Program:
                                strategy=self._strategy,
                                executor=executor_mode or "batched",
                                kernel=self._compiled[name].kernel)
+
+    def _emit_kernel_span(self, name: str, timing, grid_dim: int,
+                          executor_mode: str | None) -> None:
+        """Mirror one launch onto the telemetry bus (modeled duration)."""
+        tl = _timeline.current()
+        if tl is not None:
+            tl.span("gpu", f"kernel:{name}", timing.total_us,
+                    grid=grid_dim, executor=executor_mode or "batched",
+                    compiler=self.profile.name)
 
     def run(self, *, trace: bool = False, data_region=None, profiler=None,
             faults=None, watchdog_budget: int | None = None,
@@ -324,6 +334,8 @@ class Program:
                 stats[g.init_kernel.name] = ist
                 itb = self._cost.kernel_time(ist)
                 env.ledger.add(f"kernel:{g.init_kernel.name}", itb.total_us)
+                self._emit_kernel_span(g.init_kernel.name, itb, g.init_grid,
+                                       executor_mode)
                 if profiler is not None:
                     self._record_kernel(profiler, g.init_kernel.name, ist,
                                         itb, g.init_grid, (fbs0, 1),
@@ -341,6 +353,8 @@ class Program:
             mtb = self._cost.kernel_time(st)
             env.ledger.add(f"kernel:{self.lowered.main_kernel.name}",
                            mtb.total_us)
+            self._emit_kernel_span(self.lowered.main_kernel.name, mtb,
+                                   geom.num_gangs, executor_mode)
             if profiler is not None:
                 self._record_kernel(profiler, self.lowered.main_kernel.name,
                                     st, mtb, geom.num_gangs,
@@ -368,6 +382,8 @@ class Program:
                         ftb = self._cost.kernel_time(fst)
                         env.ledger.add(f"kernel:{g.finish_kernel.name}",
                                        ftb.total_us)
+                        self._emit_kernel_span(g.finish_kernel.name, ftb, 1,
+                                               executor_mode)
                         if profiler is not None:
                             self._record_kernel(profiler,
                                                 g.finish_kernel.name,
@@ -447,6 +463,12 @@ class Program:
                         metrics.counter(
                             "faults.silent_corruption_detected").inc()
                     metrics.counter("faults.strategy_failures").inc()
+                tl = _timeline.current()
+                if tl is not None:
+                    tl.decision(
+                        "faults", "strategy-failure", strategy=sname,
+                        error=type(exc).__name__,
+                        exhausted=(level == len(chain) - 1))
                 if level == len(chain) - 1:
                     raise
                 degradations.append(DegradedExecutionError(
@@ -457,6 +479,12 @@ class Program:
             # success at this level
             result.strategy = sname
             result.degradations = degradations + result.degradations
+            tl = _timeline.current()
+            if tl is not None and (level > 0 or degradations):
+                tl.decision("faults", "degrade", served_by=sname,
+                            level=level,
+                            walked=[d.strategy for d in degradations
+                                    if getattr(d, "strategy", None)])
             if metrics is not None:
                 metrics.counter(f"faults.served_by.{sname}").inc()
                 if level > 0:
@@ -542,9 +570,15 @@ def _execute_with_retry(prog: "Program", *, trace, data_region, profiler,
                                 block_batch=block_batch,
                                 attribution=attribution,
                                 kwargs=kwargs)
-        except TransientFaultError:
+        except TransientFaultError as exc:
             if metrics is not None:
                 metrics.counter("faults.transient_detected").inc()
+            tl = _timeline.current()
+            if tl is not None:
+                tl.decision("faults", "retry", attempt=attempt,
+                            max_attempts=max_attempts,
+                            error=type(exc).__name__,
+                            giving_up=(attempt >= max_attempts))
             if attempt >= max_attempts:
                 raise
             if metrics is not None:

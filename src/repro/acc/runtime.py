@@ -28,6 +28,7 @@ from repro.gpu.costmodel import CostModel, TimingLedger
 from repro.gpu.device import DeviceProperties
 from repro.gpu.memory import GlobalMemory
 from repro.ir.nodes import ArrayInfo, Region
+from repro.obs import timeline as _timeline
 
 __all__ = ["DataEnv"]
 
@@ -73,6 +74,10 @@ class DataEnv:
         self.ledger.add(label, us)
         if self.profiler is not None:
             self.profiler.record_transfer(label, us, nbytes, direction)
+        tl = _timeline.current()
+        if tl is not None:
+            tl.span("gpu", f"transfer:{label}", us, bytes=nbytes,
+                    direction=direction)
 
     # ------------------------------------------------------------------
 

@@ -65,9 +65,19 @@ def main(argv=None) -> int:
     if args.profile_out:
         from repro.bench.harness import ProfileSink
         sink = ProfileSink(args.profile_out)
-    figures = generate_fig11(positions=tuple(args.positions),
-                             quick=args.quick,
-                             profiler=sink.profiler if sink else None)
+    try:
+        figures = generate_fig11(positions=tuple(args.positions),
+                                 quick=args.quick,
+                                 profiler=sink.profiler if sink else None)
+    except BaseException as exc:
+        # flush the partial trace (stamped truncated) on a failed sweep
+        if sink is not None and not isinstance(exc, KeyboardInterrupt):
+            path = sink.write({"bench": "fig11", "quick": args.quick,
+                               "positions": list(args.positions)},
+                              truncated_by=exc)
+            print(f"[partial profile written to {path} (truncated)]",
+                  file=sys.stderr)
+        raise
     if sink is not None:
         path = sink.write({"bench": "fig11", "quick": args.quick,
                            "positions": list(args.positions)})

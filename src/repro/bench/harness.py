@@ -72,9 +72,16 @@ class ProfileSink:
         self.path = path
         self.profiler = Profiler()
 
-    def write(self, meta: dict | None = None) -> str:
-        """Serialize the accumulated profile; returns the path written."""
-        doc = self.profiler.to_dict()
+    def write(self, meta: dict | None = None,
+              truncated_by: BaseException | None = None) -> str:
+        """Serialize the accumulated profile; returns the path written.
+
+        ``truncated_by`` marks a flush from the error path: the sweep
+        died mid-run, and the document carries whatever was captured up
+        to the failure, stamped ``truncated`` (see
+        :meth:`repro.obs.Profiler.to_dict`).
+        """
+        doc = self.profiler.to_dict(truncated_by=truncated_by)
         if meta:
             doc["bench"] = dict(meta)
         with open(self.path, "w") as f:

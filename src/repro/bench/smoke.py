@@ -198,6 +198,68 @@ def _passes_guard() -> dict:
     }
 
 
+def _telemetry_guard() -> dict:
+    """The telemetry-bus zero-overhead pin (boolean, not timed).
+
+    Three contracts the ``--check`` gate enforces on the *current* run
+    (no baseline needed): with no bus installed a run executes zero
+    telemetry code — ``timeline.current()`` is ``None`` and tracemalloc
+    attributes **no allocation** to ``timeline.py``; installing a bus is
+    a pure observer — bitwise-identical scalars and an identical ledger
+    in both executor modes; and an installed bus actually captures the
+    run (kernel + transfer spans, an executor-mode decision).
+    """
+    import tracemalloc
+
+    from repro import acc
+    from repro.obs import timeline
+
+    prog = acc.compile(_REDUCTION_SRC, num_gangs=8, num_workers=2,
+                       vector_length=32)
+    a = (np.arange(1 << 12) % 97).astype(np.float32)
+
+    def run_both(**kw):
+        return {m: prog.run(executor_mode=m, a=a, **kw)
+                for m in ("batched", "reference")}
+
+    # 1. disabled: no bus, and no allocation attributable to the bus
+    tl_file = timeline.__file__
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        plain = run_both()
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    flt = tracemalloc.Filter(True, tl_file)
+    tl_allocs = after.filter_traces([flt]).compare_to(
+        before.filter_traces([flt]), "lineno")
+    off_no_alloc = (timeline.current() is None
+                    and not any(st.size_diff > 0 or st.count_diff > 0
+                                for st in tl_allocs))
+
+    # 2./3. enabled: a pure observer that does capture the run
+    with timeline.enabled() as tl:
+        observed = run_both()
+        cats = tl.categories()
+        kinds = {e.kind for e in tl.events("gpu")}
+        names = {e.name for e in tl.events("gpu")}
+    bits = {tag: {m: np.asarray(r.scalars["total"]).tobytes()
+                  for m, r in runs.items()}
+            for tag, runs in (("plain", plain), ("observed", observed))}
+    return {
+        "off_no_bus_no_alloc": off_no_alloc,
+        "pure_observer": (
+            bits["plain"] == bits["observed"]
+            and all(plain[m].ledger.entries == observed[m].ledger.entries
+                    for m in plain)),
+        "on_captures": (cats.get("gpu", 0) > 0
+                        and "decision" in kinds and "span" in kinds
+                        and any(n.startswith("kernel:") for n in names)
+                        and any(n.startswith("transfer:") for n in names)),
+    }
+
+
 def run_smoke(reps: int = 2) -> dict:
     """Both workloads, both modes; returns the baseline document."""
     return {
@@ -209,6 +271,7 @@ def run_smoke(reps: int = 2) -> dict:
         },
         "attribution_guard": _attribution_guard(),
         "pass_pipeline": _passes_guard(),
+        "telemetry_guard": _telemetry_guard(),
     }
 
 
@@ -221,6 +284,11 @@ def check_against_baseline(current: dict, baseline: dict,
             failures.append(f"attribution_guard: {check} violated — "
                             "per-statement attribution must be opt-in "
                             "and a pure observer")
+    for check, ok in current.get("telemetry_guard", {}).items():
+        if not ok:
+            failures.append(f"telemetry_guard: {check} violated — the "
+                            "telemetry bus must cost nothing when off "
+                            "and observe without perturbing when on")
     pp = current.get("pass_pipeline")
     if pp is not None:
         for row in pp["configs"]:

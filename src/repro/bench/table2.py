@@ -76,9 +76,21 @@ def main(argv=None) -> int:
         from repro.bench.harness import ProfileSink
         sink = ProfileSink(args.profile_out)
 
-    rep = generate_table2(quick=args.quick, ops=tuple(args.ops),
-                          ctypes=tuple(args.ctypes), progress=progress,
-                          profiler=sink.profiler if sink else None)
+    try:
+        rep = generate_table2(quick=args.quick, ops=tuple(args.ops),
+                              ctypes=tuple(args.ctypes), progress=progress,
+                              profiler=sink.profiler if sink else None)
+    except BaseException as exc:
+        # a failed sweep is when the profile is most wanted: flush the
+        # partial trace (stamped truncated) before the error surfaces
+        if sink is not None and not isinstance(exc, KeyboardInterrupt):
+            path = sink.write({"bench": "table2", "quick": args.quick,
+                               "ops": list(args.ops),
+                               "ctypes": list(args.ctypes)},
+                              truncated_by=exc)
+            print(f"[partial profile written to {path} (truncated)]",
+                  file=sys.stderr)
+        raise
     if sink is not None:
         path = sink.write({"bench": "table2", "quick": args.quick,
                            "ops": list(args.ops),

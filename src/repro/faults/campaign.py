@@ -119,9 +119,20 @@ class CampaignResult:
     def escaped(self) -> int:
         return self.counts["escaped"]
 
+    @property
+    def counts_by_kind(self) -> dict[str, dict[str, int]]:
+        """fault kind → category → trial count (the table's breakdown,
+        machine-readable)."""
+        out: dict[str, dict[str, int]] = {}
+        for t in self.trials:
+            per = out.setdefault(t.kind, {cat: 0 for cat in CATEGORIES})
+            per[t.category] += 1
+        return out
+
     def to_dict(self) -> dict:
         return {"seed": self.seed, "detect": self.detect,
                 "compiler": self.compiler, "counts": self.counts,
+                "counts_by_kind": self.counts_by_kind,
                 "trials": [t.to_dict() for t in self.trials]}
 
     def table(self) -> str:

@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import KernelLaunchError, TransferFaultError
+from repro.obs import timeline as _timeline
 
 __all__ = ["FaultInjector", "FaultRecord"]
 
@@ -108,6 +109,10 @@ class FaultInjector:
     def _record(self, site: str, kind: str, **detail) -> FaultRecord:
         rec = FaultRecord(len(self.records), site, kind, detail)
         self.records.append(rec)
+        tl = _timeline.current()
+        if tl is not None:
+            tl.fault("faults", site, fault_kind=kind, index=rec.index,
+                     **detail)
         return rec
 
     # -- bit flips -------------------------------------------------------

@@ -36,6 +36,7 @@ from repro.gpu import kernelir as K
 from repro.gpu.device import DeviceProperties
 from repro.gpu.events import AttributionTable, KernelStats, TraceEvent
 from repro.gpu.memory import GlobalMemory, SharedMemory
+from repro.obs import timeline as _timeline
 
 __all__ = ["CompiledKernel", "BlockEnv", "DEFAULT_WATCHDOG_BUDGET"]
 
@@ -746,7 +747,13 @@ class CompiledKernel:
             raise SimulationError(
                 f"unknown executor mode {mode!r} "
                 "(expected 'batched' or 'reference')")
+        requested = mode
         mode = self.effective_mode(mode, grid_dim, gmem, faults)
+        tl = _timeline.current()
+        if tl is not None:
+            tl.decision("gpu", "executor-mode", kernel=self.kernel.name,
+                        requested=requested, mode=mode, grid=grid_dim,
+                        fallback=(mode != requested))
         if faults is not None:
             faults.on_launch(self.kernel.name)  # may raise KernelLaunchError
         stats = KernelStats(

@@ -11,6 +11,7 @@ from repro.gpu.events import KernelStats
 from repro.gpu.executor import CompiledKernel
 from repro.gpu.kernelir import Kernel, walk_stmts
 from repro.gpu.memory import GlobalMemory
+from repro.obs import timeline as _timeline
 
 __all__ = ["LaunchReport", "launch", "compile_cache_info",
            "compile_cache_clear"]
@@ -39,15 +40,24 @@ def _compiled(kernel: Kernel, device: DeviceProperties,
     global _cache_hits, _cache_misses
     key = (kernel, device, options_key, _sid_fingerprint(kernel))
     ck = _COMPILE_CACHE.get(key)
+    tl = _timeline.current()
     if ck is not None:
         _cache_hits += 1
         _COMPILE_CACHE.move_to_end(key)
+        if tl is not None:
+            tl.counter("gpu", "compile_cache", event="hit",
+                       kernel=kernel.name, hits=_cache_hits,
+                       misses=_cache_misses, size=len(_COMPILE_CACHE))
         return ck
     _cache_misses += 1
     ck = CompiledKernel(kernel, device)
     _COMPILE_CACHE[key] = ck
     if len(_COMPILE_CACHE) > _COMPILE_CACHE_MAX:
         _COMPILE_CACHE.popitem(last=False)
+    if tl is not None:
+        tl.counter("gpu", "compile_cache", event="miss",
+                   kernel=kernel.name, hits=_cache_hits,
+                   misses=_cache_misses, size=len(_COMPILE_CACHE))
     return ck
 
 
@@ -123,6 +133,11 @@ def launch(kernel: Kernel, gmem: GlobalMemory, *, grid_dim: int,
                    mode=mode, block_batch=block_batch,
                    attribution=attribution)
     timing = CostModel(device).kernel_time(stats)
+    tl = _timeline.current()
+    if tl is not None:
+        tl.span("gpu", f"kernel:{kernel.name}", timing.total_us,
+                grid=grid_dim, block=list(block_dim),
+                executor=ck.effective_mode(mode, grid_dim, gmem, faults))
     if profiler is not None:
         profiler.record_kernel(kernel.name, stats, timing,
                                grid_dim=grid_dim, block_dim=block_dim,

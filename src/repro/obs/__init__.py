@@ -15,6 +15,7 @@ Everything is opt-in: with no profiler attached, the run path does no
 extra work.
 """
 
+from repro.obs import timeline
 from repro.obs.attribution import (annotate_kernel, annotate_record,
                                    attribution_rows, record_rows)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -22,11 +23,13 @@ from repro.obs.profiler import Profiler
 from repro.obs.record import KernelRecord
 from repro.obs.report import format_kernel_table, format_profile
 from repro.obs.roofline import Roofline, classify
+from repro.obs.timeline import Event, Timeline
 from repro.obs.trace import CounterSample, Span, TraceRecorder
 
 __all__ = [
     "Counter",
     "CounterSample",
+    "Event",
     "Gauge",
     "Histogram",
     "KernelRecord",
@@ -34,6 +37,7 @@ __all__ = [
     "Profiler",
     "Roofline",
     "Span",
+    "Timeline",
     "TraceRecorder",
     "annotate_kernel",
     "annotate_record",
@@ -42,4 +46,5 @@ __all__ = [
     "format_kernel_table",
     "format_profile",
     "record_rows",
+    "timeline",
 ]

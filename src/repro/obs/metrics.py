@@ -15,13 +15,23 @@ conventional ones:
 Names are dotted strings (``"profiler.kernel_launches"``); registries
 create instruments on first use and re-return the same instance after, so
 repeated launches accumulate into one series.
+
+Instruments are thread-safe: each read-modify-write (``inc``,
+``observe``) holds a per-instrument lock, and instrument creation holds a
+registry lock, so concurrent emitters (the telemetry bus's contract —
+see :mod:`repro.obs.timeline`) never lose updates.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+def _lock_field():
+    return field(default_factory=threading.Lock, repr=False, compare=False)
 
 
 @dataclass
@@ -30,12 +40,14 @@ class Counter:
 
     name: str
     value: float = 0.0
+    _lock: threading.Lock = _lock_field()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease "
                              f"(inc by {amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 @dataclass
@@ -58,13 +70,15 @@ class Histogram:
     total: float = 0.0
     min: float | None = None
     max: float | None = None
+    _lock: threading.Lock = _lock_field()
 
     def observe(self, value: float) -> None:
         v = float(value)
-        self.count += 1
-        self.total += v
-        self.min = v if self.min is None else min(self.min, v)
-        self.max = v if self.max is None else max(self.max, v)
+        with self._lock:
+            self.count += 1
+            self.total += v
+            self.min = v if self.min is None else min(self.min, v)
+            self.max = v if self.max is None else max(self.max, v)
 
     @property
     def mean(self) -> float:
@@ -78,21 +92,36 @@ class MetricsRegistry:
     counters: dict[str, Counter] = field(default_factory=dict)
     gauges: dict[str, Gauge] = field(default_factory=dict)
     histograms: dict[str, Histogram] = field(default_factory=dict)
+    _lock: threading.Lock = _lock_field()
 
     def counter(self, name: str) -> Counter:
-        if name not in self.counters:
-            self.counters[name] = Counter(name)
-        return self.counters[name]
+        with self._lock:
+            if name not in self.counters:
+                self.counters[name] = Counter(name)
+            return self.counters[name]
 
     def gauge(self, name: str) -> Gauge:
-        if name not in self.gauges:
-            self.gauges[name] = Gauge(name)
-        return self.gauges[name]
+        with self._lock:
+            if name not in self.gauges:
+                self.gauges[name] = Gauge(name)
+            return self.gauges[name]
 
     def histogram(self, name: str) -> Histogram:
-        if name not in self.histograms:
-            self.histograms[name] = Histogram(name)
-        return self.histograms[name]
+        with self._lock:
+            if name not in self.histograms:
+                self.histograms[name] = Histogram(name)
+            return self.histograms[name]
+
+    def reset(self) -> None:
+        """Drop every instrument — the between-runs isolation primitive.
+
+        Callers that reuse one registry (or profiler) across logically
+        separate ``Program.run`` calls reset it so the next run's
+        snapshot carries no cross-run leakage."""
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
 
     def to_dict(self) -> dict:
         """JSON-ready snapshot (stable key order for golden tests)."""

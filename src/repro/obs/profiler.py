@@ -139,21 +139,34 @@ class Profiler:
     def kernels_named(self, name: str) -> list[KernelRecord]:
         return [k for k in self.kernels if k.name == name]
 
-    def to_dict(self) -> dict:
+    def to_dict(self, truncated_by: BaseException | None = None) -> dict:
         """Chrome-trace-loadable document with the profile embedded.
 
         The ``traceEvents`` / ``displayTimeUnit`` keys make the file load
         in ``chrome://tracing``; the extra top-level keys (``kernels``,
         ``metrics``) are ignored by trace viewers and carry the full
         machine-readable profile for tooling.
+
+        ``truncated_by`` marks a document flushed on the error path: the
+        run died mid-flight, so the trace covers only what executed.  The
+        partial profile still loads in ``chrome://tracing`` and shows how
+        far execution got before the failure.
         """
         doc = self.trace.to_chrome()
         doc["kernels"] = [k.to_dict() for k in self.kernels]
         doc["metrics"] = self.metrics.to_dict()
+        if truncated_by is not None:
+            doc["truncated"] = True
+            doc["truncated_by"] = {
+                "error": type(truncated_by).__name__,
+                "message": str(truncated_by),
+            }
         return doc
 
-    def to_json(self, indent: int | None = None) -> str:
-        return json.dumps(self.to_dict(), indent=indent)
+    def to_json(self, indent: int | None = None,
+                truncated_by: BaseException | None = None) -> str:
+        return json.dumps(self.to_dict(truncated_by=truncated_by),
+                          indent=indent)
 
     def format_report(self) -> str:
         """The plain-text per-kernel report (see :mod:`repro.obs.report`)."""

@@ -1,0 +1,270 @@
+"""``repro.obs.timeline`` — the unified structured telemetry bus.
+
+Every observable subsystem emits typed events into one opt-in bus:
+
+* ``repro.passes``  — one ``span`` per compilation pass, one ``decision``
+  per autotuned reduction variable;
+* ``repro.gpu``     — launch-compile-cache ``counter`` hits/misses, one
+  executor-mode ``decision`` per launch, kernel/transfer ``span``s with
+  modeled durations;
+* ``repro.faults``  — one ``fault`` event per injection, plus ``decision``
+  events for retry and degrade transitions in the hardened run path;
+* ``repro.bench``   — cost-model-vs-wall-clock ``counter`` samples from
+  the perf-history recorder (:mod:`repro.bench.history`).
+
+The bus is a process-wide, strictly opt-in singleton: nothing is
+installed by default, every emit site is guarded by ``current() is
+None``, and with no timeline installed the run path allocates nothing —
+the same zero-overhead contract the profiler and attribution layers pin
+(enforced by the bench smoke ``telemetry_guard``).
+
+Events carry a monotonic timestamp (microseconds since the timeline's
+epoch, from :func:`time.perf_counter`) and a process-unique sequence
+number, live in a bounded ring buffer (oldest events drop first, with a
+drop counter), and support deterministic per-category sampling
+(``sample={"gpu": 10}`` keeps every 10th ``gpu`` event).  Export is
+JSONL — one event object per line — consumed by ``python -m repro obs
+events`` and by any external dashboard.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "Timeline", "current", "install", "uninstall",
+           "enabled", "emit", "EVENT_KINDS"]
+
+#: the typed event vocabulary; anything else is rejected at emit time
+EVENT_KINDS = ("span", "counter", "decision", "fault")
+
+
+def _json_default(obj):
+    """Coerce non-JSON attr values (numpy scalars, tuples of them).
+
+    ``float`` before ``int``: ``int(np.float32(2.5))`` would silently
+    truncate, while ``float`` of an integer scalar is exact (attr values
+    are small counters and durations, well inside 2**53).
+    """
+    item = getattr(obj, "item", None)
+    if item is not None:
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    for cast in (float, int):
+        try:
+            return cast(obj)
+        except (TypeError, ValueError):
+            continue
+    return str(obj)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One telemetry event on the bus.
+
+    ``ts_us`` is monotonic (relative to the owning timeline's epoch) and
+    ``seq`` totally orders events even when timestamps collide; ``dur_us``
+    is meaningful for ``span`` events (0 for instantaneous kinds).
+    """
+
+    seq: int
+    ts_us: float
+    category: str   # "passes" | "gpu" | "faults" | "bench" | ...
+    kind: str       # one of EVENT_KINDS
+    name: str
+    dur_us: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "ts_us": round(self.ts_us, 3),
+                "category": self.category, "kind": self.kind,
+                "name": self.name, "dur_us": round(self.dur_us, 4),
+                "attrs": dict(self.attrs)}
+
+    def to_jsonl(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          default=_json_default)
+
+
+class Timeline:
+    """Bounded ring buffer of :class:`Event` with per-category sampling.
+
+    ``capacity`` bounds memory: when full, the oldest event is dropped
+    and ``dropped`` incremented — telemetry must never OOM the program
+    it observes.  ``sample`` maps category → keep-every-nth (``{"gpu":
+    8}`` keeps the 1st, 9th, ... ``gpu`` event; sampled-out events count
+    in ``sampled_out``).  Emission is cheap and thread-tolerant: the
+    sequence counter is an :func:`itertools.count` (atomic under the
+    GIL) and the deque append is atomic.
+    """
+
+    def __init__(self, capacity: int = 8192,
+                 sample: dict[str, int] | None = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._seq = itertools.count()
+        self._epoch = time.perf_counter()
+        self._sample = {c: int(n) for c, n in (sample or {}).items()}
+        self._sample_counts: dict[str, int] = {}
+        self.emitted = 0      # events offered to the bus
+        self.sampled_out = 0  # dropped by per-category sampling
+        self.dropped = 0      # dropped by the ring bound
+
+    # -- emission --------------------------------------------------------
+
+    def emit(self, category: str, kind: str, name: str,
+             dur_us: float = 0.0, **attrs) -> Event | None:
+        """Append one event; returns it, or ``None`` when sampled out."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r} "
+                             f"(expected one of {EVENT_KINDS})")
+        self.emitted += 1
+        n = self._sample.get(category)
+        if n is not None:
+            c = self._sample_counts.get(category, 0)
+            self._sample_counts[category] = c + 1
+            if n <= 0 or c % n:
+                self.sampled_out += 1
+                return None
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        ev = Event(seq=next(self._seq),
+                   ts_us=(time.perf_counter() - self._epoch) * 1e6,
+                   category=category, kind=kind, name=name,
+                   dur_us=float(dur_us), attrs=attrs)
+        self._events.append(ev)
+        return ev
+
+    def span(self, category: str, name: str, dur_us: float, **attrs):
+        return self.emit(category, "span", name, dur_us, **attrs)
+
+    def counter(self, category: str, name: str, **attrs):
+        return self.emit(category, "counter", name, **attrs)
+
+    def decision(self, category: str, name: str, **attrs):
+        return self.emit(category, "decision", name, **attrs)
+
+    def fault(self, category: str, name: str, **attrs):
+        return self.emit(category, "fault", name, **attrs)
+
+    @contextmanager
+    def timed_span(self, category: str, name: str, **attrs):
+        """Wall-clock span around a ``with`` body (host-side work)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.span(category, name, (time.perf_counter() - t0) * 1e6,
+                      **attrs)
+
+    # -- reading / draining ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, category: str | None = None,
+               kind: str | None = None) -> list[Event]:
+        """Snapshot of retained events, optionally filtered."""
+        return [ev for ev in self._events
+                if (category is None or ev.category == category)
+                and (kind is None or ev.kind == kind)]
+
+    def categories(self) -> dict[str, int]:
+        """Retained event count per category (sorted for stable output)."""
+        counts: dict[str, int] = {}
+        for ev in self._events:
+            counts[ev.category] = counts.get(ev.category, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def clear(self) -> None:
+        """Drop retained events (counters and the epoch are kept)."""
+        self._events.clear()
+
+    def drain(self) -> list[Event]:
+        """Return retained events and clear the buffer — the per-run
+        isolation primitive (no cross-run leakage when one bus spans
+        several ``Program.run`` calls)."""
+        out = list(self._events)
+        self._events.clear()
+        return out
+
+    # -- export ----------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The retained events, one JSON object per line."""
+        return "\n".join(ev.to_jsonl() for ev in self._events)
+
+    def export_jsonl(self, path: str) -> str:
+        """Write the JSONL document (plus a trailing newline); returns
+        the path.  An empty timeline writes an empty file."""
+        body = self.to_jsonl()
+        with open(path, "w") as f:
+            if body:
+                f.write(body + "\n")
+        return path
+
+    def stats(self) -> dict:
+        return {"retained": len(self._events), "emitted": self.emitted,
+                "sampled_out": self.sampled_out, "dropped": self.dropped,
+                "capacity": self.capacity}
+
+
+# -- the process-wide bus (opt-in singleton) ------------------------------
+
+_CURRENT: Timeline | None = None
+
+
+def current() -> Timeline | None:
+    """The installed bus, or ``None`` (the zero-overhead default)."""
+    return _CURRENT
+
+
+def install(timeline: Timeline | None = None, *, capacity: int = 8192,
+            sample: dict[str, int] | None = None) -> Timeline:
+    """Install (and return) the process bus; replaces any previous one."""
+    global _CURRENT
+    _CURRENT = timeline if timeline is not None else Timeline(
+        capacity=capacity, sample=sample)
+    return _CURRENT
+
+
+def uninstall() -> Timeline | None:
+    """Remove the bus; returns the removed timeline (if any)."""
+    global _CURRENT
+    tl, _CURRENT = _CURRENT, None
+    return tl
+
+
+@contextmanager
+def enabled(timeline: Timeline | None = None, *, capacity: int = 8192,
+            sample: dict[str, int] | None = None):
+    """Scoped installation: the bus is live inside the ``with`` body and
+    the previous state (usually: no bus) is restored after."""
+    global _CURRENT
+    prev = _CURRENT
+    tl = install(timeline, capacity=capacity, sample=sample)
+    try:
+        yield tl
+    finally:
+        _CURRENT = prev
+
+
+def emit(category: str, kind: str, name: str, dur_us: float = 0.0,
+         **attrs) -> Event | None:
+    """Emit onto the installed bus, or do nothing when none is installed.
+
+    Hot sites prefer the inline guard ``tl = current(); if tl is not
+    None: tl.emit(...)`` so the disabled path is a single attribute read.
+    """
+    tl = _CURRENT
+    if tl is None:
+        return None
+    return tl.emit(category, kind, name, dur_us, **attrs)

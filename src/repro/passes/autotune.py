@@ -27,6 +27,7 @@ a :class:`repro.codegen.lowering.PlannedStrategy` selector.
 from __future__ import annotations
 
 from repro.dtypes import is_integer
+from repro.obs import timeline as _timeline
 from repro.passes.manager import CompileState, register_pass
 
 __all__ = []
@@ -109,5 +110,16 @@ def run_autotune(state: CompileState):
     if choices:
         state.selector = PlannedStrategy(choices)
     overrides = len(choices)
+    tl = _timeline.current()
+    if tl is not None:
+        for var, rec in state.autotune.items():
+            if "skipped" in rec:
+                tl.decision("passes", f"autotune:{var}",
+                            skipped=rec["skipped"])
+                continue
+            tl.decision("passes", f"autotune:{var}", **{
+                fld: {"choice": dec["choice"], "default": dec["default"],
+                      "estimates_us": dec["estimates_us"]}
+                for fld, dec in rec.items()})
     return (f"tuned {tuned} reduction(s), "
             f"{overrides} override(s) of the profile defaults")

@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.gpu.kernelir import dump as dump_kernel, verify_kernel
+from repro.obs import timeline as _timeline
 
 __all__ = ["Pass", "PassRecord", "CompileState", "PipelineSpec",
            "PassManager", "PIPELINES", "PASS_REGISTRY", "OPTIONAL_PASSES",
@@ -223,6 +224,11 @@ class PassManager:
                 name=name, kind=p.kind, wall_ms=wall_ms, note=note or "",
                 before=before,
                 after=_listing(state) if self.capture_ir else None))
+            tl = _timeline.current()
+            if tl is not None:
+                tl.span("passes", f"pass:{name}", wall_ms * 1000.0,
+                        pass_kind=p.kind, pipeline=self.spec.name,
+                        note=note or "")
         return state
 
 

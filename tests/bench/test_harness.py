@@ -73,3 +73,21 @@ class TestAblationRows:
         rows = run_ablation("A1", quick=True)
         assert len(rows) == 2
         assert all(r.kernel_ms > 0 for r in rows)
+
+
+class TestProfileSinkTruncation:
+    def test_write_truncated_stamps_document(self, tmp_path):
+        import json
+
+        from repro.bench.harness import ProfileSink
+
+        sink = ProfileSink(str(tmp_path / "p.json"))
+        with sink.profiler.phase("sweep"):
+            pass
+        path = sink.write({"bench": "t"},
+                          truncated_by=RuntimeError("died mid-sweep"))
+        doc = json.loads(open(path).read())
+        assert doc["truncated"] is True
+        assert doc["truncated_by"]["error"] == "RuntimeError"
+        assert doc["bench"] == {"bench": "t"}
+        assert doc["traceEvents"]  # the partial trace survived

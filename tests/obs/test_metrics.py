@@ -67,3 +67,110 @@ class TestRegistry:
         text = reg.format()
         assert "hits" in text and "7" in text
         assert "lat" in text and "n=1" in text
+
+
+class TestConcurrency:
+    """The registry is shared by every emitter of a run: counts must be
+    exact under concurrent increments, not approximately right."""
+
+    def test_concurrent_counter_increments_are_exact(self):
+        import threading
+        reg = MetricsRegistry()
+        c = reg.counter("launches")
+        n_threads, n_incs = 8, 2000
+
+        def work():
+            for _ in range(n_incs):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * n_incs
+
+    def test_concurrent_create_on_first_use_yields_one_instrument(self):
+        import threading
+        reg = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def work():
+            barrier.wait()
+            seen.append(reg.counter("shared"))
+            reg.counter("shared").inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is seen[0] for c in seen)
+        assert reg.counter("shared").value == 8
+
+    def test_concurrent_histogram_totals_are_exact(self):
+        import threading
+        reg = MetricsRegistry()
+        h = reg.histogram("kernel_us")
+
+        def work():
+            for _ in range(1000):
+                h.observe(2.0)
+
+        threads = [threading.Thread(target=work) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 6000
+        assert h.total == 12000.0
+
+
+class TestReset:
+    def test_reset_drops_all_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(5)
+        reg.gauge("b").set(1.0)
+        reg.histogram("c").observe(2.0)
+        reg.reset()
+        assert reg.to_dict() == {"counters": {}, "gauges": {},
+                                 "histograms": {}}
+        # create-on-first-use starts fresh after a reset
+        assert reg.counter("a").value == 0
+
+    def test_reset_isolates_program_runs(self):
+        """One profiler across two runs, reset between: the second run's
+        metrics carry no residue of the first (per-run isolation), and
+        the timeline sees the runs as disjoint event sets via drain()."""
+        import numpy as np
+
+        from repro import acc
+        from repro.obs import Profiler
+        from repro.obs import timeline
+
+        src = '''float a[n];
+float total = 0.0;
+#pragma acc parallel copyin(a)
+#pragma acc loop gang vector reduction(+:total)
+for (i = 0; i < n; i++)
+    total += a[i];
+'''
+        prog = acc.compile(src, num_gangs=4, num_workers=1,
+                           vector_length=32)
+        a = np.ones(256, dtype=np.float32)
+        profiler = Profiler()
+        timeline.uninstall()
+        with timeline.enabled() as tl:
+            prog.run(profiler=profiler, a=a)
+            first_launches = profiler.metrics.counter(
+                "profiler.kernel_launches").value
+            first_events = tl.drain()
+            profiler.metrics.reset()
+            prog.run(profiler=profiler, a=a)
+            second_events = tl.drain()
+        assert first_launches > 0
+        assert (profiler.metrics.counter("profiler.kernel_launches").value
+                == first_launches)
+        assert not {e.seq for e in first_events} & \
+            {e.seq for e in second_events}

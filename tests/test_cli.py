@@ -322,3 +322,130 @@ class TestErrorHandling:
                    "--num-gangs", "4", "--num-workers", "2",
                    "--vector-length", "32"])
         assert rc == 0
+
+
+class TestObsCommand:
+    """The perf observatory + timeline CLI (``python -m repro obs``)."""
+
+    def test_record_quick_then_compare_ok(self, tmp_path, capsys):
+        ledger = str(tmp_path / "hist.jsonl")
+        rc = main(["obs", "record", "--ledger", ledger, "--quick",
+                   "--reps", "1"])
+        assert rc == 0
+        rc = main(["obs", "record", "--ledger", ledger, "--quick",
+                   "--reps", "1"])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["obs", "compare", "--ledger", ledger,
+                   "--metric", "modeled"])
+        out = capsys.readouterr()
+        assert rc == 0
+        assert "no regressions" in out.err
+
+    def test_perturbed_record_fails_compare(self, tmp_path, capsys):
+        ledger = str(tmp_path / "hist.jsonl")
+        assert main(["obs", "record", "--ledger", ledger, "--quick",
+                     "--reps", "1"]) == 0
+        assert main(["obs", "record", "--ledger", ledger, "--quick",
+                     "--reps", "1", "--perturb",
+                     "reduction_64gang:1.2"]) == 0
+        capsys.readouterr()
+        rc = main(["obs", "compare", "--ledger", ledger,
+                   "--metric", "modeled"])
+        out = capsys.readouterr()
+        assert rc == 1
+        assert "REGRESSION" in out.out
+        assert "reduction_64gang" in out.out
+        # the unperturbed configs stay inside the band
+        assert "table2_quick" not in [
+            ln.split()[1] for ln in out.out.splitlines()
+            if "REGRESSION" in ln]
+
+    def test_import_baseline_seeds_ledger(self, tmp_path, capsys):
+        ledger = str(tmp_path / "hist.jsonl")
+        rc = main(["obs", "record", "--ledger", ledger,
+                   "--import-baseline", "BENCH_table2.json"])
+        assert rc == 0
+        from repro.bench.history import load_ledger
+        entries = load_ledger(ledger)
+        assert entries and all(e.source == "baseline-import"
+                               for e in entries)
+
+    def test_report_markdown_and_html(self, tmp_path, capsys):
+        ledger = str(tmp_path / "hist.jsonl")
+        assert main(["obs", "record", "--ledger", ledger, "--quick",
+                     "--reps", "1"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", "--ledger", ledger]) == 0
+        md = capsys.readouterr().out
+        assert "| config |" in md
+        out_html = str(tmp_path / "dash.html")
+        assert main(["obs", "report", "--ledger", ledger,
+                     "--format", "html", "--out", out_html]) == 0
+        text = open(out_html).read()
+        assert text.startswith("<!doctype html>") and "<svg" in text
+
+    def test_record_timeline_and_events_filter(self, tmp_path, capsys):
+        ledger = str(tmp_path / "hist.jsonl")
+        tl_path = str(tmp_path / "tl.jsonl")
+        assert main(["obs", "record", "--ledger", ledger, "--quick",
+                     "--reps", "1", "--timeline", tl_path]) == 0
+        capsys.readouterr()
+        assert main(["obs", "events", tl_path, "--category", "bench"]) == 0
+        out = capsys.readouterr()
+        assert "history:reduction_64gang" in out.out
+        assert "event(s)" in out.err
+
+    def test_run_timeline_export(self, vecsum_file, tmp_path, capsys):
+        tl_path = str(tmp_path / "run.jsonl")
+        rc = main(["run", vecsum_file, "--array", "a=arange:64:float",
+                   "--num-gangs", "4", "--num-workers", "2",
+                   "--vector-length", "32", "--timeline", tl_path])
+        assert rc == 0
+        import json
+        events = [json.loads(ln) for ln in open(tl_path)]
+        assert any(e["category"] == "gpu" and e["kind"] == "span"
+                   for e in events)
+        # the CLI scope uninstalls the bus on exit
+        from repro.obs import timeline
+        assert timeline.current() is None
+
+
+class TestProfileErrorFlush:
+    """A kernel failure mid-run must not lose the partial trace."""
+
+    def test_partial_profile_written_on_fault(self, tmp_path, capsys):
+        # stuck-warp faults surface as a typed watchdog error mid-run;
+        # with --json set the partial document must still be written
+        src = tmp_path / "vecsum.c"
+        src.write_text(VECSUM)
+        out_path = tmp_path / "profile.json"
+        rc = main(["profile", str(src), "--size", "128",
+                   "--num-gangs", "4", "--num-workers", "2",
+                   "--vector-length", "32", "--json", str(out_path)])
+        assert rc == 0
+        import json
+        doc = json.loads(out_path.read_text())
+        assert "truncated" not in doc  # clean run: no truncation stamp
+
+        import repro.acc.compiler as compiler_mod
+        orig = compiler_mod.Program._execute_bound
+
+        def boom(self, *a, **kw):
+            from repro.errors import KernelLaunchError
+            raise KernelLaunchError("injected mid-run failure")
+
+        compiler_mod.Program._execute_bound = boom
+        try:
+            rc = main(["profile", str(src), "--size", "128",
+                       "--num-gangs", "4", "--num-workers", "2",
+                       "--vector-length", "32", "--json", str(out_path)])
+        finally:
+            compiler_mod.Program._execute_bound = orig
+        assert rc == 1
+        doc = json.loads(out_path.read_text())
+        assert doc["truncated"] is True
+        assert doc["truncated_by"]["error"] == "KernelLaunchError"
+        # the compile phases captured before the failure survive
+        assert any(ev.get("cat") == "compile"
+                   for ev in doc["traceEvents"])
