@@ -355,6 +355,7 @@ def _cmd_annotate(args) -> int:
 
 def _cmd_faultcheck(args) -> int:
     from repro.faults import run_campaign
+    from repro.obs import timeline as _tl
 
     source = open(args.file).read()
     # modest default geometry: a fault campaign runs the program hundreds
@@ -365,13 +366,15 @@ def _cmd_faultcheck(args) -> int:
     vector_length = (args.vector_length if args.vector_length is not None
                      else 32)
     detect = not args.no_detect
-    result = run_campaign(source, seed=args.seed, trials=args.campaign,
-                          compiler=args.compiler, num_gangs=num_gangs,
-                          num_workers=num_workers,
-                          vector_length=vector_length, detect=detect,
-                          size=args.size,
-                          watchdog_budget=args.watchdog_budget,
-                          pipeline=args.pipeline)
+    with _timeline_scope(args):
+        result = run_campaign(source, seed=args.seed, trials=args.campaign,
+                              compiler=args.compiler, num_gangs=num_gangs,
+                              num_workers=num_workers,
+                              vector_length=vector_length, detect=detect,
+                              size=args.size,
+                              watchdog_budget=args.watchdog_budget,
+                              pipeline=args.pipeline)
+        _export_timeline(args, _tl.current())
     if args.json:
         import json
         doc = json.dumps(result.to_dict(), indent=2)
@@ -384,10 +387,180 @@ def _cmd_faultcheck(args) -> int:
     if args.json != "-":
         print(result.table())
     if detect and result.escaped:
-        print(f"FAIL: {result.escaped} fault(s) escaped with detection on",
-              file=sys.stderr)
+        # per-kind gate: name every kind that escaped, so a regression in
+        # one hardening path is attributable straight from the CI log
+        for kind, n in sorted(result.escaped_by_kind.items()):
+            print(f"FAIL: {n} {kind} fault(s) escaped with detection on",
+                  file=sys.stderr)
         return 1
     return 0
+
+
+def _serve_config_from_args(args):
+    from repro.serve import ServeConfig
+    return ServeConfig(
+        queue_depth=args.queue_depth,
+        default_deadline_s=args.deadline,
+        hedge_after_s=args.hedge_after,
+        max_tries=args.max_tries,
+        runs=args.runs, max_attempts=args.max_attempts,
+        degrade=args.degrade,
+        watchdog_budget=args.watchdog_budget)
+
+
+def _write_json(doc: dict, path: str | None, label: str) -> None:
+    if not path:
+        return
+    import json
+    text = json.dumps(doc, indent=2, default=str)
+    if path == "-":
+        print(text)
+    else:
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        print(f"{label} written to {path}", file=sys.stderr)
+
+
+def _cmd_serve(args) -> int:
+    """JSONL request/response service over a device pool.
+
+    Each input line is one request object: ``{"id": ..., "source": ...
+    or "file": ..., "arrays": {NAME: SPEC}, "scalars": {...},
+    "priority": 0|1, "deadline_s": ...}`` (array SPECs use the same
+    ``KIND:SHAPE:CTYPE`` / ``*.npy`` forms as ``run --array``).  One
+    JSON verdict is written per line, in completion order.
+    """
+    import asyncio
+    import json as _json
+
+    from repro.obs import timeline as _tl
+    from repro.serve import (CompileCache, ComputeRequest, DevicePool,
+                             Scheduler)
+
+    cfg = _serve_config_from_args(args)
+    cache = CompileCache(args.cache_dir) if args.cache_dir else None
+    out = sys.stdout if args.output == "-" else open(args.output, "w")
+
+    def to_request(i, doc):
+        source = doc.get("source")
+        if source is None:
+            source = open(doc["file"]).read()
+        arrays = {}
+        for name, spec in (doc.get("arrays") or {}).items():
+            _, arr = _parse_array_spec(f"{name}={spec}")
+            arrays[name] = arr
+        return ComputeRequest(
+            id=str(doc.get("id", f"req-{i:04d}")), source=source,
+            compiler=doc.get("compiler", "openuh"),
+            pipeline=doc.get("pipeline"),
+            num_gangs=doc.get("num_gangs"),
+            num_workers=doc.get("num_workers"),
+            vector_length=doc.get("vector_length"),
+            arrays=arrays, scalars=doc.get("scalars") or {},
+            priority=int(doc.get("priority", 1)),
+            deadline_s=doc.get("deadline_s"),
+            run_opts=doc.get("run_opts") or {})
+
+    async def _serve():
+        requests = []
+        with (sys.stdin if args.requests == "-"
+              else open(args.requests)) as f:
+            for i, line in enumerate(f):
+                line = line.strip()
+                if line:
+                    requests.append(to_request(i, _json.loads(line)))
+        async with Scheduler(DevicePool(args.devices), cfg,
+                             cache=cache) as sched:
+            tasks = [sched.submit_nowait(r) for r in requests]
+            for fut in asyncio.as_completed(tasks):
+                res = await fut
+                doc = res.to_dict()
+                if res.outputs and args.save_outputs:
+                    for name, arr in res.outputs.items():
+                        np.save(f"{res.id}.{name}.npy", arr)
+                        doc.setdefault("saved", []).append(
+                            f"{res.id}.{name}.npy")
+                out.write(_json.dumps(doc) + "\n")
+                out.flush()
+            return sched.report()
+
+    with _timeline_scope(args):
+        report = asyncio.run(_serve())
+        _export_timeline(args, _tl.current())
+    if out is not sys.stdout:
+        out.close()
+    _write_json(report, args.report, "serve report")
+    failed = sum(n for s, n in report["by_status"].items() if s != "ok")
+    print(f"served {report['requests']} request(s): "
+          f"{report['by_status']}", file=sys.stderr)
+    return 1 if (args.strict and failed) else 0
+
+
+def _cmd_loadgen(args) -> int:
+    """Synthetic load (and, with --chaos, the soak gate) over the serve
+    layer; see :mod:`repro.serve.loadgen` / :mod:`repro.serve.soak`."""
+    import tempfile
+
+    from repro.obs import timeline as _tl
+
+    cache_dir = args.cache_dir
+    tmp = None
+    if not cache_dir:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-serve-cache-")
+        cache_dir = tmp.name
+    try:
+        with _timeline_scope(args):
+            if args.chaos:
+                from repro.serve import SoakConfig, run_soak
+                report = run_soak(cache_dir, SoakConfig(
+                    n_requests=args.requests, n_devices=args.devices,
+                    seed=args.seed, size=args.size,
+                    deadline_s=args.deadline,
+                    stagger_s=args.stagger,
+                    queue_depth=args.queue_depth,
+                    hedge_after_s=args.hedge_after))
+            else:
+                from repro.serve import run_loadgen
+                report = run_loadgen(
+                    cache_dir, n_requests=args.requests,
+                    n_devices=args.devices, seed=args.seed,
+                    size=args.size, deadline_s=args.deadline,
+                    stagger_s=args.stagger,
+                    config=_serve_config_from_args(args),
+                    warm_pass=not args.no_warm)
+            _export_timeline(args, _tl.current())
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    _write_json(report, args.json, "loadgen report")
+
+    if args.chaos:
+        gate = report["gate"]
+        for c in gate["checks"]:
+            mark = "ok  " if c["passed"] else "FAIL"
+            print(f"  {mark} {c['name']:<20} {c['detail']}",
+                  file=sys.stderr)
+        print(f"soak gate: {'PASSED' if gate['passed'] else 'FAILED'} "
+              f"({report['by_status']})", file=sys.stderr)
+        return 0 if gate["passed"] else 1
+    # fault-free loadgen gates: nothing escaped, and (with a warm pass)
+    # the persistent cache measurably beat the cold compile path
+    rc = 0
+    for wave, stats in report["waves"].items():
+        v = stats["verify"]
+        print(f"  {wave}: {stats['by_status']} "
+              f"p50 {stats['latency_p50_us'] / 1e3:.1f}ms "
+              f"compile-p50 {stats['compile_p50_us'] / 1e3:.1f}ms "
+              f"escaped {v['escaped_count']}", file=sys.stderr)
+        if v["escaped_count"] or v["untyped_failures"]:
+            rc = 1
+    if not args.no_warm:
+        speedup = report.get("warm_speedup_p50")
+        print(f"  warm compile p50 speedup: {speedup}x", file=sys.stderr)
+        if not speedup or speedup <= 1.0:
+            print("FAIL: warm pass no faster than cold", file=sys.stderr)
+            rc = 1
+    return rc
 
 
 def _parse_perturb(specs) -> dict[str, float]:
@@ -619,6 +792,75 @@ def main(argv=None) -> int:
     pf.add_argument("--json", metavar="PATH",
                     help="write the campaign document as JSON "
                          "('-' for stdout)")
+    pf.add_argument("--timeline", metavar="PATH",
+                    help="enable the telemetry bus and export its events "
+                         "as JSONL ('-' for stdout)")
+
+    def add_serve_common(p):
+        p.add_argument("--devices", type=int, default=4,
+                       help="simulated devices in the pool (default 4)")
+        p.add_argument("--cache-dir", metavar="DIR",
+                       help="persistent compile-cache directory "
+                            "(loadgen default: a fresh temp dir)")
+        p.add_argument("--queue-depth", type=int, default=64,
+                       help="bounded queue per priority class (default 64)")
+        p.add_argument("--deadline", type=float, default=30.0,
+                       help="default per-request deadline in seconds")
+        p.add_argument("--hedge-after", type=float, default=None,
+                       metavar="S",
+                       help="hedge a still-running request onto an idle "
+                            "device after S seconds (default: off)")
+        p.add_argument("--max-tries", type=int, default=3,
+                       help="cross-device tries per request (default 3)")
+        p.add_argument("--runs", type=int, default=1,
+                       help="redundant-execution voting replicas per run")
+        p.add_argument("--max-attempts", type=int, default=2,
+                       help="in-run transient-fault retries (default 2)")
+        p.add_argument("--degrade", action="store_true",
+                       help="walk the fallback chain on strategy failure")
+        p.add_argument("--watchdog-budget", type=int, default=50_000,
+                       help="per-launch loop-step budget (default 50000)")
+        p.add_argument("--timeline", metavar="PATH",
+                       help="enable the telemetry bus and export its "
+                            "events as JSONL ('-' for stdout)")
+        p.add_argument("--debug", action="store_true",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+
+    ps = sub.add_parser(
+        "serve",
+        help="JSONL compile-and-run service over a simulated device pool")
+    ps.add_argument("requests", help="JSONL request file ('-' for stdin)")
+    add_serve_common(ps)
+    ps.add_argument("--output", default="-", metavar="PATH",
+                    help="JSONL verdict stream (default stdout)")
+    ps.add_argument("--report", metavar="PATH",
+                    help="write the scheduler report as JSON "
+                         "('-' for stdout)")
+    ps.add_argument("--save-outputs", action="store_true",
+                    help="save each ok result's arrays to ID.NAME.npy")
+    ps.add_argument("--strict", action="store_true",
+                    help="exit 1 if any request was not served ok")
+
+    pl = sub.add_parser(
+        "loadgen",
+        help="drive the serve layer with synthetic load; --chaos arms "
+             "faults mid-load and enforces the soak gate")
+    add_serve_common(pl)
+    pl.add_argument("--requests", type=int, default=64,
+                    help="requests per wave (default 64)")
+    pl.add_argument("--seed", type=int, default=0)
+    pl.add_argument("--size", type=int, default=256,
+                    help="reduction extent per request (default 256)")
+    pl.add_argument("--stagger", type=float, default=0.0, metavar="S",
+                    help="seconds between submissions (default: burst)")
+    pl.add_argument("--chaos", action="store_true",
+                    help="chaos soak: arm seeded fault plans on pool "
+                         "devices mid-load and gate on zero escapes, "
+                         "typed errors, and breaker trip+re-admission")
+    pl.add_argument("--no-warm", action="store_true",
+                    help="skip the disk-warm second wave")
+    pl.add_argument("--json", metavar="PATH",
+                    help="write the full report as JSON ('-' for stdout)")
 
     po = sub.add_parser(
         "obs",
@@ -725,6 +967,14 @@ def main(argv=None) -> int:
             if extra:
                 ap.error(f"unrecognized arguments: {' '.join(extra)}")
             return _cmd_faultcheck(args)
+        if args.cmd == "serve":
+            if extra:
+                ap.error(f"unrecognized arguments: {' '.join(extra)}")
+            return _cmd_serve(args)
+        if args.cmd == "loadgen":
+            if extra:
+                ap.error(f"unrecognized arguments: {' '.join(extra)}")
+            return _cmd_loadgen(args)
         if args.cmd == "obs":
             if extra:
                 ap.error(f"unrecognized arguments: {' '.join(extra)}")

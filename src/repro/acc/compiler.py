@@ -453,6 +453,10 @@ class Program:
                     raise SilentCorruptionError(
                         f"result validation failed under strategy "
                         f"{sname!r}")
+            except (KeyboardInterrupt, SystemExit):
+                # never treat an interrupt as a strategy failure: a ^C
+                # mid-chain must stop the run, not walk the fallback chain
+                raise
             except (SimulationError, TransientFaultError,
                     SilentCorruptionError) as exc:
                 last_exc = exc
@@ -570,6 +574,10 @@ def _execute_with_retry(prog: "Program", *, trace, data_region, profiler,
                                 block_batch=block_batch,
                                 attribution=attribution,
                                 kwargs=kwargs)
+        except (KeyboardInterrupt, SystemExit):
+            # an interrupt is not a transient fault: re-raise immediately
+            # without consuming an attempt or charging backoff
+            raise
         except TransientFaultError as exc:
             if metrics is not None:
                 metrics.counter("faults.transient_detected").inc()

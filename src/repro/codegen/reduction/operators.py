@@ -41,6 +41,13 @@ class ReductionOperator:
     _combine_ir: Callable[[K.Expr, K.Expr, DType], K.Expr]
     _np_combine: Callable  # (a, b) -> combined, dtype-preserving
 
+    def __reduce__(self):
+        # operators are module-level singletons holding lambdas; pickle
+        # by token so lowered programs (which embed operators in their
+        # gang-reduction specs) round-trip through the persistent
+        # compile cache
+        return (get_operator, (self.token,))
+
     def validate_dtype(self, dtype: DType) -> None:
         if self.integer_only and not is_integer(dtype):
             raise AnalysisError(

@@ -142,3 +142,61 @@ class ResourceError(SimulationError):
 
 class RuntimeDataError(ReproError):
     """Host/device data-environment misuse (missing array, shape mismatch...)."""
+
+
+class ServiceError(ReproError):
+    """Base class for compile-and-run service-layer failures.
+
+    Raised by :mod:`repro.serve` — the asyncio request scheduler in front
+    of the device pool.  Every request the service refuses or abandons
+    surfaces one of these typed subclasses; a request never just
+    disappears.
+    """
+
+
+class AdmissionShedError(ServiceError):
+    """Admission control refused the request: its priority queue is full.
+
+    Backpressure made explicit — the caller should slow down or retry
+    later; nothing was executed.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline elapsed (in queue or mid-execution).
+
+    Queue-expired requests never ran; execution-expired requests were
+    abandoned (their device finishes the doomed launch and is then
+    reused, mirroring a real GPU that cannot preempt a running kernel).
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """No healthy device was available: every pool breaker is open.
+
+    Each device's circuit breaker trips on a rolling error/timeout rate
+    and quarantines the device until a probation probe re-admits it; this
+    error means the whole pool is quarantined.
+    """
+
+
+class ServiceRetriesExceededError(ServiceError):
+    """Every cross-device try of a request failed.
+
+    Carries ``cause`` — the last per-device failure — so callers see why
+    the final try died.
+    """
+
+    def __init__(self, message: str, *, cause: BaseException | None = None):
+        self.cause = cause
+        super().__init__(message)
+
+
+class CacheCorruptionError(ServiceError):
+    """A persistent compile-cache entry failed its integrity check.
+
+    Normally *handled*, not raised: the cache detects the corruption
+    (bad magic, checksum mismatch, truncation, unpicklable payload),
+    quarantines the entry, and falls back to recompilation.  It is only
+    raised by strict-mode lookups in tests.
+    """

@@ -129,10 +129,20 @@ class CampaignResult:
             per[t.category] += 1
         return out
 
+    @property
+    def escaped_by_kind(self) -> dict[str, int]:
+        """fault kind → escaped-trial count (only kinds that escaped) —
+        the per-kind gate: a hardening regression in *one* kind must not
+        hide behind clean totals for the others."""
+        return {kind: cats["escaped"]
+                for kind, cats in self.counts_by_kind.items()
+                if cats["escaped"]}
+
     def to_dict(self) -> dict:
         return {"seed": self.seed, "detect": self.detect,
                 "compiler": self.compiler, "counts": self.counts,
                 "counts_by_kind": self.counts_by_kind,
+                "escaped_by_kind": self.escaped_by_kind,
                 "trials": [t.to_dict() for t in self.trials]}
 
     def table(self) -> str:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -24,11 +25,36 @@ __all__ = ["LaunchReport", "launch", "compile_cache_info",
 #: structurally equal kernels with different stamping (or from different
 #: pass pipelines) must not share a compiled closure, or per-statement
 #: attribution would be charged to the wrong sids.  An LRU bound keeps
-#: pathological sweeps from accumulating closures forever.
+#: pathological sweeps from accumulating closures forever; the
+#: ``REPRO_LAUNCH_CACHE_MAX`` environment variable overrides the default
+#: bound (64) so the service layer can size the per-process memory it is
+#: willing to spend on compiled closures.
 _COMPILE_CACHE: "OrderedDict[tuple, CompiledKernel]" = OrderedDict()
-_COMPILE_CACHE_MAX = 64
+_COMPILE_CACHE_DEFAULT_MAX = 64
 _cache_hits = 0
 _cache_misses = 0
+_cache_evictions = 0
+
+
+def _cache_max() -> int:
+    """The LRU bound: ``REPRO_LAUNCH_CACHE_MAX`` env, else the default.
+
+    Read per-call (not at import) so a service process can retune the
+    bound without reloading the module; values < 1 clamp to 1 — a cache
+    that can hold nothing would recompile every launch.
+    """
+    raw = os.environ.get("REPRO_LAUNCH_CACHE_MAX")
+    if not raw:
+        return _COMPILE_CACHE_DEFAULT_MAX
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return _COMPILE_CACHE_DEFAULT_MAX
+
+
+# kept for importers of the historical constant (tests, tooling); the
+# live bound is _cache_max()
+_COMPILE_CACHE_MAX = _COMPILE_CACHE_DEFAULT_MAX
 
 
 def _sid_fingerprint(kernel: Kernel) -> tuple[int, ...]:
@@ -37,7 +63,7 @@ def _sid_fingerprint(kernel: Kernel) -> tuple[int, ...]:
 
 def _compiled(kernel: Kernel, device: DeviceProperties,
               options_key=None) -> CompiledKernel:
-    global _cache_hits, _cache_misses
+    global _cache_hits, _cache_misses, _cache_evictions
     key = (kernel, device, options_key, _sid_fingerprint(kernel))
     ck = _COMPILE_CACHE.get(key)
     tl = _timeline.current()
@@ -52,8 +78,14 @@ def _compiled(kernel: Kernel, device: DeviceProperties,
     _cache_misses += 1
     ck = CompiledKernel(kernel, device)
     _COMPILE_CACHE[key] = ck
-    if len(_COMPILE_CACHE) > _COMPILE_CACHE_MAX:
+    maxsize = _cache_max()
+    while len(_COMPILE_CACHE) > maxsize:
         _COMPILE_CACHE.popitem(last=False)
+        _cache_evictions += 1
+        if tl is not None:
+            tl.counter("gpu", "compile_cache", event="evict",
+                       evictions=_cache_evictions,
+                       size=len(_COMPILE_CACHE))
     if tl is not None:
         tl.counter("gpu", "compile_cache", event="miss",
                    kernel=kernel.name, hits=_cache_hits,
@@ -62,17 +94,19 @@ def _compiled(kernel: Kernel, device: DeviceProperties,
 
 
 def compile_cache_info() -> dict:
-    """Hit/miss/size snapshot of the launch compile cache."""
+    """Hit/miss/evict/size snapshot of the launch compile cache."""
     return {"hits": _cache_hits, "misses": _cache_misses,
-            "size": len(_COMPILE_CACHE), "maxsize": _COMPILE_CACHE_MAX}
+            "evictions": _cache_evictions,
+            "size": len(_COMPILE_CACHE), "maxsize": _cache_max()}
 
 
 def compile_cache_clear() -> None:
-    """Drop every cached compilation and zero the hit/miss counters."""
-    global _cache_hits, _cache_misses
+    """Drop every cached compilation and zero the hit/miss/evict counters."""
+    global _cache_hits, _cache_misses, _cache_evictions
     _COMPILE_CACHE.clear()
     _cache_hits = 0
     _cache_misses = 0
+    _cache_evictions = 0
 
 
 @dataclass

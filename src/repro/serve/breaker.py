@@ -1,0 +1,151 @@
+"""Per-device circuit breaker: rolling error rate → quarantine → probation.
+
+State machine (the classic three states, tuned for a device pool):
+
+* ``closed`` — healthy; every outcome lands in a rolling window of the
+  last ``window`` requests.  When the window holds at least
+  ``min_samples`` outcomes and the failure fraction reaches
+  ``failure_threshold``, the breaker **trips** to ``open``.
+* ``open`` — quarantined; :meth:`allow` refuses work until
+  ``quarantine_s`` has elapsed, then the breaker moves to ``half_open``.
+* ``half_open`` — probation; up to ``probation_probes`` requests are
+  admitted as probes.  If every probe succeeds, the breaker **re-admits**
+  the device (``closed``, window wiped); any probe failure re-trips it,
+  doubling the quarantine up to ``max_quarantine_s``.
+
+The clock is injectable so the state machine is unit-testable without
+sleeping; transitions invoke ``on_transition(old, new, reason)`` so the
+pool can mirror them onto the telemetry bus and the metrics registry.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, *, window: int = 16, failure_threshold: float = 0.5,
+                 min_samples: int = 4, quarantine_s: float = 0.25,
+                 max_quarantine_s: float = 4.0, probation_probes: int = 2,
+                 clock=time.monotonic, on_transition=None):
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        self.window = window
+        self.failure_threshold = failure_threshold
+        self.min_samples = max(1, min_samples)
+        self.base_quarantine_s = quarantine_s
+        self.max_quarantine_s = max_quarantine_s
+        self.probation_probes = max(1, probation_probes)
+        self._clock = clock
+        self._on_transition = on_transition
+        self.state = self.CLOSED
+        self._outcomes: deque[bool] = deque(maxlen=window)  # True = failure
+        self._reopen_at = 0.0
+        self._quarantine_s = quarantine_s
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self.trips = 0       # closed/half_open -> open transitions
+        self.readmissions = 0  # half_open -> closed transitions
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def failure_rate(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(self._outcomes) / len(self._outcomes)
+
+    def snapshot(self) -> dict:
+        return {"state": self.state, "failure_rate": round(
+                    self.failure_rate, 4),
+                "samples": len(self._outcomes), "trips": self.trips,
+                "readmissions": self.readmissions,
+                "quarantine_s": self._quarantine_s}
+
+    # -- transitions -----------------------------------------------------
+
+    def _transition(self, new: str, reason: str) -> None:
+        old, self.state = self.state, new
+        if self._on_transition is not None and old != new:
+            self._on_transition(old, new, reason)
+
+    def _trip(self, reason: str) -> None:
+        self.trips += 1
+        self._reopen_at = self._clock() + self._quarantine_s
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._transition(self.OPEN, reason)
+        # each re-trip doubles the next quarantine (capped): a device
+        # that keeps failing its probation backs off harder
+        self._quarantine_s = min(self._quarantine_s * 2,
+                                 self.max_quarantine_s)
+
+    # -- the admission query --------------------------------------------
+
+    def probe_ready(self) -> bool:
+        """Would :meth:`allow` admit a probation probe right now?
+
+        Side-effect-free — the pool uses it to *prioritize* quarantined
+        devices for probes without consuming a probe slot on devices it
+        does not pick.
+        """
+        if self.state == self.OPEN:
+            return self._clock() >= self._reopen_at
+        if self.state == self.HALF_OPEN:
+            return self._probes_in_flight < self.probation_probes
+        return False
+
+    def allow(self) -> bool:
+        """May this device accept a request right now?
+
+        In ``open`` state the call itself advances to ``half_open`` once
+        the quarantine expires; in ``half_open`` it admits (and counts)
+        at most ``probation_probes`` concurrent probes.
+        """
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self._clock() < self._reopen_at:
+                return False
+            self._transition(self.HALF_OPEN, "quarantine-elapsed")
+        # half-open: bounded probation probes
+        if self._probes_in_flight < self.probation_probes:
+            self._probes_in_flight += 1
+            return True
+        return False
+
+    # -- outcome reporting ----------------------------------------------
+
+    def record_success(self) -> None:
+        if self.state == self.HALF_OPEN:
+            self._probes_in_flight = max(0, self._probes_in_flight - 1)
+            self._probe_successes += 1
+            if self._probe_successes >= self.probation_probes:
+                self._outcomes.clear()
+                self._quarantine_s = self.base_quarantine_s
+                self._probes_in_flight = 0
+                self._probe_successes = 0
+                self.readmissions += 1
+                self._transition(self.CLOSED, "probation-passed")
+            return
+        self._outcomes.append(False)
+
+    def record_failure(self, reason: str = "error") -> None:
+        if self.state == self.HALF_OPEN:
+            # a probe failed: straight back to quarantine
+            self._trip(f"probe-failed:{reason}")
+            return
+        if self.state == self.OPEN:
+            # late failure from a request admitted before the trip
+            return
+        self._outcomes.append(True)
+        if (len(self._outcomes) >= self.min_samples
+                and self.failure_rate >= self.failure_threshold):
+            self._trip(f"error-rate:{reason}")

@@ -1,0 +1,172 @@
+"""The simulated device pool: workers, health, and chaos arming.
+
+Each :class:`PooledDevice` owns
+
+* a :class:`~repro.gpu.device.DeviceProperties` instance (its hardware
+  identity — all devices default to K20C clones, distinguishable by
+  name),
+* a single-thread executor — requests on one device serialize, requests
+  on different devices overlap, mirroring one command queue per GPU,
+* a :class:`~repro.serve.breaker.CircuitBreaker` fed by every request
+  outcome,
+* an optional armed :class:`~repro.faults.FaultInjector` (the chaos
+  hook: the soak harness arms seeded fault plans against pool devices
+  mid-load), and
+* a per-device Program memo, so a cached compile artifact is
+  materialized into executable closures at most once per device (and the
+  mutable compiled-kernel state is never shared across worker threads).
+
+The pool itself is a picker: :meth:`pick` returns a *free* healthy
+device (a device runs one request at a time — queueing belongs to the
+scheduler, where priorities and deadlines can act on it, not to a
+device's FIFO thread queue), honouring breaker quarantines and an
+``exclude`` set (retries and hedges must land on a *different* device).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.gpu.device import DeviceProperties, K20C
+from repro.obs import timeline as _timeline
+from repro.serve.breaker import CircuitBreaker
+
+__all__ = ["PooledDevice", "DevicePool"]
+
+
+class PooledDevice:
+    def __init__(self, index: int, props: DeviceProperties,
+                 breaker: CircuitBreaker):
+        self.index = index
+        self.name = f"dev{index}"
+        self.props = props
+        self.breaker = breaker
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-serve-{self.name}")
+        self.inflight = 0          # dispatched, not yet completed
+        self.served = 0            # successful requests
+        self.errors = 0            # typed failures
+        self.timeouts = 0          # deadline expiries charged to this device
+        self.injector = None       # armed chaos injector (or None)
+        self._lock = threading.Lock()
+        self._programs: dict[str, object] = {}  # cache key -> Program
+
+    # -- program memo ----------------------------------------------------
+
+    def program_for(self, key: str | None, build):
+        """Device-local Program memo: ``build()`` runs on first use.
+
+        ``key=None`` (uncacheable compile) always rebuilds.
+        """
+        if key is None:
+            return build()
+        prog = self._programs.get(key)
+        if prog is None:
+            prog = build()
+            self._programs[key] = prog
+        return prog
+
+    # -- chaos -----------------------------------------------------------
+
+    def arm_faults(self, plan_or_injector) -> None:
+        """Arm (or disarm with ``None``) fault injection on this device."""
+        if plan_or_injector is None:
+            self.injector = None
+        elif hasattr(plan_or_injector, "on_launch"):
+            self.injector = plan_or_injector
+        else:
+            self.injector = plan_or_injector.injector()
+        tl = _timeline.current()
+        if tl is not None:
+            tl.decision("serve", "chaos-arm", device=self.name,
+                        armed=self.injector is not None)
+
+    def snapshot(self) -> dict:
+        return {"device": self.name, "inflight": self.inflight,
+                "served": self.served, "errors": self.errors,
+                "timeouts": self.timeouts,
+                "faults_injected": (len(self.injector.records)
+                                    if self.injector is not None else 0),
+                "breaker": self.breaker.snapshot()}
+
+    def shutdown(self) -> None:
+        self.executor.shutdown(wait=False, cancel_futures=True)
+
+
+class DevicePool:
+    def __init__(self, n_devices: int = 4, *,
+                 device: DeviceProperties = K20C,
+                 breaker_kwargs: dict | None = None, metrics=None):
+        if n_devices < 1:
+            raise ValueError("pool needs at least one device")
+        self.metrics = metrics
+        self.devices: list[PooledDevice] = []
+        for i in range(n_devices):
+            props = device.with_overrides(name=f"{device.name} #{i}")
+            breaker = CircuitBreaker(
+                **(breaker_kwargs or {}),
+                on_transition=self._transition_cb(i))
+            self.devices.append(PooledDevice(i, props, breaker))
+
+    def _transition_cb(self, index: int):
+        def cb(old: str, new: str, reason: str) -> None:
+            dev = self.devices[index]
+            tl = _timeline.current()
+            if tl is not None:
+                tl.decision("serve", "breaker", device=dev.name,
+                            old=old, new=new, reason=reason)
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    f"serve.breaker.{dev.name}.state").set(
+                        {"closed": 0, "half_open": 1, "open": 2}[new])
+                if new == "open":
+                    self.metrics.counter("serve.breaker.trips").inc()
+                elif old == "half_open" and new == "closed":
+                    self.metrics.counter("serve.breaker.readmissions").inc()
+        return cb
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def pick(self, exclude: set[int] | None = None) -> PooledDevice | None:
+        """The device to serve the next request, or ``None``.
+
+        Only *free* devices (nothing in flight) are considered — a
+        simulated device serializes its work, so handing it a second
+        request would hide that request in a FIFO thread queue where
+        priorities, deadlines, and breaker decisions cannot reach it.
+        Probe-first policy: a quarantined device whose quarantine has
+        elapsed gets the request as a probation probe (otherwise, under
+        steady load over healthy devices, it would never earn its way
+        back in); failing that, the first free closed-breaker device.
+        ``exclude`` keeps retries and hedges off devices that already
+        failed (or are already running) this request.
+        """
+        free = [d for d in self.devices
+                if d.inflight == 0
+                and not (exclude and d.index in exclude)]
+        for dev in free:
+            if (dev.breaker.state != CircuitBreaker.CLOSED
+                    and dev.breaker.probe_ready() and dev.breaker.allow()):
+                return dev
+        for dev in free:
+            if dev.breaker.state == CircuitBreaker.CLOSED:
+                return dev
+        return None
+
+    def idle_healthy(self, exclude: set[int] | None = None):
+        """A healthy device with nothing in flight (hedging targets)."""
+        for dev in self.devices:
+            if exclude and dev.index in exclude:
+                continue
+            if dev.inflight == 0 and dev.breaker.state == "closed":
+                return dev
+        return None
+
+    def snapshot(self) -> list[dict]:
+        return [d.snapshot() for d in self.devices]
+
+    def shutdown(self) -> None:
+        for d in self.devices:
+            d.shutdown()

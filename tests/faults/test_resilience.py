@@ -157,3 +157,97 @@ class TestVoting:
                             lambda res: next(fingerprints))
         with pytest.raises(SilentCorruptionError, match="majority"):
             _compile().run(runs=3, degrade=False, a=a128)
+
+
+class TestInterruptsNeverRetried:
+    """A ^C (or interpreter shutdown) mid-run must stop the run at once —
+    it is not a transient fault to retry, not a strategy failure to walk
+    the fallback chain past, and never a vote to re-run."""
+
+    def _interrupting(self, monkeypatch, exc_type):
+        from repro.acc.compiler import Program
+
+        calls = {"n": 0}
+        real = Program._execute
+
+        def boom(self, **kw):
+            calls["n"] += 1
+            raise exc_type()
+
+        monkeypatch.setattr(Program, "_execute", boom)
+        assert real is not Program._execute
+        return calls
+
+    @pytest.mark.parametrize("exc_type", [KeyboardInterrupt, SystemExit])
+    def test_interrupt_consumes_exactly_one_attempt(self, a128,
+                                                    monkeypatch, exc_type):
+        calls = self._interrupting(monkeypatch, exc_type)
+        prog = _compile()
+        with pytest.raises(exc_type):
+            # every hardening layer armed: retries, voting, degradation
+            prog.run(max_attempts=5, runs=3, degrade=True, a=a128)
+        assert calls["n"] == 1
+
+    @pytest.mark.parametrize("exc_type", [KeyboardInterrupt, SystemExit])
+    def test_interrupt_skips_retry_backoff(self, a128, monkeypatch,
+                                           exc_type):
+        # the retry loop alone (no voting/degradation) must re-raise
+        # without consuming attempts or charging modeled backoff
+        calls = self._interrupting(monkeypatch, exc_type)
+        inj = FaultPlan(seed=0, p_launch_fail=0.0).injector()
+        prog = _compile()
+        with pytest.raises(exc_type):
+            prog.run(faults=inj, max_attempts=4, a=a128)
+        assert calls["n"] == 1
+
+
+class TestWatchdogDegradeBatched:
+    """Watchdog + ``degrade=True`` on the batched executor: a stuck warp
+    becomes a typed SimulationError, the degradation chain walks past the
+    hung strategy, and the served bits equal the unfaulted reference."""
+
+    SRC_INT = """
+    int a[n];
+    int s = 0;
+    #pragma acc parallel copyin(a)
+    #pragma acc loop gang worker vector reduction(+:s)
+    for (i = 0; i < n; i++)
+        s += a[i];
+    """
+
+    def _compile_int(self):
+        return acc.compile(self.SRC_INT, num_gangs=4, num_workers=2,
+                           vector_length=32)
+
+    def test_stuck_warp_degrades_to_reference_bits(self):
+        a = np.arange(256, dtype=np.int32)
+        ref = self._compile_int().run(a=a)  # unfaulted baseline
+        assert ref.strategy == "primary"
+
+        inj = FaultPlan(seed=3, p_stuck_warp=1.0, max_faults=1).injector()
+        res = self._compile_int().run(
+            faults=inj, executor_mode="batched", watchdog_budget=2000,
+            max_attempts=1, degrade=True, a=a)
+        # the hang was detected (not absorbed silently)...
+        assert any(r.kind == "stuck-warp" for r in inj.records)
+        # ...the chain walked past the stuck strategy...
+        assert res.degradations
+        assert all(isinstance(d.cause, SimulationError)
+                   for d in res.degradations if d.cause is not None)
+        assert res.strategy != "primary"
+        # ...and the degraded answer is bit-identical to the reference
+        # (integer reduction: no reassociation grey zone)
+        assert res.scalars["s"].tobytes() == ref.scalars["s"].tobytes()
+
+    def test_batched_and_reference_degrade_to_same_bits(self):
+        a = np.arange(256, dtype=np.int32)
+        results = {}
+        for mode in ("batched", "reference"):
+            inj = FaultPlan(seed=3, p_stuck_warp=1.0,
+                            max_faults=1).injector()
+            res = self._compile_int().run(
+                faults=inj, executor_mode=mode, watchdog_budget=2000,
+                max_attempts=1, degrade=True, a=a)
+            results[mode] = res.scalars["s"]
+        assert results["batched"].tobytes() == \
+            results["reference"].tobytes()

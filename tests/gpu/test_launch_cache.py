@@ -63,6 +63,28 @@ class TestCompileCache:
         info = compile_cache_info()
         assert info["size"] == _COMPILE_CACHE_MAX
         assert info["misses"] == _COMPILE_CACHE_MAX + 8
+        assert info["evictions"] == 8
+
+    def test_env_cap_bounds_cache(self, monkeypatch):
+        # REPRO_LAUNCH_CACHE_MAX lets the service layer bound the memory
+        # spent on compiled closures without reloading the module
+        monkeypatch.setenv("REPRO_LAUNCH_CACHE_MAX", "4")
+        for i in range(10):
+            launch(ids_kernel(f"k{i}"), _gmem(), grid_dim=1,
+                   block_dim=(32, 1))
+        info = compile_cache_info()
+        assert info["maxsize"] == 4
+        assert info["size"] == 4
+        assert info["evictions"] == 6
+        # the LRU keeps the most recent entries: relaunching k9 hits
+        launch(ids_kernel("k9"), _gmem(), grid_dim=1, block_dim=(32, 1))
+        assert compile_cache_info()["hits"] == 1
+
+    def test_env_cap_garbage_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LAUNCH_CACHE_MAX", "not-a-number")
+        assert compile_cache_info()["maxsize"] == _COMPILE_CACHE_MAX
+        monkeypatch.setenv("REPRO_LAUNCH_CACHE_MAX", "0")
+        assert compile_cache_info()["maxsize"] == 1  # clamps to >= 1
 
     def test_options_key_separates_entries(self):
         # same kernel compiled under different pipeline/option fingerprints
@@ -100,6 +122,6 @@ class TestCompileCache:
         launch(ids_kernel(), _gmem(), grid_dim=1, block_dim=(32, 1))
         compile_cache_clear()
         assert compile_cache_info() == {
-            "hits": 0, "misses": 0, "size": 0,
+            "hits": 0, "misses": 0, "evictions": 0, "size": 0,
             "maxsize": _COMPILE_CACHE_MAX,
         }

@@ -1,0 +1,169 @@
+"""Circuit-breaker state machine under an injectable fake clock."""
+
+import pytest
+
+from repro.serve.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make(clock, **kw):
+    kw.setdefault("window", 8)
+    kw.setdefault("failure_threshold", 0.5)
+    kw.setdefault("min_samples", 4)
+    kw.setdefault("quarantine_s", 1.0)
+    kw.setdefault("max_quarantine_s", 4.0)
+    kw.setdefault("probation_probes", 2)
+    return CircuitBreaker(clock=clock, **kw)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        b = make(FakeClock())
+        assert b.state == "closed"
+        assert b.allow()
+
+    def test_failures_below_min_samples_never_trip(self):
+        b = make(FakeClock(), min_samples=4)
+        for _ in range(3):
+            b.record_failure()
+        assert b.state == "closed"  # 100% failure rate, too few samples
+
+    def test_trips_at_threshold_with_min_samples(self):
+        b = make(FakeClock())
+        b.record_success()
+        b.record_failure()
+        b.record_failure()
+        assert b.state == "closed"  # 2/3 failing: below min_samples
+        b.record_success()
+        assert b.state == "closed"  # 2/4 = exactly threshold... no:
+        # 2/4 = 0.5 >= threshold — but the trip check runs on *failure*
+        # recording only, so the success above cannot trip it
+        b.record_failure()
+        assert b.state == "open"  # 3/5 >= 0.5 with >= 4 samples
+
+    def test_rolling_window_forgets_old_failures(self):
+        b = make(FakeClock(), window=4, min_samples=4)
+        b.record_failure()
+        b.record_failure()
+        for _ in range(4):
+            b.record_success()  # pushes both failures out of the window
+        assert b.state == "closed"
+        assert b.failure_rate == 0.0
+
+
+class TestQuarantine:
+    def _tripped(self, clock):
+        b = make(clock)
+        for _ in range(4):
+            b.record_failure()
+        assert b.state == "open"
+        return b
+
+    def test_open_refuses_until_quarantine_elapses(self):
+        clock = FakeClock()
+        b = self._tripped(clock)
+        assert not b.allow()
+        assert not b.probe_ready()
+        clock.advance(0.99)
+        assert not b.allow()
+        clock.advance(0.02)
+        assert b.probe_ready()
+        assert b.allow()  # -> half_open, probe admitted
+        assert b.state == "half_open"
+
+    def test_probe_ready_has_no_side_effects(self):
+        clock = FakeClock()
+        b = self._tripped(clock)
+        clock.advance(1.1)
+        for _ in range(10):
+            assert b.probe_ready()
+        assert b.state == "open"  # still open: no allow() consumed
+
+    def test_probation_probes_are_bounded(self):
+        clock = FakeClock()
+        b = self._tripped(clock)
+        clock.advance(1.1)
+        assert b.allow()
+        assert b.allow()
+        assert not b.allow()  # probation_probes=2 in flight
+
+    def test_probation_success_readmits_and_resets(self):
+        clock = FakeClock()
+        b = self._tripped(clock)
+        clock.advance(1.1)
+        assert b.allow()
+        b.record_success()
+        assert b.state == "half_open"  # one probe is not enough
+        assert b.allow()
+        b.record_success()
+        assert b.state == "closed"
+        assert b.readmissions == 1
+        assert b.failure_rate == 0.0  # window wiped on re-admission
+        assert b.snapshot()["quarantine_s"] == 1.0  # backoff reset
+
+    def test_probe_failure_retrips_with_doubled_quarantine(self):
+        clock = FakeClock()
+        b = self._tripped(clock)
+        clock.advance(1.1)
+        assert b.allow()
+        b.record_failure()
+        assert b.state == "open"
+        assert b.trips == 2
+        # second quarantine is doubled: 2s now
+        clock.advance(1.5)
+        assert not b.allow()
+        clock.advance(0.6)
+        assert b.allow()
+
+    def test_quarantine_backoff_caps(self):
+        clock = FakeClock()
+        b = self._tripped(clock)
+        for _ in range(5):  # keep failing probes: 1 -> 2 -> 4 -> 4 ...
+            clock.advance(100.0)
+            assert b.allow()
+            b.record_failure()
+        assert b.snapshot()["quarantine_s"] == 4.0
+
+    def test_late_failure_while_open_is_ignored(self):
+        clock = FakeClock()
+        b = self._tripped(clock)
+        trips = b.trips
+        b.record_failure()  # a request admitted pre-trip finishing late
+        assert b.trips == trips
+        assert b.state == "open"
+
+
+class TestTransitions:
+    def test_on_transition_sees_every_edge(self):
+        clock = FakeClock()
+        seen = []
+        b = make(clock,
+                 on_transition=lambda o, n, r: seen.append((o, n, r)))
+        for _ in range(4):
+            b.record_failure()
+        clock.advance(1.1)
+        b.allow()
+        b.record_success()
+        b.allow()
+        b.record_success()
+        assert [(o, n) for o, n, _ in seen] == [
+            ("closed", "open"), ("open", "half_open"),
+            ("half_open", "closed")]
+        assert seen[0][2].startswith("error-rate")
+        assert seen[2][2] == "probation-passed"
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=1.5)
