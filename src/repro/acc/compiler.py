@@ -101,7 +101,8 @@ class Program:
 
     def __init__(self, lowered: LoweredProgram, profile: CompilerProfile,
                  device: DeviceProperties, *, pipeline: str = "",
-                 autotune: dict | None = None, pass_records=None):
+                 autotune: dict | None = None, pass_records=None,
+                 trace_src: dict | None = None):
         self.lowered = lowered
         self.profile = profile
         self.device = device
@@ -114,9 +115,17 @@ class Program:
         #: PassRecord list from the pass manager (``capture_ir=True``
         #: compiles carry before/after listings for explain/--dump-ir)
         self.pass_records = list(pass_records or [])
+        #: kernel name -> trace-executor NumPy source from the
+        #: trace-codegen pass (or a serve-cache payload); eligible
+        #: kernels only — see :mod:`repro.passes.tracegen`
+        self.trace_src = dict(trace_src or {})
         self._cost = CostModel(device)
         self._compiled = {k.name: CompiledKernel(k, device)
                           for k in lowered.kernels}
+        for name, src in self.trace_src.items():
+            ck = self._compiled.get(name)
+            if ck is not None:
+                ck.attach_trace_source(src)
         # vendor-a data-clause defect state (§4, heat equation):
         # reduction scalars cached on "the device" across runs
         self._stale_cache: dict[str, np.generic] = {}
@@ -341,7 +350,8 @@ class Program:
                                         itb, g.init_grid, (fbs0, 1),
                                         executor_mode=ck.effective_mode(
                                             executor_mode, g.init_grid,
-                                            env.gmem, faults))
+                                            env.gmem, faults,
+                                            trace_events=trace))
             main = self._compiled[self.lowered.main_kernel.name]
             st = main.run(env.gmem, geom.num_gangs,
                           (geom.vector_length, geom.num_workers),
@@ -361,7 +371,8 @@ class Program:
                                     (geom.vector_length, geom.num_workers),
                                     executor_mode=main.effective_mode(
                                         executor_mode, geom.num_gangs,
-                                        env.gmem, faults))
+                                        env.gmem, faults,
+                                        trace_events=trace))
 
             scalars: dict[str, np.generic] = {}
             fbs = self.lowered.options.finish_block_size
@@ -391,7 +402,8 @@ class Program:
                                                 executor_mode=(
                                                     ck.effective_mode(
                                                         executor_mode, 1,
-                                                        env.gmem, faults)))
+                                                        env.gmem, faults,
+                                                        trace_events=trace)))
                     device_total = env.read_result(g.result_buf)
                 host_init = env.scalars[g.var]
                 final = g.op.np_combine(host_init, device_total, g.dtype)
@@ -701,4 +713,5 @@ def compile(source: str, *, compiler: str | CompilerProfile = "openuh",
           else nullcontext()):
         return Program(state.lowered, profile, device,
                        pipeline=state.pipeline, autotune=state.autotune,
-                       pass_records=state.records)
+                       pass_records=state.records,
+                       trace_src=state.trace_src)

@@ -25,7 +25,7 @@ Two metrics ride in every entry:
   regression means the *implementation* got slower (executor, caches).
 
 The measured configurations mirror ``repro.bench.smoke`` (the Table 2
-sweep and the 64-gang reduction in both executor modes, plus the
+sweep and the 64-gang reduction in each executor mode, plus the
 minimal-vs-optimized pass-pipeline grid), so
 :func:`import_baseline` can seed the ledger's first reference point from
 the committed ``BENCH_table2.json``.  ``python -m repro obs
@@ -179,7 +179,7 @@ def measure(reps: int = 3, quick: bool = False,
     """Measure the observatory's configuration grid.
 
     Mirrors the bench-smoke workloads: the scaled Table 2 sweep and a
-    64-gang reduction, each in both executor modes (``reps`` wall
+    64-gang reduction, each in every executor mode (``reps`` wall
     samples each), plus the minimal-vs-optimized pass-pipeline grid
     (modeled time is deterministic, so it is run once).  ``quick``
     shrinks sizes/geometry for tests.  ``perturb`` maps config label →
@@ -225,7 +225,7 @@ def measure(reps: int = 3, quick: bool = False,
     compiled = [(acc.compile(case.source, **geom),
                  case.make_inputs(np.random.default_rng(42)))
                 for case in cases]
-    for mode in ("batched", "reference"):
+    for mode in ("batched", "reference", "trace"):
         def sweep(m=mode):
             return [prog.run(executor_mode=m, **inputs)
                     for prog, inputs in compiled]
@@ -238,7 +238,7 @@ def measure(reps: int = 3, quick: bool = False,
              else dict(num_gangs=64, num_workers=4, vector_length=32))
     rprog = acc.compile(_REDUCTION_SRC, **rgeom)
     a = (np.arange(1 << (12 if quick else 16)) % 97).astype(np.float32)
-    for mode in ("batched", "reference"):
+    for mode in ("batched", "reference", "trace"):
         walls, res = _sample(lambda m=mode: rprog.run(executor_mode=m, a=a),
                              reps)
         add("reduction_64gang", "default", mode, reps,
@@ -287,13 +287,26 @@ def import_baseline(baseline_path: str, *,
     reps = int(doc.get("reps", 1))
     entries: list[LedgerEntry] = []
     for name, w in doc.get("workloads", {}).items():
-        for mode in ("batched", "reference"):
+        for mode in ("batched", "reference", "trace"):
+            if f"{mode}_wall_s" not in w:  # pre-trace-executor baselines
+                continue
             entries.append(LedgerEntry(
                 sha=sha, recorded_at=now, host="baseline-import",
                 config=name, pipeline="default", executor=mode, reps=reps,
                 modeled_ms=float(w["modeled_ms_total"]), modeled_mad_ms=0.0,
                 wall_ms=float(w[f"{mode}_wall_s"]) * 1e3, wall_mad_ms=0.0,
                 source="baseline-import"))
+    # the trace gate's per-row Table 2 timings (one config per row, one
+    # entry per executor mode) — the speedup ledger the gate refers to
+    for row in doc.get("trace_executor", {}).get("rows", []):
+        for mode in ("batched", "reference", "trace"):
+            entries.append(LedgerEntry(
+                sha=sha, recorded_at=now, host="baseline-import",
+                config=f"trace:{row['config']}", pipeline="default",
+                executor=mode, reps=reps,
+                modeled_ms=float(row["modeled_ms"]), modeled_mad_ms=0.0,
+                wall_ms=float(row[f"{mode}_wall_s"]) * 1e3,
+                wall_mad_ms=0.0, source="baseline-import"))
     for row in doc.get("pass_pipeline", {}).get("configs", []):
         for pipe in ("minimal", "optimized"):
             entries.append(LedgerEntry(

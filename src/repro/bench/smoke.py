@@ -3,10 +3,18 @@
 Runs a scaled-down Table 2 sweep (the paper's 192-gang launch geometry
 on small per-position sizes, each case compiled once up front — the
 executor is what this gate guards, so compilation sits outside the timed
-region) and a 64-gang reduction, in both executor modes, and records,
-per workload, the modeled kernel ms (which must be byte-equal across
-modes — the bit-identity contract) and the wall-clock seconds of each
-mode.
+region) and a 64-gang reduction, in all three executor modes, and
+records, per workload, the modeled kernel ms (which must be byte-equal
+across modes — the bit-identity contract) and the wall-clock seconds of
+each mode.
+
+A separate ``trace_executor`` section times individual Table 2 rows —
+(position, op, ctype) configurations at bench-scale sizes — in all
+three modes.  Its gate is baseline-free: every row must be modeled- and
+result-identical across the modes, and at least ``TRACE_MIN_ROWS_10X``
+rows must show a >=10x trace-over-reference wall speedup (a property of
+the current build, not a ratio against history; gang-position rows
+clear it with margin, and slower rows are recorded honestly).
 
 Usage::
 
@@ -34,6 +42,24 @@ import numpy as np
 __all__ = ["run_smoke", "check_against_baseline"]
 
 TOLERANCE = 0.25
+
+#: the trace-executor gate: this many Table 2 rows must clear a >=10x
+#: trace-over-reference wall speedup
+TRACE_MIN_ROWS_10X = 3
+TRACE_SPEEDUP_FLOOR = 10.0
+
+#: the rows the trace gate times: (position, op, ctype, size).  Gang
+#: rows at 8192 clear the 10x floor with margin on CI-class machines;
+#: the gang-worker row sits below it (per-lane gather cost floor) and is
+#: recorded honestly without feeding the >=10x count.
+TRACE_ROWS = (
+    ("gang", "+", "float", 8192),
+    ("gang", "*", "float", 8192),
+    ("gang", "+", "double", 8192),
+    ("gang", "*", "double", 8192),
+    ("gang", "+", "int", 8192),
+    ("gang worker", "+", "float", 32768),
+)
 
 _REDUCTION_SRC = '''float a[n];
 float total = 0.0;
@@ -69,7 +95,7 @@ def _table2_workload(reps: int) -> dict:
                 for case in cases]
 
     out = {}
-    for mode in ("batched", "reference"):
+    for mode in ("batched", "reference", "trace"):
         def sweep(m=mode):
             return [prog.run(executor_mode=m, **inputs)
                     for _, prog, inputs in compiled]
@@ -80,12 +106,16 @@ def _table2_workload(reps: int) -> dict:
                       for (case, _, _), res in zip(compiled, results)],
         }
     return {
-        "modeled_identical": out["batched"]["cells"]
-        == out["reference"]["cells"],
+        "modeled_identical": all(
+            out[m]["cells"] == out["reference"]["cells"]
+            for m in ("batched", "trace")),
         "modeled_ms_total": sum(ms for _, ms in out["batched"]["cells"]),
         "batched_wall_s": out["batched"]["wall_s"],
         "reference_wall_s": out["reference"]["wall_s"],
+        "trace_wall_s": out["trace"]["wall_s"],
         "speedup": out["reference"]["wall_s"] / out["batched"]["wall_s"],
+        "trace_speedup":
+            out["reference"]["wall_s"] / out["trace"]["wall_s"],
     }
 
 
@@ -96,7 +126,7 @@ def _gang64_workload(reps: int) -> dict:
                        vector_length=32)
     a = (np.arange(1 << 16) % 97).astype(np.float32)
     out = {}
-    for mode in ("batched", "reference"):
+    for mode in ("batched", "reference", "trace"):
         wall, res = _time_best(
             lambda m=mode: prog.run(executor_mode=m, a=a), reps)
         out[mode] = {
@@ -105,14 +135,70 @@ def _gang64_workload(reps: int) -> dict:
             "modeled_ms": res.kernel_ms,
         }
     return {
-        "modeled_identical":
-            out["batched"]["total_hex"] == out["reference"]["total_hex"]
-            and out["batched"]["modeled_ms"]
-            == out["reference"]["modeled_ms"],
+        "modeled_identical": all(
+            out[m]["total_hex"] == out["reference"]["total_hex"]
+            and out[m]["modeled_ms"] == out["reference"]["modeled_ms"]
+            for m in ("batched", "trace")),
         "modeled_ms_total": out["batched"]["modeled_ms"],
         "batched_wall_s": out["batched"]["wall_s"],
         "reference_wall_s": out["reference"]["wall_s"],
+        "trace_wall_s": out["trace"]["wall_s"],
         "speedup": out["reference"]["wall_s"] / out["batched"]["wall_s"],
+        "trace_speedup":
+            out["reference"]["wall_s"] / out["trace"]["wall_s"],
+    }
+
+
+def _trace_workload(reps: int) -> dict:
+    """Per-row Table 2 timings for the trace-executor speedup gate.
+
+    Each row is one (position, op, ctype) Table 2 configuration at a
+    bench-scale size, compiled once under the paper's 192x8x128 launch
+    geometry and run in all three executor modes.  Identity is checked
+    on the modeled ms *and* the result bytes; the speedup gate counts
+    rows whose trace-over-reference wall ratio clears
+    ``TRACE_SPEEDUP_FLOOR``.
+    """
+    from repro import acc
+    from repro.testsuite.cases import make_case
+
+    rows = []
+    for position, op, ctype, size in TRACE_ROWS:
+        case = make_case(position, op, ctype, size=size)
+        prog = acc.compile(case.source, num_gangs=192, num_workers=8,
+                           vector_length=128)
+        inputs = case.make_inputs(np.random.default_rng(42))
+        runs = {}
+        for mode in ("reference", "batched", "trace"):
+            wall, res = _time_best(
+                lambda m=mode: prog.run(executor_mode=m, **inputs), reps)
+            runs[mode] = {
+                "wall_s": wall,
+                "modeled_ms": round(res.kernel_ms, 9),
+                "bits": {n: np.asarray(v).tobytes().hex()
+                         for n, v in res.scalars.items()},
+            }
+        ref = runs["reference"]
+        rows.append({
+            "config": f"{case.label} @{size}",
+            "modeled_ms": ref["modeled_ms"],
+            "modeled_identical": all(
+                runs[m]["modeled_ms"] == ref["modeled_ms"]
+                and runs[m]["bits"] == ref["bits"]
+                for m in ("batched", "trace")),
+            "reference_wall_s": ref["wall_s"],
+            "batched_wall_s": runs["batched"]["wall_s"],
+            "trace_wall_s": runs["trace"]["wall_s"],
+            "batched_speedup": ref["wall_s"] / runs["batched"]["wall_s"],
+            "trace_speedup": ref["wall_s"] / runs["trace"]["wall_s"],
+        })
+    return {
+        "rows": rows,
+        "all_identical": all(r["modeled_identical"] for r in rows),
+        "rows_ge_10x": sum(1 for r in rows
+                           if r["trace_speedup"] >= TRACE_SPEEDUP_FLOOR),
+        "speedup_floor": TRACE_SPEEDUP_FLOOR,
+        "min_rows_ge_10x": TRACE_MIN_ROWS_10X,
     }
 
 
@@ -269,6 +355,7 @@ def run_smoke(reps: int = 2) -> dict:
             "table2_quick": _table2_workload(reps),
             "reduction_64gang": _gang64_workload(reps),
         },
+        "trace_executor": _trace_workload(reps),
         "attribution_guard": _attribution_guard(),
         "pass_pipeline": _passes_guard(),
         "telemetry_guard": _telemetry_guard(),
@@ -302,11 +389,26 @@ def check_against_baseline(current: dict, baseline: dict,
                 f"pass_pipeline: only {pp['improved_5pct']} config(s) "
                 "improved modeled time by >=5% over the minimal pipeline "
                 "(need 2) — fusion/barrier-elimination wins regressed")
+    te = current.get("trace_executor")
+    if te is not None:
+        for row in te["rows"]:
+            if not row["modeled_identical"]:
+                failures.append(
+                    f"trace_executor: {row['config']}: trace results or "
+                    "modeled ms diverged from the reference executor — "
+                    "bit-identity contract broken")
+        if te["rows_ge_10x"] < TRACE_MIN_ROWS_10X:
+            failures.append(
+                f"trace_executor: only {te['rows_ge_10x']} Table 2 "
+                f"row(s) reached a >={TRACE_SPEEDUP_FLOOR:g}x "
+                f"trace-over-reference wall speedup "
+                f"(need {TRACE_MIN_ROWS_10X}) — the compiled fast path "
+                "lost its advantage")
     for name, cur in current["workloads"].items():
         if not cur["modeled_identical"]:
             failures.append(
-                f"{name}: batched and reference modes disagree on "
-                "modeled results — bit-identity contract broken")
+                f"{name}: executor modes disagree on modeled results — "
+                "bit-identity contract broken")
         base = baseline.get("workloads", {}).get(name)
         if base is None:
             failures.append(f"{name}: missing from baseline file")
@@ -339,8 +441,18 @@ def main(argv=None) -> int:
         print(f"  {name:<20} batched {w['batched_wall_s']*1e3:8.1f} ms  "
               f"reference {w['reference_wall_s']*1e3:8.1f} ms  "
               f"speedup {w['speedup']:.2f}x  "
+              f"trace {w['trace_speedup']:.2f}x  "
               f"modeled-identical={w['modeled_identical']}",
               file=sys.stderr)
+    te = doc["trace_executor"]
+    for row in te["rows"]:
+        print(f"  trace  {row['config']:<30} "
+              f"reference {row['reference_wall_s']*1e3:8.1f} ms  "
+              f"batched {row['batched_speedup']:5.2f}x  "
+              f"trace {row['trace_speedup']:6.2f}x  "
+              f"identical={row['modeled_identical']}", file=sys.stderr)
+    print(f"  trace rows >=10x: {te['rows_ge_10x']}/{len(te['rows'])} "
+          f"(gate: {te['min_rows_ge_10x']})", file=sys.stderr)
     pp = doc["pass_pipeline"]
     for row in pp["configs"]:
         print(f"  passes {row['config']:<42} "

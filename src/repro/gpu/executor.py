@@ -25,6 +25,7 @@ bit-identical to this one; select between them with
 from __future__ import annotations
 
 import itertools
+import os
 
 import numpy as np
 
@@ -629,6 +630,22 @@ def _compile_block(stmts: tuple, device: DeviceProperties,
 # compiled kernel
 # --------------------------------------------------------------------------
 
+_EXECUTOR_MODES = ("trace", "batched", "reference")
+
+
+def _default_mode() -> str:
+    """The executor mode a ``mode=None`` launch resolves to.
+
+    ``REPRO_EXECUTOR`` (``trace`` / ``batched`` / ``reference``) overrides
+    the built-in default of ``"batched"`` — the CI matrix uses it to run
+    the whole tier-1 suite per executor.  Unrecognized values are ignored
+    rather than raised so an exported stale variable cannot break every
+    launch in the process.
+    """
+    m = os.environ.get("REPRO_EXECUTOR", "").strip().lower()
+    return m if m in _EXECUTOR_MODES else "batched"
+
+
 class CompiledKernel:
     """A kernel compiled to Python closures, runnable over a grid.
 
@@ -649,6 +666,13 @@ class CompiledKernel:
         # set when a checked batched launch hit a cross-block access at
         # runtime; later launches then go straight to the reference path
         self._dynamic_fallback = False
+        # trace-compiled artifact: generated source (attachable from a
+        # pass-pipeline/serve-cache product, else emitted lazily), the
+        # exec'd chunk function, and its slot->sid map
+        self._trace_src: str | None = None
+        self._trace_fn = None
+        self._trace_slot_sids: dict[int, int] | None = None
+        self._trace_safety = None  # lazy trace-compilation verdict
 
     @property
     def batch_safety(self):
@@ -659,8 +683,40 @@ class CompiledKernel:
             self._batch_safety = analyze_batch_safety(self.kernel)
         return self._batch_safety
 
+    @property
+    def trace_safety(self):
+        """Static trace-compilation verdict (see
+        :func:`repro.gpu.executor_trace.analyze_trace_safety`)."""
+        if self._trace_safety is None:
+            from repro.gpu.executor_trace import analyze_trace_safety
+            self._trace_safety = analyze_trace_safety(self.kernel)
+        return self._trace_safety
+
+    def attach_trace_source(self, src: str) -> None:
+        """Adopt a pre-generated trace source (pass pipeline / serve
+        cache); the first trace launch then skips codegen entirely."""
+        if src and self._trace_src is None:
+            self._trace_src = src
+
+    @property
+    def trace_source(self) -> str | None:
+        """The generated trace source, if codegen has happened."""
+        return self._trace_src
+
+    def _trace_callable(self):
+        """The exec'd per-chunk function (codegen + exec on first use)."""
+        if self._trace_fn is None:
+            from repro.gpu.executor_trace import (
+                compile_trace_source, emit_trace_source)
+            if self._trace_src is None:
+                self._trace_src = emit_trace_source(self.kernel, self.device)
+            self._trace_fn, self._trace_slot_sids = compile_trace_source(
+                self._trace_src)
+        return self._trace_fn
+
     def effective_mode(self, mode: str | None, grid_dim: int,
-                       gmem: GlobalMemory, faults=None) -> str:
+                       gmem: GlobalMemory, faults=None, *,
+                       trace_events: bool = False) -> str:
         """The executor path a launch will actually take.
 
         ``"batched"`` (requested or defaulted) degrades to ``"reference"``
@@ -672,9 +728,23 @@ class CompiledKernel:
         RNG consumption cannot be rolled back if the checked attempt
         aborts).  :func:`repro.gpu.launch.launch` and the profiler report
         this resolved mode.
+
+        ``"trace"`` adds one more rung: it degrades to the batched
+        resolution whenever the generated code cannot honor the launch —
+        statically ineligible kernels (atomics, unsupported constructs,
+        or no block-independence proof), kernels already demoted by a
+        runtime hazard, armed fault injectors, and ``trace_events``
+        launches (TraceEvent collection is a per-access interpreter
+        concern the generated code deliberately omits).
         """
         if mode is None:
-            mode = "batched"
+            mode = _default_mode()
+        if mode == "trace":
+            if (self._dynamic_fallback or faults is not None
+                    or trace_events or not self.trace_safety.eligible):
+                mode = "batched"
+            else:
+                return "trace"
         if mode != "batched":
             return mode
         if self._dynamic_fallback:
@@ -742,13 +812,14 @@ class CompiledKernel:
         if grid_dim < 1:
             raise SimulationError(f"grid_dim must be >= 1, got {grid_dim}")
         if mode is None:
-            mode = "batched"
-        if mode not in ("batched", "reference"):
+            mode = _default_mode()
+        if mode not in _EXECUTOR_MODES:
             raise SimulationError(
                 f"unknown executor mode {mode!r} "
-                "(expected 'batched' or 'reference')")
+                "(expected 'trace', 'batched' or 'reference')")
         requested = mode
-        mode = self.effective_mode(mode, grid_dim, gmem, faults)
+        mode = self.effective_mode(mode, grid_dim, gmem, faults,
+                                   trace_events=trace)
         tl = _timeline.current()
         if tl is not None:
             tl.decision("gpu", "executor-mode", kernel=self.kernel.name,
@@ -778,7 +849,7 @@ class CompiledKernel:
             budget = float(watchdog_budget)
         stuck = (faults.on_stuck_query(self.kernel.name)
                  if faults is not None else False)
-        if mode == "batched":
+        if mode in ("batched", "trace"):
             from repro.gpu.executor_batched import _BatchHazard, run_batched
             safety = self.batch_safety
             check = snapshot = None
@@ -793,6 +864,11 @@ class CompiledKernel:
                 snapshot = {b: gmem[b].data.copy()
                             for b in safety.written_bufs if b in gmem}
             try:
+                if mode == "trace":
+                    from repro.gpu.executor_trace import run_trace
+                    return run_trace(self, gmem, grid_dim, block_dim,
+                                     stats, params, budget, block_batch,
+                                     check=check)
                 return run_batched(self, gmem, grid_dim, block_dim, stats,
                                    params, trace, faults, budget, stuck,
                                    block_batch, check=check)

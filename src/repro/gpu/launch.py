@@ -24,7 +24,14 @@ __all__ = ["LaunchReport", "launch", "compile_cache_info",
 #: are mixed in because statement sids are ``compare=False`` — two
 #: structurally equal kernels with different stamping (or from different
 #: pass pipelines) must not share a compiled closure, or per-statement
-#: attribution would be charged to the wrong sids.  An LRU bound keeps
+#: attribution would be charged to the wrong sids.  Executor mode and
+#: ``block_batch`` are deliberately *not* part of the key: they are
+#: launch-time arguments dispatched inside ``CompiledKernel.run``, and
+#: the per-mode artifacts (reference closures, batched closures, the
+#: trace-compiled function) live in separate fields of the one cached
+#: object — no closure bakes either in, so a mode switch on the same
+#: kernel+device can never observe a stale artifact (pinned by
+#: tests/gpu/test_launch_cache.py).  An LRU bound keeps
 #: pathological sweeps from accumulating closures forever; the
 #: ``REPRO_LAUNCH_CACHE_MAX`` environment variable overrides the default
 #: bound (64) so the service layer can size the per-process memory it is
@@ -171,12 +178,14 @@ def launch(kernel: Kernel, gmem: GlobalMemory, *, grid_dim: int,
     if tl is not None:
         tl.span("gpu", f"kernel:{kernel.name}", timing.total_us,
                 grid=grid_dim, block=list(block_dim),
-                executor=ck.effective_mode(mode, grid_dim, gmem, faults))
+                executor=ck.effective_mode(mode, grid_dim, gmem, faults,
+                                           trace_events=trace))
     if profiler is not None:
         profiler.record_kernel(kernel.name, stats, timing,
                                grid_dim=grid_dim, block_dim=block_dim,
                                device=device,
                                executor=ck.effective_mode(mode, grid_dim,
-                                                          gmem, faults),
+                                                          gmem, faults,
+                                                          trace_events=trace),
                                kernel=kernel)
     return LaunchReport(kernel=kernel, stats=stats, timing=timing)

@@ -299,7 +299,8 @@ class GlobalMemory:
                                     act_block: np.ndarray,
                                     stats: KernelStats,
                                     reuse: tuple | None = None,
-                                    reps: tuple | None = None) -> None:
+                                    reps: tuple | None = None,
+                                    wreps: tuple | None = None) -> None:
         """Block-axis version of :meth:`_count_transactions`.
 
         Warp requests use block-qualified warp keys, so per-warp segment
@@ -322,8 +323,38 @@ class GlobalMemory:
         representative touches, so warp requests collapse to the distinct
         warp keys and the per-lane key construction below is skipped —
         the dominant cost of broadcast-heavy kernels.
+
+        ``wreps`` — ``(rblk, lanes)``; ``act_idx`` then holds one
+        representative index per *active warp* (in lane order), ``rblk``
+        the block id of each, and ``lanes`` the true active-lane count.
+        Asserts the index is per-warp uniform under a warp-uniform mask
+        (the static :func:`~repro.gpu.executor_trace._warp_uniform_stmts`
+        verdict plus the ``blockDim.x % warp_size == 0`` launch guard).
+        One segment per warp and one rep per warp make ``requests`` the
+        rep count outright, the block-tagged dedup collapses to the reps
+        (every lane of a warp touches its rep's segment), and the byte
+        count comes from ``lanes`` instead of ``act_idx.size``.
         """
-        if reps is not None:
+        nbytes = int(act_idx.size) * buf.dtype.itemsize
+        if wreps is not None:
+            rblk, lanes = wreps
+            nbytes = int(lanes) * buf.dtype.itemsize
+            seg_r = act_idx.astype(np.int64)
+            seg_r *= buf.dtype.itemsize
+            seg_r += buf.base
+            seg_r //= self.device.transaction_bytes
+            # one rep per active warp with distinct block-qualified warp
+            # keys: requests = the rep count
+            requests = int(seg_r.size)
+            bkey = rblk.astype(np.int64) * _SEG_TAG
+            bkey += seg_r
+            if not _is_sorted(bkey):
+                bkey.sort()
+            newseg = np.empty(bkey.size, dtype=bool)
+            newseg[0] = True
+            np.not_equal(bkey[1:], bkey[:-1], out=newseg[1:])
+            uniq_bseg = bkey[newseg]
+        elif reps is not None:
             rep, rblk = reps
             seg_r = rep.astype(np.int64)
             seg_r *= buf.dtype.itemsize
@@ -414,7 +445,7 @@ class GlobalMemory:
             dram = int(uniq_bseg.size)
         stats.global_transactions += dram
         stats.l2_transactions += requests - dram
-        stats.global_bytes += int(act_idx.size) * buf.dtype.itemsize
+        stats.global_bytes += nbytes
         stats.dram_bytes += dram * self.device.transaction_bytes
 
 
@@ -480,13 +511,17 @@ def finalize_segment_reuse(cache: dict, stats: KernelStats,
         if not isinstance(st, _SlotReuse) or len(st.first) < 2:
             continue
         blocks = sorted(st.first)
-        cblk = st.cur // _SEG_TAG
-        overlap = 0
-        for p, b in zip(blocks, blocks[1:]):
-            lo = np.searchsorted(cblk, p)
-            hi = np.searchsorted(cblk, p + 1)
-            last_p = st.cur[lo:hi] - p * _SEG_TAG
-            overlap += int(_in_sorted(st.first[b], last_p).sum())
+        # one membership query for every consecutive pair: tag block b's
+        # first-execution segments with its predecessor p and look them
+        # up in the tagged cache — the p-range of ``cur`` holds exactly
+        # p's final segments, so this is the pairwise intersection sum
+        # without the per-pair python loop
+        firsts = [st.first[b] for b in blocks[1:]]
+        qry = np.concatenate(firsts)
+        qry += np.repeat(
+            np.asarray(blocks[:-1], dtype=np.int64) * _SEG_TAG,
+            [f.size for f in firsts])
+        overlap = int(_in_sorted(qry, st.cur).sum())
         if overlap:
             stats.global_transactions -= overlap
             stats.l2_transactions += overlap
@@ -610,15 +645,28 @@ class SharedMemory:
         word = (self._offsets[name] + act_idx.astype(np.int64) * itemsize) \
             // self.device.shared_mem_bank_width
         nbanks = self.device.shared_mem_banks
-        # distinct (warp, word) pairs
+        # distinct (warp, word) pairs — sort+diff dedup, same sorted
+        # result as np.unique at a fraction of the per-call overhead
         key = act_warp.astype(np.int64) * (1 << 40) + word
-        uniq = np.unique(key)
+        if not _is_sorted(key):
+            key.sort()
+        keep = np.empty(key.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(key[1:], key[:-1], out=keep[1:])
+        uniq = key[keep]
         uw_warp = uniq >> 40
         uw_bank = (uniq & ((1 << 40) - 1)) % nbanks
         # count distinct words per (warp, bank), then take max per warp
         key2 = uw_warp * nbanks + uw_bank
-        k2, counts = np.unique(key2, return_counts=True)
-        warps2 = k2 // nbanks
+        key2.sort()
+        b2 = np.empty(key2.size, dtype=bool)
+        b2[0] = True
+        np.not_equal(key2[1:], key2[:-1], out=b2[1:])
+        starts2 = np.flatnonzero(b2)
+        counts = np.empty(starts2.size, dtype=np.int64)
+        np.subtract(starts2[1:], starts2[:-1], out=counts[:-1])
+        counts[-1] = key2.size - starts2[-1]
+        warps2 = key2[starts2] // nbanks
         # segment max: warps2 is sorted; find boundaries
         starts = np.flatnonzero(np.r_[True, warps2[1:] != warps2[:-1]])
         degrees = np.maximum.reduceat(counts, starts)

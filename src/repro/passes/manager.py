@@ -105,6 +105,9 @@ class CompileState:
     autotune: dict = field(default_factory=dict)
     # produced by the lowering + kernel-opt passes
     lowered: object | None = None
+    #: produced by the trace-codegen pass: kernel name -> generated
+    #: NumPy source for the trace executor (eligible kernels only)
+    trace_src: dict = field(default_factory=dict)
     # bookkeeping
     pipeline: str = ""
     records: list[PassRecord] = field(default_factory=list)
@@ -144,11 +147,11 @@ OPTIONAL_PASSES = ("autotune", "fuse-finish", "fold-constants",
 
 PIPELINES: dict[str, PipelineSpec] = {
     "minimal": PipelineSpec(
-        "minimal", _FRONTEND + ("lower", "stamp-sids")),
+        "minimal", _FRONTEND + ("lower", "stamp-sids", "trace-codegen")),
     "optimized": PipelineSpec(
         "optimized",
         _FRONTEND + ("autotune", "lower", "fuse-finish", "fold-constants",
-                     "eliminate-barriers", "stamp-sids")),
+                     "eliminate-barriers", "stamp-sids", "trace-codegen")),
 }
 
 
@@ -236,3 +239,4 @@ class PassManager:
 from repro.passes import frontend as _frontend  # noqa: E402,F401
 from repro.passes import autotune as _autotune  # noqa: E402,F401
 from repro.passes import kernelopt as _kernelopt  # noqa: E402,F401
+from repro.passes import tracegen as _tracegen  # noqa: E402,F401

@@ -4,10 +4,13 @@ The launch LRU (:mod:`repro.gpu.launch`) memoizes compiled *closures*
 per process; this cache persists the expensive front half of compilation
 — parse, IR build, analysis, the whole pass pipeline — across processes.
 The stored artifact is the pickled :class:`~repro.codegen.lowering.
-LoweredProgram` (plus the pipeline name and autotune decisions), from
+LoweredProgram` (plus the pipeline name, autotune decisions, and the
+trace-codegen pass's generated NumPy source per eligible kernel), from
 which a :class:`~repro.acc.compiler.Program` is reconstructed in well
 under a millisecond; only the cheap per-kernel closure compilation is
-redone, and that is served by the launch LRU anyway.
+redone, and that is served by the launch LRU anyway.  Carrying the
+trace source means a cache-served Program never re-runs trace codegen
+— the trace executor ``exec``\\ s the cached source directly.
 
 Key = SHA-256 over every compilation input: source text, compiler
 profile, the *resolved* pass-pipeline fingerprint, explicit option
@@ -29,14 +32,26 @@ Durability contract:
   files were complete);
 * **corruption detection** — every read re-verifies magic, length, and
   checksum and test-unpickles; a truncated/flipped/garbage entry is
-  quarantined (unlinked best-effort) and reported as a miss, so the
-  caller falls back to recompilation instead of crashing or, worse,
-  silently serving a wrong program.
+  quarantined and reported as a miss, so the caller falls back to
+  recompilation instead of crashing or, worse, silently serving a wrong
+  program;
+* **quarantine discipline** — a corrupt entry is removed from its
+  canonical name by *renaming* it to a unique quarantine name (atomic),
+  never by unlinking the canonical path: between detection and the
+  rename a concurrent process may have already recompiled and
+  atomically replaced the entry with a healthy one, and a blind
+  ``unlink`` would delete that repair.  The renamed file is re-verified
+  — if the rename actually grabbed a healthy entry (the race happened),
+  it is atomically restored; entries are content-addressed, so any
+  verified payload for a key is equivalent and restoring an "older"
+  healthy one is correct.  Either way the corrupt bytes are never
+  readable under the canonical name again.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import pickle
@@ -53,8 +68,13 @@ __all__ = ["CompileCache", "device_fingerprint", "PAYLOAD_VERSION"]
 
 _MAGIC = b"REPROCC1"
 #: bump when the payload schema changes — old entries then read as
-#: version mismatches (a miss), never as wrong programs
-PAYLOAD_VERSION = 1
+#: version mismatches (a miss), never as wrong programs.
+#: v2: added ``trace_src`` (the trace-codegen pass artifact), so a
+#: cache-served Program skips trace codegen entirely.
+PAYLOAD_VERSION = 2
+
+#: unique-suffix counter for quarantine renames within one process
+_QSEQ = itertools.count()
 
 
 def device_fingerprint(device: DeviceProperties) -> str:
@@ -124,6 +144,68 @@ class CompileCache:
 
     # -- read ------------------------------------------------------------
 
+    @staticmethod
+    def _verify_blob(blob: bytes, name: str) -> dict:
+        """Parse+verify one entry blob; raises on any defect."""
+        nl = blob.index(b"\n")
+        header = blob[:nl].split(b" ")
+        if len(header) != 3 or header[0] != _MAGIC:
+            raise CacheCorruptionError(f"bad header in {name}")
+        digest, length = header[1].decode(), int(header[2])
+        payload = blob[nl + 1:]
+        if len(payload) != length:
+            raise CacheCorruptionError(
+                f"truncated entry {name}: "
+                f"{len(payload)} of {length} bytes")
+        if hashlib.sha256(payload).hexdigest() != digest:
+            raise CacheCorruptionError(
+                f"checksum mismatch in {name}")
+        doc = pickle.loads(payload)
+        if not isinstance(doc, dict) or doc.get("v") != PAYLOAD_VERSION:
+            raise CacheCorruptionError(
+                f"payload version mismatch in {name}")
+        return doc
+
+    _VERIFY_ERRORS = (CacheCorruptionError, ValueError, EOFError,
+                      pickle.UnpicklingError, AttributeError, ImportError,
+                      IndexError, MemoryError)
+
+    def _quarantine(self, path: Path) -> None:
+        """Take a corrupt entry off its canonical name — atomically.
+
+        ``os.rename`` (not ``unlink``) so that if another process
+        recompiled and atomically replaced the entry *after we read the
+        corrupt bytes*, we cannot delete its repair: whatever file is at
+        the canonical name moves to a unique quarantine name in one
+        atomic step, and is then re-verified.  Healthy (we raced a
+        repair) -> restore it with another atomic replace; corrupt ->
+        delete the quarantine file.  A reader never sees a half state:
+        the canonical name always holds either a complete entry or
+        nothing.
+        """
+        qpath = path.with_name(
+            f".{path.name}.{os.getpid()}.{next(_QSEQ)}.qtn")
+        try:
+            os.rename(path, qpath)
+        except OSError:
+            return  # someone else already quarantined/replaced it
+        try:
+            doc = self._verify_blob(qpath.read_bytes(), qpath.name)
+        except (OSError, *self._VERIFY_ERRORS):
+            doc = None
+        if doc is not None:
+            # the race happened: we grabbed a valid repair — put it back
+            # (content-addressed, so any verified payload is equivalent)
+            try:
+                os.replace(qpath, path)
+            except OSError:
+                pass
+            return
+        try:
+            qpath.unlink()
+        except OSError:
+            pass
+
     def _read_verified(self, key: str) -> dict | None:
         """Read+verify one entry; quarantine and return None on any defect."""
         path = self._path(key)
@@ -132,33 +214,11 @@ class CompileCache:
         except OSError:
             return None
         try:
-            nl = blob.index(b"\n")
-            header = blob[:nl].split(b" ")
-            if len(header) != 3 or header[0] != _MAGIC:
-                raise CacheCorruptionError(f"bad header in {path.name}")
-            digest, length = header[1].decode(), int(header[2])
-            payload = blob[nl + 1:]
-            if len(payload) != length:
-                raise CacheCorruptionError(
-                    f"truncated entry {path.name}: "
-                    f"{len(payload)} of {length} bytes")
-            if hashlib.sha256(payload).hexdigest() != digest:
-                raise CacheCorruptionError(
-                    f"checksum mismatch in {path.name}")
-            doc = pickle.loads(payload)
-            if not isinstance(doc, dict) or doc.get("v") != PAYLOAD_VERSION:
-                raise CacheCorruptionError(
-                    f"payload version mismatch in {path.name}")
-            return doc
-        except (CacheCorruptionError, ValueError, EOFError,
-                pickle.UnpicklingError, AttributeError, ImportError,
-                IndexError, MemoryError):
+            return self._verify_blob(blob, path.name)
+        except self._VERIFY_ERRORS:
             # detect -> quarantine -> recompile; never crash the service
             self.corrupt += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(path)
             tl = _timeline.current()
             if tl is not None:
                 tl.counter("serve", "compile_cache", event="corrupt",
@@ -200,7 +260,8 @@ class CompileCache:
         from repro.acc.profiles import get_profile
 
         return Program(doc["lowered"], get_profile(doc["profile"]), device,
-                       pipeline=doc["pipeline"], autotune=doc["autotune"])
+                       pipeline=doc["pipeline"], autotune=doc["autotune"],
+                       trace_src=doc.get("trace_src"))
 
     # -- write -----------------------------------------------------------
 
@@ -208,7 +269,8 @@ class CompileCache:
         """Persist one compiled program atomically; returns the entry path."""
         doc = {"v": PAYLOAD_VERSION, "lowered": prog.lowered,
                "profile": prog.profile.name, "pipeline": prog.pipeline,
-               "autotune": prog.autotune}
+               "autotune": prog.autotune,
+               "trace_src": dict(getattr(prog, "trace_src", None) or {})}
         payload = pickle.dumps(doc, protocol=pickle.HIGHEST_PROTOCOL)
         header = b" ".join((
             _MAGIC, hashlib.sha256(payload).hexdigest().encode(),

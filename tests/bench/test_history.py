@@ -173,7 +173,10 @@ class TestImportBaseline:
         # the real committed document must keep importing cleanly
         entries = H.import_baseline("BENCH_table2.json")
         assert len(entries) >= 4
-        assert {e.executor for e in entries} >= {"batched", "reference"}
+        assert {e.executor for e in entries} >= {"batched", "reference",
+                                                 "trace"}
+        # the trace gate's per-row speedups land in the ledger too
+        assert any(e.config.startswith("trace:") for e in entries)
 
 
 class TestReports:

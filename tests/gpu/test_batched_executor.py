@@ -94,7 +94,10 @@ class TestBitIdentity:
         np.testing.assert_array_equal(out, out_ref)
         assert counters(st) == counters(st_ref)
 
-    def test_batched_is_the_default(self):
+    def test_batched_is_the_default(self, monkeypatch):
+        # the no-env default; REPRO_EXECUTOR (e.g. the trace CI leg)
+        # overrides it, so pin with the variable cleared
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
         g = GlobalMemory(K20C)
         g.alloc("in", 64, DType.INT)
         g.alloc("out", 2, DType.INT)
@@ -118,7 +121,11 @@ class TestSafetyAnalysis:
         g = GlobalMemory(K20C)
         for name, dtype, size in bufs:
             g.alloc(name, size, dtype)
-        return CompiledKernel(kernel, K20C).effective_mode(None, grid, g)
+        # request "batched" explicitly: these tests pin the
+        # batched->reference demotion rungs, independent of the
+        # REPRO_EXECUTOR session default
+        return CompiledKernel(kernel, K20C).effective_mode(
+            "batched", grid, g)
 
     def test_rmw_buffer_is_checked_then_falls_back(self):
         # later blocks read what earlier blocks wrote: the static pass
@@ -134,9 +141,9 @@ class TestSafetyAnalysis:
         g.alloc("buf", 64, DType.INT, init=np.arange(64))
         ck = CompiledKernel(k, K20C)
         assert ck.batch_safety.checked_bufs == ("buf",)
-        assert ck.effective_mode(None, 4, g) == "batched"  # optimistic
-        ck.run(g, 2, (32, 2))
-        assert ck.effective_mode(None, 4, g) == "reference"  # sticky
+        assert ck.effective_mode("batched", 4, g) == "batched"  # optimistic
+        ck.run(g, 2, (32, 2), mode="batched")
+        assert ck.effective_mode("batched", 4, g) == "reference"  # sticky
 
     def test_checked_kernel_with_faults_goes_reference(self):
         from repro.faults import FaultInjector, FaultPlan
@@ -151,7 +158,7 @@ class TestSafetyAnalysis:
         # an aborted checked attempt could not roll back the injector's
         # RNG draws, so armed launches skip the attempt entirely
         assert CompiledKernel(k, K20C).effective_mode(
-            None, 4, g, faults=inj) == "reference"
+            "batched", 4, g, faults=inj) == "reference"
 
     def test_disjoint_scatter_stays_batched_at_runtime(self):
         # data-dependent store index: unprovable statically, but these

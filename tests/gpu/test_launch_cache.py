@@ -118,6 +118,30 @@ class TestCompileCache:
         assert info["misses"] == 2
         assert info["size"] == 2
 
+    def test_mode_switch_never_serves_a_stale_closure(self):
+        # executor mode and block_batch are launch-time arguments, NOT
+        # part of the cache key: the per-mode artifacts live in separate
+        # fields of the one cached CompiledKernel.  Switching modes on
+        # the same kernel+device must share that entry (one miss) and
+        # every mode must produce the reference answer — a closure that
+        # baked in a mode or batch shape would serve stale results here
+        from repro.gpu.kernelir import stamp_sids
+
+        outs = {}
+        for mode, bb in (("reference", None), ("batched", None),
+                         ("trace", None), ("batched", 3), ("trace", 2),
+                         ("reference", None)):
+            g = _gmem()
+            launch(stamp_sids(ids_kernel()), g, grid_dim=2,
+                   block_dim=(16, 2), mode=mode, block_batch=bb)
+            outs[(mode, bb)] = g["out"].data.copy()
+        info = compile_cache_info()
+        assert info["misses"] == 1  # one shared entry across all modes
+        assert info["size"] == 1
+        ref = outs[("reference", None)]
+        for key, out in outs.items():
+            np.testing.assert_array_equal(out, ref, err_msg=str(key))
+
     def test_clear_resets_counters(self):
         launch(ids_kernel(), _gmem(), grid_dim=1, block_dim=(32, 1))
         compile_cache_clear()

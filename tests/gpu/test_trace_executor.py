@@ -1,0 +1,243 @@
+"""Trace-compiled executor: eligibility, bit-identity, checked fallback.
+
+The trace executor compiles a kernel into a generated Python function of
+whole-array NumPy operations (see :mod:`repro.gpu.executor_trace`).  Its
+contract mirrors the batched executor's: results, every
+:class:`~repro.gpu.events.KernelStats` counter, and the per-statement
+attribution table are bit-identical to the reference interpreter — and
+whenever the generated code cannot honor a launch (static ineligibility,
+runtime hazards, armed fault injectors, TraceEvent collection), the
+launch silently degrades down the batched/reference chain rather than
+diverge.  These tests pin both halves: identity where trace runs, and
+the checked fallback (with its timeline decision record) where it
+cannot.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import acc
+from repro.dtypes import DType
+from repro.errors import WatchdogTimeoutError
+from repro.faults import FaultInjector, FaultPlan
+from repro.gpu import GlobalMemory, K20C
+from repro.gpu.executor import CompiledKernel
+from repro.gpu.executor_trace import (
+    analyze_trace_safety, compile_trace_source, emit_trace_source,
+)
+from repro.gpu.kernelir import (
+    AtomicUpdate, Bin, Const, GLoad, GStore, Kernel, Reg, Special,
+    stamp_sids,
+)
+from repro.obs import timeline
+from repro.testsuite.cases import generate_cases
+
+MODES = ("reference", "batched", "trace")
+
+_SUM_SRC = '''float a[n];
+float total = 1.5;
+#pragma acc parallel copyin(a)
+#pragma acc loop gang worker vector reduction(+:total)
+for (i = 0; i < n; i++)
+    total += a[i];
+'''
+
+
+def _stats_dict(st):
+    d = {f.name: getattr(st, f.name) for f in dataclasses.fields(st)
+         if f.name not in ("trace", "attribution")}
+    d["attr"] = st.attribution.as_dict() if st.attribution else None
+    return d
+
+
+def _run_all_modes(prog, inputs):
+    out = {}
+    for mode in MODES:
+        res = prog.run(executor_mode=mode, attribution=True, **inputs)
+        bits = {n: np.asarray(v).tobytes() for n, v in res.scalars.items()}
+        bits.update({n: np.asarray(v).tobytes()
+                     for n, v in res.outputs.items()})
+        ks = {k: _stats_dict(s) for k, s in sorted(res.kernel_stats.items())}
+        out[mode] = (bits, ks)
+    return out
+
+
+class TestBitIdentity:
+    """Results, counters, and attribution match the interpreters."""
+
+    CASES = generate_cases(size=193)[::5]
+
+    @pytest.mark.parametrize("case", CASES, ids=[c.label for c in CASES])
+    def test_table2_sample_all_modes_identical(self, case):
+        prog = acc.compile(case.source, num_gangs=4, num_workers=2,
+                           vector_length=32)
+        inputs = case.make_inputs(np.random.default_rng(11))
+        out = _run_all_modes(prog, inputs)
+        for mode in MODES[1:]:
+            assert out[mode] == out["reference"], \
+                f"{mode} diverged from reference on {case.label}"
+
+    def test_non_warp_multiple_block_width(self):
+        # blockDim.x = 48 is not a multiple of the warp size, so warps
+        # span worker rows and the emitter's WOK guard must route every
+        # warp-uniform access down the per-lane fallback path
+        case = generate_cases(positions=("worker vector",), ops=("+",),
+                              ctypes=("float",), size=193)[0]
+        prog = acc.compile(case.source, num_gangs=3, num_workers=2,
+                           vector_length=48)
+        inputs = case.make_inputs(np.random.default_rng(5))
+        out = _run_all_modes(prog, inputs)
+        for mode in MODES[1:]:
+            assert out[mode] == out["reference"], mode
+
+    def test_trace_respects_block_batch_chunking(self):
+        prog = acc.compile(_SUM_SRC, num_gangs=8, num_workers=2,
+                           vector_length=32)
+        a = ((np.arange(997) % 13) / 8.0).astype(np.float32)
+        ref = prog.run(executor_mode="reference", a=a)
+        for bb in (1, 3, 8):
+            res = prog.run(executor_mode="trace", block_batch=bb, a=a)
+            assert (res.scalars["total"].tobytes()
+                    == ref.scalars["total"].tobytes()), bb
+
+
+class TestEligibility:
+    def test_reduction_kernels_are_eligible(self):
+        prog = acc.compile(_SUM_SRC, num_gangs=4, num_workers=2,
+                           vector_length=32)
+        assert prog.trace_src  # the trace-codegen pass emitted something
+        for name, ck in prog._compiled.items():
+            if name in prog.trace_src:
+                assert ck.trace_safety.eligible
+
+    def test_atomic_kernel_is_ineligible_and_demotes(self):
+        k = stamp_sids(Kernel("atom", (
+            AtomicUpdate("out", Const(0, DType.INT), "+",
+                         Special("tid")),
+        ), buffers=("out",)))
+        ck = CompiledKernel(k, K20C)
+        verdict = ck.trace_safety
+        assert not verdict.eligible
+        assert "atomic" in verdict.reason
+        g = GlobalMemory(K20C)
+        g.alloc("out", 4, DType.INT)
+        # requesting trace must transparently run the demoted mode
+        assert ck.effective_mode("trace", 2, g) != "trace"
+        ck.run(g, 2, (32, 1), mode="trace")
+        g2 = GlobalMemory(K20C)
+        g2.alloc("out", 4, DType.INT)
+        CompiledKernel(k, K20C).run(g2, 2, (32, 1), mode="reference")
+        np.testing.assert_array_equal(g["out"].data, g2["out"].data)
+
+    def test_codegen_is_deterministic(self):
+        prog = acc.compile(_SUM_SRC, num_gangs=4, num_workers=2,
+                           vector_length=32)
+        for name, src in prog.trace_src.items():
+            kernel = next(k for k in prog.lowered.kernels
+                          if k.name == name)
+            assert emit_trace_source(kernel, prog.device) == src
+            fn, slot_sids = compile_trace_source(src)
+            assert callable(fn)
+
+    def test_program_attaches_pass_artifact(self):
+        # the trace-codegen pass output rides on the Program and is
+        # adopted by the compiled kernels — the first trace launch skips
+        # codegen entirely
+        prog = acc.compile(_SUM_SRC, num_gangs=4, num_workers=2,
+                           vector_length=32)
+        name = prog.lowered.main_kernel.name
+        assert prog._compiled[name].trace_source == prog.trace_src[name]
+        rec = [r for r in prog.pass_records if r.name == "trace-codegen"]
+        assert rec and "emitted" in rec[0].note
+
+
+class TestCheckedFallback:
+    """Satellite: trace under hazards/faults degrades, never diverges."""
+
+    def _rmw_kernel(self):
+        # later blocks read locations earlier blocks wrote: statically
+        # unprovable, runtime hazard on the first launch
+        return stamp_sids(Kernel("inc", (
+            GLoad("v", "buf", Special("tid")),
+            GStore("buf", Special("tid"),
+                   Bin("+", Reg("v"), Const(1, DType.INT))),
+        ), buffers=("buf",)))
+
+    def test_runtime_hazard_demotes_and_matches_reference(self):
+        def run(mode):
+            g = GlobalMemory(K20C)
+            g.alloc("buf", 64, DType.INT, init=np.arange(64))
+            ck = CompiledKernel(self._rmw_kernel(), K20C)
+            ck.run(g, 2, (32, 2), mode=mode)
+            return g["buf"].data.copy(), ck
+        out_tr, ck = run("trace")
+        out_ref, _ = run("reference")
+        np.testing.assert_array_equal(out_tr, out_ref)
+        # the hazard verdict sticks: later trace requests resolve lower
+        g = GlobalMemory(K20C)
+        g.alloc("buf", 64, DType.INT)
+        assert ck.effective_mode("trace", 2, g) == "reference"
+
+    def test_armed_faults_demote_with_identical_injection(self):
+        # an armed injector demotes trace to the batched resolution; the
+        # injected faults (seeded per plan) must land identically, so a
+        # trace-requested run equals a batched-requested run bitwise
+        prog = acc.compile(_SUM_SRC, num_gangs=4, num_workers=2,
+                           vector_length=32)
+        a = ((np.arange(500) % 7) / 4.0).astype(np.float32)
+        plan = FaultPlan.single("gload-flip", seed=99)
+        res_tr = prog.run(executor_mode="trace", faults=plan,
+                          max_attempts=1, a=a)
+        res_ba = prog.run(executor_mode="batched", faults=plan,
+                          max_attempts=1, a=a)
+        assert (res_tr.scalars["total"].tobytes()
+                == res_ba.scalars["total"].tobytes())
+
+    def test_demotion_decision_lands_on_timeline(self):
+        prog = acc.compile(_SUM_SRC, num_gangs=4, num_workers=2,
+                           vector_length=32)
+        a = np.ones(100, np.float32)
+        inj = FaultInjector(FaultPlan(seed=3))  # armed, nothing fires
+        with timeline.enabled() as tl:
+            prog.run(executor_mode="trace", faults=inj, a=a)
+            decisions = [e for e in tl.events("gpu", "decision")
+                         if e.name == "executor-mode"]
+        assert decisions
+        for e in decisions:
+            assert e.attrs["requested"] == "trace"
+            assert e.attrs["mode"] != "trace"
+            assert e.attrs["fallback"] is True
+
+    def test_trace_run_decision_is_not_a_fallback(self):
+        prog = acc.compile(_SUM_SRC, num_gangs=4, num_workers=2,
+                           vector_length=32)
+        a = np.ones(100, np.float32)
+        with timeline.enabled() as tl:
+            prog.run(executor_mode="trace", a=a)
+            decisions = [e for e in tl.events("gpu", "decision")
+                         if e.name == "executor-mode"
+                         and e.attrs["mode"] == "trace"]
+        assert decisions  # at least the main kernel ran traced
+        for e in decisions:
+            assert e.attrs["fallback"] is False
+
+    def test_trace_event_collection_demotes(self):
+        # TraceEvent collection is a per-access interpreter concern the
+        # generated code omits — requesting both must serve the events
+        prog = acc.compile(_SUM_SRC, num_gangs=4, num_workers=2,
+                           vector_length=32)
+        a = np.ones(100, np.float32)
+        res = prog.run(executor_mode="trace", trace=True, a=a)
+        assert any(st.trace for st in res.kernel_stats.values())
+        plain = prog.run(executor_mode="trace", a=a)
+        assert (res.scalars["total"].tobytes()
+                == plain.scalars["total"].tobytes())
+
+    def test_watchdog_fires_under_trace(self):
+        prog = acc.compile(_SUM_SRC, num_gangs=4, num_workers=2,
+                           vector_length=32)
+        a = np.ones(1 << 14, np.float32)
+        with pytest.raises(WatchdogTimeoutError):
+            prog.run(executor_mode="trace", watchdog_budget=2, a=a)

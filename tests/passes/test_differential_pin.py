@@ -3,7 +3,9 @@
 The full testsuite grid — every Table 2 reduction position x operator x
 dtype — must produce bitwise-identical results under the ``minimal``
 pipeline (the paper-shape lowering, no optimization passes) and the
-default ``optimized`` pipeline, on both executors.  The kernel-IR passes
+default ``optimized`` pipeline, on all three executors (reference,
+batched, trace — the trace mode transparently demotes ineligible
+kernels, so requesting it is always safe).  The kernel-IR passes
 (fusion, barrier elimination, folding) are transformations that preserve
 the combination tree exactly, and the autotuner only retunes reductions
 whose combine is grouping-invariant — so any bitwise divergence here is
@@ -34,7 +36,7 @@ def test_minimal_and_optimized_pipelines_bit_identical(case):
              for pipe in ("minimal", "optimized")}
     results = {(pipe, mode): prog.run(executor_mode=mode, **inputs)
                for pipe, prog in progs.items()
-               for mode in ("reference", "batched")}
+               for mode in ("reference", "batched", "trace")}
 
     baseline = _bits(results[("minimal", "reference")])
     for key, res in results.items():

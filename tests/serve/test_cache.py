@@ -46,7 +46,10 @@ class TestKeying:
         assert _key(cache) != _key(cache, num_gangs=4)
 
     def test_pipeline_changes_key(self, cache):
-        assert _key(cache) != _key(cache, pipeline="minimal")
+        # explicit on both sides: under REPRO_PASSES=minimal the default
+        # resolves to "minimal", and the two keys must still differ
+        assert (_key(cache, pipeline="minimal")
+                != _key(cache, pipeline="optimized"))
 
     def test_compiler_profile_changes_key(self, cache):
         assert _key(cache) != _key(cache, compiler="vendor-a")
@@ -162,6 +165,32 @@ class TestCorruptionRecovery:
         _, status = cache.compile(SRC, **GEOM)
         assert status == "miss"
 
+    def test_quarantine_removes_corrupt_bytes_before_recompile(self, cache):
+        # the corrupt entry leaves its canonical name at *detection*
+        # time, not at recompile time — a concurrent process probing the
+        # key in between must see a clean miss, never the corrupt bytes
+        path = self._poisoned(cache, lambda b: b[: len(b) // 2])
+        assert cache.get(cache.key_for(SRC, **GEOM), K20C) is None
+        assert not path.exists()
+        assert not list(path.parent.glob("*.qtn"))  # no quarantine litter
+
+    def test_quarantine_preserves_a_concurrent_repair(self, cache):
+        # the race the rename discipline exists for: reader A has
+        # corrupt bytes in hand; before A quarantines, process B
+        # recompiles and atomically replaces the entry with a healthy
+        # one.  A's (now stale) quarantine must not delete B's repair.
+        cache.compile(SRC, **GEOM)
+        path = self._entry_path(cache)
+        healthy = path.read_bytes()
+        path.write_bytes(healthy[: len(healthy) // 2])  # A reads this...
+        path.write_bytes(healthy)                       # ...B repairs it
+        cache._quarantine(path)                         # A acts late
+        assert path.exists()
+        cache.drop_memory()
+        _, status = cache.compile(SRC, **GEOM)
+        assert status == "hit"  # the repair survived A's quarantine
+        assert not list(path.parent.glob("*.qtn"))
+
 
 class TestConcurrency:
     def test_two_processes_race_same_key(self, tmp_path):
@@ -209,6 +238,72 @@ print("stored")
         assert reader.stats()["corrupt"] == 0
         a = np.arange(64, dtype=np.int32)
         assert prog.run(a=a).scalars["s"] == a.sum()
+        assert not list(reader.objects.glob("**/*.tmp"))
+
+    def test_two_processes_corrupt_quarantine_repair_race(self, tmp_path):
+        """Two processes hammer one key with corrupt->detect->repair
+        cycles.  The quarantine discipline under test: a detected-corrupt
+        entry leaves its canonical name atomically (no process can read
+        the same corrupt bytes after another detected them and moved on
+        to recompiling), and a quarantine racing a repair never deletes
+        the repair.  Neither process may ever crash on garbage, and the
+        key must end servable."""
+        import os
+        import time
+
+        import repro
+
+        src_root = os.path.dirname(os.path.dirname(repro.__file__))
+        root = tmp_path / "cc"
+        go = tmp_path / "go"
+        seed = CompileCache(root)
+        key = seed.key_for(SRC, **GEOM)
+        seed.compile(SRC, **GEOM)
+        script = f"""
+import os, sys, time
+sys.path.insert(0, {str(src_root)!r})
+from repro.serve.cache import CompileCache
+from repro.gpu.device import K20C
+from repro import acc
+cache = CompileCache({str(root)!r})
+prog = acc.compile({SRC!r}, num_gangs=2, num_workers=2, vector_length=32)
+key = {key!r}
+path = cache._path(key)
+while not os.path.exists({str(go)!r}):
+    time.sleep(0.005)
+for i in range(25):
+    try:
+        path.write_bytes(b"REPROCC1 junk 3\\nxxx")  # vandalize
+    except OSError:
+        pass
+    cache.drop_memory()
+    got = cache.get(key, K20C)   # never raises: None (miss) or valid
+    if got is None:
+        cache.put(key, prog)     # repair
+print("done", cache.corrupt)
+"""
+        procs = [subprocess.Popen([sys.executable, "-c", script],
+                                  stdout=subprocess.PIPE,
+                                  stderr=subprocess.PIPE)
+                 for _ in range(2)]
+        time.sleep(1.0)
+        go.write_text("go")
+        detected = 0
+        for p in procs:
+            out, err = p.communicate(timeout=300)
+            assert p.returncode == 0, err.decode()
+            word, n = out.decode().split()
+            assert word == "done"
+            detected += int(n)
+        assert detected > 0  # the corruption path actually exercised
+        # end state: the canonical name is either absent or healthy, a
+        # recompile round-trips, and no quarantine/tmp litter remains
+        reader = CompileCache(root)
+        prog, status = reader.compile(SRC, **GEOM)
+        assert status in ("hit", "miss")
+        a = np.arange(64, dtype=np.int32)
+        assert prog.run(a=a).scalars["s"] == a.sum()
+        assert not list(reader.objects.glob("**/*.qtn"))
         assert not list(reader.objects.glob("**/*.tmp"))
 
     def test_no_tmp_litter_after_stores(self, cache):
