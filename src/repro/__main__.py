@@ -214,12 +214,21 @@ def _parse_run_inputs(args) -> dict:
 
 
 def _timeline_scope(args):
-    """``--timeline PATH``: an installed bus for the command's duration."""
-    from repro.obs import timeline as tl
-    if getattr(args, "timeline", None):
-        return tl.enabled()
+    """``--timeline PATH`` / ``--trace-requests``: an installed bus (and,
+    for request tracing, a tracer) scoped to the command's duration."""
     import contextlib
-    return contextlib.nullcontext()
+
+    from repro.obs import timeline as tl
+    want_bus = bool(getattr(args, "timeline", None))
+    want_trace = bool(getattr(args, "trace_requests", False))
+    if not (want_bus or want_trace):
+        return contextlib.nullcontext()
+    stack = contextlib.ExitStack()
+    stack.enter_context(tl.enabled())
+    if want_trace:
+        from repro.obs import trace as _trace
+        stack.enter_context(_trace.tracing())
+    return stack
 
 
 def _export_timeline(args, bus) -> None:
@@ -405,7 +414,9 @@ def _serve_config_from_args(args):
         max_tries=args.max_tries,
         runs=args.runs, max_attempts=args.max_attempts,
         degrade=args.degrade,
-        watchdog_budget=args.watchdog_budget)
+        watchdog_budget=args.watchdog_budget,
+        slo=dict(objective_ms=args.slo_objective_ms,
+                 target=args.slo_target))
 
 
 def _write_json(doc: dict, path: str | None, label: str) -> None:
@@ -493,6 +504,9 @@ def _cmd_serve(args) -> int:
     failed = sum(n for s, n in report["by_status"].items() if s != "ok")
     print(f"served {report['requests']} request(s): "
           f"{report['by_status']}", file=sys.stderr)
+    if args.status:
+        from repro.obs.slo import format_slo
+        print(format_slo(report["slo"]), file=sys.stderr)
     return 1 if (args.strict and failed) else 0
 
 
@@ -518,7 +532,9 @@ def _cmd_loadgen(args) -> int:
                     deadline_s=args.deadline,
                     stagger_s=args.stagger,
                     queue_depth=args.queue_depth,
-                    hedge_after_s=args.hedge_after))
+                    hedge_after_s=args.hedge_after,
+                    slo=dict(objective_ms=args.slo_objective_ms,
+                             target=args.slo_target)))
             else:
                 from repro.serve import run_loadgen
                 report = run_loadgen(
@@ -533,6 +549,16 @@ def _cmd_loadgen(args) -> int:
         if tmp is not None:
             tmp.cleanup()
     _write_json(report, args.json, "loadgen report")
+
+    if args.status:
+        from repro.obs.slo import format_slo
+        snap = report.get("slo")
+        if snap is None:  # non-chaos: per-wave snapshots; show the last
+            waves = report.get("waves") or {}
+            for stats in waves.values():
+                snap = stats.get("slo")
+        if snap is not None:
+            print(format_slo(snap), file=sys.stderr)
 
     if args.chaos:
         gate = report["gate"]
@@ -658,6 +684,8 @@ def _cmd_obs_events(args) -> int:
             if not line:
                 continue
             ev = json.loads(line)
+            if "category" not in ev:
+                continue  # the export's header record
             if args.category and ev.get("category") != args.category:
                 continue
             if args.kind and ev.get("kind") != args.kind:
@@ -675,6 +703,71 @@ def _cmd_obs_events(args) -> int:
             if args.limit and shown >= args.limit:
                 break
     print(f"[{shown} event(s)]", file=sys.stderr)
+    return 0
+
+
+def _cmd_obs_trace(args) -> int:
+    """Assemble request traces from a timeline export and render them."""
+    import json as _json
+
+    from repro.obs import timeline as tl
+    from repro.obs import trace as _trace
+
+    header, events = tl.read_jsonl(args.file)
+    trees = _trace.assemble(events)
+    if not trees:
+        print("no traced events in this export (was it produced with "
+              "--trace-requests?)", file=sys.stderr)
+        return 1
+    if header and (header.get("dropped") or header.get("sampled_out")):
+        print(f"note: export is truncated ({header.get('dropped', 0)} "
+              f"ring-dropped, {header.get('sampled_out', 0)} sampled-out "
+              "event(s)) — trees may be partial", file=sys.stderr)
+
+    verdict = _trace.verify_request_traces(trees)
+    if args.check:
+        for p in verdict["problems"]:
+            print(f"FAIL: {p}", file=sys.stderr)
+        slow = verdict["slowest"]
+        if slow is not None:
+            print(f"slowest request {slow['trace_id']}: "
+                  f"{slow['dur_us'] / 1e3:.1f} ms, critical path "
+                  f"{' -> '.join(slow['critical_path'])}",
+                  file=sys.stderr)
+        print(f"checked {verdict['requests']} request trace(s): "
+              f"{'ok' if verdict['ok'] else 'FAILED'}", file=sys.stderr)
+        return 0 if verdict["ok"] else 1
+
+    if args.id:
+        if args.id not in trees:
+            known = ", ".join(str(t) for t in list(trees)[:10])
+            print(f"error: no trace {args.id!r} in {args.file} "
+                  f"(have: {known}{', ...' if len(trees) > 10 else ''})",
+                  file=sys.stderr)
+            return 1
+        chosen = [args.id]
+    elif args.all:
+        chosen = list(trees)
+    else:
+        # default: the slowest request trace (else the first trace)
+        slow = verdict["slowest"]
+        chosen = [slow["trace_id"]] if slow else [next(iter(trees))]
+
+    if args.chrome:
+        if len(chosen) != 1:
+            print("error: --chrome exports exactly one trace (use --id)",
+                  file=sys.stderr)
+            return 1
+        doc = _trace.tree_to_chrome(trees[chosen[0]])
+        with open(args.chrome, "w") as f:
+            _json.dump(doc, f, indent=2, default=str)
+        print(f"chrome trace for {chosen[0]} written to {args.chrome}",
+              file=sys.stderr)
+
+    for tid in chosen:
+        print(_trace.render_tree(trees[tid]))
+        print()
+    print(f"[{len(chosen)}/{len(trees)} trace(s) shown]", file=sys.stderr)
     return 0
 
 
@@ -734,6 +827,9 @@ def main(argv=None) -> int:
     pr.add_argument("--timeline", metavar="PATH",
                     help="enable the telemetry bus and export its events "
                          "as JSONL ('-' for stdout)")
+    pr.add_argument("--trace-requests", action="store_true",
+                    help="request tracing: the run forms one span tree "
+                         "in the timeline (inspect with 'obs trace')")
 
     pp = sub.add_parser(
         "profile", help="compile, run, and print an nvprof-style report")
@@ -758,6 +854,9 @@ def main(argv=None) -> int:
     pp.add_argument("--timeline", metavar="PATH",
                     help="enable the telemetry bus and export its events "
                          "as JSONL ('-' for stdout)")
+    pp.add_argument("--trace-requests", action="store_true",
+                    help="request tracing: each run forms one span tree "
+                         "in the timeline (inspect with 'obs trace')")
 
     pa = sub.add_parser(
         "annotate",
@@ -823,6 +922,20 @@ def main(argv=None) -> int:
         p.add_argument("--timeline", metavar="PATH",
                        help="enable the telemetry bus and export its "
                             "events as JSONL ('-' for stdout)")
+        p.add_argument("--trace-requests", action="store_true",
+                       help="request-scoped causal tracing: every request "
+                            "gets a span tree in the timeline (inspect "
+                            "with 'obs trace')")
+        p.add_argument("--slo-objective-ms", type=float, default=1000.0,
+                       metavar="MS",
+                       help="SLO latency objective in ms (default 1000)")
+        p.add_argument("--slo-target", type=float, default=0.99,
+                       metavar="FRAC",
+                       help="fraction of requests that must be ok within "
+                            "the objective (default 0.99)")
+        p.add_argument("--status", action="store_true",
+                       help="print the SLO monitor snapshot (per-priority "
+                            "latency, error-budget burn) after the run")
         p.add_argument("--debug", action="store_true",
                        default=argparse.SUPPRESS, help=argparse.SUPPRESS)
 
@@ -937,6 +1050,26 @@ def main(argv=None) -> int:
     oev.add_argument("--limit", type=int, default=0, metavar="N",
                      help="stop after N events (default: all)")
 
+    otr = obs_sub.add_parser(
+        "trace",
+        help="assemble request span trees from a timeline export and "
+             "render tree + critical path (default: slowest request)")
+    otr.add_argument("file", help="timeline JSONL produced with "
+                                  "--trace-requests")
+    otr.add_argument("--id", metavar="TRACE_ID",
+                     help="render one trace (a request id, or tNNNN for "
+                          "top-level runs)")
+    otr.add_argument("--all", action="store_true",
+                     help="render every assembled trace")
+    otr.add_argument("--chrome", metavar="PATH",
+                     help="also export the chosen trace as a Chrome "
+                          "trace-event JSON (flamegraph-shaped)")
+    otr.add_argument("--check", action="store_true",
+                     help="verify every request trace is single-rooted "
+                          "with no orphans and the slowest request's "
+                          "span tree accounts for its wall time "
+                          "(exit 1 on failure)")
+
     for bench in ("table2", "fig11", "fig12", "ablations"):
         sub.add_parser(bench, help=f"regenerate {bench} "
                                    "(remaining args forwarded)")
@@ -980,6 +1113,8 @@ def main(argv=None) -> int:
                 ap.error(f"unrecognized arguments: {' '.join(extra)}")
             if args.obs_cmd == "events":
                 return _cmd_obs_events(args)
+            if args.obs_cmd == "trace":
+                return _cmd_obs_trace(args)
             return _cmd_obs(args)
         import importlib
         mod = importlib.import_module(f"repro.bench.{args.cmd}")

@@ -27,6 +27,7 @@ from repro.gpu.kernelir import dump as dump_kernel
 from repro.codegen.lowering import LoweredProgram, lower_region
 from repro.acc.profiles import CompilerProfile, get_profile
 from repro.obs import timeline as _timeline
+from repro.obs import trace as _reqtrace
 
 __all__ = ["compile", "Program", "RunResult", "FALLBACK_CHAIN"]
 
@@ -256,6 +257,35 @@ class Program:
         Off by default: the run path allocates nothing for it when
         disabled.
         """
+        if not _timeline.trace_active():
+            return self._run_dispatch(
+                trace=trace, data_region=data_region, profiler=profiler,
+                faults=faults, watchdog_budget=watchdog_budget,
+                executor_mode=executor_mode, block_batch=block_batch,
+                attribution=attribution, max_attempts=max_attempts,
+                backoff_us=backoff_us, backoff_cap_us=backoff_cap_us,
+                runs=runs, validate=validate, degrade=degrade,
+                kwargs=kwargs)
+        # request tracing: a run inside an active context (a serve
+        # dispatch) becomes a child span; a top-level run roots its own
+        # trace — either way every kernel/transfer/fault event emitted
+        # below lands in this run's subtree
+        with _reqtrace.span("acc", f"run:{self.lowered.main_kernel.name}",
+                            compiler=self.profile.name):
+            return self._run_dispatch(
+                trace=trace, data_region=data_region, profiler=profiler,
+                faults=faults, watchdog_budget=watchdog_budget,
+                executor_mode=executor_mode, block_batch=block_batch,
+                attribution=attribution, max_attempts=max_attempts,
+                backoff_us=backoff_us, backoff_cap_us=backoff_cap_us,
+                runs=runs, validate=validate, degrade=degrade,
+                kwargs=kwargs)
+
+    def _run_dispatch(self, *, trace, data_region, profiler, faults,
+                      watchdog_budget, executor_mode, block_batch,
+                      attribution, max_attempts, backoff_us,
+                      backoff_cap_us, runs, validate, degrade,
+                      kwargs) -> RunResult:
         injector = _as_injector(faults)
         if (injector is None and runs <= 1 and validate is None
                 and not degrade):
@@ -708,10 +738,17 @@ def compile(source: str, *, compiler: str | CompilerProfile = "openuh",
         array_dtypes=array_dtypes, num_gangs=num_gangs,
         num_workers=num_workers, vector_length=vector_length,
         pinned_options=frozenset(option_overrides))
-    PassManager(spec, capture_ir=capture_ir).run(state, profiler=profiler)
-    with (profiler.phase("compile-kernels") if profiler is not None
-          else nullcontext()):
-        return Program(state.lowered, profile, device,
-                       pipeline=state.pipeline, autotune=state.autotune,
-                       pass_records=state.records,
-                       trace_src=state.trace_src)
+    # request tracing: the whole compile (pipeline + kernel pre-compile)
+    # is one span — a child inside a serve dispatch, a fresh root for a
+    # top-level acc.compile
+    with (_reqtrace.span("passes", "compile", compiler=profile.name,
+                         pipeline=spec.name)
+          if _timeline.trace_active() else nullcontext()):
+        PassManager(spec, capture_ir=capture_ir).run(state,
+                                                     profiler=profiler)
+        with (profiler.phase("compile-kernels") if profiler is not None
+              else nullcontext()):
+            return Program(state.lowered, profile, device,
+                           pipeline=state.pipeline, autotune=state.autotune,
+                           pass_records=state.records,
+                           trace_src=state.trace_src)

@@ -346,6 +346,80 @@ def _telemetry_guard() -> dict:
     }
 
 
+def _trace_guard() -> dict:
+    """The request-tracing zero-overhead pin (boolean, not timed).
+
+    Three contracts, mirroring ``_telemetry_guard``: with tracing
+    uninstalled a run allocates nothing in ``trace.py`` and — even with
+    a bus installed — emits **no** ``trace_id``/``span_id``/``parent_id``
+    fields; installing a tracer is a pure observer (bit-identical
+    scalars + identical ledger in both executor modes); and with tracing
+    on, every run's events assemble into single-rooted span trees with
+    no orphans.
+    """
+    import tracemalloc
+
+    from repro import acc
+    from repro.obs import timeline
+    from repro.obs import trace as rtrace
+
+    prog = acc.compile(_REDUCTION_SRC, num_gangs=8, num_workers=2,
+                       vector_length=32)
+    a = (np.arange(1 << 12) % 97).astype(np.float32)
+
+    def run_both(**kw):
+        return {m: prog.run(executor_mode=m, a=a, **kw)
+                for m in ("batched", "reference")}
+
+    # 1. tracer off, no bus: no allocation attributable to trace.py
+    tr_file = rtrace.__file__
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        plain = run_both()
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    flt = tracemalloc.Filter(True, tr_file)
+    tr_allocs = after.filter_traces([flt]).compare_to(
+        before.filter_traces([flt]), "lineno")
+    off_no_alloc = (timeline.tracer() is None
+                    and not any(st.size_diff > 0 or st.count_diff > 0
+                                for st in tr_allocs))
+
+    # 2. bus on, tracer off: no event gains a trace field
+    trace_keys = {"trace_id", "span_id", "parent_id"}
+    with timeline.enabled() as tl:
+        untraced = run_both()
+        no_fields = not any(trace_keys & set(ev.attrs)
+                            for ev in tl.events())
+
+    # 3. bus + tracer on: pure observer, and single-rooted assembly
+    with timeline.enabled() as tl:
+        with rtrace.tracing():
+            traced = run_both()
+        trees = rtrace.assemble(tl.events())
+    assembled = (len(trees) == len(traced)  # one trace per run
+                 and all(len(t.roots) == 1 and not t.orphans
+                         for t in trees.values()))
+    bits = {tag: {m: np.asarray(r.scalars["total"]).tobytes()
+                  for m, r in runs.items()}
+            for tag, runs in (("plain", plain), ("untraced", untraced),
+                              ("traced", traced))}
+    ledgers = {tag: {m: r.ledger.entries for m, r in runs.items()}
+               for tag, runs in (("plain", plain), ("untraced", untraced),
+                                 ("traced", traced))}
+    return {
+        "off_no_alloc": off_no_alloc,
+        "off_no_trace_fields": no_fields,
+        "pure_observer": (
+            bits["plain"] == bits["untraced"] == bits["traced"]
+            and ledgers["plain"] == ledgers["untraced"]
+            == ledgers["traced"]),
+        "on_assembles_single_rooted": assembled,
+    }
+
+
 def run_smoke(reps: int = 2) -> dict:
     """Both workloads, both modes; returns the baseline document."""
     return {
@@ -359,6 +433,7 @@ def run_smoke(reps: int = 2) -> dict:
         "attribution_guard": _attribution_guard(),
         "pass_pipeline": _passes_guard(),
         "telemetry_guard": _telemetry_guard(),
+        "trace_guard": _trace_guard(),
     }
 
 
@@ -376,6 +451,11 @@ def check_against_baseline(current: dict, baseline: dict,
             failures.append(f"telemetry_guard: {check} violated — the "
                             "telemetry bus must cost nothing when off "
                             "and observe without perturbing when on")
+    for check, ok in current.get("trace_guard", {}).items():
+        if not ok:
+            failures.append(f"trace_guard: {check} violated — request "
+                            "tracing must cost nothing when uninstalled "
+                            "and not perturb results when on")
     pp = current.get("pass_pipeline")
     if pp is not None:
         for row in pp["configs"]:

@@ -23,8 +23,13 @@ from repro.obs.profiler import Profiler
 from repro.obs.record import KernelRecord
 from repro.obs.report import format_kernel_table, format_profile
 from repro.obs.roofline import Roofline, classify
+from repro.obs.slo import (LatencyHistogram, SLOConfig, SLOMonitor,
+                           format_slo, quantile)
 from repro.obs.timeline import Event, Timeline
-from repro.obs.trace import CounterSample, Span, TraceRecorder
+from repro.obs.trace import (CounterSample, Span, SpanNode, TailSampler,
+                             TraceRecorder, TraceTree, assemble,
+                             critical_path, render_tree, tracing,
+                             tree_to_chrome, verify_request_traces)
 
 __all__ = [
     "Counter",
@@ -33,18 +38,32 @@ __all__ = [
     "Gauge",
     "Histogram",
     "KernelRecord",
+    "LatencyHistogram",
     "MetricsRegistry",
     "Profiler",
     "Roofline",
+    "SLOConfig",
+    "SLOMonitor",
     "Span",
+    "SpanNode",
+    "TailSampler",
     "Timeline",
     "TraceRecorder",
+    "TraceTree",
     "annotate_kernel",
     "annotate_record",
+    "assemble",
     "attribution_rows",
     "classify",
+    "critical_path",
     "format_kernel_table",
     "format_profile",
+    "format_slo",
+    "quantile",
     "record_rows",
+    "render_tree",
     "timeline",
+    "tracing",
+    "tree_to_chrome",
+    "verify_request_traces",
 ]

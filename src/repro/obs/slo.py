@@ -1,0 +1,232 @@
+"""``repro.obs.slo`` — latency histograms, quantiles, and SLO tracking.
+
+The serve layer's latency accounting lived as ad-hoc sorted-list
+quantiles duplicated across ``scheduler``/``loadgen``/``soak``; this
+module centralizes it:
+
+* :func:`quantile` — the single shared nearest-rank quantile helper
+  (exact on small samples, deterministic);
+* :class:`LatencyHistogram` — a streaming histogram over *fixed*
+  log-spaced bin edges (:data:`LATENCY_BIN_EDGES`), so two runs binning
+  the same latencies produce byte-identical snapshots and percentile
+  estimates are reproducible (reported as the bin's upper edge —
+  conservative, never under-reports);
+* :class:`SLOMonitor` — per-priority histograms plus a rolling window
+  of exact latencies, good/bad accounting against a latency objective,
+  and error-budget burn: with objective ``target`` (e.g. 0.99), the
+  budget is ``1 - target`` and the burn rate is
+  ``violation_rate / (1 - target)`` — burn 1.0 means violations are
+  arriving exactly as fast as the budget allows, >1 means the budget is
+  being spent faster than it accrues.
+
+The monitor is pure bookkeeping (no clocks, no I/O): the scheduler
+feeds it one ``record()`` per completed request, and its
+:meth:`~SLOMonitor.snapshot` surfaces in loadgen/soak reports and the
+``serve --status`` CLI via :func:`format_slo`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["quantile", "LATENCY_BIN_EDGES", "LatencyHistogram",
+           "SLOConfig", "SLOMonitor", "format_slo"]
+
+
+def quantile(values, q: float) -> float:
+    """Nearest-rank quantile of a list (0 for an empty list)."""
+    if not values:
+        return 0.0
+    s = sorted(values)
+    idx = min(len(s) - 1, max(0, int(round(q * (len(s) - 1)))))
+    return s[idx]
+
+
+def _log_edges() -> tuple:
+    """Fixed log-spaced bin edges: 5 bins per decade from 1 µs to 1e8 µs
+    (100 s).  A module constant so every histogram in every process bins
+    identically — snapshots are diffable across runs and machines."""
+    edges = []
+    for decade in range(8):          # 1e0 .. 1e7
+        lo = 10.0 ** decade
+        for step in range(5):
+            edges.append(lo * 10.0 ** (step / 5.0))
+    edges.append(1e8)
+    return tuple(edges)
+
+
+#: shared bin upper/lower boundaries for every latency histogram (µs)
+LATENCY_BIN_EDGES = _log_edges()
+
+
+class LatencyHistogram:
+    """Streaming counts over :data:`LATENCY_BIN_EDGES` (microseconds).
+
+    ``observe`` is O(log bins); values below the first edge land in the
+    first bin, values above the last edge in a final overflow bin.
+    Percentiles report the matched bin's upper edge (or the exact max
+    for the overflow bin's residents is unknown, so the last finite
+    edge) — deterministic and conservative.
+    """
+
+    __slots__ = ("counts", "count", "total_us", "max_us")
+
+    def __init__(self):
+        # one count per edge-bounded bin + one overflow bin
+        self.counts = [0] * (len(LATENCY_BIN_EDGES) + 1)
+        self.count = 0
+        self.total_us = 0.0
+        self.max_us = 0.0
+
+    def observe(self, latency_us: float) -> None:
+        v = float(latency_us)
+        self.counts[bisect_left(LATENCY_BIN_EDGES, v)] += 1
+        self.count += 1
+        self.total_us += v
+        if v > self.max_us:
+            self.max_us = v
+
+    def percentile(self, q: float) -> float:
+        """The upper edge of the bin holding the q-quantile (0 when
+        empty); exact-sample quantiles come from the monitor's rolling
+        window, this is the full-history estimate."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(round(q * self.count)))
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return LATENCY_BIN_EDGES[min(i, len(LATENCY_BIN_EDGES) - 1)]
+        return LATENCY_BIN_EDGES[-1]
+
+    def to_dict(self) -> dict:
+        """Nonzero bins only: ``{upper_edge_us: count}`` plus totals."""
+        bins = {}
+        for i, c in enumerate(self.counts):
+            if c:
+                edge = LATENCY_BIN_EDGES[min(i, len(LATENCY_BIN_EDGES) - 1)]
+                bins[f"{edge:.6g}"] = c
+        return {"count": self.count,
+                "mean_us": round(self.total_us / self.count, 1)
+                if self.count else 0.0,
+                "max_us": round(self.max_us, 1), "bins": bins}
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """The service latency objective.
+
+    ``target`` of the requests must complete successfully within
+    ``objective_ms``; the error budget is the remaining ``1 - target``
+    fraction.  ``window`` bounds the rolling exact-quantile buffer.
+    """
+
+    objective_ms: float = 1000.0
+    target: float = 0.99
+    window: int = 256
+
+
+class SLOMonitor:
+    """Streaming SLO accounting over completed requests.
+
+    A request is *good* when it succeeded AND finished within the
+    objective; everything else (errors, sheds, expiries, slow
+    successes) burns error budget.  Tracks per-priority fixed-bin
+    histograms (full history) and a rolling window of exact latencies
+    (recent p50/p95/p99).
+    """
+
+    def __init__(self, config: SLOConfig | None = None):
+        self.config = config or SLOConfig()
+        self.good = 0
+        self.bad = 0
+        self._hist: dict[int, LatencyHistogram] = {}
+        self._window: dict[int, deque] = {}
+        self._all_window: deque = deque(maxlen=self.config.window)
+
+    def record(self, priority: int, latency_us: float,
+               ok: bool = True) -> None:
+        h = self._hist.get(priority)
+        if h is None:
+            h = self._hist[priority] = LatencyHistogram()
+            self._window[priority] = deque(maxlen=self.config.window)
+        h.observe(latency_us)
+        self._window[priority].append(latency_us)
+        self._all_window.append(latency_us)
+        if ok and latency_us <= self.config.objective_ms * 1e3:
+            self.good += 1
+        else:
+            self.bad += 1
+
+    # -- derived ---------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return self.good + self.bad
+
+    def violation_rate(self) -> float:
+        return self.bad / self.total if self.total else 0.0
+
+    def burn_rate(self) -> float:
+        """How fast the error budget is being spent: 1.0 = exactly at
+        budget, >1 = violations outpace the objective's allowance."""
+        budget = 1.0 - self.config.target
+        if budget <= 0:
+            return float("inf") if self.bad else 0.0
+        return self.violation_rate() / budget
+
+    def budget_remaining(self) -> float:
+        """Fraction of the error budget left (clamped at 0)."""
+        return max(0.0, 1.0 - self.burn_rate())
+
+    def snapshot(self) -> dict:
+        per_priority = {}
+        for pri in sorted(self._hist):
+            h = self._hist[pri]
+            w = list(self._window[pri])
+            per_priority[f"p{pri}"] = {
+                "count": h.count,
+                "rolling_p50_us": round(quantile(w, 0.50), 1),
+                "rolling_p95_us": round(quantile(w, 0.95), 1),
+                "rolling_p99_us": round(quantile(w, 0.99), 1),
+                "hist_p99_us": round(h.percentile(0.99), 1),
+                "histogram": h.to_dict(),
+            }
+        w = list(self._all_window)
+        return {
+            "objective_ms": self.config.objective_ms,
+            "target": self.config.target,
+            "good": self.good, "bad": self.bad, "total": self.total,
+            "violation_rate": round(self.violation_rate(), 6),
+            "burn_rate": round(self.burn_rate(), 4),
+            "budget_remaining": round(self.budget_remaining(), 4),
+            "rolling_p50_us": round(quantile(w, 0.50), 1),
+            "rolling_p95_us": round(quantile(w, 0.95), 1),
+            "rolling_p99_us": round(quantile(w, 0.99), 1),
+            "priorities": per_priority,
+        }
+
+
+def format_slo(snapshot: dict) -> str:
+    """Render an :meth:`SLOMonitor.snapshot` as the ``--status`` text."""
+    lines = [
+        f"SLO: {snapshot['target']:.2%} within "
+        f"{snapshot['objective_ms']:g} ms",
+        f"  requests: {snapshot['total']} "
+        f"(good {snapshot['good']}, bad {snapshot['bad']})",
+        f"  violation rate: {snapshot['violation_rate']:.4f}   "
+        f"burn rate: {snapshot['burn_rate']:.2f}x   "
+        f"budget remaining: {snapshot['budget_remaining']:.2%}",
+        f"  rolling latency: p50 {snapshot['rolling_p50_us']:.0f}us  "
+        f"p95 {snapshot['rolling_p95_us']:.0f}us  "
+        f"p99 {snapshot['rolling_p99_us']:.0f}us",
+    ]
+    for pri, row in snapshot.get("priorities", {}).items():
+        lines.append(f"  {pri}: n={row['count']}  "
+                     f"p50 {row['rolling_p50_us']:.0f}us  "
+                     f"p95 {row['rolling_p95_us']:.0f}us  "
+                     f"p99 {row['rolling_p99_us']:.0f}us")
+    return "\n".join(lines)

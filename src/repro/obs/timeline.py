@@ -23,12 +23,23 @@ epoch, from :func:`time.perf_counter`) and a process-unique sequence
 number, live in a bounded ring buffer (oldest events drop first, with a
 drop counter), and support deterministic per-category sampling
 (``sample={"gpu": 10}`` keeps every 10th ``gpu`` event).  Export is
-JSONL — one event object per line — consumed by ``python -m repro obs
-events`` and by any external dashboard.
+JSONL — a header record (drop/sampling accounting, so downstream tools
+can tell a truncated trace from a quiet one) followed by one event
+object per line — consumed by ``python -m repro obs events`` / ``obs
+trace`` and by any external dashboard.
+
+**Request tracing** (:mod:`repro.obs.trace`) is a second opt-in layer on
+top of the bus: when a :class:`Tracer` is installed *and* a contextvar
+trace context is active, :meth:`Timeline.emit` stamps every event's
+attrs with ``trace_id``/``span_id``/``parent_id`` so flat events
+reassemble into per-request span trees.  With no tracer installed the
+stamping path is a single module-global read and **no new fields are
+emitted** — the telemetry_guard zero-overhead pin is preserved.
 """
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import json
 import time
@@ -36,8 +47,10 @@ from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["Event", "Timeline", "current", "install", "uninstall",
-           "enabled", "emit", "EVENT_KINDS"]
+__all__ = ["Event", "Timeline", "Tracer", "current", "install",
+           "uninstall", "enabled", "emit", "EVENT_KINDS", "tracer",
+           "install_tracer", "uninstall_tracer", "trace_active",
+           "read_jsonl"]
 
 #: the typed event vocabulary; anything else is rejected at emit time
 EVENT_KINDS = ("span", "counter", "decision", "fault")
@@ -62,6 +75,62 @@ def _json_default(obj):
         except (TypeError, ValueError):
             continue
     return str(obj)
+
+
+class Tracer:
+    """Allocates process-unique trace and span ids for request tracing.
+
+    Counter-based (no randomness, no wall clock) so two identical runs
+    allocate identical ids — trace exports are deterministic and
+    diffable.  ``itertools.count`` is atomic under the GIL, so device
+    worker threads may allocate concurrently.
+    """
+
+    def __init__(self):
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+
+    def new_span_id(self) -> int:
+        return next(self._span_ids)
+
+    def new_trace_id(self) -> str:
+        return f"t{next(self._trace_ids):04d}"
+
+
+#: the installed tracer (None = request tracing off, the default) and the
+#: per-context (task / attached thread) trace position: (trace_id,
+#: parent_span_id) or None.  Contextvars give each asyncio task its own
+#: copy, so concurrent requests cannot cross-stamp; executor threads do
+#: NOT inherit them — cross-thread handoff goes through
+#: :func:`repro.obs.trace.attach`.
+_TRACER: Tracer | None = None
+_TRACE_CTX: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_trace_ctx", default=None)
+
+
+def tracer() -> Tracer | None:
+    """The installed tracer, or ``None`` (request tracing off)."""
+    return _TRACER
+
+
+def install_tracer(t: Tracer | None = None) -> Tracer:
+    """Install (and return) the process tracer; replaces any previous."""
+    global _TRACER
+    _TRACER = t if t is not None else Tracer()
+    return _TRACER
+
+
+def uninstall_tracer() -> Tracer | None:
+    """Remove the tracer; returns the removed one (if any)."""
+    global _TRACER
+    t, _TRACER = _TRACER, None
+    return t
+
+
+def trace_active() -> bool:
+    """True when both a bus and a tracer are installed — the guard
+    structural emit sites use before opening request-trace spans."""
+    return _TRACER is not None and _CURRENT is not None
 
 
 @dataclass(frozen=True)
@@ -117,6 +186,11 @@ class Timeline:
         self.emitted = 0      # events offered to the bus
         self.sampled_out = 0  # dropped by per-category sampling
         self.dropped = 0      # dropped by the ring bound
+        self.pruned = 0       # dropped by trace tail-sampling (prune_trace)
+        #: trace ids pruned by tail sampling; late events of these traces
+        #: (an abandoned hedge loser finishing after the verdict) are
+        #: suppressed at emit so a pruned trace cannot leave orphans
+        self._suppressed_traces: set = set()
 
     # -- emission --------------------------------------------------------
 
@@ -126,6 +200,22 @@ class Timeline:
         if kind not in EVENT_KINDS:
             raise ValueError(f"unknown event kind {kind!r} "
                              f"(expected one of {EVENT_KINDS})")
+        tr = _TRACER
+        if tr is not None:
+            # request-trace stamping: explicit ids (from trace.span's
+            # emit-at-close) win over the ambient context
+            ctx = _TRACE_CTX.get()
+            if ctx is not None:
+                attrs.setdefault("trace_id", ctx[0])
+                if kind == "span" and "span_id" not in attrs:
+                    attrs["span_id"] = tr.new_span_id()
+                if ctx[1] is not None:
+                    attrs.setdefault("parent_id", ctx[1])
+            tid = attrs.get("trace_id")
+            if tid is not None and tid in self._suppressed_traces:
+                self.emitted += 1
+                self.pruned += 1
+                return None
         self.emitted += 1
         n = self._sample.get(category)
         if n is not None:
@@ -196,17 +286,45 @@ class Timeline:
         self._events.clear()
         return out
 
+    def prune_trace(self, trace_id) -> int:
+        """Drop every retained event of one trace and suppress its late
+        arrivals — how tail sampling bounds memory through the ring
+        buffer.  Returns the number of events removed (also counted in
+        ``pruned``)."""
+        keep = [ev for ev in self._events
+                if ev.attrs.get("trace_id") != trace_id]
+        removed = len(self._events) - len(keep)
+        if removed:
+            self._events.clear()
+            self._events.extend(keep)
+            self.pruned += removed
+        self._suppressed_traces.add(trace_id)
+        return removed
+
     # -- export ----------------------------------------------------------
 
     def to_jsonl(self) -> str:
-        """The retained events, one JSON object per line."""
+        """The retained events, one JSON object per line (no header)."""
         return "\n".join(ev.to_jsonl() for ev in self._events)
 
+    def header(self) -> dict:
+        """The export header record: drop/sampling accounting plus the
+        sampling config, so a reader can tell a truncated export (ring
+        drops, category sampling, trace pruning) from a quiet one."""
+        return {"header": "repro.obs.timeline", "schema": 1,
+                "capacity": self.capacity,
+                "retained": len(self._events), "emitted": self.emitted,
+                "dropped": self.dropped, "sampled_out": self.sampled_out,
+                "pruned": self.pruned,
+                "sample": dict(sorted(self._sample.items())),
+                "tracing": _TRACER is not None}
+
     def export_jsonl(self, path: str) -> str:
-        """Write the JSONL document (plus a trailing newline); returns
-        the path.  An empty timeline writes an empty file."""
-        body = self.to_jsonl()
+        """Write the JSONL document — one header record, then one event
+        per line — and return the path."""
         with open(path, "w") as f:
+            f.write(json.dumps(self.header(), sort_keys=True) + "\n")
+            body = self.to_jsonl()
             if body:
                 f.write(body + "\n")
         return path
@@ -214,7 +332,7 @@ class Timeline:
     def stats(self) -> dict:
         return {"retained": len(self._events), "emitted": self.emitted,
                 "sampled_out": self.sampled_out, "dropped": self.dropped,
-                "capacity": self.capacity}
+                "pruned": self.pruned, "capacity": self.capacity}
 
 
 # -- the process-wide bus (opt-in singleton) ------------------------------
@@ -255,6 +373,27 @@ def enabled(timeline: Timeline | None = None, *, capacity: int = 8192,
         yield tl
     finally:
         _CURRENT = prev
+
+
+def read_jsonl(path: str) -> tuple[dict | None, list[dict]]:
+    """Parse an exported timeline file: ``(header, events)``.
+
+    Tolerates header-less exports from older writers (``header`` is then
+    ``None``); events are plain dicts in file order.
+    """
+    header = None
+    events: list[dict] = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            if "category" in doc:
+                events.append(doc)
+            elif doc.get("header") == "repro.obs.timeline":
+                header = doc
+    return header, events
 
 
 def emit(category: str, kind: str, name: str, dur_us: float = 0.0,

@@ -207,6 +207,15 @@ class PassManager:
             raise ValueError(f"unregistered pass(es): {missing}")
 
     def run(self, state: CompileState, profiler=None) -> CompileState:
+        if _timeline.trace_active():
+            # request tracing: group the per-pass spans under one
+            # pipeline span in the current trace
+            from repro.obs import trace as _reqtrace
+            with _reqtrace.span("passes", f"pipeline:{self.spec.name}"):
+                return self._run(state, profiler)
+        return self._run(state, profiler)
+
+    def _run(self, state: CompileState, profiler=None) -> CompileState:
         state.pipeline = self.spec.name
         for name in self.spec.passes:
             p = PASS_REGISTRY[name]

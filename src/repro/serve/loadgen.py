@@ -27,10 +27,12 @@ import asyncio
 
 import numpy as np
 
+from repro.obs import timeline as _timeline
+from repro.obs.slo import quantile
 from repro.serve.cache import CompileCache
 from repro.serve.pool import DevicePool
 from repro.serve.scheduler import (ComputeRequest, RequestResult, Scheduler,
-                                   ServeConfig, quantile)
+                                   ServeConfig)
 
 __all__ = ["build_corpus", "run_wave", "run_loadgen", "verify_results"]
 
@@ -183,10 +185,17 @@ def run_loadgen(cache_dir, *, n_requests: int = 64, n_devices: int = 4,
             # fresh pool + scheduler (empty per-device memos), and forget
             # the in-memory payloads: the warm path is disk read+verify
             cache.drop_memory()
+            if _timeline.trace_active():
+                # both waves reuse the same request ids; drain the cold
+                # wave's events so each trace id keeps exactly one root
+                tl = _timeline.current()
+                if tl is not None:
+                    tl.drain()
         results, sched_report = asyncio.run(_one_wave())
         stats = _wave_stats(results)
         stats["verify"] = verify_results(corpus, results)
         stats["devices"] = sched_report["devices"]
+        stats["slo"] = sched_report["slo"]
         report["waves"][wave] = stats
     report["compile_cache"] = cache.stats()
     if warm_pass:

@@ -42,20 +42,13 @@ from repro.errors import (
     ServiceRetriesExceededError,
 )
 from repro.obs import timeline as _timeline
+from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOConfig, SLOMonitor, quantile  # noqa: F401 — quantile re-exported
 from repro.serve.pool import DevicePool, PooledDevice
 
 __all__ = ["ComputeRequest", "RequestResult", "ServeConfig", "Scheduler",
            "quantile"]
-
-
-def quantile(values, q: float) -> float:
-    """Nearest-rank quantile of a list (0 for an empty list)."""
-    if not values:
-        return 0.0
-    s = sorted(values)
-    idx = min(len(s) - 1, max(0, int(round(q * (len(s) - 1)))))
-    return s[idx]
 
 
 @dataclass
@@ -150,6 +143,12 @@ class ServeConfig:
     watchdog_budget: int | None = 50_000
     executor_mode: str | None = None
     breaker: dict = field(default_factory=dict)
+    #: :class:`~repro.obs.slo.SLOConfig` kwargs (objective_ms, target,
+    #: window) for the scheduler's SLO monitor
+    slo: dict = field(default_factory=dict)
+    #: :class:`~repro.obs.trace.TailSampler` kwargs (keep_slowest,
+    #: sample_every, keep_statuses) applied when request tracing is on
+    trace_sampling: dict = field(default_factory=dict)
 
 
 class _Dispatch:
@@ -186,6 +185,8 @@ class Scheduler:
         self._housekeeper: asyncio.Task | None = None
         self._latencies: dict[str, list] = {}  # status -> latency_us list
         self.results: list[RequestResult] = []
+        self.slo = SLOMonitor(SLOConfig(**self.config.slo))
+        self._sampler = _trace.TailSampler(**self.config.trace_sampling)
         self._closed = False
 
     # -- lifecycle -------------------------------------------------------
@@ -230,12 +231,24 @@ class Scheduler:
         res.latency_us = (time.perf_counter() - t0) * 1e6
         self._latencies.setdefault(res.status, []).append(res.latency_us)
         self.metrics.counter(f"serve.requests.{res.status}").inc()
-        self.metrics.histogram("serve.latency_us").observe(res.latency_us)
+        self.metrics.histogram("serve.latency.all_us").observe(
+            res.latency_us)
+        self.metrics.histogram(
+            f"serve.latency.p{res.priority}_us").observe(res.latency_us)
+        self.slo.record(res.priority, res.latency_us, ok=res.ok)
         self.results.append(res)
         self._decision("complete", id=res.id, status=res.status,
                        device=res.device, tries=res.tries,
+                       latency_us=round(res.latency_us, 1),
                        error=res.error or None)
         return res
+
+    def _queue_span(self, queue_us: float) -> None:
+        """Materialize queue wait as a span in the request's trace."""
+        if _timeline.trace_active():
+            tl = _timeline.current()
+            if tl is not None:
+                tl.span("serve", "queue", queue_us)
 
     # -- device acquisition ---------------------------------------------
 
@@ -357,12 +370,42 @@ class Scheduler:
                 "compile_us": (t1 - t0) * 1e6,
                 "run_us": (t2 - t1) * 1e6}
 
+    def _traced_body(self, req: ComputeRequest, dev: PooledDevice,
+                     dispatch: _Dispatch, ids):
+        """``_thread_body`` under the request's trace context.
+
+        Executor threads don't inherit contextvars, so the submitting
+        task captures its ``(trace_id, parent_span_id)`` and this
+        wrapper re-attaches them around the device work — every
+        compile/run event lands under a ``dispatch:<dev>`` span of the
+        same request tree.  A dispatch abandoned while running (deadline
+        expiry, hedge loser) still completes its span, marked
+        ``abandoned`` so the tree shows both racers.
+        """
+        if ids is None:
+            return self._thread_body(req, dev)
+        with _trace.attach(*ids):
+            with _trace.span("serve", f"dispatch:{dev.name}",
+                             device=dev.name, mode=dispatch.kind) as sp:
+                try:
+                    return self._thread_body(req, dev)
+                finally:
+                    if dispatch.abandoned:
+                        sp.attrs["abandoned"] = True
+
     def _launch(self, req: ComputeRequest, dev: PooledDevice,
                 kind: str) -> _Dispatch:
         """Start the request body on an (already reserved) device."""
         loop = asyncio.get_running_loop()
-        fut = loop.run_in_executor(dev.executor, self._thread_body, req, dev)
-        dispatch = _Dispatch(dev, fut, kind)
+        dispatch = _Dispatch(dev, None, kind)
+        if _timeline.trace_active():
+            ids = _trace.current_ids()
+            fut = loop.run_in_executor(
+                dev.executor, self._traced_body, req, dev, dispatch, ids)
+        else:
+            fut = loop.run_in_executor(
+                dev.executor, self._thread_body, req, dev)
+        dispatch.future = fut
         fut.add_done_callback(lambda _f: self._release(dispatch))
         self._decision("dispatch", id=req.id, device=dev.name, mode=kind)
         self.metrics.counter(f"serve.dispatch.{kind}").inc()
@@ -375,7 +418,34 @@ class Scheduler:
         return asyncio.ensure_future(self.submit(req))
 
     async def submit(self, req: ComputeRequest) -> RequestResult:
-        """Run one request through the service; always returns a result."""
+        """Run one request through the service; always returns a result.
+
+        With request tracing active the whole submission runs under a
+        ``request:<id>`` root span (the request id names the trace) and
+        the completed trace is offered to the tail sampler — kept traces
+        stay in the ring, dropped ones are pruned so sustained load
+        cannot grow memory.
+        """
+        if not _timeline.trace_active():
+            return await self._submit(req)
+        with _trace.span("serve", f"request:{req.id}", trace_id=req.id,
+                         priority=req.priority) as sp:
+            res = await self._submit(req)
+            sp.attrs["status"] = res.status
+        self._offer_trace(res)
+        return res
+
+    def _offer_trace(self, res: RequestResult) -> None:
+        keep, evicted = self._sampler.offer(res.id, res.latency_us,
+                                            res.status)
+        tl = _timeline.current()
+        if tl is not None:
+            for tid in evicted:
+                tl.prune_trace(tid)
+            if not keep:
+                self._decision("trace-sampled-out", id=res.id)
+
+    async def _submit(self, req: ComputeRequest) -> RequestResult:
         t0 = time.perf_counter()
         deadline_s = (req.deadline_s if req.deadline_s is not None
                       else self.config.default_deadline_s)
@@ -427,6 +497,7 @@ class Scheduler:
             except DeadlineExceededError as exc:
                 if not dequeued:
                     self._dequeue(req.priority)
+                    self._queue_span((time.perf_counter() - t0) * 1e6)
                 self._decision("expired", id=req.id, where="queue")
                 self.metrics.counter("serve.expired").inc()
                 return self._finish(RequestResult(
@@ -446,6 +517,7 @@ class Scheduler:
                 dequeued = True
                 queue_us = (time.perf_counter() - t0) * 1e6
                 self._dequeue(req.priority)
+                self._queue_span(queue_us)
             tries += 1
             tried.append(dev.name)
             exclude.add(dev.index)
@@ -604,4 +676,6 @@ class Scheduler:
                               if self.cache is not None else None),
             "launch_cache": compile_cache_info(),
             "metrics": self.metrics.to_dict(),
+            "slo": self.slo.snapshot(),
+            "traces": self._sampler.stats(),
         }

@@ -27,10 +27,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.faults import FaultPlan
+from repro.obs import timeline as _timeline
+from repro.obs.slo import quantile
 from repro.serve.cache import CompileCache
 from repro.serve.loadgen import build_corpus, run_wave, verify_results
 from repro.serve.pool import DevicePool
-from repro.serve.scheduler import Scheduler, ServeConfig, quantile
+from repro.serve.scheduler import Scheduler, ServeConfig
 
 __all__ = ["SoakConfig", "run_soak", "evaluate_gate", "reference_results"]
 
@@ -66,6 +68,8 @@ class SoakConfig:
     max_attempts: int = 3
     queue_depth: int = 64
     hedge_after_s: float | None = 0.5
+    #: SLO monitor knobs forwarded to :class:`ServeConfig`
+    slo: dict = field(default_factory=dict)
     breaker: dict = field(default_factory=lambda: dict(
         window=6, failure_threshold=0.5, min_samples=3,
         quarantine_s=0.1, max_quarantine_s=0.4, probation_probes=2))
@@ -120,12 +124,19 @@ def run_soak(cache_dir, config: SoakConfig | None = None) -> dict:
     corpus = build_corpus(cfg.n_requests, seed=cfg.seed, size=cfg.size,
                           deadline_s=cfg.deadline_s)
     refs = reference_results(corpus)
+    if _timeline.trace_active():
+        # the reference runs above emitted a few hundred non-request
+        # traces; drain them so the exported timeline holds only the
+        # soak's request trees (and the ring can't overflow into them)
+        tl = _timeline.current()
+        if tl is not None:
+            tl.drain()
     cache = CompileCache(cache_dir)
     serve_cfg = ServeConfig(
         queue_depth=cfg.queue_depth, default_deadline_s=cfg.deadline_s,
         hedge_after_s=cfg.hedge_after_s, runs=cfg.runs,
         max_attempts=cfg.max_attempts, degrade=False,
-        breaker=cfg.breaker)
+        breaker=cfg.breaker, slo=dict(cfg.slo))
     arm_at = max(1, int(cfg.arm_at_fraction * cfg.n_requests))
     plans = {i: FaultPlan(seed=cfg.seed + 1000 + i,
                           max_faults=cfg.max_faults, **cfg.chaos)
@@ -164,6 +175,8 @@ def run_soak(cache_dir, config: SoakConfig | None = None) -> dict:
         "devices": devices,
         "compile_cache": cache.stats(),
         "metrics": sched_report["metrics"],
+        "slo": sched_report["slo"],
+        "traces": sched_report["traces"],
     }
     report["gate"] = evaluate_gate(report, cfg)
     return report

@@ -1,0 +1,332 @@
+"""Request tracing: context stamping, assembly, critical path, tail
+sampling, pruning, and the zero-field contract with tracing off."""
+
+import pytest
+
+from repro.obs import timeline, trace
+from repro.obs.timeline import Timeline, Tracer
+
+TRACE_KEYS = {"trace_id", "span_id", "parent_id"}
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    """No leaked bus or tracer across tests."""
+    timeline.uninstall()
+    timeline.uninstall_tracer()
+    yield
+    timeline.uninstall()
+    timeline.uninstall_tracer()
+
+
+def _traced_bus():
+    """Install a fresh bus + deterministic tracer; returns the bus."""
+    tl = timeline.install()
+    timeline.install_tracer(Tracer())
+    return tl
+
+
+class TestStamping:
+    def test_span_inert_without_tracer(self):
+        tl = timeline.install()
+        with trace.span("serve", "request:r0") as h:
+            tl.counter("gpu", "inner")
+        assert (h.trace_id, h.span_id, h.parent_id) == (None, None, None)
+        assert all(not (TRACE_KEYS & set(e.attrs)) for e in tl.events())
+
+    def test_span_inert_without_bus(self):
+        timeline.install_tracer(Tracer())
+        with trace.span("serve", "request:r0") as h:
+            pass
+        assert h.span_id is None
+
+    def test_ambient_stamping_of_leaf_events(self):
+        tl = _traced_bus()
+        with trace.span("serve", "request:r0", trace_id="r0"):
+            tl.counter("gpu", "cache", event="hit")
+            tl.span("gpu", "kernel:k", 10.0)
+        evs = tl.events()
+        assert all(e.attrs["trace_id"] == "r0" for e in evs)
+        # the leaf span got an auto-allocated id; the counter did not
+        kinds = {e.kind: e for e in evs if e.category == "gpu"}
+        assert "span_id" in kinds["span"].attrs
+        assert "span_id" not in kinds["counter"].attrs
+        # all leaves hang off the enclosing span
+        req = [e for e in evs if e.name == "request:r0"][0]
+        assert all(e.attrs["parent_id"] == req.attrs["span_id"]
+                   for e in evs if e is not req)
+
+    def test_no_stamping_outside_span(self):
+        tl = _traced_bus()
+        tl.counter("gpu", "cache", event="miss")
+        assert not (TRACE_KEYS & set(tl.events()[0].attrs))
+
+    def test_nested_spans_link_parent_child(self):
+        tl = _traced_bus()
+        with trace.span("serve", "request:r0", trace_id="r0") as outer:
+            with trace.span("passes", "compile") as inner:
+                pass
+        assert inner.trace_id == "r0"
+        assert inner.parent_id == outer.span_id
+
+    def test_exception_annotates_and_reraises(self):
+        tl = _traced_bus()
+        with pytest.raises(ValueError):
+            with trace.span("serve", "request:r0", trace_id="r0"):
+                raise ValueError("boom")
+        ev = tl.events()[0]
+        assert ev.attrs["error"] == "ValueError"
+
+    def test_attach_reestablishes_context_cross_thread(self):
+        import threading
+        tl = _traced_bus()
+        with trace.span("serve", "request:r0", trace_id="r0"):
+            ids = trace.current_ids()
+
+            def body():
+                with trace.attach(*ids):
+                    tl.counter("gpu", "from-thread")
+
+            t = threading.Thread(target=body)
+            t.start()
+            t.join()
+        ev = [e for e in tl.events() if e.name == "from-thread"][0]
+        assert ev.attrs["trace_id"] == "r0"
+        assert ev.attrs["parent_id"] == ids[1]
+
+    def test_tracing_scope_restores_previous(self):
+        outer = timeline.install_tracer(Tracer())
+        with trace.tracing() as inner:
+            assert timeline.tracer() is inner is not outer
+        assert timeline.tracer() is outer
+
+
+class TestAssembly:
+    def _make_request(self, tl, rid):
+        with trace.span("serve", f"request:{rid}", trace_id=rid):
+            with trace.span("serve", "queue"):
+                pass
+            with trace.span("serve", "dispatch:dev0"):
+                with trace.span("passes", "compile"):
+                    pass
+                tl.span("gpu", "kernel:k", 25.0)
+                tl.decision("gpu", "executor-mode", mode="batched")
+
+    def test_single_rooted_tree(self):
+        tl = _traced_bus()
+        self._make_request(tl, "r0")
+        trees = trace.assemble(tl.events())
+        assert set(trees) == {"r0"}
+        tree = trees["r0"]
+        assert len(tree.roots) == 1 and not tree.orphans
+        root = tree.root
+        assert root.name == "request:r0"
+        names = {c.name for c in root.children}
+        assert names == {"queue", "dispatch:dev0"}
+        dispatch = [c for c in root.children
+                    if c.name == "dispatch:dev0"][0]
+        kids = {c.name for c in dispatch.children}
+        assert kids == {"compile", "kernel:k"}
+        # the decision rides on the dispatch span's events, not a child
+        assert [ev["name"] for ev in dispatch.events] == ["executor-mode"]
+
+    def test_assembly_is_order_independent(self):
+        tl = _traced_bus()
+        self._make_request(tl, "r0")
+        evs = [e.to_dict() for e in tl.events()]
+        fwd = trace.assemble(evs)["r0"]
+        rev = trace.assemble(list(reversed(evs)))["r0"]
+        assert trace.render_tree(fwd) == trace.render_tree(rev)
+
+    def test_two_requests_two_trees(self):
+        tl = _traced_bus()
+        self._make_request(tl, "r0")
+        self._make_request(tl, "r1")
+        trees = trace.assemble(tl.events())
+        assert set(trees) == {"r0", "r1"}
+        assert all(len(t.roots) == 1 and not t.orphans
+                   for t in trees.values())
+
+    def test_missing_parent_is_an_orphan(self):
+        tl = _traced_bus()
+        tl.span("serve", "stray", 5.0, trace_id="rX", span_id=99,
+                parent_id=42)
+        tree = trace.assemble(tl.events())["rX"]
+        assert not tree.roots and len(tree.orphans) == 1
+
+    def test_events_without_trace_id_ignored(self):
+        tl = _traced_bus()
+        tl.counter("gpu", "untraced")
+        assert trace.assemble(tl.events()) == {}
+
+
+class TestCriticalPath:
+    def test_descends_dominant_wall_chain_to_modeled_leaf(self):
+        tl = _traced_bus()
+        with trace.span("serve", "request:r0", trace_id="r0"):
+            with trace.span("serve", "queue"):
+                pass
+            with trace.span("serve", "dispatch:dev0"):
+                import time as _t
+                _t.sleep(0.02)  # make dispatch dominate queue
+                tl.span("gpu", "transfer:h2d:a", 5.0)
+                tl.span("gpu", "kernel:k", 50.0)
+        tree = trace.assemble(tl.events())["r0"]
+        path = trace.critical_path(tree)
+        names = [s["name"] for s in path]
+        assert names == ["request:r0", "dispatch:dev0", "kernel:k"]
+        assert path[-1]["modeled"] is True
+        assert not path[0]["modeled"]
+
+    def test_hedge_overlap_not_double_subtracted(self):
+        # two children covering the same interval: self time subtracts
+        # their union, not their sum
+        root = trace.SpanNode("t", 1, None, "serve", "request:r",
+                              ts_us=100.0, dur_us=100.0, attrs={})
+        for sid in (2, 3):
+            root.children.append(trace.SpanNode(
+                "t", sid, 1, "serve", f"dispatch:dev{sid}",
+                ts_us=90.0, dur_us=80.0, attrs={}))
+        assert trace._self_us(root) == pytest.approx(20.0)
+
+    def test_render_marks_modeled_and_abandoned(self):
+        tl = _traced_bus()
+        with trace.span("serve", "request:r0", trace_id="r0"):
+            with trace.span("serve", "dispatch:dev1") as sp:
+                sp.attrs["abandoned"] = True
+            with trace.span("serve", "dispatch:dev0"):
+                tl.span("gpu", "kernel:k", 30.0)
+        text = trace.render_tree(trace.assemble(tl.events())["r0"])
+        assert "[abandoned]" in text
+        assert "~30.0us" in text
+        assert "critical path:" in text
+
+    def test_chrome_export_splits_clock_domains(self):
+        tl = _traced_bus()
+        with trace.span("serve", "request:r0", trace_id="r0"):
+            tl.span("gpu", "kernel:k", 30.0)
+        doc = trace.tree_to_chrome(trace.assemble(tl.events())["r0"])
+        evs = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        by_name = {e["name"]: e for e in evs}
+        assert by_name["kernel:k"]["dur"] == 30.0
+        assert by_name["kernel:k"]["tid"] \
+            != by_name["request:r0"]["tid"]
+
+
+class TestTailSampler:
+    def test_keeps_slowest_k(self):
+        s = trace.TailSampler(keep_slowest=2, sample_every=0,
+                              keep_statuses=())
+        assert s.offer("a", 10.0) == (True, [])
+        assert s.offer("b", 30.0) == (True, [])
+        keep, evicted = s.offer("c", 20.0)  # displaces a (10us)
+        assert keep and evicted == ["a"]
+        keep, evicted = s.offer("d", 5.0)   # too fast, not kept
+        assert not keep and evicted == ["d"]
+        assert s.kept_ids() == {"b", "c"}
+
+    def test_keeps_every_nth_deterministically(self):
+        s = trace.TailSampler(keep_slowest=0, sample_every=3,
+                              keep_statuses=())
+        verdicts = [s.offer(f"t{i}", 1.0)[0] for i in range(7)]
+        assert verdicts == [True, False, False, True, False, False,
+                            True]
+
+    def test_keeps_error_statuses(self):
+        s = trace.TailSampler(keep_slowest=1, sample_every=0,
+                              keep_statuses=("error", "expired"))
+        s.offer("slow", 100.0)
+        keep, evicted = s.offer("err", 1.0, status="error")
+        assert keep and evicted == []
+        assert "err" in s.kept_ids()
+
+    def test_status_kept_trace_survives_heap_eviction(self):
+        s = trace.TailSampler(keep_slowest=1, sample_every=0,
+                              keep_statuses=("error",))
+        s.offer("e", 10.0, status="error")   # in heap AND status-kept
+        keep, evicted = s.offer("big", 50.0)  # displaces e from heap
+        assert keep and evicted == []         # but e must not be pruned
+        assert s.kept_ids() == {"e", "big"}
+
+    def test_stats(self):
+        s = trace.TailSampler(keep_slowest=1, sample_every=0,
+                              keep_statuses=())
+        s.offer("a", 1.0)
+        s.offer("b", 2.0)
+        st = s.stats()
+        assert st["offered"] == 2 and st["kept"] == 1
+        assert st["pruned"] == 1
+
+
+class TestPruning:
+    def test_prune_trace_removes_and_suppresses(self):
+        tl = _traced_bus()
+        with trace.span("serve", "request:r0", trace_id="r0"):
+            pass
+        with trace.span("serve", "request:r1", trace_id="r1"):
+            pass
+        tl.prune_trace("r0")
+        assert {e.attrs.get("trace_id") for e in tl.events()} == {"r1"}
+        assert tl.pruned > 0
+        # a late event of the pruned trace (abandoned hedge loser
+        # finishing after the sampling verdict) is dropped, not orphaned
+        before = len(tl.events())
+        tl.span("serve", "dispatch:dev9", 1.0, trace_id="r0",
+                span_id=999, parent_id=1)
+        assert len(tl.events()) == before
+        assert "r0" not in trace.assemble(tl.events())
+
+
+class TestVerify:
+    def _request_tree(self, tl, rid, kernel_us):
+        with trace.span("serve", f"request:{rid}", trace_id=rid):
+            tl.span("gpu", "kernel:k", kernel_us)
+        # stamp the recorded latency like the scheduler's complete
+        # decision does: as a child of the root span
+        root_ev = [e for e in tl.events()
+                   if e.name == f"request:{rid}"][0]
+        tl.decision("serve", "complete", trace_id=rid,
+                    parent_id=root_ev.attrs["span_id"],
+                    latency_us=root_ev.dur_us)
+
+    def test_clean_traces_pass(self):
+        tl = _traced_bus()
+        self._request_tree(tl, "r0", 10.0)
+        self._request_tree(tl, "r1", 20.0)
+        verdict = trace.verify_request_traces(
+            trace.assemble(tl.events()))
+        assert verdict["ok"], verdict["problems"]
+        assert verdict["requests"] == 2
+        assert verdict["slowest"]["latency_err"] <= 0.01
+
+    def test_orphan_fails_the_gate(self):
+        tl = _traced_bus()
+        self._request_tree(tl, "r0", 10.0)
+        tl.span("serve", "stray", 1.0, trace_id="r0", span_id=777,
+                parent_id=555)
+        verdict = trace.verify_request_traces(
+            trace.assemble(tl.events()))
+        assert not verdict["ok"]
+        assert any("orphan" in p for p in verdict["problems"])
+
+    def test_latency_mismatch_fails_the_gate(self):
+        tl = _traced_bus()
+        with trace.span("serve", "request:r0", trace_id="r0"):
+            pass
+        root_ev = [e for e in tl.events()
+                   if e.name == "request:r0"][0]
+        tl.decision("serve", "complete", trace_id="r0",
+                    parent_id=root_ev.attrs["span_id"],
+                    latency_us=root_ev.dur_us * 100 + 1000)
+        verdict = trace.verify_request_traces(
+            trace.assemble(tl.events()))
+        assert not verdict["ok"]
+        assert any("recorded latency" in p for p in verdict["problems"])
+
+    def test_non_request_traces_not_gated(self):
+        tl = _traced_bus()
+        with trace.span("acc", "run:main", trace_id="t1"):
+            pass
+        verdict = trace.verify_request_traces(
+            trace.assemble(tl.events()))
+        assert verdict["ok"] and verdict["requests"] == 0

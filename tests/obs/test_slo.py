@@ -1,0 +1,123 @@
+"""SLO accounting: the shared quantile helper, fixed-bin latency
+histograms, and error-budget burn."""
+
+import pytest
+
+from repro.obs.slo import (LATENCY_BIN_EDGES, LatencyHistogram, SLOConfig,
+                           SLOMonitor, format_slo, quantile)
+
+
+class TestQuantile:
+    """The single shared nearest-rank helper (satellite of the serve
+    layer's p50/p95/p99 reporting) — exact on small samples."""
+
+    def test_empty_is_zero(self):
+        assert quantile([], 0.5) == 0.0
+
+    def test_single_sample_is_that_sample(self):
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert quantile([42.0], q) == 42.0
+
+    def test_exact_on_small_samples(self):
+        vals = [30.0, 10.0, 20.0, 40.0]  # order must not matter
+        assert quantile(vals, 0.0) == 10.0
+        assert quantile(vals, 1.0) == 40.0
+        assert quantile(vals, 0.5) == 30.0  # round(0.5*3)=2 -> s[2]
+        assert quantile(vals, 0.25) == 20.0
+
+    def test_nearest_rank_median_odd(self):
+        assert quantile([5.0, 1.0, 3.0], 0.5) == 3.0
+
+    def test_returns_an_observed_value(self):
+        # nearest-rank never interpolates: the answer is a sample
+        vals = [1.0, 2.0, 4.0, 8.0, 16.0]
+        for q in (0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 0.99):
+            assert quantile(vals, q) in vals
+
+    def test_scheduler_reexports_the_same_function(self):
+        # the serve layer must share this helper, not fork its own
+        from repro.serve import scheduler
+        assert scheduler.quantile is quantile
+
+
+class TestLatencyHistogram:
+    def test_edges_are_fixed_and_monotonic(self):
+        assert LATENCY_BIN_EDGES[0] == 1.0
+        assert LATENCY_BIN_EDGES[-1] == 1e8
+        assert list(LATENCY_BIN_EDGES) == sorted(LATENCY_BIN_EDGES)
+        assert len(set(LATENCY_BIN_EDGES)) == len(LATENCY_BIN_EDGES)
+
+    def test_deterministic_snapshot(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for v in (3.0, 250.0, 99_000.0, 3.0):
+            a.observe(v)
+        for v in (250.0, 3.0, 3.0, 99_000.0):  # order must not matter
+            b.observe(v)
+        assert a.to_dict() == b.to_dict()
+        assert a.counts == b.counts
+
+    def test_percentile_is_upper_edge_conservative(self):
+        h = LatencyHistogram()
+        for _ in range(100):
+            h.observe(500.0)
+        p = h.percentile(0.99)
+        # the reported value is a bin edge at or above every sample
+        assert p in LATENCY_BIN_EDGES
+        assert p >= 500.0
+
+    def test_overflow_bin(self):
+        h = LatencyHistogram()
+        h.observe(5e9)  # above the last edge
+        assert h.count == 1
+        assert h.counts[-1] == 1
+        assert h.percentile(0.99) == LATENCY_BIN_EDGES[-1]
+        assert h.max_us == 5e9
+
+    def test_empty_percentile(self):
+        assert LatencyHistogram().percentile(0.5) == 0.0
+
+
+class TestSLOMonitor:
+    def test_good_requires_ok_and_under_objective(self):
+        mon = SLOMonitor(SLOConfig(objective_ms=1.0, target=0.9))
+        mon.record(1, 500.0, ok=True)     # fast + ok        -> good
+        mon.record(1, 5_000.0, ok=True)   # slow success     -> bad
+        mon.record(1, 500.0, ok=False)    # fast failure     -> bad
+        assert (mon.good, mon.bad) == (1, 2)
+
+    def test_burn_rate_semantics(self):
+        mon = SLOMonitor(SLOConfig(objective_ms=1.0, target=0.9))
+        # 10% budget; 1 bad in 10 -> burning exactly at budget
+        for _ in range(9):
+            mon.record(0, 100.0, ok=True)
+        mon.record(0, 100.0, ok=False)
+        assert mon.violation_rate() == pytest.approx(0.1)
+        assert mon.burn_rate() == pytest.approx(1.0)
+        assert mon.budget_remaining() == pytest.approx(0.0)
+
+    def test_zero_bad_means_zero_burn(self):
+        mon = SLOMonitor(SLOConfig(objective_ms=1000.0, target=0.99))
+        for _ in range(5):
+            mon.record(0, 10.0, ok=True)
+        assert mon.burn_rate() == 0.0
+        assert mon.budget_remaining() == 1.0
+
+    def test_snapshot_per_priority(self):
+        mon = SLOMonitor(SLOConfig(objective_ms=1000.0, target=0.99))
+        mon.record(0, 10.0)
+        mon.record(0, 30.0)
+        mon.record(2, 500.0)
+        snap = mon.snapshot()
+        assert snap["total"] == 3 and snap["bad"] == 0
+        assert set(snap["priorities"]) == {"p0", "p2"}
+        assert snap["priorities"]["p0"]["count"] == 2
+        assert snap["priorities"]["p0"]["rolling_p50_us"] in (10.0, 30.0)
+        assert snap["priorities"]["p2"]["histogram"]["count"] == 1
+
+    def test_format_slo_renders(self):
+        mon = SLOMonitor()
+        mon.record(1, 42.0)
+        text = format_slo(mon.snapshot())
+        assert "SLO: 99.00% within 1000 ms" in text
+        assert "burn rate: 0.00x" in text
+        assert "p1: n=1" in text

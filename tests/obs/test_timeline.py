@@ -95,10 +95,39 @@ class TestBus:
         p = tmp_path / "tl.jsonl"
         tl.export_jsonl(str(p))
         docs = [json.loads(line) for line in p.read_text().splitlines()]
-        assert len(docs) == 1
+        # line 0 is the header record, then one line per event
+        assert len(docs) == 2
+        assert docs[0]["header"] == "repro.obs.timeline"
         # numpy scalars must coerce to plain JSON numbers
-        assert docs[0]["attrs"]["val"] == 2.5
-        assert docs[0]["attrs"]["n"] == 7
+        assert docs[1]["attrs"]["val"] == 2.5
+        assert docs[1]["attrs"]["n"] == 7
+
+    def test_jsonl_header_roundtrip(self, tmp_path):
+        tl = Timeline(capacity=4, sample={"gpu": 2})
+        for i in range(10):
+            tl.counter("gpu", f"c{i}")
+        p = tmp_path / "tl.jsonl"
+        tl.export_jsonl(str(p))
+        header, events = timeline.read_jsonl(str(p))
+        # the header carries enough to tell truncated from complete
+        assert header["capacity"] == 4
+        assert header["emitted"] == 10
+        assert header["sampled_out"] == 5
+        assert header["dropped"] == 1
+        assert header["retained"] == len(events) == 4
+        assert header["sample"] == {"gpu": 2}
+        assert header["tracing"] is False
+        assert all("category" in ev for ev in events)
+
+    def test_read_jsonl_tolerates_headerless_export(self, tmp_path):
+        p = tmp_path / "old.jsonl"
+        p.write_text(json.dumps({"seq": 1, "ts_us": 0.0,
+                                 "category": "gpu", "kind": "counter",
+                                 "name": "c", "dur_us": 0.0,
+                                 "attrs": {}}) + "\n")
+        header, events = timeline.read_jsonl(str(p))
+        assert header is None
+        assert len(events) == 1 and events[0]["name"] == "c"
 
     def test_enabled_restores_previous_bus(self):
         outer = timeline.install()

@@ -1,0 +1,193 @@
+"""Request tracing through the scheduler: span trees must survive the
+messy control flow — hedges whose losers finish late, dispatches
+abandoned by mid-execution deadline expiry — and tail sampling must
+prune without orphaning."""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import timeline, trace
+from repro.serve import ComputeRequest, DevicePool, Scheduler, ServeConfig
+
+SRC = """
+int a[n];
+int s = 0;
+#pragma acc parallel copyin(a)
+#pragma acc loop gang vector reduction(+:s)
+for (i = 0; i < n; i++)
+    s += a[i];
+"""
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    timeline.uninstall()
+    timeline.uninstall_tracer()
+    yield
+    timeline.uninstall()
+    timeline.uninstall_tracer()
+
+
+def _payload(dev):
+    return {"scalars": {"s": 1}, "outputs": {}, "strategy": "primary",
+            "attempts": 1, "degradations": 0, "cache": "memo",
+            "compile_us": 1.0, "run_us": 1.0}
+
+
+def _req(rid, **kw):
+    kw.setdefault("arrays", {"a": np.arange(16, dtype=np.int32)})
+    return ComputeRequest(id=rid, source=SRC, **kw)
+
+
+def scripted(sched, script):
+    sched._thread_body = script
+
+
+class TestHedgedRequestTrace:
+    def test_loser_spans_join_the_same_trace_marked_abandoned(self):
+        async def go():
+            pool = DevicePool(2)
+            cfg = ServeConfig(hedge_after_s=0.05, poll_interval_s=0.01)
+            async with Scheduler(pool, cfg) as sched:
+                def body(req, dev):
+                    time.sleep(0.3 if dev.name == "dev0" else 0.0)
+                    return _payload(dev)
+                scripted(sched, body)
+                res = await sched.submit(_req("r1"))
+                # let the abandoned primary drain and emit its span
+                await asyncio.sleep(0.4)
+                return res
+
+        with timeline.enabled() as tl, trace.tracing():
+            res = asyncio.run(go())
+        assert res.ok and res.hedged and res.device == "dev1"
+
+        trees = trace.assemble(tl.events())
+        assert "r1" in trees
+        tree = trees["r1"]
+        # the hedge loser reattaches to the SAME trace: one rooted
+        # tree, no second root, no orphans
+        assert len(tree.roots) == 1, [r.name for r in tree.roots]
+        assert not tree.orphans, [o.name for o in tree.orphans]
+        root = tree.root
+        assert root.name == "request:r1"
+        assert root.attrs["status"] == "ok"
+        dispatches = {c.name: c for c in root.children
+                      if c.name.startswith("dispatch:")}
+        assert set(dispatches) == {"dispatch:dev0", "dispatch:dev1"}
+        assert dispatches["dispatch:dev0"].attrs.get("abandoned") is True
+        assert "abandoned" not in dispatches["dispatch:dev1"].attrs
+        # the winner's work hangs under the winning dispatch
+        assert any(c.name.startswith("dispatch:")
+                   for c in root.children)
+        # the hedge decision is attached inside the trace
+        decision_names = {ev["name"] for ev in root.events}
+        assert "hedge" in decision_names
+        assert "complete" in decision_names
+
+    def test_hedge_overlap_keeps_critical_path_consistent(self):
+        async def go():
+            pool = DevicePool(2)
+            cfg = ServeConfig(hedge_after_s=0.05, poll_interval_s=0.01)
+            async with Scheduler(pool, cfg) as sched:
+                def body(req, dev):
+                    time.sleep(0.3 if dev.name == "dev0" else 0.1)
+                    return _payload(dev)
+                scripted(sched, body)
+                res = await sched.submit(_req("r1"))
+                await asyncio.sleep(0.4)
+                return res
+
+        with timeline.enabled() as tl, trace.tracing():
+            asyncio.run(go())
+        tree = trace.assemble(tl.events())["r1"]
+        path = trace.critical_path(tree)
+        assert path[0]["name"] == "request:r1"
+        # overlapping hedged dispatches: the root's self time comes from
+        # the interval union, so it cannot go negative or exceed total
+        assert 0.0 <= path[0]["self_us"] <= path[0]["dur_us"]
+
+
+class TestDeadlineExpiryTrace:
+    def test_mid_execution_expiry_forms_a_complete_tree(self):
+        async def go():
+            pool = DevicePool(1)
+            async with Scheduler(pool, ServeConfig(
+                    poll_interval_s=0.01)) as sched:
+                def body(req, dev):
+                    time.sleep(0.3 if req.id == "slow" else 0.0)
+                    return _payload(dev)
+                scripted(sched, body)
+                res = await sched.submit(_req("slow", deadline_s=0.1))
+                # the doomed launch drains after the verdict; its span
+                # must still land in the same trace
+                await asyncio.sleep(0.4)
+                return res
+
+        with timeline.enabled() as tl, trace.tracing():
+            res = asyncio.run(go())
+        assert res.status == "expired"
+
+        tree = trace.assemble(tl.events())["slow"]
+        assert len(tree.roots) == 1 and not tree.orphans
+        root = tree.root
+        assert root.attrs["status"] == "expired"
+        dispatches = [c for c in root.children
+                      if c.name.startswith("dispatch:")]
+        assert dispatches, "the doomed dispatch span must be present"
+        assert dispatches[0].attrs.get("abandoned") is True
+        decision_names = {ev["name"] for ev in root.events}
+        assert "expired" in decision_names
+
+    def test_expired_trace_is_status_kept_by_the_sampler(self):
+        async def go():
+            pool = DevicePool(1)
+            cfg = ServeConfig(poll_interval_s=0.01,
+                              trace_sampling=dict(keep_slowest=0,
+                                                  sample_every=0))
+            async with Scheduler(pool, cfg) as sched:
+                def body(req, dev):
+                    time.sleep(0.3 if req.id == "slow" else 0.0)
+                    return _payload(dev)
+                scripted(sched, body)
+                ok = await sched.submit(_req("fast"))
+                exp = await sched.submit(_req("slow", deadline_s=0.1))
+                await asyncio.sleep(0.4)
+                return ok, exp, sched.report()
+
+        with timeline.enabled() as tl, trace.tracing():
+            ok, exp, report = asyncio.run(go())
+        assert ok.ok and exp.status == "expired"
+        trees = trace.assemble(tl.events())
+        # with slowest-k and nth sampling off, only the expired trace
+        # survives: the ok trace was pruned without leaving orphans
+        assert "slow" in trees and "fast" not in trees
+        assert report["traces"]["kept"] == 1
+        assert report["traces"]["pruned"] == 1
+
+
+class TestSampledServeTraces:
+    def test_every_kept_request_forms_one_rooted_tree(self):
+        async def go():
+            pool = DevicePool(2)
+            cfg = ServeConfig(poll_interval_s=0.01)
+            async with Scheduler(pool, cfg) as sched:
+                # realistic (>10ms) bodies: the 1% reconciliation bound
+                # is about decomposition, not sub-ms wrapper overhead
+                scripted(sched, lambda req, dev: (time.sleep(0.02),
+                                                  _payload(dev))[1])
+                tasks = [sched.submit_nowait(_req(f"r{i}"))
+                         for i in range(6)]
+                return await asyncio.gather(*tasks)
+
+        with timeline.enabled() as tl, trace.tracing():
+            results = asyncio.run(go())
+        assert all(r.ok for r in results)
+        trees = trace.assemble(tl.events())
+        verdict = trace.verify_request_traces(trees)
+        assert verdict["ok"], verdict["problems"]
+        assert verdict["requests"] == 6
+        assert verdict["slowest"]["latency_err"] <= 0.01

@@ -402,8 +402,9 @@ class TestObsCommand:
                    "--num-gangs", "4", "--num-workers", "2",
                    "--vector-length", "32", "--timeline", tl_path])
         assert rc == 0
-        import json
-        events = [json.loads(ln) for ln in open(tl_path)]
+        from repro.obs import timeline as _tl
+        header, events = _tl.read_jsonl(tl_path)
+        assert header["header"] == "repro.obs.timeline"
         assert any(e["category"] == "gpu" and e["kind"] == "span"
                    for e in events)
         # the CLI scope uninstalls the bus on exit
