@@ -1,0 +1,23 @@
+/* Numerically-stable softmax: the cascaded reduce->map->reduce->map
+ * chain the cascade-fusion pass targets (max for stability, subtract-exp
+ * map, sum of exponentials, divide map).  With the optimized pipeline
+ * the two finish kernels fold into their consumer stages. */
+float x[n];
+float y[n];
+float m = -3.0e38f;
+float s = 0.0f;
+#pragma acc parallel copyin(x) copyout(y)
+{
+#pragma acc loop gang worker vector reduction(max:m)
+for (i = 0; i < n; i++)
+    if (x[i] > m) m = x[i];
+#pragma acc loop gang worker vector
+for (i = 0; i < n; i++)
+    y[i] = expf(x[i] - m);
+#pragma acc loop gang worker vector reduction(+:s)
+for (i = 0; i < n; i++)
+    s = s + y[i];
+#pragma acc loop gang worker vector
+for (i = 0; i < n; i++)
+    y[i] = y[i] / s;
+}

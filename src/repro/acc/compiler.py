@@ -333,6 +333,71 @@ class Program:
             env.cleanup()
             raise
 
+    def _launch(self, env, stats: dict, name: str, grid: int,
+                block: tuple[int, int], params, *, trace, profiler, faults,
+                watchdog_budget, executor_mode, block_batch,
+                attribution) -> KernelStats:
+        """Run one kernel launch: execute, charge the ledger, mirror the
+        telemetry span, and record on the profiler."""
+        ck = self._compiled[name]
+        st = ck.run(env.gmem, grid, block, params=params, trace=trace,
+                    faults=faults, watchdog_budget=watchdog_budget,
+                    mode=executor_mode, block_batch=block_batch,
+                    attribution=attribution)
+        stats[name] = st
+        tb = self._cost.kernel_time(st)
+        env.ledger.add(f"kernel:{name}", tb.total_us)
+        self._emit_kernel_span(name, tb, grid, executor_mode)
+        if profiler is not None:
+            self._record_kernel(profiler, name, st, tb, grid, block,
+                                executor_mode=ck.effective_mode(
+                                    executor_mode, grid, env.gmem, faults,
+                                    trace_events=trace))
+        return st
+
+    def _finalize_reduction(self, g, env, scalars: dict, stats: dict,
+                            fbs: int, lk: dict) -> None:
+        """Finish one gang reduction: launch its finish kernel (if any),
+        read the device result, and fold it into the host value.  The
+        finished value is written back into the scalar environment so a
+        later kernel stage's parameters deliver it."""
+        profiler = lk["profiler"]
+        fin_span = (profiler.region(f"finalize:{g.var}", "reduction",
+                                    var=g.var, op=g.op.token)
+                    if profiler is not None else nullcontext())
+        with fin_span:
+            if g.finish_kernel is not None:
+                self._launch(env, stats, g.finish_kernel.name, 1, (fbs, 1),
+                             {}, **lk)
+            device_total = env.read_result(g.result_buf)
+            device_index = (env.read_result(g.index_result_buf)
+                            if g.is_pair else None)
+        if g.is_pair:
+            # pair fold: the device pair beats the host-initial pair on
+            # strict value comparison, ties toward the smaller index —
+            # the same take rule the kernels use
+            host_v, host_i = env.scalars[g.var], env.scalars[g.index_var]
+            better = (device_total > host_v if g.kind == "argmax"
+                      else device_total < host_v)
+            if better or (device_total == host_v and device_index < host_i):
+                final_v, final_i = device_total, device_index
+            else:
+                final_v, final_i = host_v, host_i
+            scalars[g.var] = g.dtype.np.type(final_v)
+            scalars[g.index_var] = g.index_dtype.np.type(final_i)
+            env.scalars[g.var] = scalars[g.var]
+            env.scalars[g.index_var] = scalars[g.index_var]
+            if self.profile.stale_scalar_cache:
+                self._stale_cache[g.var] = scalars[g.var]
+                self._stale_cache[g.index_var] = scalars[g.index_var]
+            return
+        host_init = env.scalars[g.var]
+        final = g.op.np_combine(host_init, device_total, g.dtype)
+        scalars[g.var] = final
+        env.scalars[g.var] = final
+        if self.profile.stale_scalar_cache:
+            self._stale_cache[g.var] = final
+
     def _execute_bound(self, env, *, trace: bool, profiler, faults,
                        watchdog_budget: int | None,
                        executor_mode: str | None = None,
@@ -345,6 +410,9 @@ class Program:
             for g in self.lowered.gang_reductions:
                 if g.var in self._stale_cache:
                     env.scalars[g.var] = self._stale_cache[g.var]
+                if g.index_var is not None \
+                        and g.index_var in self._stale_cache:
+                    env.scalars[g.index_var] = self._stale_cache[g.index_var]
 
         run_span = (profiler.region(f"run:{self.lowered.main_kernel.name}",
                                     "run", compiler=self.profile.name)
@@ -360,86 +428,40 @@ class Program:
 
             stats: dict[str, KernelStats] = {}
             geom = self.lowered.geometry
-            fbs0 = self.lowered.options.finish_block_size
+            fbs = self.lowered.options.finish_block_size
+            lk = dict(trace=trace, profiler=profiler, faults=faults,
+                      watchdog_budget=watchdog_budget,
+                      executor_mode=executor_mode, block_batch=block_batch,
+                      attribution=attribution)
             for g in self.lowered.gang_reductions:
                 if g.init_kernel is None:
                     continue
-                ck = self._compiled[g.init_kernel.name]
-                ist = ck.run(env.gmem, g.init_grid, (fbs0, 1), params={},
-                             trace=trace, faults=faults,
-                             watchdog_budget=watchdog_budget,
-                             mode=executor_mode, block_batch=block_batch,
-                             attribution=attribution)
-                stats[g.init_kernel.name] = ist
-                itb = self._cost.kernel_time(ist)
-                env.ledger.add(f"kernel:{g.init_kernel.name}", itb.total_us)
-                self._emit_kernel_span(g.init_kernel.name, itb, g.init_grid,
-                                       executor_mode)
-                if profiler is not None:
-                    self._record_kernel(profiler, g.init_kernel.name, ist,
-                                        itb, g.init_grid, (fbs0, 1),
-                                        executor_mode=ck.effective_mode(
-                                            executor_mode, g.init_grid,
-                                            env.gmem, faults,
-                                            trace_events=trace))
-            main = self._compiled[self.lowered.main_kernel.name]
-            st = main.run(env.gmem, geom.num_gangs,
-                          (geom.vector_length, geom.num_workers),
-                          params=env.scalars, trace=trace, faults=faults,
-                          watchdog_budget=watchdog_budget,
-                          mode=executor_mode, block_batch=block_batch,
-                          attribution=attribution)
-            stats[self.lowered.main_kernel.name] = st
-            mtb = self._cost.kernel_time(st)
-            env.ledger.add(f"kernel:{self.lowered.main_kernel.name}",
-                           mtb.total_us)
-            self._emit_kernel_span(self.lowered.main_kernel.name, mtb,
-                                   geom.num_gangs, executor_mode)
-            if profiler is not None:
-                self._record_kernel(profiler, self.lowered.main_kernel.name,
-                                    st, mtb, geom.num_gangs,
-                                    (geom.vector_length, geom.num_workers),
-                                    executor_mode=main.effective_mode(
-                                        executor_mode, geom.num_gangs,
-                                        env.gmem, faults,
-                                        trace_events=trace))
+                self._launch(env, stats, g.init_kernel.name, g.init_grid,
+                             (fbs, 1), {}, **lk)
 
             scalars: dict[str, np.generic] = {}
-            fbs = self.lowered.options.finish_block_size
-            for g in self.lowered.gang_reductions:
-                fin_span = (profiler.region(f"finalize:{g.var}", "reduction",
-                                            var=g.var, op=g.op.token)
-                            if profiler is not None else nullcontext())
-                with fin_span:
-                    if g.finish_kernel is not None:
-                        ck = self._compiled[g.finish_kernel.name]
-                        fst = ck.run(env.gmem, 1, (fbs, 1), params={},
-                                     trace=trace, faults=faults,
-                                     watchdog_budget=watchdog_budget,
-                                     mode=executor_mode,
-                                     block_batch=block_batch,
-                                     attribution=attribution)
-                        stats[g.finish_kernel.name] = fst
-                        ftb = self._cost.kernel_time(fst)
-                        env.ledger.add(f"kernel:{g.finish_kernel.name}",
-                                       ftb.total_us)
-                        self._emit_kernel_span(g.finish_kernel.name, ftb, 1,
-                                               executor_mode)
-                        if profiler is not None:
-                            self._record_kernel(profiler,
-                                                g.finish_kernel.name,
-                                                fst, ftb, 1, (fbs, 1),
-                                                executor_mode=(
-                                                    ck.effective_mode(
-                                                        executor_mode, 1,
-                                                        env.gmem, faults,
-                                                        trace_events=trace)))
-                    device_total = env.read_result(g.result_buf)
-                host_init = env.scalars[g.var]
-                final = g.op.np_combine(host_init, device_total, g.dtype)
-                scalars[g.var] = final
-                if self.profile.stale_scalar_cache:
-                    self._stale_cache[g.var] = final
+            block = (geom.vector_length, geom.num_workers)
+            deferred = []
+            for si in range(self.lowered.num_stages):
+                kern = self.lowered.stage_kernel(si)
+                self._launch(env, stats, kern.name, geom.num_gangs, block,
+                             env.scalars, **lk)
+                # finalize this stage's reductions before the next stage
+                # launches: the host fold writes the finished value into
+                # the scalar environment, so the next stage's parameters
+                # deliver it.  Cascade-fused reductions defer to the end:
+                # their consumer stage replays the finish combine itself
+                # and stores the raw device total to the result buffer,
+                # which the host only needs after all stages ran.
+                for g in self.lowered.gang_reductions:
+                    if g.stage != si:
+                        continue
+                    if g.cascade_fused:
+                        deferred.append(g)
+                        continue
+                    self._finalize_reduction(g, env, scalars, stats, fbs, lk)
+            for g in deferred:
+                self._finalize_reduction(g, env, scalars, stats, fbs, lk)
 
             outputs = env.exit_outputs()
             env.cleanup()
@@ -578,8 +600,11 @@ class Program:
             for a in self.region.arrays
             if a.transfer in ("copy", "copyout", "present")
         }
-        scalars = {g.var: host.scalars[g.var]
-                   for g in self.lowered.gang_reductions}
+        scalars = {}
+        for g in self.lowered.gang_reductions:
+            scalars[g.var] = host.scalars[g.var]
+            if g.is_pair:
+                scalars[g.index_var] = host.scalars[g.index_var]
         ledger = TimingLedger()
         ledger.add("host:sequential", 0.0)
         return RunResult(outputs=outputs, scalars=scalars, ledger=ledger,

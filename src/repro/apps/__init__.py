@@ -5,12 +5,16 @@
 * :mod:`~repro.apps.matmul` — naive matrix multiplication with the inner
   k loop parallelized as a vector ``+`` reduction (Fig. 12(b)/13(b));
 * :mod:`~repro.apps.montecarlo_pi` — Monte Carlo π with a gang·vector ``+``
-  reduction over pre-generated samples (Fig. 12(c)/13(c)).
+  reduction over pre-generated samples (Fig. 12(c)/13(c));
+* :mod:`~repro.apps.softmax` — numerically-stable softmax, the cascaded
+  max→map→``+``→map flagship for the cascade-fusion pass (extension).
 """
 
 from repro.apps.heat2d import HeatResult, solve_heat
 from repro.apps.matmul import MatmulResult, matmul
 from repro.apps.montecarlo_pi import PiResult, estimate_pi
+from repro.apps.softmax import SoftmaxResult, softmax, softmax_result
 
 __all__ = ["HeatResult", "solve_heat", "MatmulResult", "matmul",
-           "PiResult", "estimate_pi"]
+           "PiResult", "estimate_pi", "SoftmaxResult", "softmax",
+           "softmax_result"]

@@ -284,6 +284,58 @@ def _passes_guard() -> dict:
     }
 
 
+#: cascade-fusion gate workloads: (label, geometry, n)
+CASCADE_CONFIGS = (
+    ("softmax 4x2x32 n=256", dict(num_gangs=4, num_workers=2,
+                                  vector_length=32), 256),
+    ("softmax 16x1x64 n=4096", dict(num_gangs=16, num_workers=1,
+                                    vector_length=64), 4096),
+)
+
+#: the cascade gate floor: fused must win >=10% of device kernel time
+CASCADE_MIN_IMPROVEMENT = 0.10
+
+
+def _cascade_guard() -> dict:
+    """Cascade-fusion gate: softmax fused vs ``cascade_fusion="never"``.
+
+    Softmax (max → subtract-exp → ``+`` → divide) is the flagship
+    cascade: the optimized pipeline folds the sum's finish kernel into
+    its consumer stage.  The ``--check`` gate requires, per config,
+    bitwise-identical outputs between the fused and pinned-unfused
+    builds, strictly fewer kernels when fused, and a
+    >=``CASCADE_MIN_IMPROVEMENT`` win on modeled device (kernel) time —
+    properties of the current build, no baseline needed.
+    """
+    from repro.apps.softmax import softmax_result
+
+    rows = []
+    for label, geom, n in CASCADE_CONFIGS:
+        x = (np.arange(n) % 113).astype(np.float32) / 7.0 - 8.0
+        fused = softmax_result(x, **geom)
+        never = softmax_result(x, cascade_fusion="never", **geom)
+        ms_f, ms_n = fused.kernel_ms, never.kernel_ms
+        rows.append({
+            "config": label,
+            "bitwise_identical":
+                fused.y.tobytes() == never.y.tobytes()
+                and (np.float32(fused.denom).tobytes()
+                     == np.float32(never.denom).tobytes()),
+            "fused_kernels": fused.num_kernels,
+            "unfused_kernels": never.num_kernels,
+            "fused_ms": round(ms_f, 9),
+            "unfused_ms": round(ms_n, 9),
+            "improvement": round((ms_n - ms_f) / ms_n, 4),
+        })
+    return {
+        "configs": rows,
+        "all_identical": all(r["bitwise_identical"] for r in rows),
+        "all_fewer_kernels": all(
+            r["fused_kernels"] < r["unfused_kernels"] for r in rows),
+        "min_improvement": CASCADE_MIN_IMPROVEMENT,
+    }
+
+
 def _telemetry_guard() -> dict:
     """The telemetry-bus zero-overhead pin (boolean, not timed).
 
@@ -432,6 +484,7 @@ def run_smoke(reps: int = 2) -> dict:
         "trace_executor": _trace_workload(reps),
         "attribution_guard": _attribution_guard(),
         "pass_pipeline": _passes_guard(),
+        "cascade_fusion": _cascade_guard(),
         "telemetry_guard": _telemetry_guard(),
         "trace_guard": _trace_guard(),
     }
@@ -469,6 +522,25 @@ def check_against_baseline(current: dict, baseline: dict,
                 f"pass_pipeline: only {pp['improved_5pct']} config(s) "
                 "improved modeled time by >=5% over the minimal pipeline "
                 "(need 2) — fusion/barrier-elimination wins regressed")
+    cf = current.get("cascade_fusion")
+    if cf is not None:
+        floor = cf.get("min_improvement", CASCADE_MIN_IMPROVEMENT)
+        for row in cf["configs"]:
+            if not row["bitwise_identical"]:
+                failures.append(
+                    f"cascade_fusion: {row['config']}: fused cascade "
+                    "changed results bitwise vs the unfused pipeline — "
+                    "the replay prologue must be exactness-preserving")
+            if row["fused_kernels"] >= row["unfused_kernels"]:
+                failures.append(
+                    f"cascade_fusion: {row['config']}: fusion did not "
+                    f"reduce the kernel count "
+                    f"({row['unfused_kernels']} -> {row['fused_kernels']})")
+            if row["improvement"] < floor:
+                failures.append(
+                    f"cascade_fusion: {row['config']}: modeled kernel "
+                    f"time improved only {row['improvement']:.1%} "
+                    f"(need >={floor:.0%}) — the fusion win regressed")
     te = current.get("trace_executor")
     if te is not None:
         for row in te["rows"]:
@@ -538,6 +610,14 @@ def main(argv=None) -> int:
         print(f"  passes {row['config']:<42} "
               f"minimal {row['minimal_ms']:8.4f} ms  "
               f"optimized {row['optimized_ms']:8.4f} ms  "
+              f"({row['improvement']:+.1%})  "
+              f"bit-identical={row['bitwise_identical']}", file=sys.stderr)
+    for row in doc["cascade_fusion"]["configs"]:
+        print(f"  cascade {row['config']:<28} "
+              f"unfused {row['unfused_ms']:8.4f} ms "
+              f"({row['unfused_kernels']} kernels)  "
+              f"fused {row['fused_ms']:8.4f} ms "
+              f"({row['fused_kernels']} kernels)  "
               f"({row['improvement']:+.1%})  "
               f"bit-identical={row['bitwise_identical']}", file=sys.stderr)
 

@@ -26,6 +26,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.dtypes import DType
 from repro.errors import LoweringError
 from repro.gpu import kernelir as K
@@ -79,6 +81,10 @@ class LoweringOptions:
     # modeled closed-source defect: '+' fast path stores its partials
     # transposed but log-steps assuming the row layout (wrong when bdy > 1)
     bug_sum_layout_mismatch: bool = False
+    # cascade fusion across kernel stages (the cascade-fusion pass):
+    # "auto" prices fused vs unfused per cascade with the cost model,
+    # "always"/"never" pin the decision for every cascade
+    cascade_fusion: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -110,6 +116,29 @@ class GangReductionSpec:
     #: zero-initialization style; None for OpenUH)
     init_kernel: K.Kernel | None = None
     init_grid: int = 1
+    #: index of the kernel stage whose launch produces the partials
+    #: (stage 0 is the main kernel; cascaded regions have more)
+    stage: int = 0
+    #: "scalar", or "argmax"/"argmin" for value-index pairs
+    kind: str = "scalar"
+    #: pair reductions: the index component's variable and buffers
+    index_var: str | None = None
+    index_dtype: DType | None = None
+    index_partial_buf: str | None = None
+    index_result_buf: str | None = None
+    #: set by the cascade-fusion pass: the finish replay was folded into
+    #: a consumer-stage prologue, so no finish kernel runs and the host
+    #: reads the result buffer only after all stages complete
+    cascade_fused: bool = False
+
+    @property
+    def is_pair(self) -> bool:
+        return self.kind in ("argmax", "argmin")
+
+    @property
+    def exactness(self) -> str:
+        """Exactness class the verifier gates fusion on."""
+        return "exact" if self.op.is_exact(self.dtype) else "ordered"
 
 
 @dataclass
@@ -123,6 +152,22 @@ class LoweredProgram:
     params: tuple[str, ...]
     plan: RegionPlan
     options: LoweringOptions
+    #: cascaded regions: kernels for stages 1..n-1 (stage 0 is
+    #: ``main_kernel``); each stage is a separate launch and the host
+    #: folds the finished gang-reduction results in between
+    stage_kernels: tuple[K.Kernel, ...] = ()
+    #: per-stage sorted tuples of scalar names each stage reads (mirrors
+    #: ``plan.stage_reads`` in a pickle-stable form; the cascade-fusion
+    #: pass locates consumer stages with it)
+    stage_reads: tuple[tuple[str, ...], ...] = ()
+
+    @property
+    def num_stages(self) -> int:
+        return 1 + len(self.stage_kernels)
+
+    def stage_kernel(self, stage: int) -> K.Kernel:
+        return self.main_kernel if stage == 0 \
+            else self.stage_kernels[stage - 1]
 
     @property
     def kernels(self) -> list[K.Kernel]:
@@ -131,6 +176,7 @@ class LoweredProgram:
             if g.init_kernel is not None:
                 out.append(g.init_kernel)
         out.append(self.main_kernel)
+        out.extend(self.stage_kernels)
         out.extend(g.finish_kernel for g in self.gang_reductions
                    if g.finish_kernel is not None)
         return out
@@ -196,45 +242,70 @@ class _Lowerer:
         self.scratch: list[ScratchBuffer] = []
         self.gang_reductions: list[GangReductionSpec] = []
         self.buffers_used: set[str] = set()
+        self.stage = 0
 
     # ------------------------------------------------------------------
     # top level
     # ------------------------------------------------------------------
 
     def lower(self) -> LoweredProgram:
-        body: list[K.Stmt] = []
-        # firstprivate materialization: every region scalar becomes a
-        # register seeded from its launch parameter
-        for s in self.region.scalars:
-            body.append(K.Assign(s.name, K.Param(s.name)))
-        body.extend(self._stmts(self.region.body))
+        stage_bodies = self.plan.stage_bodies()
+        nstages = len(stage_bodies)
+        params = tuple(s.name for s in self.region.scalars)
+        kernels: list[K.Kernel] = []
+        for si, stmts in enumerate(stage_bodies):
+            self.stage = si
+            self.active = None
+            self.dist = set()
+            self.shared_sizes = {}
+            self.buffers_used = set()
+            body: list[K.Stmt] = []
+            # firstprivate materialization: every region scalar becomes a
+            # register seeded from its launch parameter.  Each stage is a
+            # separate launch, so every stage kernel repeats it; the host
+            # folds finished gang-reduction results into the parameter
+            # environment between stages, which is how a later stage sees
+            # an earlier stage's reduction result.
+            for s in self.region.scalars:
+                body.append(K.Assign(s.name, K.Param(s.name)))
+            body.extend(self._stmts(stmts))
 
-        shared = tuple(
-            K.SharedArraySpec(self._shared_name(dt), dt, size, overlay="red")
-            for dt, size in sorted(self.shared_sizes.items(),
-                                   key=lambda kv: kv[0].value)
-        )
-        # sid stamping keeps ids stable through the compile cache and the
-        # executors (sid/loc are compare-excluded, so stamped and
-        # unstamped kernels stay structurally identical); with
-        # ``stamp=False`` the pass pipeline owns stamping as a final pass
-        kernel = self._stamp(K.Kernel(
-            name="acc_region_main",
-            body=tuple(body),
-            params=tuple(s.name for s in self.region.scalars),
-            buffers=tuple(sorted(self.buffers_used)),
-            shared=shared,
-            note=f"lowered with {self.opts.scheduling} scheduling, "
-                 f"{self.opts.vector_layout} vector layout",
-        ))
+            shared = tuple(
+                K.SharedArraySpec(self._shared_name(dt), dt, size,
+                                  overlay="red")
+                for dt, size in sorted(self.shared_sizes.items(),
+                                       key=lambda kv: kv[0].value)
+            )
+            note = (f"lowered with {self.opts.scheduling} scheduling, "
+                    f"{self.opts.vector_layout} vector layout")
+            if nstages > 1:
+                note += f"; stage {si} of {nstages}"
+            # sid stamping keeps ids stable through the compile cache and
+            # the executors (sid/loc are compare-excluded, so stamped and
+            # unstamped kernels stay structurally identical); with
+            # ``stamp=False`` the pass pipeline owns stamping as a final
+            # pass
+            kernels.append(self._stamp(K.Kernel(
+                name="acc_region_main" if si == 0
+                     else f"acc_region_stage{si}",
+                body=tuple(body),
+                params=params,
+                buffers=tuple(sorted(self.buffers_used)),
+                shared=shared,
+                note=note,
+            )))
         return LoweredProgram(
-            main_kernel=kernel,
+            main_kernel=kernels[0],
             geometry=self.geom,
             gang_reductions=self.gang_reductions,
             scratch=self.scratch,
-            params=kernel.params,
+            params=params,
             plan=self.plan,
             options=self.opts,
+            stage_kernels=tuple(kernels[1:]),
+            stage_reads=tuple(tuple(sorted(r))
+                              for r in self.plan.stage_reads)
+                        or ((),) * nstages,
         )
 
     # ------------------------------------------------------------------
@@ -409,6 +480,10 @@ class _Lowerer:
             if not info.gang_involved:
                 out.append(K.Assign(f"_init_{info.var}", K.Reg(info.var)))
             out.append(K.Assign(info.var, info.op.identity_const(info.dtype)))
+            if info.is_pair:
+                out.append(K.Assign(
+                    info.index_var,
+                    self._index_identity_const(info.index_dtype)))
 
         prelude: list[K.Stmt] = []
         start = self._expr(loop.start, prelude)
@@ -563,6 +638,10 @@ class _Lowerer:
             if not info.gang_involved:
                 out.append(K.Assign(f"_init_{info.var}", K.Reg(info.var)))
             out.append(K.Assign(info.var, info.op.identity_const(info.dtype)))
+            if info.is_pair:
+                out.append(K.Assign(
+                    info.index_var,
+                    self._index_identity_const(info.index_dtype)))
 
         u = next(self.uid)
         one = K.const_int(1)
@@ -976,11 +1055,158 @@ class _Lowerer:
         )))
         self.gang_reductions.append(GangReductionSpec(
             var=info.var, op=info.op, dtype=info.dtype, partial_buf=rbuf,
-            result_buf=rbuf, finish_kernel=None))
+            result_buf=rbuf, finish_kernel=None, stage=self.stage))
         return out
+
+    def _index_identity_const(self, dtype: DType) -> K.Const:
+        """Identity for the index half of a pair: the largest index value,
+        so any real index wins the smaller-index tie-break."""
+        hi = np.iinfo(dtype.np).max
+        return K.Const(dtype.np.type(hi), dtype)
+
+    def _pair_take(self, kind: str, v2: K.Expr, i2: K.Expr,
+                   v1: K.Expr, i1: K.Expr) -> K.Expr:
+        """Does candidate pair (v2, i2) beat incumbent (v1, i1)?  Strict
+        value comparison (NaN never wins) with ties broken toward the
+        smaller index, so the combine is deterministic under any
+        grouping."""
+        cmp = ">" if kind == "argmax" else "<"
+        return K.Bin("||", K.Bin(cmp, v2, v1),
+                     K.Bin("&&", K.Bin("==", v2, v1), K.Bin("<", i2, i1)))
+
+    def _finalize_gang_pair(self, info: ReductionInfo,
+                            span: set[str]) -> list[K.Stmt]:
+        """Value-index pair reduction (argmax/argmin): every participating
+        lane writes its (value, index) partial pair to twin global
+        buffers; a single-block finish kernel combines the pairs.  Pair
+        combines are idempotent — duplicated partials from redundant
+        lanes cannot overcount — so no identity padding is needed and
+        the atomic / level-by-level styles (which have no pair form)
+        are never consulted."""
+        geom = self.geom
+        tx, ty, bx = K.Special("tx"), K.Special("ty"), K.Special("bx")
+        tid = K.Special("tid")
+        out: list[K.Stmt] = [K.Comment(
+            f"{info.kind} reduction of ({info.var}, {info.index_var}) "
+            f"(span {'&'.join(sorted(span))}): pair partials to twin "
+            "buffers, second kernel finishes")]
+
+        if span == {"gang"}:
+            size = geom.num_gangs
+            index: K.Expr = bx
+            guard: K.Expr | None = K.Bin("==", tid, K.const_int(0))
+        elif "vector" not in span:
+            size = geom.num_gangs * geom.num_workers
+            index = K.Bin("+", K.Bin("*", bx, K.const_int(geom.num_workers)),
+                          ty)
+            guard = (K.Bin("==", tx, K.const_int(0))
+                     if geom.vector_length > 1 else None)
+        else:
+            size = geom.num_gangs * geom.threads_per_block
+            index = K.Bin("+", K.Bin(
+                "*", bx, K.const_int(geom.threads_per_block)), tid)
+            guard = None
+
+        pv, pi = f"_redp_{info.var}", f"_redp_{info.index_var}"
+        rv, ri = f"_redr_{info.var}", f"_redr_{info.index_var}"
+        self.scratch.append(ScratchBuffer(pv, info.dtype, size))
+        self.scratch.append(ScratchBuffer(pi, info.index_dtype, size))
+        self.scratch.append(ScratchBuffer(rv, info.dtype, 1))
+        self.scratch.append(ScratchBuffer(ri, info.index_dtype, 1))
+        self.buffers_used.add(pv)
+        self.buffers_used.add(pi)
+
+        stores = (K.GStore(pv, index, K.Reg(info.var)),
+                  K.GStore(pi, index, K.Reg(info.index_var)))
+        if guard is not None:
+            out.append(K.If(guard, stores))
+        else:
+            out.extend(stores)
+
+        finish = self._build_pair_finish_kernel(info, pv, pi, rv, ri, size)
+        self.gang_reductions.append(GangReductionSpec(
+            var=info.var, op=info.op, dtype=info.dtype, partial_buf=pv,
+            result_buf=rv, finish_kernel=finish, stage=self.stage,
+            kind=info.kind, index_var=info.index_var,
+            index_dtype=info.index_dtype, index_partial_buf=pi,
+            index_result_buf=ri))
+        return out
+
+    def _build_pair_finish_kernel(self, info: ReductionInfo, pv: str,
+                                  pi: str, rv: str, ri: str,
+                                  n: int) -> K.Kernel:
+        """Single-block finish kernel for a pair reduction: each lane
+        folds a strided window of partial pairs, then an If-based
+        shared-memory tree combines the per-lane pairs (a pair combine
+        is conditional, not a single expression, so the log-step helper
+        does not apply)."""
+        bdx = self.opts.finish_block_size
+        if not is_pow2(bdx):
+            raise LoweringError(
+                "pair reductions require a power-of-two finish_block_size, "
+                f"got {bdx}")
+        dtype, idt = info.dtype, info.index_dtype
+        tx = K.Special("tx")
+        av = f"_sfpv_{dtype.value}"
+        ai = f"_sfpi_{idt.value}"
+
+        def take(v2, i2, v1, i1):
+            return self._pair_take(info.kind, v2, i2, v1, i1)
+
+        body: list[K.Stmt] = [
+            K.Assign("_fpv", info.op.identity_const(dtype)),
+            K.Assign("_fpi", self._index_identity_const(idt)),
+            K.Assign("_fk", tx),
+            K.While(K.Bin("<", K.Reg("_fk"), K.const_int(n)), (
+                K.GLoad("_flv", pv, K.Reg("_fk")),
+                K.GLoad("_fli", pi, K.Reg("_fk")),
+                K.If(take(K.Reg("_flv"), K.Reg("_fli"),
+                          K.Reg("_fpv"), K.Reg("_fpi")), (
+                    K.Assign("_fpv", K.Reg("_flv")),
+                    K.Assign("_fpi", K.Reg("_fli")),
+                )),
+                K.Assign("_fk", K.Bin("+", K.Reg("_fk"),
+                                      K.const_int(bdx))),
+            )),
+            K.SStore(av, tx, K.Reg("_fpv")),
+            K.SStore(ai, tx, K.Reg("_fpi")),
+        ]
+        s = bdx // 2
+        while s >= 1:
+            body.append(K.Sync())
+            body.append(K.If(K.Bin("<", tx, K.const_int(s)), (
+                K.SLoad("_fov", av, K.Bin("+", tx, K.const_int(s))),
+                K.SLoad("_foi", ai, K.Bin("+", tx, K.const_int(s))),
+                K.SLoad("_fcv", av, tx),
+                K.SLoad("_fci", ai, tx),
+                K.If(take(K.Reg("_fov"), K.Reg("_foi"),
+                          K.Reg("_fcv"), K.Reg("_fci")), (
+                    K.SStore(av, tx, K.Reg("_fov")),
+                    K.SStore(ai, tx, K.Reg("_foi")),
+                )),
+            )))
+            s //= 2
+        body.append(K.Sync())
+        body.append(K.If(K.Bin("==", tx, K.const_int(0)), (
+            K.SLoad("_frv", av, K.const_int(0)),
+            K.SLoad("_fri", ai, K.const_int(0)),
+            K.GStore(rv, K.const_int(0), K.Reg("_frv")),
+            K.GStore(ri, K.const_int(0), K.Reg("_fri")),
+        )))
+        return self._stamp(K.Kernel(
+            name=f"acc_reduction_finish_{info.var}",
+            body=tuple(body),
+            buffers=(pv, pi, rv, ri),
+            shared=(K.SharedArraySpec(av, dtype, bdx),
+                    K.SharedArraySpec(ai, idt, bdx)),
+            note=f"pair finish kernel for {info.kind} of "
+                 f"({info.var!r}, {info.index_var!r}) ({n} partials)",
+        ))
 
     def _finalize_gang(self, info: ReductionInfo, span: set[str],
                        distributed: set[str]) -> list[K.Stmt]:
+        if info.is_pair:
+            return self._finalize_gang_pair(info, span)
         if self._select("gang_partial_style", info.var) == "atomic" \
                 and info.op.token in _ATOMIC_CAPABLE:
             return self._finalize_gang_atomic(info, span, distributed)
@@ -1057,7 +1283,8 @@ class _Lowerer:
         self.gang_reductions.append(GangReductionSpec(
             var=info.var, op=info.op, dtype=info.dtype, partial_buf=pbuf,
             result_buf=rbuf, finish_kernel=finish,
-            init_kernel=init_kernel, init_grid=init_grid))
+            init_kernel=init_kernel, init_grid=init_grid,
+            stage=self.stage))
         return out
 
     def _build_finish_kernel(self, info: ReductionInfo, pbuf: str,

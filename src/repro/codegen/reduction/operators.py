@@ -27,7 +27,8 @@ from repro.dtypes import DType, is_integer
 from repro.errors import AnalysisError
 from repro.gpu import kernelir as K
 
-__all__ = ["ReductionOperator", "OPERATORS", "get_operator"]
+__all__ = ["ReductionOperator", "OPERATORS", "get_operator",
+           "define_operator"]
 
 
 @dataclass(frozen=True)
@@ -40,6 +41,10 @@ class ReductionOperator:
     _identity: Callable[[DType], object]
     _combine_ir: Callable[[K.Expr, K.Expr, DType], K.Expr]
     _np_combine: Callable  # (a, b) -> combined, dtype-preserving
+    #: float grouping-invariance: ``True`` means regrouping the combine
+    #: tree cannot change the float result bits (max/min; custom
+    #: operators declare it).  Integer operators are always exact.
+    float_exact: bool = False
 
     def __reduce__(self):
         # operators are module-level singletons holding lambdas; pickle
@@ -74,10 +79,33 @@ class ReductionOperator:
             return dtype.np.type(self._np_combine(
                 np.asarray(a, dtype=dtype.np), np.asarray(b, dtype=dtype.np)))
 
+    @property
+    def exactness(self) -> str:
+        """Exactness class of this operator's combine.
+
+        ``"exact"`` — regrouping the combine tree can never change the
+        result bits (integer operators, float ``max``/``min``, and any
+        :func:`define_operator` operator registered ``float_exact``);
+        ``"ordered"`` — float rounding depends on the combination order,
+        so only order-preserving transformations are legal.
+        """
+        return "exact" if (self.integer_only or self.float_exact) \
+            else "ordered"
+
+    def is_exact(self, dtype: DType) -> bool:
+        """Grouping-invariance of the combine at ``dtype``."""
+        return is_integer(dtype) or self.exactness == "exact"
+
     def np_reduce(self, values: np.ndarray, dtype: DType):
         """Reference sequential reduction of an array (identity-seeded)."""
         acc = self.identity(dtype)
         arr = np.asarray(values, dtype=dtype.np)
+        if self.token not in _BUILTIN_TOKENS:
+            # user-defined operator: a plain left fold through np_combine
+            # (no vectorized shortcut is known for an arbitrary combine)
+            for v in arr:
+                acc = self.np_combine(acc, v, dtype)
+            return acc
         with np.errstate(over="ignore"):
             for chunkwise in (arr,):
                 if self.token == "+":
@@ -164,8 +192,10 @@ OPERATORS: dict[str, ReductionOperator] = {
     "+": ReductionOperator("+", "sum", False, lambda d: 0, _bin("+"), np.add),
     "*": ReductionOperator("*", "prod", False, lambda d: 1, _bin("*"),
                            np.multiply),
-    "max": ReductionOperator("max", "max", False, _minval, _call_max, np.fmax),
-    "min": ReductionOperator("min", "min", False, _maxval, _call_min, np.fmin),
+    "max": ReductionOperator("max", "max", False, _minval, _call_max, np.fmax,
+                             float_exact=True),
+    "min": ReductionOperator("min", "min", False, _maxval, _call_min, np.fmin,
+                             float_exact=True),
     "&": ReductionOperator("&", "band", True, _int_allones, _bin("&"),
                            np.bitwise_and),
     "|": ReductionOperator("|", "bor", True, lambda d: 0, _bin("|"),
@@ -177,6 +207,44 @@ OPERATORS: dict[str, ReductionOperator] = {
     "||": ReductionOperator("||", "lor", False, lambda d: 0, _logical_or,
                             _np_logical_or),
 }
+
+#: spellings of the nine OpenACC 1.0/2.0 operators — ``define_operator``
+#: may not shadow these, and ``np_reduce`` only vectorizes over them
+_BUILTIN_TOKENS = frozenset(OPERATORS)
+
+
+def define_operator(token: str, *, name: str | None = None,
+                    identity, combine_ir, np_combine,
+                    integer_only: bool = False,
+                    float_exact: bool = False) -> ReductionOperator:
+    """Register a user-defined associative reduction operator.
+
+    ``token`` is the spelling usable in ``reduction(<token>:var)``
+    clauses and the :mod:`repro.reduce` API.  ``identity`` is either a
+    constant or a ``DType -> value`` callable; ``combine_ir(a, b,
+    dtype)`` builds the kernel-IR combine expression; ``np_combine(a,
+    b)`` is the dtype-preserving NumPy equivalent used for host folds
+    and reference results.  The operator **must** be associative — the
+    compiler regroups partials freely (declare ``float_exact=True`` only
+    when regrouping cannot change float result bits).
+
+    Registration is idempotent per token: re-defining a token replaces
+    the previous definition (pickled programs resolve operators by
+    token at load time, so the process must register its custom
+    operators before unpickling programs that use them).
+    """
+    if token in _BUILTIN_TOKENS:
+        raise AnalysisError(
+            f"cannot redefine built-in reduction operator {token!r}")
+    if not token.isidentifier():
+        raise AnalysisError(
+            f"custom operator token {token!r} must be an identifier "
+            "(so reduction clauses can parse it)")
+    ident = identity if callable(identity) else (lambda d, _v=identity: _v)
+    op = ReductionOperator(token, name or token, integer_only, ident,
+                           combine_ir, np_combine, float_exact=float_exact)
+    OPERATORS[token] = op
+    return op
 
 
 def get_operator(token: str) -> ReductionOperator:

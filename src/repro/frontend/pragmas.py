@@ -30,7 +30,21 @@ __all__ = ["AccLoopInfo", "AccRegionInfo", "AccAtomicInfo", "DataClause",
 #: reduction-operator spellings accepted in a reduction clause
 REDUCTION_OPS = ("+", "*", "max", "min", "&", "|", "^", "&&", "||")
 
+#: value-index pair reductions: ``reduction(argmax:val,idx)`` names the
+#: value variable first, then the index variable
+ARG_REDUCTION_KINDS = ("argmax", "argmin")
+
 LEVELS = ("gang", "worker", "vector")
+
+
+def _known_reduction_op(op: str) -> bool:
+    """Built-in operator spelling, or a registered custom operator."""
+    if op in REDUCTION_OPS:
+        return True
+    if not op.isidentifier():
+        return False
+    from repro.codegen.reduction.operators import OPERATORS
+    return op in OPERATORS
 
 
 @dataclass(frozen=True)
@@ -51,6 +65,8 @@ class AccLoopInfo:
     independent: bool = False
     collapse: int = 1
     reductions: tuple[tuple[str, str], ...] = ()  # (operator, variable)
+    #: value-index pair reductions: (kind, value_var, index_var)
+    arg_reductions: tuple[tuple[str, str, str], ...] = ()
     private: tuple[str, ...] = ()
 
     @property
@@ -112,6 +128,10 @@ class _Cursor:
     def peek(self) -> str | None:
         return self.toks[self.i] if self.i < len(self.toks) else None
 
+    def peek2(self) -> str | None:
+        """The token after the next one (two-token lookahead)."""
+        return self.toks[self.i + 1] if self.i + 1 < len(self.toks) else None
+
     def next(self) -> str:
         t = self.peek()
         if t is None:
@@ -160,27 +180,60 @@ def _parse_name_list(cur: _Cursor) -> list[tuple[str, tuple]]:
                 f"expected ',' or ')', got {t!r} in: {cur.text!r}")
 
 
-def _parse_reduction(cur: _Cursor) -> list[tuple[str, str]]:
-    """Parse ``(op:var[,var]...)``."""
+def _parse_reduction(cur: _Cursor):
+    """Parse ``(op:var[,var]... [, op:var...])``.
+
+    One clause may carry several ``op:vars`` segments (tuple reductions,
+    FLoops-style), built-in or registered custom operator spellings, and
+    ``argmax:val,idx`` / ``argmin:val,idx`` value-index pairs.  Returns
+    ``(reductions, arg_reductions)`` where ``reductions`` is a list of
+    ``(op, var)`` and ``arg_reductions`` of ``(kind, value_var,
+    index_var)``.
+    """
     cur.expect("(")
-    # operator can be multi-token only for && / || which are single micro-tokens
-    op = cur.next()
-    if op not in REDUCTION_OPS:
-        raise DirectiveError(
-            f"unknown reduction operator {op!r} "
-            f"(expected one of {', '.join(REDUCTION_OPS)})")
-    cur.expect(":")
-    out = []
+    reductions: list[tuple[str, str]] = []
+    arg_reductions: list[tuple[str, str, str]] = []
     while True:
-        var = cur.next()
-        if not var.isidentifier():
-            raise DirectiveError(f"bad reduction variable {var!r}")
-        out.append((op, var))
-        t = cur.next()
-        if t == ")":
-            return out
-        if t != ",":
-            raise DirectiveError(f"expected ',' or ')', got {t!r}")
+        # operator can be multi-token only for && / || which are single
+        # micro-tokens
+        op = cur.next()
+        if op not in ARG_REDUCTION_KINDS and not _known_reduction_op(op):
+            raise DirectiveError(
+                f"unknown reduction operator {op!r} "
+                f"(expected one of {', '.join(REDUCTION_OPS)}, "
+                f"{'/'.join(ARG_REDUCTION_KINDS)}, or a registered "
+                "custom operator)")
+        cur.expect(":")
+        if op in ARG_REDUCTION_KINDS:
+            # exactly two variables: the value, then the index
+            val = cur.next()
+            if not val.isidentifier():
+                raise DirectiveError(f"bad reduction variable {val!r}")
+            cur.expect(",")
+            idx = cur.next()
+            if not idx.isidentifier():
+                raise DirectiveError(f"bad reduction variable {idx!r}")
+            arg_reductions.append((op, val, idx))
+            t = cur.next()
+            if t == ")":
+                return reductions, arg_reductions
+            if t != ",":
+                raise DirectiveError(f"expected ',' or ')', got {t!r}")
+            continue
+        while True:
+            var = cur.next()
+            if not var.isidentifier():
+                raise DirectiveError(f"bad reduction variable {var!r}")
+            reductions.append((op, var))
+            t = cur.next()
+            if t == ")":
+                return reductions, arg_reductions
+            if t != ",":
+                raise DirectiveError(f"expected ',' or ')', got {t!r}")
+            # after a comma: a ':' two tokens ahead means a new
+            # `op:vars` segment begins; otherwise more vars for this op
+            if cur.peek2() == ":":
+                break
 
 
 def _parse_int_arg(cur: _Cursor, clause: str) -> int:
@@ -235,6 +288,7 @@ def _parse_region(cur: _Cursor, kind: str) -> AccRegionInfo:
     seq = independent = False
     collapse = 1
     reductions: list[tuple[str, str]] = []
+    arg_reductions: list[tuple[str, str, str]] = []
     private: list[str] = []
     while not cur.done():
         clause = cur.next()
@@ -261,7 +315,9 @@ def _parse_region(cur: _Cursor, kind: str) -> AccRegionInfo:
         elif combined and clause == "collapse":
             collapse = _parse_int_arg(cur, clause)
         elif combined and clause == "reduction":
-            reductions.extend(_parse_reduction(cur))
+            reds, args = _parse_reduction(cur)
+            reductions.extend(reds)
+            arg_reductions.extend(args)
         elif combined and clause == "private":
             private.extend(name for name, _ in _parse_name_list(cur))
         elif clause == "reduction":
@@ -281,7 +337,7 @@ def _parse_region(cur: _Cursor, kind: str) -> AccRegionInfo:
         combined_loop = AccLoopInfo(
             levels=tuple(levels), seq=seq, independent=independent,
             collapse=collapse, reductions=tuple(reductions),
-            private=tuple(private))
+            arg_reductions=tuple(arg_reductions), private=tuple(private))
     return AccRegionInfo(kind=kind, data=tuple(data), num_gangs=num_gangs,
                          num_workers=num_workers, vector_length=vector_length,
                          combined_loop=combined_loop)
@@ -292,6 +348,7 @@ def _parse_loop(cur: _Cursor) -> AccLoopInfo:
     seq = independent = False
     collapse = 1
     reductions: list[tuple[str, str]] = []
+    arg_reductions: list[tuple[str, str, str]] = []
     private: list[str] = []
     while not cur.done():
         clause = cur.next()
@@ -308,7 +365,9 @@ def _parse_loop(cur: _Cursor) -> AccLoopInfo:
             if collapse < 1:
                 raise DirectiveError("collapse argument must be >= 1")
         elif clause == "reduction":
-            reductions.extend(_parse_reduction(cur))
+            reds, args = _parse_reduction(cur)
+            reductions.extend(reds)
+            arg_reductions.extend(args)
         elif clause == "private":
             private.extend(name for name, _ in _parse_name_list(cur))
         else:
@@ -325,4 +384,5 @@ def _parse_loop(cur: _Cursor) -> AccLoopInfo:
             f"{' '.join(levels)}")
     return AccLoopInfo(levels=tuple(levels), seq=seq, independent=independent,
                        collapse=collapse, reductions=tuple(reductions),
+                       arg_reductions=tuple(arg_reductions),
                        private=tuple(private))

@@ -165,6 +165,7 @@ def estimate_reduction_strategies(
     gang_candidates: tuple[str, ...] = (),
     finish_block_size: int = 256,
     elide_warp_sync: bool = True,
+    cascade: bool = False,
 ) -> dict[str, dict[str, float]]:
     """Analytically price reduction-strategy candidates (µs per launch grid).
 
@@ -182,6 +183,14 @@ def estimate_reduction_strategies(
     ``gang_partial_style`` (``buffer`` | ``atomic``, where ``buffer``
     includes the extra finish-kernel launch over ``partials`` staged
     values).
+
+    ``cascade=True`` adds ``cascade_fusion`` with ``fused`` vs
+    ``unfused`` prices for a reduce→consume handoff across two kernel
+    stages: ``unfused`` is the separate finish launch plus the host
+    reading the result between the stage launches; ``fused`` is every
+    consumer-stage block redundantly replaying the finish combine tree
+    (no launch, no intermediate read — the result read moves after the
+    last stage, so it still appears once in both prices).
     """
     cm = CostModel(device)
     blocks = geom.num_gangs
@@ -259,6 +268,44 @@ def estimate_reduction_strategies(
             else:  # pragma: no cover - caller passes known candidates
                 continue
         out["gang_partial_style"] = est
+
+    if cascade:
+        fbs = finish_block_size
+        fwarps = max(1, -(-fbs // device.warp_size))
+        n = max(1, partials)
+        steps, syncs = _logstep_profile(fbs, elide_warp_sync,
+                                        device.warp_size)
+        rounds = -(-n // fbs)
+        # unfused: the dedicated finish launch (single block) + the host
+        # reading the finished scalar before the next stage can launch
+        fin = KernelStats(
+            blocks=1, threads_per_block=fbs,
+            shared_bytes=fbs * itemsize,
+            global_transactions=rounds * fwarps,
+            global_bytes=n * itemsize,
+            dram_bytes=n * itemsize,
+            shared_accesses=(1 + 3 * steps) * fwarps,
+            warp_inst_slots=(3 * rounds + 2 * steps) * fwarps,
+            barriers=syncs)
+        unfused = (cm.kernel_time(fin).total_us
+                   + cm.transfer_time(itemsize))
+        # fused: the same combine tree replayed redundantly by every
+        # consumer block at the main geometry.  The partial buffer is
+        # re-read per block but stays hot in L2 after the first wave,
+        # so DRAM is charged once; no launch overhead, and the result
+        # read happens after the final stage either way.
+        rep = KernelStats(
+            blocks=blocks, threads_per_block=tpb,
+            shared_bytes=fbs * itemsize,
+            global_transactions=rounds * fwarps * blocks,
+            global_bytes=n * itemsize * blocks,
+            dram_bytes=n * itemsize,
+            shared_accesses=(1 + 3 * steps) * fwarps * blocks,
+            warp_inst_slots=(3 * rounds + 2 * steps) * fwarps * blocks,
+            barriers=(syncs + 1) * blocks)
+        tb = cm.kernel_time(rep)
+        out["cascade_fusion"] = {"unfused": unfused,
+                                 "fused": tb.total_us - tb.launch_us}
 
     return out
 

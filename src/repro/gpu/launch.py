@@ -68,10 +68,23 @@ def _sid_fingerprint(kernel: Kernel) -> tuple[int, ...]:
     return tuple(s.sid for s, _ in walk_stmts(kernel.body))
 
 
+#: kernel-note markers the kernelopt fusion passes stamp on rewritten
+#: kernels; mixed into the compile-cache key so a fused and an unfused
+#: build of the same region can never alias, even if a future rewrite
+#: made their bodies structurally equal
+_FUSION_MARKERS = ("fused finish kernel", "cascade-fused finish")
+
+
+def _fusion_fingerprint(kernel: Kernel) -> tuple[str, ...]:
+    """Which fusion rewrites produced this kernel, per its note."""
+    return tuple(m for m in _FUSION_MARKERS if m in kernel.note)
+
+
 def _compiled(kernel: Kernel, device: DeviceProperties,
               options_key=None) -> CompiledKernel:
     global _cache_hits, _cache_misses, _cache_evictions
-    key = (kernel, device, options_key, _sid_fingerprint(kernel))
+    key = (kernel, device, options_key, _sid_fingerprint(kernel),
+           _fusion_fingerprint(kernel))
     ck = _COMPILE_CACHE.get(key)
     tl = _timeline.current()
     if ck is not None:

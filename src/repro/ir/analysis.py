@@ -50,10 +50,19 @@ class ReductionInfo:
     #: span levels that are never actually distributed (added by the
     #: gang·vector upgrade); their redundant lanes contribute identities
     padded_levels: tuple[str, ...] = ()
+    #: "scalar" for plain reductions; "argmax"/"argmin" for value-index
+    #: pairs (``var`` is the value variable, ``index_var`` the index)
+    kind: str = "scalar"
+    index_var: str | None = None
+    index_dtype: DType | None = None
 
     @property
     def gang_involved(self) -> bool:
         return "gang" in self.span
+
+    @property
+    def is_pair(self) -> bool:
+        return self.kind in ("argmax", "argmin")
 
 
 @dataclass
@@ -66,6 +75,16 @@ class RegionPlan:
     reductions_by_loop: dict[int, list[ReductionInfo]] = field(
         default_factory=dict)
     barrier_loops: set[int] = field(default_factory=set)
+    #: kernel-stage split of the region body: index ``j`` of each
+    #: top-level statement that opens a new stage.  A region compiles to
+    #: one kernel per stage; a boundary sits before every top-level
+    #: statement that reads a gang-reduction result produced by an
+    #: earlier top-level statement (the result only exists after the
+    #: producing kernel completes and the host folds it).
+    stage_starts: list[int] = field(default_factory=lambda: [0])
+    #: per-stage sets of scalar names read by the stage's statements
+    #: (used by the cascade-fusion pass to locate consumers)
+    stage_reads: list[set[str]] = field(default_factory=list)
 
     @property
     def all_reductions(self) -> list[ReductionInfo]:
@@ -75,6 +94,17 @@ class RegionPlan:
     @property
     def has_gang_reduction(self) -> bool:
         return any(r.gang_involved for r in self.all_reductions)
+
+    @property
+    def num_stages(self) -> int:
+        return max(1, len(self.stage_starts))
+
+    def stage_bodies(self) -> list[tuple[N.IStmt, ...]]:
+        """The region body sliced into per-stage statement tuples."""
+        body = self.region.body
+        starts = self.stage_starts or [0]
+        ends = starts[1:] + [len(body)]
+        return [tuple(body[a:b]) for a, b in zip(starts, ends)]
 
     def reduction_vars(self) -> set[str]:
         return {r.var for r in self.all_reductions}
@@ -188,6 +218,40 @@ def analyze_region(region: N.Region, *, num_workers: int,
             if not info.gang_involved and info.span:
                 my_barrier = True
 
+        for kind, val, idx in loop.info.arg_reductions:
+            for v in (val, idx):
+                if v in array_names:
+                    raise AnalysisError(
+                        f"{kind} reduction variable {v!r} is an array; "
+                        "only scalar value-index pairs are supported")
+            dtype = _var_dtype(region, loop, val)
+            index_dtype = _var_dtype(region, loop, idx)
+            if index_dtype not in (DType.INT, DType.LONG):
+                raise AnalysisError(
+                    f"{kind} index variable {idx!r} must be an integer "
+                    f"type, got {index_dtype.ctype!r}")
+            # the value component combines like max/min; the index rides
+            # along, ties broken toward the smaller index
+            op = get_operator("max" if kind == "argmax" else "min")
+            span_set = set(loop.info.levels) | _span_below(loop, val) \
+                | _span_below(loop, idx)
+            span = tuple(lv for lv in ("gang", "worker", "vector")
+                         if lv in span_set)
+            if "gang" not in span_set:
+                raise AnalysisError(
+                    f"{kind} reduction on ({val!r}, {idx!r}) requires a "
+                    "gang-distributed loop (pair combines happen in the "
+                    "finish kernel; block-local pair trees are not "
+                    "supported)")
+            info = ReductionInfo(
+                var=val, dtype=dtype, op=op,
+                clause_loop_id=loop.loop_id, span=span,
+                same_line=span_set <= set(loop.info.levels),
+                kind=kind, index_var=idx, index_dtype=index_dtype)
+            plan.reductions_by_loop.setdefault(loop.loop_id, []).append(info)
+            claimed.add(val)
+            newly_claimed.append(val)
+
         inner_barrier = walk(loop.body,
                              path_levels + list(loop.info.levels),
                              loops_in_path + [loop])
@@ -200,7 +264,146 @@ def analyze_region(region: N.Region, *, num_workers: int,
         return my_barrier or inner_barrier
 
     walk(region.body, [], [])
+    _plan_stages(plan)
     return plan
+
+
+def _plan_stages(plan: RegionPlan) -> None:
+    """Split the region body into kernel stages.
+
+    A gang reduction's result only exists after its kernel completes
+    (partials → finish kernel → host fold), so a top-level statement
+    that *reads* a gang-reduced variable produced by an earlier
+    top-level statement must start a new kernel.  Cascaded reductions
+    (softmax's max → map → sum → map) compile to one kernel per stage;
+    the cascade-fusion pass may later fold the handoffs back.
+    """
+    body = plan.region.body
+    region = plan.region
+    # gang-reduction result vars produced by each top-level statement
+    produced: list[set[str]] = []
+    for s in body:
+        ids = _loop_ids(s)
+        vars_: set[str] = set()
+        for lid in ids:
+            for r in plan.reductions_by_loop.get(lid, []):
+                if r.gang_involved:
+                    vars_.add(r.var)
+                    if r.index_var:
+                        vars_.add(r.index_var)
+        produced.append(vars_)
+    reads = [_scalar_reads((s,)) for s in body]
+    writes = [_scalar_writes((s,)) for s in body]
+
+    starts = [0] if body else []
+    pending: set[str] = set()       # produced, not yet host-finalized
+    plain_writes: set[str] = set()  # scalars written outside gang reductions
+    stage_reads: list[set[str]] = [set()] if body else []
+    for j, s in enumerate(body):
+        if j > 0 and reads[j] & pending:
+            # kernel boundary: the host finalizes every pending result
+            # between the two launches, so all of them become readable
+            stale = reads[j] & plain_writes
+            if stale:
+                raise AnalysisError(
+                    f"scalar(s) {sorted(stale)} are modified in an "
+                    "earlier kernel stage and read after a stage "
+                    "boundary; only gang-reduction results carry "
+                    "across stages")
+            starts.append(j)
+            stage_reads.append(set())
+            pending = set()
+        stage_reads[-1] |= reads[j]
+        pending |= produced[j]
+        plain_writes |= (writes[j] - produced[j])
+    plan.stage_starts = starts or [0]
+    plan.stage_reads = stage_reads
+
+
+def _loop_ids(stmt: N.IStmt) -> list[int]:
+    """Every ILoop id in a statement subtree."""
+    out: list[int] = []
+
+    def visit(s: N.IStmt) -> None:
+        if isinstance(s, N.ILoop):
+            out.append(s.loop_id)
+            for x in s.body:
+                visit(x)
+        elif isinstance(s, N.IIf):
+            for x in s.then + s.orelse:
+                visit(x)
+
+    visit(stmt)
+    return out
+
+
+def _scalar_reads(stmts: tuple[N.IStmt, ...]) -> set[str]:
+    """Scalar (IVar) names read anywhere in the statement list."""
+    reads: set[str] = set()
+
+    def expr(e: N.IExpr) -> None:
+        if isinstance(e, N.IVar):
+            reads.add(e.name)
+        elif isinstance(e, N.IArrayRef):
+            expr(e.index)
+        elif isinstance(e, N.IBin):
+            expr(e.a)
+            expr(e.b)
+        elif isinstance(e, (N.IUn, N.ICast)):
+            expr(e.a)
+        elif isinstance(e, N.ICall):
+            for a in e.args:
+                expr(a)
+        elif isinstance(e, N.ICond):
+            expr(e.cond)
+            expr(e.a)
+            expr(e.b)
+
+    def stmt(s: N.IStmt) -> None:
+        if isinstance(s, N.IAssign):
+            expr(s.value)
+            if isinstance(s.target, N.IArrayRef):
+                expr(s.target.index)
+        elif isinstance(s, N.IDecl):
+            if s.init is not None:
+                expr(s.init)
+        elif isinstance(s, N.IIf):
+            expr(s.cond)
+            for x in s.then + s.orelse:
+                stmt(x)
+        elif isinstance(s, N.ILoop):
+            expr(s.start)
+            expr(s.end)
+            expr(s.step)
+            for x in s.body:
+                stmt(x)
+
+    for s in stmts:
+        stmt(s)
+    return reads
+
+
+def _scalar_writes(stmts: tuple[N.IStmt, ...]) -> set[str]:
+    """Scalar (IVar) names assigned anywhere in the statement list,
+    excluding loop iteration variables (per-thread locals)."""
+    writes: set[str] = set()
+    loop_vars: set[str] = set()
+
+    def stmt(s: N.IStmt) -> None:
+        if isinstance(s, N.IAssign):
+            if isinstance(s.target, N.IVar):
+                writes.add(s.target.name)
+        elif isinstance(s, N.IIf):
+            for x in s.then + s.orelse:
+                stmt(x)
+        elif isinstance(s, N.ILoop):
+            loop_vars.add(s.var)
+            for x in s.body:
+                stmt(x)
+
+    for s in stmts:
+        stmt(s)
+    return writes - loop_vars
 
 
 def _span_below(clause_loop: N.ILoop, var: str) -> set[str]:

@@ -270,8 +270,9 @@ class _Builder:
         p = s.pragma
         if isinstance(p, AccLoopInfo):
             info = N.LoopInfo(levels=p.levels, seq=p.seq,
-                              reductions=p.reductions, private=p.private,
-                              collapse=p.collapse)
+                              reductions=p.reductions,
+                              arg_reductions=p.arg_reductions,
+                              private=p.private, collapse=p.collapse)
         else:
             info = N.LoopInfo()
         return N.ILoop(loop_id=next(self.loop_ids), var=s.var, start=start,

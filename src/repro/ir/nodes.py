@@ -133,6 +133,9 @@ class LoopInfo:
     levels: tuple[str, ...] = ()  # subset of gang/worker/vector
     seq: bool = False
     reductions: tuple[tuple[str, str], ...] = ()  # (operator, variable)
+    #: value-index pair reductions: (kind, value_var, index_var) where
+    #: kind is "argmax" or "argmin"
+    arg_reductions: tuple[tuple[str, str, str], ...] = ()
     private: tuple[str, ...] = ()
     collapse: int = 1
 

@@ -1,0 +1,226 @@
+"""Cascade-fusion: fold a producer stage's finish kernel into its consumer.
+
+A cascaded region (softmax's max → map → sum → map) lowers to one kernel
+per stage with a finish-kernel + host-fold handoff between stages: the
+producer stage writes gang partials, the finish kernel combines them, the
+host reads the result and passes it to the next stage as a parameter.
+This pass removes the handoff for reduce→consume pairs: the *consumer*
+stage kernel gets a prologue in which every block redundantly replays the
+finish kernel's exact combine tree over the partial buffer (the PR-5
+shared-overlay virtual-lane technique, reused verbatim), broadcasts the
+total through shared memory, and folds it into the reduction variable's
+register — with the host-initial value on the left, exactly the order of
+the host fold it replaces.  Exact tree replay means the fusion is
+bit-identical for *every* operator, ordered or grouping-exact; the
+in-pass verifier checks the structural invariants that guarantee it.
+
+Saves one kernel launch plus one host↔device result read per fused
+cascade.  Decisions (fused or skipped, with the reason and the cost-model
+prices under ``cascade_fusion="auto"``) land on the telemetry timeline
+and in the compile state's autotune records, so they show up in the
+strategy fingerprint and the serve-cache payload.  A caller-pinned
+``cascade_fusion="always"``/``"never"`` override is never second-guessed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import IRVerificationError
+from repro.gpu import kernelir as K
+from repro.gpu.costmodel import estimate_reduction_strategies
+from repro.obs import timeline as _timeline
+from repro.passes.kernelopt import _fused_epilogue
+from repro.passes.manager import CompileState, register_pass
+
+__all__ = ["cascade_prologue", "consumer_stages", "verify_cascade"]
+
+
+def consumer_stages(lowered, g) -> list[int]:
+    """Stages after ``g.stage`` whose statements read ``g``'s variable."""
+    reads = lowered.stage_reads
+    return [si for si in range(g.stage + 1, len(reads))
+            if g.var in reads[si]]
+
+
+def cascade_prologue(gi: int, g, n: int, fbs: int, ntid: int,
+                     arr: str) -> list[K.Stmt]:
+    """The consumer-stage prologue replacing ``g``'s finish kernel.
+
+    Every block replays the finish combine tree (``_fused_epilogue``'s
+    virtual-lane emulation — identical lane→value mapping, identical
+    combination order, bit-identical total), thread 0 stores the raw
+    total to the result buffer for the host's deferred fold, and every
+    thread folds it into the reduction register with the host-initial
+    parameter value on the left — the same order as the host-side
+    ``np_combine(host_init, device_total)`` it replaces.
+    """
+    out: list[K.Stmt] = [K.Comment(
+        f"cascade-fused finish of {g.var!r}: every block replays the "
+        f"combine tree over the {n} partials")]
+    # elide_warp_sync=False: unlike the last-block epilogue, the replay's
+    # total is read back by *all* threads, so every tree step must be
+    # barrier-ordered regardless of warp width
+    out += _fused_epilogue(gi, g, n, fbs, ntid, arr, False)
+    tot = f"_cf{gi}_tot"
+    out.append(K.Sync())
+    out.append(K.SLoad(tot, arr, K.const_int(0)))
+    out.append(K.Assign(g.var, g.op.combine(K.Reg(g.var), K.Reg(tot),
+                                            g.dtype)))
+    return out
+
+
+def verify_cascade(kernel: K.Kernel, g, gi: int) -> None:
+    """Structural invariants that make the fusion exactness-preserving.
+
+    Raises :class:`IRVerificationError` unless the fused kernel has (1)
+    exactly one store to ``g``'s result buffer, (2) a barrier between
+    the replay tree and the all-threads broadcast load, and (3) a fold
+    of the broadcast total into ``g.var`` with the register (the
+    host-initial parameter value) as the *left* operand — the host-fold
+    combine order that both exact and ordered operators require for
+    bit-identity.
+    """
+    def bad(msg: str) -> IRVerificationError:
+        return IRVerificationError(
+            f"{kernel.name}: cascade-fused {g.var!r} ({g.exactness}) "
+            f"{msg}")
+
+    stores = [s for s, _ in K.walk_stmts(kernel.body)
+              if isinstance(s, K.GStore) and s.buf == g.result_buf]
+    if len(stores) != 1:
+        raise bad(f"has {len(stores)} stores to result buffer "
+                  f"{g.result_buf!r}, expected exactly 1")
+
+    tot = f"_cf{gi}_tot"
+    flat = [s for s, _ in K.walk_stmts(kernel.body)]
+    loads = [i for i, s in enumerate(flat)
+             if isinstance(s, K.SLoad) and s.dst == tot]
+    if len(loads) != 1:
+        raise bad("is missing the broadcast load of the replayed total")
+    li = loads[0]
+    if not any(isinstance(s, K.Sync) for s in flat[:li]):
+        raise bad("has no barrier ordering the replay tree before the "
+                  "broadcast load")
+
+    folds = [s for s in flat[li + 1:]
+             if isinstance(s, K.Assign) and s.dst == g.var]
+    if not folds:
+        raise bad("never folds the total into the reduction register")
+    fold = folds[0]
+    v = fold.value
+    ok = (isinstance(v, K.Bin)
+          and isinstance(v.a, K.Reg) and v.a.name == g.var
+          and isinstance(v.b, K.Reg) and v.b.name == tot) or \
+         (isinstance(v, K.Call)
+          and len(v.args) == 2
+          and isinstance(v.args[0], K.Reg) and v.args[0].name == g.var
+          and isinstance(v.args[1], K.Reg) and v.args[1].name == tot)
+    if not ok:
+        raise bad("folds with the wrong operand order (the host-initial "
+                  "value must be the left operand)")
+
+
+def _materialization_end(body: tuple[K.Stmt, ...]) -> int:
+    """Index just past the leading firstprivate materialization run."""
+    i = 0
+    while i < len(body) and isinstance(body[i], K.Assign) \
+            and isinstance(body[i].value, K.Param):
+        i += 1
+    return i
+
+
+@register_pass("cascade-fusion", "kernelopt",
+               "fold a producer stage's finish kernel into its consumer "
+               "stage as a per-block replay prologue (cascaded reductions)")
+def run_cascade_fusion(state: CompileState):
+    lowered = state.lowered
+    if lowered.num_stages < 2:
+        return "single-stage region: nothing to cascade"
+    mode = lowered.options.cascade_fusion
+    geom = lowered.geometry
+    fbs = lowered.options.finish_block_size
+    sizes = {sb.name: sb.size for sb in lowered.scratch}
+    stage_kerns = [lowered.main_kernel, *lowered.stage_kernels]
+    specs = list(lowered.gang_reductions)
+    fused_vars: list[str] = []
+    tl = _timeline.current()
+
+    def decide(g, fused: bool, reason: str, **kw) -> None:
+        if tl is not None:
+            tl.decision("passes", f"cascade-fusion:{g.var}", fused=fused,
+                        reason=reason, stage=g.stage, **kw)
+        state.autotune.setdefault(g.var, {})["cascade_fusion"] = {
+            "choice": "fused" if fused else "unfused",
+            "reason": reason, **kw}
+
+    for gi, g in enumerate(specs):
+        if g.finish_kernel is None or g.partial_buf not in sizes:
+            continue
+        if g.is_pair:
+            decide(g, False, "pair-reduction")
+            continue
+        if mode == "never":
+            decide(g, False, "pinned-never")
+            continue
+        consumers = consumer_stages(lowered, g)
+        if len(consumers) != 1:
+            decide(g, False, "no-consumer-stage" if not consumers
+                   else "multiple-consumer-stages", consumers=consumers)
+            continue
+        si = consumers[0]
+        kern = stage_kerns[si]
+        n = sizes[g.partial_buf]
+        arr = f"_sfin_{g.dtype.value}"
+        new_shared = list(kern.shared)
+        if all(sa.name != arr for sa in new_shared):
+            # overlays with the consumer's block-reduction buffers
+            # ("red" group): the prologue is dead before their first use
+            new_shared.append(K.SharedArraySpec(arr, g.dtype, fbs,
+                                                overlay="red"))
+        probe = dataclasses.replace(kern, shared=tuple(new_shared))
+        if probe.shared_bytes > state.device.shared_mem_per_block:
+            decide(g, False, "shared-overflow",
+                   needed_bytes=probe.shared_bytes,
+                   budget_bytes=state.device.shared_mem_per_block)
+            continue
+        est = None
+        if mode == "auto":
+            est = estimate_reduction_strategies(
+                state.device, geom, dtype=g.dtype, partials=n,
+                finish_block_size=fbs,
+                elide_warp_sync=lowered.options.elide_warp_sync,
+                cascade=True)["cascade_fusion"]
+            if est["fused"] >= est["unfused"]:
+                decide(g, False, "cost-model", fused_us=est["fused"],
+                       unfused_us=est["unfused"])
+                continue
+
+        body = list(kern.body)
+        at = _materialization_end(body)
+        body[at:at] = cascade_prologue(gi, g, n, fbs,
+                                       geom.threads_per_block, arr)
+        note = kern.note + ("; " if kern.note else "") + \
+            f"cascade-fused finish of {g.var} (from stage {g.stage})"
+        new_kern = dataclasses.replace(
+            kern, body=tuple(body), shared=tuple(new_shared),
+            buffers=tuple(sorted(set(kern.buffers)
+                                 | {g.partial_buf, g.result_buf})),
+            note=note)
+        verify_cascade(new_kern, g, gi)
+        stage_kerns[si] = new_kern
+        specs[gi] = dataclasses.replace(g, finish_kernel=None,
+                                        cascade_fused=True)
+        fused_vars.append(g.var)
+        if est is not None:
+            decide(g, True, "cost-model", fused_us=est["fused"],
+                   unfused_us=est["unfused"], consumer_stage=si)
+        else:
+            decide(g, True, "pinned-always", consumer_stage=si)
+
+    if fused_vars:
+        state.lowered = dataclasses.replace(
+            lowered, main_kernel=stage_kerns[0],
+            stage_kernels=tuple(stage_kerns[1:]), gang_reductions=specs)
+        return f"fused: {', '.join(fused_vars)}"
+    return "no cascades fused"

@@ -43,6 +43,7 @@ import dataclasses
 
 from repro.dtypes import DType
 from repro.gpu import kernelir as K
+from repro.obs import timeline as _timeline
 from repro.codegen.reduction.treeutil import prev_pow2
 from repro.passes.manager import CompileState, register_pass
 
@@ -58,9 +59,11 @@ def _map_kernels(lowered, fn):
         init_kernel=fn(g.init_kernel) if g.init_kernel is not None
         else None)
         for g in lowered.gang_reductions]
-    return dataclasses.replace(lowered,
-                               main_kernel=fn(lowered.main_kernel),
-                               gang_reductions=specs)
+    return dataclasses.replace(
+        lowered,
+        main_kernel=fn(lowered.main_kernel),
+        stage_kernels=tuple(fn(k) for k in lowered.stage_kernels),
+        gang_reductions=specs)
 
 
 # --------------------------------------------------------------------------
@@ -155,7 +158,9 @@ def run_eliminate_barriers(state: CompileState):
 
     def rewrite(kernel):
         nonlocal total
-        ntid = ntid_main if kernel.name == lowered.main_kernel.name else fbs
+        # region-stage kernels launch with the main geometry; only the
+        # reduction init/finish helpers use the finish block size
+        ntid = fbs if kernel.name.startswith("acc_reduction_") else ntid_main
         kernel, n = eliminate_barriers(kernel, ntid)
         total += n
         return kernel
@@ -445,9 +450,29 @@ def fuse_finish_kernels(lowered, device) -> tuple[object, list[str]]:
     buffers = set(main.buffers)
     specs = []
     fused: list[str] = []
+
+    def skip(g, reason: str, **kw) -> None:
+        tl = _timeline.current()
+        if tl is not None:
+            tl.decision("passes", f"fuse-finish:{g.var}", fused=False,
+                        reason=reason, **kw)
+
     for gi, g in enumerate(lowered.gang_reductions):
         n = sizes.get(g.partial_buf)
         if g.finish_kernel is None or n is None:
+            specs.append(g)
+            continue
+        if g.is_pair:
+            # the epilogue replays a scalar combine tree; a pair's
+            # conditional value-index combine has no logstep replay
+            skip(g, "pair-reduction")
+            specs.append(g)
+            continue
+        if g.stage != 0:
+            # the partials only exist after the producing stage runs,
+            # which is after the main kernel — nothing to fuse into here
+            # (the cascade-fusion pass owns cross-stage folding)
+            skip(g, "non-main-stage", stage=g.stage)
             specs.append(g)
             continue
         fbs = opts.finish_block_size
@@ -460,6 +485,8 @@ def fuse_finish_kernels(lowered, device) -> tuple[object, list[str]]:
                                                 overlay="red"))
         probe = dataclasses.replace(main, shared=tuple(new_shared))
         if probe.shared_bytes > device.shared_mem_per_block:
+            skip(g, "shared-overflow", needed_bytes=probe.shared_bytes,
+                 budget_bytes=device.shared_mem_per_block)
             specs.append(g)
             continue
         shared = new_shared

@@ -142,16 +142,17 @@ _FRONTEND = ("parse", "build-ir", "auto-parallelize", "resolve-geometry",
 
 #: optimization passes a ``REPRO_PASSES`` comma list may toggle, in the
 #: canonical order the optimized pipeline runs them
-OPTIONAL_PASSES = ("autotune", "fuse-finish", "fold-constants",
-                   "eliminate-barriers")
+OPTIONAL_PASSES = ("autotune", "cascade-fusion", "fuse-finish",
+                   "fold-constants", "eliminate-barriers")
 
 PIPELINES: dict[str, PipelineSpec] = {
     "minimal": PipelineSpec(
         "minimal", _FRONTEND + ("lower", "stamp-sids", "trace-codegen")),
     "optimized": PipelineSpec(
         "optimized",
-        _FRONTEND + ("autotune", "lower", "fuse-finish", "fold-constants",
-                     "eliminate-barriers", "stamp-sids", "trace-codegen")),
+        _FRONTEND + ("autotune", "lower", "cascade-fusion", "fuse-finish",
+                     "fold-constants", "eliminate-barriers", "stamp-sids",
+                     "trace-codegen")),
 }
 
 
@@ -247,5 +248,6 @@ class PassManager:
 # importing the pass modules populates PASS_REGISTRY
 from repro.passes import frontend as _frontend  # noqa: E402,F401
 from repro.passes import autotune as _autotune  # noqa: E402,F401
+from repro.passes import cascade as _cascade  # noqa: E402,F401
 from repro.passes import kernelopt as _kernelopt  # noqa: E402,F401
 from repro.passes import tracegen as _tracegen  # noqa: E402,F401

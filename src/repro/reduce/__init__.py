@@ -1,0 +1,32 @@
+"""``repro.reduce`` — the generic reduction library.
+
+The paper's machinery (§3: divide-and-conquer partials, finish kernels,
+exactness-aware strategy selection) generalizes past ``reduction(+:x)``
+pragmas; this package is the generalization's front door:
+
+* :class:`~repro.reduce.spec.ReductionSpec` — operator, dtype,
+  exactness class, initial value, declaratively;
+* :func:`reduce` / :func:`tuple_reduce` — one or several reductions in
+  one parallel loop (mixed operators welcome);
+* :func:`argmax` / :func:`argmin` — value–index pair reductions
+  (deterministic tie-break toward the smaller index);
+* :func:`segmented_reduce` — per-segment combine via the
+  ``#pragma acc atomic`` scatter path;
+* :func:`define_operator` — register a user-defined associative
+  operator usable from both this API and ``reduction(<token>:var)``
+  clauses.
+
+Everything compiles through the ordinary ``acc.compile`` pipeline —
+autotuning, cascade fusion, the launch and serve caches, and all three
+executor modes apply unchanged.
+"""
+
+from repro.codegen.reduction.operators import define_operator
+from repro.reduce.api import (argmax, argmin, build_source,
+                              program_cache_clear, reduce,
+                              segmented_reduce, tuple_reduce)
+from repro.reduce.spec import UPDATE_TEMPLATES, ReductionSpec
+
+__all__ = ["ReductionSpec", "UPDATE_TEMPLATES", "reduce", "tuple_reduce",
+           "argmax", "argmin", "segmented_reduce", "define_operator",
+           "build_source", "program_cache_clear"]

@@ -1,0 +1,104 @@
+"""The :class:`ReductionSpec` abstraction: one reduction, declaratively.
+
+A spec names *what* to reduce — the operator token, the accumulator
+dtype, an optional non-identity initial value, and (for custom
+operators) the C update statement — without saying *how*.  The library
+front end (:mod:`repro.reduce.api`) turns a tuple of specs into an
+OpenACC source fragment and compiles it through the ordinary
+``acc.compile`` pipeline, so every lowering strategy, optimization pass
+(including cascade fusion), executor mode, and cache in the stack
+applies to library-issued reductions exactly as it does to hand-written
+pragmas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codegen.reduction.operators import ReductionOperator, get_operator
+from repro.dtypes import DType
+from repro.errors import AnalysisError
+
+__all__ = ["ReductionSpec", "UPDATE_TEMPLATES"]
+
+#: C update-statement templates for the nine built-in operators —
+#: ``{acc}`` is the accumulator variable, ``{val}`` the element read.
+#: ``max``/``min`` use the guarded-assignment spelling so the analysis
+#: sees the same shape the paper's hand-written kernels use.
+UPDATE_TEMPLATES: dict[str, str] = {
+    "+": "{acc} = {acc} + {val};",
+    "*": "{acc} = {acc} * {val};",
+    "max": "if ({val} > {acc}) {acc} = {val};",
+    "min": "if ({val} < {acc}) {acc} = {val};",
+    "&": "{acc} = {acc} & {val};",
+    "|": "{acc} = {acc} | {val};",
+    "^": "{acc} = {acc} ^ {val};",
+    "&&": "{acc} = {acc} && {val};",
+    "||": "{acc} = {acc} || {val};",
+}
+
+
+@dataclass(frozen=True)
+class ReductionSpec:
+    """One reduction over one input array.
+
+    ``op`` is an operator token — a built-in OpenACC spelling (``+ *
+    max min & | ^ && ||``) or a token registered with
+    :func:`repro.reduce.define_operator`.  ``kind`` selects a plain
+    scalar reduction or an ``argmax``/``argmin`` value–index pair.
+    ``init`` (default ``None``) seeds the host-side fold with the
+    operator identity; a non-identity value is folded in with exactly
+    OpenACC's ``reduction`` semantics (host initial on the left).
+    ``update`` supplies the C update statement for custom operators
+    (built-ins have canonical templates); ``{acc}`` and ``{val}``
+    placeholders are substituted.
+    """
+
+    op: str = "+"
+    kind: str = "scalar"  # "scalar" | "argmax" | "argmin"
+    dtype: DType | None = None  # None: inferred from the input array
+    init: object | None = None  # None: the operator identity
+    update: str | None = None  # C statement template for custom ops
+
+    def __post_init__(self):
+        if self.kind not in ("scalar", "argmax", "argmin"):
+            raise AnalysisError(
+                f"unknown reduction kind {self.kind!r} "
+                "(expected scalar, argmax, or argmin)")
+        if self.kind != "scalar" and self.op not in ("max", "min"):
+            raise AnalysisError(
+                f"{self.kind} reductions are value-index pairs; the op "
+                f"is implied and may not be {self.op!r}")
+
+    @property
+    def operator(self) -> ReductionOperator:
+        return get_operator(self.op)
+
+    @property
+    def is_pair(self) -> bool:
+        return self.kind in ("argmax", "argmin")
+
+    @property
+    def exactness(self) -> str:
+        """``"exact"`` (grouping-invariant) or ``"ordered"`` — pairs are
+        always exact (the compare/tie-break rule is deterministic under
+        any grouping)."""
+        return "exact" if self.is_pair else self.operator.exactness
+
+    def update_stmt(self, acc: str, val: str) -> str:
+        """The C update statement for this spec."""
+        tpl = self.update or UPDATE_TEMPLATES.get(self.op)
+        if tpl is None:
+            raise AnalysisError(
+                f"custom operator {self.op!r} needs an explicit "
+                "update= C statement template ('{acc}'/'{val}' "
+                "placeholders)")
+        # plain replacement, not str.format: C braces in custom
+        # templates must not need escaping
+        return tpl.replace("{acc}", acc).replace("{val}", val)
+
+    def host_init(self, dtype: DType):
+        """The host-fold seed: ``init`` if given, else the identity."""
+        if self.init is not None:
+            return dtype.np.type(self.init)
+        return self.operator.identity(dtype)

@@ -60,7 +60,7 @@ import threading
 from dataclasses import fields
 from pathlib import Path
 
-from repro.errors import CacheCorruptionError
+from repro.errors import AnalysisError, CacheCorruptionError
 from repro.gpu.device import DeviceProperties, K20C
 from repro.obs import timeline as _timeline
 
@@ -71,7 +71,12 @@ _MAGIC = b"REPROCC1"
 #: version mismatches (a miss), never as wrong programs.
 #: v2: added ``trace_src`` (the trace-codegen pass artifact), so a
 #: cache-served Program skips trace codegen entirely.
-PAYLOAD_VERSION = 2
+#: v3: reduction specs carry kind/index/stage/cascade_fused fields and
+#: LoweredProgram carries stage kernels + per-stage reads; autotune
+#: records gained ``cascade_fusion`` decisions.  v2 entries (pre
+#: multi-stage schema) must read as misses, not as programs that lost
+#: their fusion decisions.
+PAYLOAD_VERSION = 3
 
 #: unique-suffix counter for quarantine renames within one process
 _QSEQ = itertools.count()
@@ -166,9 +171,12 @@ class CompileCache:
                 f"payload version mismatch in {name}")
         return doc
 
-    _VERIFY_ERRORS = (CacheCorruptionError, ValueError, EOFError,
-                      pickle.UnpicklingError, AttributeError, ImportError,
-                      IndexError, MemoryError)
+    # AnalysisError/KeyError: unpickling a payload that references a
+    # user-defined reduction operator token not registered in this
+    # process (operators pickle by token and resolve at load time)
+    _VERIFY_ERRORS = (CacheCorruptionError, AnalysisError, ValueError,
+                      EOFError, pickle.UnpicklingError, AttributeError,
+                      ImportError, IndexError, KeyError, MemoryError)
 
     def _quarantine(self, path: Path) -> None:
         """Take a corrupt entry off its canonical name — atomically.

@@ -66,6 +66,45 @@ class TestCampaign:
             assert cat in table
 
 
+class TestCascadeCampaign:
+    """The campaign must also hold for a fused-cascade kernel."""
+
+    CASCADE = """
+float x[n];
+float m = -3.0e38f;
+float s = 0.0f;
+#pragma acc parallel copyin(x)
+{
+#pragma acc loop gang worker vector reduction(max:m)
+for (i = 0; i < n; i++) if (x[i] > m) m = x[i];
+#pragma acc loop gang worker vector reduction(+:s)
+for (i = 0; i < n; i++) s = s + (x[i] - m);
+}
+"""
+
+    # the full optimized pipeline routes this max through the atomic
+    # style (no finish kernel left to cascade), so the campaign pins
+    # the cascade-fusion pipeline to guarantee a fused kernel is in it
+    PIPE = "cascade-fusion"
+
+    @pytest.fixture(scope="class")
+    def cascade_campaign(self):
+        return run_campaign(self.CASCADE, seed=0, trials=12, num_gangs=4,
+                            num_workers=2, vector_length=32, size=128,
+                            pipeline=self.PIPE)
+
+    def test_program_actually_fuses(self):
+        from repro import acc
+
+        prog = acc.compile(self.CASCADE, num_gangs=4, num_workers=2,
+                           vector_length=32, pipeline=self.PIPE)
+        assert any(g.cascade_fused for g in prog.lowered.gang_reductions)
+
+    def test_nothing_escapes_the_fused_cascade(self, cascade_campaign):
+        assert cascade_campaign.escaped == 0
+        assert sum(cascade_campaign.counts.values()) == 12
+
+
 class TestClassifier:
     class _Res:
         def __init__(self, scalars, strategy="primary", attempts=1,

@@ -142,6 +142,62 @@ class TestCompileCache:
         for key, out in outs.items():
             np.testing.assert_array_equal(out, ref, err_msg=str(key))
 
+    def test_fusion_fingerprint_separates_fused_twins(self):
+        # kernelopt fusion decisions are part of the key: a kernel
+        # rewritten by fuse-finish/cascade-fusion carries a fusion
+        # marker in its note, and must never share a closure with its
+        # unfused twin even under the same options_key
+        import dataclasses
+
+        from repro.gpu.launch import _fusion_fingerprint
+
+        plain = ids_kernel()
+        fused = dataclasses.replace(
+            ids_kernel(), note="cascade-fused finish of s (from stage 0)")
+        assert _fusion_fingerprint(plain) == ()
+        assert _fusion_fingerprint(fused) == ("cascade-fused finish",)
+        launch(plain, _gmem(), grid_dim=1, block_dim=(32, 1),
+               options_key=("optimized",))
+        launch(fused, _gmem(), grid_dim=1, block_dim=(32, 1),
+               options_key=("optimized",))
+        info = compile_cache_info()
+        assert info["misses"] == 2
+        assert info["size"] == 2
+
+    def test_cascade_toggle_never_serves_a_stale_closure(self):
+        # mirror of test_mode_switch_never_serves_a_stale_closure for
+        # the cascade-fusion toggle: alternating fused / pinned-unfused
+        # compiles of the same source must keep distinct compiled
+        # closures and keep producing one set of result bits
+        from repro import acc
+        from repro.apps.softmax import SOFTMAX_SRC
+        from repro.gpu.launch import _fusion_fingerprint
+
+        # explicit pipeline pin: the toggle must fuse even when the
+        # suite runs under REPRO_PASSES=minimal
+        geom = dict(num_gangs=4, num_workers=2, vector_length=32,
+                    pipeline="optimized")
+        x = (np.arange(128) % 13).astype(np.float32)
+        kw = dict(y=np.zeros_like(x), m=np.float32(-np.inf),
+                  s=np.float32(0.0))
+        bits = {}
+        for tag, opts in (("fused", {}),
+                          ("never", {"cascade_fusion": "never"}),
+                          ("fused", {}),
+                          ("never", {"cascade_fusion": "never"})):
+            prog = acc.compile(SOFTMAX_SRC, **geom, **opts)
+            bits.setdefault(tag, set()).add(
+                prog.run(x=x, **kw).outputs["y"].tobytes())
+            marks = {_fusion_fingerprint(k)
+                     for k in prog.lowered.kernels}
+            if tag == "fused":
+                assert ("cascade-fused finish",) in marks
+            else:
+                assert not any("cascade-fused finish" in m
+                               for mk in marks for m in mk)
+        assert len(bits["fused"]) == 1
+        assert bits["fused"] == bits["never"]  # bit-identical either way
+
     def test_clear_resets_counters(self):
         launch(ids_kernel(), _gmem(), grid_dim=1, block_dim=(32, 1))
         compile_cache_clear()

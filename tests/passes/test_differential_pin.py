@@ -51,3 +51,68 @@ def test_minimal_and_optimized_pipelines_bit_identical(case):
         np.testing.assert_allclose(
             np.asarray(got, dtype=np.float64),
             np.asarray(expect, dtype=np.float64), rtol=1e-5)
+
+
+#: cascaded-reduction workloads for the cascade-fusion on/off pin:
+#: (label, source) — each has at least one reduce→consume stage handoff
+_SOFTMAX_SRC = """
+float x[n];
+float y[n];
+float m = -3.0e38f;
+float s = 0.0f;
+#pragma acc parallel copyin(x) copyout(y)
+{
+#pragma acc loop gang worker vector reduction(max:m)
+for (i = 0; i < n; i++) if (x[i] > m) m = x[i];
+#pragma acc loop gang worker vector
+for (i = 0; i < n; i++) y[i] = expf(x[i] - m);
+#pragma acc loop gang worker vector reduction(+:s)
+for (i = 0; i < n; i++) s = s + y[i];
+#pragma acc loop gang worker vector
+for (i = 0; i < n; i++) y[i] = y[i] / s;
+}
+"""
+
+_MEANDEV_SRC = """
+float x[n];
+float s = 0.0f;
+float d = 0.0f;
+#pragma acc parallel copyin(x)
+{
+#pragma acc loop gang worker vector reduction(+:s)
+for (i = 0; i < n; i++) s = s + x[i];
+#pragma acc loop gang worker vector reduction(max:d)
+for (i = 0; i < n; i++) if (x[i] - s > d) d = x[i] - s;
+}
+"""
+
+CASCADES = [("softmax", _SOFTMAX_SRC), ("mean-dev", _MEANDEV_SRC)]
+
+
+@pytest.mark.parametrize("label,src", CASCADES,
+                         ids=[c[0] for c in CASCADES])
+def test_cascade_fusion_on_off_bit_identical(label, src):
+    """The cascade-fusion acceptance pin: fused, pinned-unfused, and
+    minimal builds of each cascaded workload agree bitwise on every
+    scalar and output array, in all three executor modes."""
+    rng = np.random.default_rng(17)
+    x = rng.standard_normal(256).astype(np.float32)
+    progs = {
+        "fused": acc.compile(src, **GEOM, pipeline="optimized"),
+        "never": acc.compile(src, **GEOM, pipeline="optimized",
+                             cascade_fusion="never"),
+        "minimal": acc.compile(src, **GEOM, pipeline="minimal"),
+    }
+    extra = {"y": np.zeros_like(x)} if "float y[n]" in src else {}
+    baseline = None
+    for pipe, prog in progs.items():
+        for mode in ("reference", "batched", "trace"):
+            res = prog.run(x=x, executor_mode=mode, **extra)
+            bits = {name: np.asarray(val).tobytes()
+                    for name, val in res.scalars.items()}
+            bits.update({name: arr.tobytes()
+                         for name, arr in res.outputs.items()})
+            if baseline is None:
+                baseline = bits
+            assert bits == baseline, \
+                f"{label}: {pipe}/{mode} diverged bitwise"
